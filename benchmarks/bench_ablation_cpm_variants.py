@@ -1,0 +1,94 @@
+"""Ablation — CPM implementation variants (DESIGN.md §5).
+
+Compares, at equal output:
+
+* the maximal-clique overlap formulation (the production path) vs the
+  direct k-clique-adjacency definition (the executable specification) —
+  the gap explains why CFinder-style implementations are the only ones
+  that scale;
+* the inverted-index candidate pruning vs the all-pairs overlap matrix
+  the original CFinder uses.
+"""
+
+import random
+
+import pytest
+
+from repro.core.percolation import (
+    CliqueOverlapIndex,
+    k_clique_communities,
+    k_clique_communities_direct,
+)
+from repro.graph import erdos_renyi
+from repro.report.figures import ascii_table
+from repro.topology.generator import GeneratorConfig, generate_topology
+
+SMALL = erdos_renyi(60, 0.25, random.Random(5))
+
+
+def _all_pairs_overlaps(cliques):
+    """The quadratic overlap matrix of the original CFinder."""
+    overlaps = {}
+    for i in range(len(cliques)):
+        for j in range(i + 1, len(cliques)):
+            shared = len(cliques[i] & cliques[j])
+            if shared:
+                overlaps[(i, j)] = shared
+    return overlaps
+
+
+def test_ablation_maximal_clique_vs_direct(benchmark, emit):
+    """Production CPM vs the literal-definition oracle on a small graph."""
+    import time
+
+    t0 = time.perf_counter()
+    direct = sorted(sorted(c.members) for c in k_clique_communities_direct(SMALL, 4))
+    direct_seconds = time.perf_counter() - t0
+
+    fast = benchmark(lambda: k_clique_communities(SMALL, 4))
+    fast_sorted = sorted(sorted(c.members) for c in fast)
+    assert fast_sorted == direct
+
+    table = ascii_table(
+        ["variant", "notes"],
+        [
+            ["maximal-clique overlap (ours)", "see pytest-benchmark timing row"],
+            ["direct k-clique adjacency", f"{direct_seconds:.3f}s single run, same output"],
+        ],
+        title="Ablation: CPM formulation (equal output verified)",
+    )
+    emit("ablation_cpm_formulation", table)
+
+
+def test_ablation_inverted_index_vs_all_pairs(benchmark, emit):
+    """Overlap discovery: inverted node index vs the all-pairs matrix."""
+    import time
+
+    dataset = generate_topology(GeneratorConfig.tiny(), seed=3)
+    index = CliqueOverlapIndex.from_graph(dataset.graph)
+    cliques = index.cliques
+
+    t0 = time.perf_counter()
+    all_pairs = _all_pairs_overlaps(cliques)
+    all_pairs_seconds = time.perf_counter() - t0
+
+    def inverted():
+        fresh = CliqueOverlapIndex(cliques)
+        return fresh.overlaps()
+
+    ours = benchmark(inverted)
+    assert ours == all_pairs  # identical overlap maps
+
+    table = ascii_table(
+        ["variant", "pairs touched", "notes"],
+        [
+            ["inverted index (LP-CPM)", len(ours), "see pytest-benchmark timing row"],
+            [
+                "all-pairs matrix (CFinder)",
+                len(cliques) * (len(cliques) - 1) // 2,
+                f"{all_pairs_seconds:.3f}s single run",
+            ],
+        ],
+        title="Ablation: overlap discovery strategy (equal output verified)",
+    )
+    emit("ablation_overlap_strategy", table)

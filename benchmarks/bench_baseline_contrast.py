@@ -1,0 +1,101 @@
+"""Baseline contrast — why the paper picks CPM (Chapter 1).
+
+Three checkable claims:
+
+* **k-core / k-dense are partitions** — one nested chain per k, no
+  overlap — while the CPM cover holds overlapping communities (ASes in
+  several IXP communities at once);
+* **the Tier-1 full mesh** is a CPM community even though its members'
+  degree is overwhelmingly external — internal-degree methods (GCE's
+  fitness, label propagation) do not isolate it;
+* **EAGLE's clique-size threshold** discards the small regional cliques
+  that CPM reports as root communities.
+
+The CPM/Tier-1 check runs on the default-profile topology (the Tier-1
+mesh needs enough carriers around it to stand out as a parallel
+community); the expensive expansion/agglomeration baselines run on the
+tiny profile, which shows the same partition-vs-cover structure.
+"""
+
+from repro.baselines import (
+    EagleConfig,
+    GCEConfig,
+    KCoreDecomposition,
+    KDenseDecomposition,
+    eagle,
+    greedy_clique_expansion,
+    label_propagation,
+)
+from repro.core.lightweight import LightweightParallelCPM
+from repro.report.figures import ascii_table
+from repro.topology.generator import GeneratorConfig, InternetTopologyGenerator
+
+
+def _tier1_of(config, seed):
+    generator = InternetTopologyGenerator(config, seed=seed)
+    dataset = generator.generate()
+    return dataset, frozenset(generator.roles["tier1"])
+
+
+def test_baseline_contrast(benchmark, context, emit):
+    # --- CPM side: the default dataset of the whole benchmark suite.
+    hierarchy = benchmark(lambda: LightweightParallelCPM(context.graph).run())
+    _, tier1 = _tier1_of(GeneratorConfig.default(), 42)
+
+    tier1_communities = [
+        (k, c.label, c.size)
+        for k in hierarchy.orders
+        for c in hierarchy[k]
+        if tier1 <= set(c.members) and c.size <= len(tier1) + 3
+    ]
+    cpm_finds_tier1 = bool(tier1_communities)
+
+    from collections import Counter
+
+    cover4 = [set(c.members) for c in hierarchy[4]]
+    node_counts = Counter(n for community in cover4 for n in community)
+    overlapping_ases = sum(1 for c in node_counts.values() if c > 1)
+
+    # --- baseline side: the tiny dataset keeps GCE/EAGLE tractable.
+    tiny_dataset, tiny_tier1 = _tier1_of(GeneratorConfig.tiny(), 7)
+    graph = tiny_dataset.graph
+    kcore = KCoreDecomposition(graph)
+    kdense = KDenseDecomposition(graph, max_k=8)
+    gce = greedy_clique_expansion(graph, GCEConfig(min_clique_size=4))
+    gce_keeps_tier1 = any(set(c) == set(tiny_tier1) for c in gce)
+    eagle_result = eagle(graph, EagleConfig(min_clique_size=4))
+    lp = label_propagation(graph, seed=0)
+    lp_keeps_tier1 = any(set(c) == set(tiny_tier1) for c in lp)
+
+    rows = [
+        ["CPM (ours)", f"{hierarchy.total_communities} communities",
+         "yes (overlap allowed)",
+         f"yes, parallel at k={[k for k, _, _ in tier1_communities]}"
+         if cpm_finds_tier1 else "no"],
+        ["k-core", f"degeneracy {kcore.degeneracy}", "no (partition)", "no"],
+        ["k-dense", f"max k {kdense.max_k}", "no (partition per k)", "no"],
+        ["GCE", f"{len(gce)} communities", "yes",
+         "yes" if gce_keeps_tier1 else "no (fitness rejects it)"],
+        ["EAGLE", f"{len(eagle_result.communities)} communities "
+                  f"({eagle_result.n_subordinate_vertices} subordinates)",
+         "yes", "-"],
+        ["label propagation", f"{len(lp)} communities", "no (partition)",
+         "yes" if lp_keeps_tier1 else "no"],
+    ]
+    table = ascii_table(
+        ["method", "output", "overlapping cover?", "isolates Tier-1 mesh?"],
+        rows,
+        title="Baseline contrast (Chapter 1): who can express Internet communities",
+    )
+    footer = (
+        f"CPM cover at k=4 has {overlapping_ases} ASes in >1 community; "
+        f"EAGLE discarded {eagle_result.n_subordinate_vertices} ASes as subordinate "
+        "(the paper's critique: small regional cliques are lost)"
+    )
+    emit("baseline_contrast", f"{table}\n{footer}")
+
+    assert cpm_finds_tier1, "CPM must isolate the Tier-1-mesh community"
+    assert not gce_keeps_tier1, "GCE's fitness should reject the pure Tier-1 mesh"
+    assert not lp_keeps_tier1
+    assert overlapping_ases > 0
+    assert eagle_result.n_subordinate_vertices > 0

@@ -1,0 +1,51 @@
+"""Ablation — LP-CPM scaling with topology size (DESIGN.md §5).
+
+The paper's CPM run was feasible only because of the lightweight
+formulation; this bench sweeps the generator's ``scale`` knob and
+reports how clique count and CPM time grow with the AS population while
+the community-tree depth (driven by the fixed IXP core sizes) stays
+constant — the property that makes scaled-down reproduction valid.
+"""
+
+from repro.core.lightweight import LightweightParallelCPM
+from repro.report.figures import ascii_table
+from repro.topology.generator import GeneratorConfig, generate_topology
+
+
+def _run_at_scale(scale: float):
+    dataset = generate_topology(GeneratorConfig(scale=scale), seed=42)
+    cpm = LightweightParallelCPM(dataset.graph)
+    hierarchy = cpm.run()
+    return dataset, cpm.stats, hierarchy
+
+
+def test_cpm_scaling_sweep(benchmark, emit):
+    rows = []
+    results = {}
+    for scale in (0.25, 0.5, 1.0):
+        dataset, stats, hierarchy = _run_at_scale(scale)
+        results[scale] = (dataset, stats, hierarchy)
+        rows.append(
+            [
+                scale,
+                dataset.n_ases,
+                dataset.n_links,
+                stats.n_cliques,
+                round(stats.total_seconds, 3),
+                hierarchy.max_k,
+                hierarchy.total_communities,
+            ]
+        )
+    # The timed target: the reference scale.
+    benchmark(lambda: LightweightParallelCPM(results[1.0][0].graph).run())
+
+    table = ascii_table(
+        ["scale", "ASes", "links", "maximal cliques", "CPM seconds", "max k", "communities"],
+        rows,
+        title="LP-CPM scaling sweep (depth fixed by IXP cores; population scales)",
+    )
+    emit("cpm_scaling", table)
+
+    # Clique count grows with population; tree depth does not.
+    assert results[0.25][1].n_cliques < results[1.0][1].n_cliques
+    assert results[0.25][2].max_k == results[1.0][2].max_k == 36

@@ -1,0 +1,34 @@
+"""Figure 4.1 — number of k-clique communities vs k.
+
+Paper: 627 communities in total on the 35,390-AS graph; hundreds at
+k = 3 decaying to single communities near k = 36; unique orders at
+k in {2, 21, 22, 25, 36}.  Shape to hold: monotone-ish decay from a
+low-k peak, a band of unique mid-k orders, a single 2-clique community
+and a small crown count at the maximum k.
+"""
+
+from repro.analysis.census import CommunityCensus
+from repro.report.figures import ascii_scatter, ascii_table
+
+
+def test_figure_4_1_census(benchmark, context, emit):
+    census = benchmark(lambda: CommunityCensus(context.hierarchy))
+    chart = ascii_scatter(
+        {"communities": [(float(k), float(n)) for k, n in census.series()]},
+        title="Figure 4.1: Number of k-clique communities vs k (paper total: 627)",
+        log_y=True,
+        y_label="# communities",
+    )
+    rows = [[k, n] for k, n in census.series()]
+    table = ascii_table(["k", "# communities"], rows)
+    summary = (
+        f"total: {census.total_communities}; "
+        f"unique orders: {census.unique_orders()} (paper: [2, 21, 22, 25, 36])"
+    )
+    emit("figure_4_1", f"{chart}\n\n{table}\n{summary}")
+
+    series = dict(census.series())
+    assert census.single_2_clique_community()
+    assert series[3] > series[10] > series[census.max_k] - 1  # decaying shape
+    assert census.max_k in census.unique_orders()
+    assert any(2 < k < census.max_k for k in census.unique_orders())

@@ -1,0 +1,43 @@
+"""Figure 4.2 — the k-clique community tree.
+
+Paper: a single tree rooted at the 2-clique community; exactly one main
+(filled) community per order on the chain to the 36-clique community;
+parallel branches absorbed into the main chain as k decreases; three
+bands (root/trunk/crown).  Shape to hold: single root, main chain
+spanning every order, branch structure present, bands derivable.
+"""
+
+from repro.analysis.bands import derive_bands
+from repro.analysis.ixp_share import IXPShareAnalysis
+from repro.core.tree import CommunityTree
+
+
+def test_figure_4_2_tree(benchmark, context, emit):
+    tree = benchmark(lambda: CommunityTree(context.hierarchy))
+    bands = derive_bands(IXPShareAnalysis(context))
+    branches = tree.parallel_branches()
+    header = (
+        "Figure 4.2: k-clique community tree "
+        f"(paper: 627 nodes, bands root k<14 / trunk / crown k>28)\n"
+        f"nodes: {len(tree)}; roots: {len(tree.roots)}; apex: {tree.apex.label}; "
+        f"bands here: root<=k{bands.root_max}, crown>=k{bands.crown_min}\n"
+        f"parallel branches (start-k, end-k, length): "
+        f"{[(b[0].k, b[-1].k, len(b)) for b in branches[:12]]}"
+    )
+    emit("figure_4_2", f"{header}\n\n{tree.to_ascii(max_children=5)}")
+
+    assert len(tree.roots) == 1  # connected graph → single tree
+    assert [n.k for n in tree.main_chain()] == context.hierarchy.orders
+    assert branches  # parallel branches exist (the paper's side chains)
+    assert bands.root_max < bands.crown_min
+
+
+def test_figure_4_2_dot_export(benchmark, context, emit):
+    tree = CommunityTree(context.hierarchy)
+    bands = derive_bands(IXPShareAnalysis(context))
+    dot = benchmark(lambda: tree.to_dot(band_of=bands.band_of))
+    emit("figure_4_2_dot", dot)
+    assert dot.count("->") == len(tree) - 1
+    # The figure's three bands are colour-coded layers of equal rank.
+    assert "rank=same" in dot
+    assert dot.count("fillcolor") >= len(tree)

@@ -1,0 +1,40 @@
+"""Figure 4.3 — size of k-clique communities vs k.
+
+Paper: main community size 35,390 at k = 2, decaying rapidly; parallel
+sizes close to k; main comparable to parallels only near k = 36.
+Shape to hold: monotone non-increasing main series covering the whole
+graph at k = 2, parallel size/k ratio near 1, crossover deep in the
+crown band.
+"""
+
+from repro.analysis.sizes import SizeAnalysis
+from repro.report.figures import ascii_scatter, ascii_table
+
+
+def test_figure_4_3_sizes(benchmark, context, emit):
+    sizes = benchmark(lambda: SizeAnalysis(context))
+    chart = ascii_scatter(
+        {
+            "main": [(float(k), float(s)) for k, s in sizes.main_series()],
+            "parallel": [(float(k), float(s)) for k, s in sizes.parallel_points()],
+        },
+        title="Figure 4.3: Size of k-clique communities vs k (log y)",
+        log_y=True,
+        y_label="community size",
+    )
+    mean_ratio, max_ratio = sizes.parallel_size_ratio_stats()
+    table = ascii_table(
+        ["k", "main size"],
+        [[k, s] for k, s in sizes.main_series()],
+        title="Main community sizes (paper: 35,390 at k=2 shrinking to 38 at k=36)",
+    )
+    footer = (
+        f"parallel size/k: mean={mean_ratio:.2f} max={max_ratio:.2f} "
+        f"(paper: 'size close to k'); crossover k={sizes.crossover_k()}"
+    )
+    emit("figure_4_3", f"{chart}\n\n{table}\n{footer}")
+
+    assert sizes.main_is_monotone_nonincreasing()
+    assert sizes.main_covers_graph_at_k2()
+    assert mean_ratio < 3.0
+    assert sizes.crossover_k() > 0.7 * context.hierarchy.max_k

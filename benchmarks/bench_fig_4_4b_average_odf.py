@@ -1,0 +1,37 @@
+"""Figure 4.4(b) — average Out Degree Fraction vs k.
+
+Paper: members of the huge low-k main communities keep most links
+internal (low ODF); crown communities are cohesive carrier sets whose
+members direct most links outside (high ODF); small low-k parallels
+are variable.
+"""
+
+import statistics
+
+from repro.analysis.density_odf import DensityOdfAnalysis
+from repro.report.figures import ascii_scatter, ascii_table
+
+
+def test_figure_4_4b_average_odf(benchmark, context, emit):
+    analysis = benchmark(lambda: DensityOdfAnalysis(context))
+    chart = ascii_scatter(
+        {
+            "main": [(float(k), v) for k, v in analysis.main_odf_series()],
+            "parallel": [(float(k), v) for k, v in analysis.parallel_odf_points()],
+        },
+        title="Figure 4.4(b): Average ODF vs k",
+        y_label="average ODF",
+    )
+    table = ascii_table(
+        ["k", "main avg ODF"],
+        [[k, round(v, 4)] for k, v in analysis.main_odf_series()],
+        title="Main-community average ODF (paper: low until the crown, high at the top)",
+    )
+    emit("figure_4_4b", f"{chart}\n\n{table}")
+
+    series = dict(analysis.main_odf_series())
+    assert series[2] == 0.0
+    assert analysis.main_odf_increases_to_crown()
+    # Crown main ODF well above the low-k plateau.
+    low_band = [v for k, v in series.items() if 3 <= k <= 10]
+    assert series[context.hierarchy.max_k] > 2 * statistics.mean(low_band)

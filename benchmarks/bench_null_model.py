@@ -1,0 +1,56 @@
+"""Extension — communities are not a degree artifact.
+
+Degree distributions explain much of the AS graph's structure, so a
+fair question about Chapter 4 is whether k-clique communities are just
+what any graph with this degree sequence would show.  The null test:
+double-edge-swap randomisation preserves every AS's degree exactly
+while destroying correlated structure.  If the communities were a
+degree artifact they would survive; instead the tree collapses — the
+maximum order plummets and the mid-k covers empty out, while the real
+topology's IXP meshes put it far outside the null ensemble.
+"""
+
+import random
+
+from repro.core.lightweight import LightweightParallelCPM
+from repro.graph import degree_preserving_null
+from repro.report.figures import ascii_table
+from repro.topology.generator import GeneratorConfig, generate_topology
+
+_DATASET = generate_topology(GeneratorConfig.tiny(), seed=7)
+
+
+def test_degree_preserving_null_model(benchmark, emit):
+    real = _DATASET.graph
+    null = benchmark.pedantic(
+        lambda: degree_preserving_null(real, rng=random.Random(5)),
+        rounds=1,
+        iterations=1,
+    )
+    assert null.degrees() == real.degrees()
+
+    real_hierarchy = LightweightParallelCPM(real).run()
+    null_hierarchy = LightweightParallelCPM(null).run()
+
+    rows = []
+    for k in (3, 4, 5, 6, 8, 10, 12):
+        real_n = len(real_hierarchy[k]) if k in real_hierarchy else 0
+        null_n = len(null_hierarchy[k]) if k in null_hierarchy else 0
+        rows.append([k, real_n, null_n])
+    table = ascii_table(
+        ["k", "communities (real)", "communities (degree-matched null)"],
+        rows,
+        title="k-clique communities: real topology vs degree-preserving rewiring",
+    )
+    footer = (
+        f"max order: real {real_hierarchy.max_k} vs null {null_hierarchy.max_k}; "
+        f"total communities: real {real_hierarchy.total_communities} vs "
+        f"null {null_hierarchy.total_communities} — same degree sequence, "
+        "no IXP meshes, no community tree"
+    )
+    emit("null_model", f"{table}\n{footer}")
+
+    assert null_hierarchy.max_k < 0.7 * real_hierarchy.max_k
+    deep_real = sum(len(real_hierarchy[k]) for k in real_hierarchy.orders if k >= 6)
+    deep_null = sum(len(null_hierarchy[k]) for k in null_hierarchy.orders if k >= 6)
+    assert deep_null < deep_real

@@ -1,0 +1,49 @@
+"""Extension — the k-clique percolation phase transition.
+
+Validates the CPM engine against the theory the paper's method stands
+on (Derényi, Palla, Vicsek, PRL 2005): in G(N, p) the largest k-clique
+community jumps from microscopic to giant at
+p_c(k) = [(k-1) N]^(-1/(k-1)).  The regenerated series must show the
+sigmoid order parameter with its knee at p/p_c ≈ 1.
+"""
+
+from repro.analysis.percolation_threshold import (
+    critical_probability,
+    empirical_threshold,
+    threshold_sweep,
+)
+from repro.report.figures import ascii_scatter, ascii_table
+
+_N, _K = 150, 4
+_RELATIVE_PS = [0.5, 0.7, 0.85, 1.0, 1.15, 1.3, 1.5]
+
+
+def test_percolation_phase_transition(benchmark, emit):
+    points = benchmark.pedantic(
+        lambda: threshold_sweep(n=_N, k=_K, relative_ps=_RELATIVE_PS, trials=2, seed=1),
+        rounds=1,
+        iterations=1,
+    )
+    chart = ascii_scatter(
+        {"largest share": [(p.relative_p, p.largest_community_share) for p in points]},
+        title=(
+            f"k-clique percolation transition: N={_N}, k={_K}, "
+            f"p_c={critical_probability(_N, _K):.4f} (Derenyi et al. 2005)"
+        ),
+        x_label="p / p_c",
+        y_label="largest community share",
+    )
+    table = ascii_table(
+        ["p/p_c", "p", "largest share", "# communities"],
+        [
+            [p.relative_p, round(p.p, 4), round(p.largest_community_share, 3), p.n_communities]
+            for p in points
+        ],
+    )
+    knee = empirical_threshold(points, share=0.2)
+    emit("percolation_threshold", f"{chart}\n\n{table}\nempirical knee at p/p_c = {knee}")
+
+    shares = [p.largest_community_share for p in points]
+    assert shares[0] < 0.1
+    assert shares[-1] > 0.6
+    assert knee is not None and 0.7 <= knee <= 1.5

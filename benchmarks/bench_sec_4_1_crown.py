@@ -1,0 +1,54 @@
+"""Section 4.1 — crown k-clique communities.
+
+Paper: 42 communities with k in [29, 36]; the 36-clique community has
+38 ASes, max-share AMS-IX at 89%, no full-share IXP; every crown AS is
+European (4 exceptions) and on-IXP (3 exceptions); crown max-share
+IXPs are exactly {AMS-IX, DE-CIX, LINX}; the nine 34-clique communities
+split into the AMS-IX main plus LINX/DE-CIX full-share parallels that
+overlap through the IXPs' shared participants.
+"""
+
+from repro.analysis.bands import crown_report, derive_bands
+from repro.analysis.ixp_share import IXPShareAnalysis
+from repro.report.figures import ascii_table
+
+
+def test_section_4_1_crown(benchmark, context, dataset, emit):
+    ixp_share = IXPShareAnalysis(context)
+    bands = derive_bands(ixp_share)
+    report = benchmark(lambda: crown_report(context, ixp_share, bands))
+
+    case_rows = [
+        [label, "main" if is_main else "parallel", ixp, f"{fraction:.0%}",
+         "yes" if full else "no"]
+        for label, ixp, fraction, full, is_main in report.case_study
+    ]
+    table = ascii_table(
+        ["community", "role", "max-share IXP", "share", "full-share"],
+        case_rows,
+        title=(
+            f"Crown case study at k={report.case_study_k} "
+            "(paper: nine 34-clique communities — AMS-IX main at 92%, "
+            "4x LINX + 3x DE-CIX full-share, 1x DE-CIX 98%)"
+        ),
+    )
+    summary = (
+        f"crown band k in {report.k_range} (paper [29, 36]); "
+        f"{report.n_communities} communities (paper 42); "
+        f"apex {report.apex_label}: {report.apex_size} ASes (paper 38), "
+        f"max-share {report.apex_max_share_ixp} {report.apex_max_share_fraction:.0%} "
+        f"(paper AMS-IX 89%), full-share={report.apex_has_full_share} (paper no); "
+        f"max-share IXPs {sorted(report.max_share_ixps)} (paper the big three); "
+        f"non-EU members: {sorted(dataset.name_of(a) for a in report.non_european_members)} "
+        f"(paper 4); in no IXP: {len(report.non_ixp_members)} (paper 3)"
+    )
+    emit("section_4_1_crown", f"{table}\n{summary}")
+
+    assert report.max_share_ixps == {"AMS-IX", "DE-CIX", "LINX"}
+    assert report.apex_max_share_ixp == "AMS-IX"
+    assert not report.apex_has_full_share
+    assert not report.main_has_full_share
+    assert len(report.non_european_members) == 4
+    assert len(report.non_ixp_members) == 3
+    parallels = [row for row in report.case_study if not row[4]]
+    assert any(row[3] for row in parallels)  # full-share parallels exist

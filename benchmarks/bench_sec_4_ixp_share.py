@@ -1,0 +1,42 @@
+"""Section 4 text — IXP tags over the community tree.
+
+Paper: every community with k >= 16 has > 90% on-IXP members; 35
+communities have a full-share IXP; the full-share regimes split the
+tree into three bands (crown > 28 at big IXPs, root < 14 at small IXPs,
+trunk in between with none).
+"""
+
+from repro.analysis.bands import derive_bands
+from repro.analysis.ixp_share import IXPShareAnalysis
+from repro.report.figures import ascii_table
+
+
+def test_section_4_ixp_share(benchmark, context, emit):
+    analysis = benchmark(lambda: IXPShareAnalysis(context))
+    threshold = analysis.high_on_ixp_threshold(fraction=0.9)
+    full = analysis.full_share_communities()
+    gap = analysis.no_full_share_band()
+    bands = derive_bands(analysis)
+    rows = [
+        [r.label, r.k, r.size, r.full_share_ixps[0]]
+        for r in full
+    ]
+    table = ascii_table(
+        ["community", "k", "size", "full-share IXP"],
+        rows,
+        title="Communities fully contained in an IXP-induced subgraph (paper: 35)",
+    )
+    summary = (
+        f">=90% on-IXP for every community with k >= {threshold} (paper: 16); "
+        f"full-share communities: {len(full)}; "
+        f"no-full-share band: k in {gap} (paper: [14, 28]); "
+        f"derived bands: root<=k{bands.root_max}, crown>=k{bands.crown_min}"
+    )
+    emit("section_4_ixp_share", f"{table}\n{summary}")
+
+    assert threshold is not None and threshold <= 16
+    assert len(full) > 10
+    assert gap is not None
+    # Regime structure: full shares at both extremes, none between.
+    orders = analysis.full_share_orders()
+    assert min(orders) < gap[0] and max(orders) > gap[1]

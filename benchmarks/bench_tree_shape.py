@@ -1,0 +1,40 @@
+"""Extension — the tree's shape statistics (quantifying Figure 4.2).
+
+Chapter 5's qualitative reading of the tree — "parallel branches ...
+characterized by a limited size which are rapidly incorporated into a
+main community" — regenerated as numbers: branch persistence
+distribution, absorption orders, and the main/parallel branching
+factors.
+"""
+
+from repro.analysis.tree_metrics import tree_shape
+from repro.report.figures import ascii_table
+
+
+def test_tree_shape_statistics(benchmark, context, emit):
+    shape = benchmark(lambda: tree_shape(context.tree))
+
+    persistence_table = ascii_table(
+        ["branch persistence (orders)", "branches"],
+        [[p, n] for p, n in shape.persistence_distribution().items()],
+        title="Parallel-branch persistence (the paper: 'rapidly incorporated')",
+    )
+    absorption_table = ascii_table(
+        ["absorbed into main at k", "branches"],
+        [[k, n] for k, n in shape.absorption_orders().items()],
+        title="Absorption orders",
+    )
+    footer = (
+        f"{shape.n_nodes} tree nodes ({shape.n_main} main, {shape.n_parallel} "
+        f"parallel); mean persistence {shape.mean_persistence():.2f} orders, "
+        f"max {shape.max_persistence()} (the MSK-IX-style chain); branching "
+        f"factor main {shape.branching_factor_main:.2f} vs parallel "
+        f"{shape.branching_factor_parallel:.2f}"
+    )
+    emit("tree_shape", f"{persistence_table}\n\n{absorption_table}\n{footer}")
+
+    assert shape.n_main == len(context.hierarchy.orders)
+    assert shape.mean_persistence() < 0.3 * context.hierarchy.max_k
+    assert shape.max_persistence() >= 5
+    # Main nodes carry the side branches: higher branching factor.
+    assert shape.branching_factor_main > shape.branching_factor_parallel

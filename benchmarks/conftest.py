@@ -1,0 +1,54 @@
+"""Benchmark fixtures.
+
+Every benchmark consumes the same synthetic April-2010-like dataset
+(default profile, seed 42) and the shared CPM run, so fixture cost is
+paid once per session and the timed portions measure exactly the
+computation each table/figure needs.
+
+Each benchmark *prints and saves* the rows/series it regenerates —
+the textual equivalents of the paper's tables and figures land in
+``benchmarks/output/<name>.txt``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.context import AnalysisContext
+from repro.report.paper import PaperRun
+from repro.topology.generator import GeneratorConfig, generate_topology
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def dataset():
+    return generate_topology(GeneratorConfig.default(), seed=42)
+
+
+@pytest.fixture(scope="session")
+def context(dataset):
+    return AnalysisContext.from_dataset(dataset)
+
+
+@pytest.fixture(scope="session")
+def paper_run(dataset, context):
+    run = PaperRun.__new__(PaperRun)
+    run.dataset = dataset
+    run.context = context
+    return run
+
+
+@pytest.fixture(scope="session")
+def emit():
+    """Print a regenerated artefact and archive it under output/."""
+
+    OUTPUT_DIR.mkdir(exist_ok=True)
+
+    def _emit(name: str, text: str) -> None:
+        print(f"\n{text}\n")
+        (OUTPUT_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+
+    return _emit

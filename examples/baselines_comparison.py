@@ -1,0 +1,89 @@
+"""Why CPM: comparing community detectors on the same Internet.
+
+Runs every baseline the paper discusses — k-core, k-dense, GCE, EAGLE,
+label propagation — next to the Clique Percolation Method on one
+synthetic topology, and quantifies the covers' disagreement with the
+Omega index and Jaccard matching.  The punchline is Chapter 1's: only
+an overlapping, density-first method expresses Internet communities
+(the Tier-1 mesh, multi-IXP carriers).
+
+Run:  python examples/baselines_comparison.py
+"""
+
+from repro.baselines import (
+    EagleConfig,
+    GCEConfig,
+    KCoreDecomposition,
+    KDenseDecomposition,
+    eagle,
+    greedy_clique_expansion,
+    label_propagation,
+)
+from repro.compare import match_covers, omega_index
+from repro.core import LightweightParallelCPM
+from repro.topology import GeneratorConfig, InternetTopologyGenerator
+
+
+def main() -> None:
+    generator = InternetTopologyGenerator(GeneratorConfig.tiny(), seed=7)
+    dataset = generator.generate()
+    graph = dataset.graph
+    tier1 = set(generator.roles["tier1"])
+    print(f"dataset: {dataset!r}; Tier-1 mesh: {sorted(tier1)}\n")
+
+    hierarchy = LightweightParallelCPM(graph).run()
+    cpm_cover = [set(c.members) for c in hierarchy[4]]
+    print(f"CPM: {hierarchy.total_communities} communities over k in "
+          f"[{hierarchy.min_k}, {hierarchy.max_k}]; {len(cpm_cover)} at k=4")
+
+    kcore = KCoreDecomposition(graph)
+    print(f"k-core: degeneracy {kcore.degeneracy} (one nested chain — a partition)")
+
+    kdense = KDenseDecomposition(graph, max_k=8)
+    print(f"k-dense: levels up to k={kdense.max_k}, "
+          f"{kdense.counts_by_k()} communities per level")
+
+    gce = greedy_clique_expansion(graph, GCEConfig(min_clique_size=4))
+    print(f"GCE: {len(gce)} grown communities (largest {len(gce[0])})")
+
+    eagle_result = eagle(graph, EagleConfig(min_clique_size=4))
+    print(
+        f"EAGLE: {len(eagle_result.communities)} communities at max EQ "
+        f"{eagle_result.eq:.3f}; {eagle_result.n_subordinate_vertices} ASes "
+        "demoted to singletons by the clique-size threshold"
+    )
+
+    lp = label_propagation(graph, seed=0)
+    print(f"label propagation: {len(lp)} communities (partition)\n")
+
+    # Quantified disagreement at k = 4 granularity.
+    print("cover agreement with CPM(k=4):")
+    universe = set().union(*cpm_cover)
+    for name, cover in [
+        ("GCE", [set(c) for c in gce]),
+        ("EAGLE", [set(c) for c in eagle_result.communities if len(c) > 1]),
+        ("label propagation", [set(c) for c in lp]),
+        ("k-dense(4)", kdense.communities(4)),
+    ]:
+        omega = omega_index(cpm_cover, cover, universe)
+        matching = match_covers(cpm_cover, cover)
+        print(
+            f"  {name:18s} omega={omega:+.3f}  "
+            f"mean matched Jaccard={matching.mean_jaccard:.2f}  "
+            f"CPM communities matched: {len(matching.pairs)}/{len(cpm_cover)}"
+        )
+
+    print("\nthe Tier-1 litmus test:")
+    found = [
+        (k, c.label)
+        for k in hierarchy.orders
+        for c in hierarchy[k]
+        if tier1 <= set(c.members) and c.size <= len(tier1) + 3
+    ]
+    print(f"  CPM isolates the Tier-1 mesh at k = {[k for k, _ in found]}")
+    print(f"  GCE emits it exactly: {any(set(c) == tier1 for c in gce)}")
+    print(f"  label propagation emits it exactly: {any(set(c) == tier1 for c in lp)}")
+
+
+if __name__ == "__main__":
+    main()

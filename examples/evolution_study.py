@@ -1,0 +1,61 @@
+"""Community evolution: watching the Internet's dense zones grow.
+
+Extends the paper's single-snapshot analysis along the temporal axis of
+its related work ([8], [22]): a synthetic Internet grows over six
+campaign-style snapshots, and the k-clique communities of a fixed order
+are tracked through birth, growth, merge and split events.
+
+Run:  python examples/evolution_study.py [k]
+"""
+
+import sys
+
+from repro.evolution import EventKind, EvolutionTracker, TopologyEvolution
+from repro.topology import GeneratorConfig
+
+
+def main() -> None:
+    k = int(sys.argv[1]) if len(sys.argv) > 1 else 4
+    evolution = TopologyEvolution(GeneratorConfig.tiny(), seed=7, n_snapshots=6)
+
+    print("ecosystem growth:")
+    for t, nodes, edges in evolution.growth_series():
+        bar = "#" * (nodes // 20)
+        print(f"  t={t:.2f}  {nodes:5d} ASes {edges:6d} links  {bar}")
+    print()
+
+    tracker = EvolutionTracker(evolution.snapshots(), k=k)
+    print(f"tracking {k}-clique communities across {len(tracker.covers)} snapshots")
+    for step, cover in enumerate(tracker.covers):
+        sizes = sorted((len(c) for c in cover), reverse=True)
+        print(f"  snapshot {step}: {len(cover)} communities, sizes {sizes[:8]}")
+    print()
+
+    counts = tracker.event_counts()
+    print("life events (Palla et al. taxonomy):")
+    for kind in EventKind:
+        print(f"  {kind.value:12s} {counts[kind]}")
+    print()
+
+    merges = [e for e in tracker.events if e.kind is EventKind.MERGE]
+    if merges:
+        event = merges[0]
+        print(
+            f"first merge: snapshot {event.step} -> {event.step + 1}, "
+            f"communities {event.before} fused into {event.after} — "
+            "regional cliques joining the growing IXP fabric"
+        )
+
+    longest = tracker.longest_timeline()
+    print(
+        f"\nlongest-lived community: appears at snapshot {longest.born_at}, "
+        f"size trajectory {longest.sizes()}"
+    )
+    print(
+        "the persistent, ever-growing community is the IXP core — the "
+        "same structure the paper's crown analysis isolates in 2010"
+    )
+
+
+if __name__ == "__main__":
+    main()

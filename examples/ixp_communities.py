@@ -1,0 +1,71 @@
+"""IXP-driven communities: the crown of the Internet (Section 4.1).
+
+Walks the densest part of the community tree and interprets it with the
+IXP dataset, like the paper's 34-clique case study: which IXP does each
+crown community live at, which communities are entire subsets of one
+IXP's participants, and how the big three European IXPs overlap.
+
+Run:  python examples/ixp_communities.py
+"""
+
+from repro import AnalysisContext, generate_topology
+from repro.analysis import IXPShareAnalysis, derive_bands
+
+
+def main() -> None:
+    dataset = generate_topology(seed=42)
+    print(f"dataset: {dataset!r}\n")
+    context = AnalysisContext.from_dataset(dataset)
+    share = IXPShareAnalysis(context)
+    bands = derive_bands(share)
+    hierarchy = context.hierarchy
+    tree = context.tree
+
+    print(f"crown band: k >= {bands.crown_min} (derived from full-share regimes)\n")
+
+    # Walk the crown orders, paper-style.
+    for k in range(bands.crown_min, hierarchy.max_k + 1):
+        print(f"k = {k}: {len(hierarchy[k])} communities")
+        for community in hierarchy[k]:
+            record = share.record(community.label)
+            role = "MAIN" if tree.is_main(community) else "parallel"
+            full = f", full-share of {record.full_share_ixps[0]}" if record.full_share_ixps else ""
+            print(
+                f"  {community.label} [{role}] size {community.size}: "
+                f"max-share {record.max_share_ixp} "
+                f"({record.max_share_fraction:.0%}){full}"
+            )
+    print()
+
+    # The overlap between crown communities comes from shared IXP
+    # participants (paper: AMS-IX/DE-CIX/LINX share 119 ASes).
+    registry = dataset.ixps
+    big_three = ["AMS-IX", "DE-CIX", "LINX"]
+    shared = set.intersection(*(set(registry[n].participants) for n in big_three))
+    print(f"ASes participating in all of {big_three}: {len(shared)}")
+
+    case_k = hierarchy.max_k - 2
+    communities = list(hierarchy[case_k])
+    if len(communities) >= 2:
+        a, b = communities[0], communities[1]
+        print(
+            f"overlap fraction between {a.label} and {b.label}: "
+            f"{a.overlap_fraction(b):.2f} "
+            f"({a.overlap(b)} shared ASes — the shared carrier pool)"
+        )
+
+    # The apex community: the densest zone of the whole Internet.
+    apex = tree.apex.community
+    record = share.record(apex.label)
+    print(
+        f"\napex {apex.label}: {apex.size} ASes, "
+        f"{record.on_ixp_fraction:.0%} on-IXP, "
+        f"max-share {record.max_share_ixp} at {record.max_share_fraction:.0%} "
+        "(paper: 38 ASes, 89% shared with AMS-IX)"
+    )
+    exceptions = [a for a in apex.members if not registry.is_on_ixp(a)]
+    print(f"apex members in no IXP: {[dataset.name_of(a) for a in exceptions]}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+"""Dataset construction (Section 2.1): observe, merge, clean.
+
+Reproduces the paper's data pipeline against a known ground truth:
+three simulated measurement campaigns each see a biased, noisy subset
+of the topology; merging and cleaning recovers a usable graph; the
+community structure of the cleaned merge is compared against the
+ground truth's.
+
+Run:  python examples/measurement_merge.py
+"""
+
+from repro import LightweightParallelCPM, generate_topology
+from repro.topology import (
+    GeneratorConfig,
+    MergePolicy,
+    merge_observations,
+    observe_all,
+)
+
+
+def main() -> None:
+    truth_dataset = generate_topology(GeneratorConfig.tiny(), seed=21)
+    truth = truth_dataset.graph
+    print(f"ground truth: {truth.number_of_nodes} ASes, {truth.number_of_edges} links\n")
+
+    observations = observe_all(truth, seed=3)
+    total_spurious = 0
+    for obs in observations:
+        real = len(obs.edges) - len(obs.spurious)
+        total_spurious += len(obs.spurious)
+        print(
+            f"  {obs.source_name}: {len(obs.edges)} edges observed "
+            f"({real} real, {len(obs.spurious)} spurious)"
+        )
+
+    merged, report = merge_observations(observations, MergePolicy())
+    print(
+        f"\nmerged: {report.merged_edges} edges from "
+        f"{len(report.edges_per_source)} sources; "
+        f"cleaning dropped {report.dropped_uncorroborated} uncorroborated edges; "
+        f"final graph: {report.final_nodes} ASes / {report.final_edges} links"
+    )
+    surviving_spurious = sum(
+        1
+        for obs in observations
+        for edge in obs.spurious
+        if merged.has_edge(*tuple(edge))
+    )
+    print(
+        f"spurious edges injected: {total_spurious}; survived cleaning: "
+        f"{surviving_spurious}"
+    )
+
+    truth_hierarchy = LightweightParallelCPM(truth).run()
+    merged_hierarchy = LightweightParallelCPM(merged).run()
+    print("\ncommunity structure, truth vs cleaned merge:")
+    print(f"  max k:       {truth_hierarchy.max_k} vs {merged_hierarchy.max_k}")
+    print(
+        f"  communities: {truth_hierarchy.total_communities} vs "
+        f"{merged_hierarchy.total_communities}"
+    )
+    shared_orders = [k for k in truth_hierarchy.orders if k in merged_hierarchy]
+    drift = {
+        k: len(merged_hierarchy[k]) - len(truth_hierarchy[k])
+        for k in shared_orders
+        if len(merged_hierarchy[k]) != len(truth_hierarchy[k])
+    }
+    print(f"  per-k community-count drift (merge - truth): {drift or 'none'}")
+    print(
+        "\nthe dense zones survive partial observation — the paper's "
+        "crown/trunk analysis is robust to the measurement process, "
+        "while sparse root communities are where coverage bites"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+"""Policy routing over the AS topology: why communities matter for traffic.
+
+Annotates a synthetic Internet with business relationships, computes
+Gao-Rexford (valley-free) routes, and connects the routing behaviour to
+the paper's community story: regional provider meshes — the root
+k-clique communities — are what keep national traffic national.
+
+Run:  python examples/routing_study.py
+"""
+
+from collections import Counter
+
+from repro.routing import (
+    BGPSimulator,
+    Relationship,
+    infer_relationships,
+    measure_locality,
+    measure_path_inflation,
+)
+from repro.topology import GeneratorConfig, generate_topology
+
+
+def main() -> None:
+    dataset = generate_topology(GeneratorConfig.tiny(), seed=7)
+    relationships = infer_relationships(dataset)
+    kinds = Counter(
+        relationships.kind(u, v).value if relationships.kind(u, v) is Relationship.PEER
+        else "transit"
+        for u, v in dataset.graph.edges()
+    )
+    print(f"dataset: {dataset!r}")
+    print(f"relationships: {kinds['transit']} transit links, {kinds['peer']} peering links\n")
+
+    simulator = BGPSimulator(dataset.graph, relationships)
+    stub = next(a for a, r in dataset.as_roles.items() if r == "stub")
+    tier1 = next(a for a, r in dataset.as_roles.items() if r == "tier1")
+    path = simulator.path(stub, tier1)
+    hops = " -> ".join(
+        f"AS{hop}({dataset.as_roles.get(hop, '?')})" for hop in (path or ())
+    )
+    print(f"a stub's route to a Tier-1: {hops}")
+    print(f"valley-free: {relationships.is_valley_free(path)}\n")
+
+    inflation = measure_path_inflation(
+        dataset.graph, relationships, n_destinations=12, sources_per_destination=30, seed=3
+    )
+    print(
+        f"path sample: {inflation.n_pairs} pairs, mean policy length "
+        f"{inflation.mean_policy_length:.2f} hops vs shortest "
+        f"{inflation.mean_shortest_length:.2f}; "
+        f"{inflation.valley_violations} valley violations; "
+        f"{inflation.unrouted_pairs} unrouted pairs"
+    )
+    print(
+        "policy paths match shortest paths here because the dense peering "
+        "fabric (the paper's communities) provides valley-free shortcuts\n"
+    )
+
+    print("intra-country traffic locality (the root-community dividend):")
+    shown = 0
+    for country in sorted(dataset.geography.all_countries()):
+        providers = [
+            a
+            for a in dataset.geography.ases_in_country(country)
+            if dataset.as_roles.get(a) == "provider"
+        ]
+        if len(providers) >= 3 and shown < 8:
+            locality = measure_locality(dataset, relationships, country, max_pairs=30, seed=2)
+            print(f"  {country}: {locality:.0%} of internal paths stay in-country")
+            shown += 1
+    print(
+        "\nthe paper's Chapter 1 example, measured: regional transit meshes "
+        "keep traffic localized instead of traversing other transit networks"
+    )
+
+
+if __name__ == "__main__":
+    main()

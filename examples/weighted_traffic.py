@@ -1,0 +1,68 @@
+"""Weighted CPM on a traffic-weighted AS graph.
+
+Cross-module scenario: the routing substrate estimates how much traffic
+each AS link carries (how many policy paths traverse it), those counts
+become edge weights, and the weighted Clique Percolation Method (CPMw,
+Farkas et al. 2007) extracts the communities of the *high-traffic*
+backbone — the dense zones that matter operationally, not just
+topologically.
+
+Run:  python examples/weighted_traffic.py
+"""
+
+from collections import Counter
+
+from repro.core import intensity_sweep
+from repro.graph import WeightedGraph
+from repro.routing import collect_policy_paths, infer_relationships
+from repro.topology import GeneratorConfig, generate_topology
+
+
+def main() -> None:
+    dataset = generate_topology(GeneratorConfig.tiny(), seed=7)
+    relationships = infer_relationships(dataset)
+    print(f"dataset: {dataset!r}")
+
+    # Traffic estimate: count policy paths per link.
+    collection = collect_policy_paths(
+        dataset.graph, relationships, n_collectors=20, n_destinations=120, seed=3
+    )
+    load: Counter[frozenset] = Counter()
+    for path in collection.paths:
+        for u, v in zip(path, path[1:]):
+            load[frozenset((u, v))] += 1
+    print(f"estimated link loads from {collection.n_paths} policy paths; "
+          f"{len(load)} links carried traffic\n")
+
+    # Weighted graph: loaded links weighted by traffic, the rest at the floor.
+    weighted = WeightedGraph()
+    for u, v in dataset.graph.edges():
+        weighted.add_edge(u, v, float(load.get(frozenset((u, v)), 0) + 1))
+
+    thresholds = [0.0, 2.0, 5.0, 15.0]
+    covers = intensity_sweep(weighted, 4, thresholds)
+    print("CPMw at k=4 across intensity thresholds:")
+    for threshold in thresholds:
+        cover = covers[threshold]
+        total_members = sum(c.size for c in cover)
+        print(f"  I0={threshold:5.1f}: {len(cover):3d} communities, "
+              f"{total_members:4d} member slots")
+    print()
+
+    # The surviving high-intensity community is the traffic backbone.
+    backbone = covers[thresholds[-1]]
+    if len(backbone):
+        members = set(backbone[0].members)
+        roles = Counter(dataset.as_roles.get(a, "?") for a in members)
+        print(f"highest-intensity community ({backbone[0].size} ASes), by role:")
+        for role, count in roles.most_common():
+            print(f"  {role}: {count}")
+        on_ixp = sum(1 for a in members if dataset.ixps.is_on_ixp(a))
+        print(f"on-IXP members: {on_ixp}/{len(members)} — the traffic backbone "
+              "is the same IXP fabric the paper's crown identifies topologically")
+    else:
+        print("no community survived the highest threshold")
+
+
+if __name__ == "__main__":
+    main()

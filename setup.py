@@ -1,0 +1,7 @@
+"""Legacy shim: lets ``python setup.py develop`` work on environments
+whose setuptools predates PEP 660 editable installs (all project
+metadata lives in pyproject.toml)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,75 @@
+"""repro — reproduction of *k-clique Communities in the Internet
+AS-level Topology Graph* (Gregori, Lenzini, Orsini; ICDCS 2011).
+
+The package implements, from scratch:
+
+* the Clique Percolation Method and its Lightweight Parallel variant
+  (:mod:`repro.core`),
+* the k-clique community tree with main/parallel classification
+  (:mod:`repro.core.tree`),
+* the AS-level topology substrate — synthetic Internet generator,
+  measurement-source simulation, merge pipeline, IXP and geography
+  registries (:mod:`repro.topology`),
+* the full Chapter 4 analysis (:mod:`repro.analysis`),
+* partition-style baselines for the Chapter 1 contrast
+  (:mod:`repro.baselines`),
+* text renderings of every table and figure (:mod:`repro.report`).
+
+Quickstart::
+
+    from repro import generate_topology, PaperRun
+    dataset = generate_topology(seed=42)
+    run = PaperRun(dataset)
+    print(run.figure_4_1())
+"""
+
+from .analysis import AnalysisContext
+from .compare import jaccard, match_covers, omega_index, recall_at
+from .evolution import EvolutionTracker, TopologyEvolution
+from .core import (
+    Community,
+    CommunityCover,
+    CommunityHierarchy,
+    CommunityTree,
+    LightweightParallelCPM,
+    extract_hierarchy,
+    k_clique_communities,
+    maximal_cliques,
+    verify_nesting,
+)
+from .graph import Graph, read_edgelist, write_edgelist
+from .report import PaperRun
+from .routing import BGPSimulator, RelationshipMap, infer_relationships
+from .topology import ASDataset, GeneratorConfig, generate_topology
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Graph",
+    "read_edgelist",
+    "write_edgelist",
+    "maximal_cliques",
+    "k_clique_communities",
+    "extract_hierarchy",
+    "LightweightParallelCPM",
+    "Community",
+    "CommunityCover",
+    "CommunityHierarchy",
+    "CommunityTree",
+    "verify_nesting",
+    "ASDataset",
+    "GeneratorConfig",
+    "generate_topology",
+    "AnalysisContext",
+    "PaperRun",
+    "TopologyEvolution",
+    "EvolutionTracker",
+    "jaccard",
+    "match_covers",
+    "recall_at",
+    "omega_index",
+    "BGPSimulator",
+    "RelationshipMap",
+    "infer_relationships",
+    "__version__",
+]

@@ -1,0 +1,87 @@
+"""Analysis layer: one module per piece of the paper's Chapter 4
+evaluation, all driven by a shared :class:`AnalysisContext`.
+"""
+
+from .bands import (
+    BandBoundaries,
+    CrownReport,
+    RootReport,
+    TrunkReport,
+    crown_report,
+    derive_bands,
+    root_report,
+    trunk_report,
+)
+from .census import CensusRow, CommunityCensus
+from .community_graph import CommunityGraphStats, community_graph, community_graph_stats
+from .context import AnalysisContext
+from .density_odf import DensityOdfAnalysis, DensityOdfPoint
+from .geo import CommunityGeo, GeoAnalysis, common_continents, common_countries
+from .ixp_share import CommunityIXPShare, IXPShareAnalysis
+from .kdense_compare import KDenseComparison, compare_with_kdense
+from .overlap import OverlapAnalysis, OverlapRow
+from .percolation_threshold import (
+    SweepPoint,
+    critical_probability,
+    empirical_threshold,
+    threshold_sweep,
+)
+from .sensitivity import SeedRun, SensitivityReport, run_sensitivity
+from .robustness import (
+    BandRecall,
+    RobustnessReport,
+    community_recall,
+    uniform_edge_sample,
+)
+from .zp import NodeRole, ZPAnalysis, ZPRecord, classify_role
+from .sizes import SizeAnalysis, SizePoint
+from .tree_metrics import BranchRecord, TreeShape, tree_shape
+
+__all__ = [
+    "AnalysisContext",
+    "CommunityCensus",
+    "CensusRow",
+    "SizeAnalysis",
+    "SizePoint",
+    "DensityOdfAnalysis",
+    "DensityOdfPoint",
+    "OverlapAnalysis",
+    "OverlapRow",
+    "IXPShareAnalysis",
+    "CommunityIXPShare",
+    "GeoAnalysis",
+    "CommunityGeo",
+    "common_countries",
+    "common_continents",
+    "BandBoundaries",
+    "derive_bands",
+    "CrownReport",
+    "TrunkReport",
+    "RootReport",
+    "crown_report",
+    "trunk_report",
+    "root_report",
+    "ZPAnalysis",
+    "ZPRecord",
+    "NodeRole",
+    "classify_role",
+    "RobustnessReport",
+    "BandRecall",
+    "community_recall",
+    "uniform_edge_sample",
+    "critical_probability",
+    "threshold_sweep",
+    "empirical_threshold",
+    "SweepPoint",
+    "SeedRun",
+    "SensitivityReport",
+    "run_sensitivity",
+    "KDenseComparison",
+    "compare_with_kdense",
+    "CommunityGraphStats",
+    "community_graph",
+    "community_graph_stats",
+    "TreeShape",
+    "BranchRecord",
+    "tree_shape",
+]

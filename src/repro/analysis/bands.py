@@ -1,0 +1,297 @@
+"""Crown / trunk / root banding (Sections 4.1–4.3).
+
+The paper splits the community tree into three bands using the
+full-share-IXP regimes: crown (k > 28) — communities fully contained in
+the largest European IXPs only; trunk (k in [14, 28]) — no community
+has a full-share IXP; root (k < 14) — full-share at small regional
+IXPs.  Boundaries are *derived from the data* here, exactly as in the
+paper: the trunk is the no-full-share gap between the two regimes.
+
+Each band gets a report object carrying the paper's per-band claims so
+benchmarks and tests can check them mechanically.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+
+from ..core.communities import Community
+from ..topology.geography import Continent
+from .context import AnalysisContext
+from .geo import GeoAnalysis
+from .ixp_share import IXPShareAnalysis
+
+__all__ = [
+    "BandBoundaries",
+    "derive_bands",
+    "CrownReport",
+    "TrunkReport",
+    "RootReport",
+    "crown_report",
+    "trunk_report",
+    "root_report",
+]
+
+
+@dataclass(frozen=True)
+class BandBoundaries:
+    """Derived band edges: root = [2, root_max], trunk = [root_max+1,
+    crown_min-1], crown = [crown_min, max_k]."""
+
+    root_max: int
+    crown_min: int
+
+    def band_of(self, k: int) -> str:
+        """The band name ('root' / 'trunk' / 'crown') of order ``k``."""
+        if k <= self.root_max:
+            return "root"
+        if k < self.crown_min:
+            return "trunk"
+        return "crown"
+
+
+def derive_bands(
+    ixp_share: IXPShareAnalysis,
+    *,
+    fallback: tuple[int, int] = (13, 29),
+) -> BandBoundaries:
+    """Band boundaries from the no-full-share gap of the IXP analysis.
+
+    ``fallback`` (root_max, crown_min) applies when the dataset has no
+    two-regime structure (e.g. tiny test graphs).
+    """
+    gap = ixp_share.no_full_share_band()
+    if gap is None:
+        return BandBoundaries(root_max=fallback[0], crown_min=fallback[1])
+    return BandBoundaries(root_max=gap[0] - 1, crown_min=gap[1] + 1)
+
+
+def _communities_in_band(context: AnalysisContext, lo: int, hi: int) -> list[Community]:
+    return [c for c in context.hierarchy.all_communities() if lo <= c.k <= hi]
+
+
+# ----------------------------------------------------------------------
+# Crown (Section 4.1)
+# ----------------------------------------------------------------------
+@dataclass
+class CrownReport:
+    """The Section 4.1 claims about crown communities."""
+
+    k_range: tuple[int, int]
+    n_communities: int
+    apex_label: str
+    apex_size: int
+    apex_max_share_ixp: str | None
+    apex_max_share_fraction: float
+    apex_has_full_share: bool
+    max_share_ixps: set[str] = field(default_factory=set)
+    member_ases: set[int] = field(default_factory=set)
+    non_european_members: set[int] = field(default_factory=set)
+    non_ixp_members: set[int] = field(default_factory=set)
+    main_has_full_share: bool = False
+    case_study_k: int | None = None
+    case_study: list[tuple[str, str, float, bool, bool]] = field(default_factory=list)
+    # (label, max-share IXP, fraction, has_full_share, is_main)
+
+
+def crown_report(
+    context: AnalysisContext,
+    ixp_share: IXPShareAnalysis,
+    bands: BandBoundaries,
+) -> CrownReport:
+    """Compute the Section 4.1 crown-band report."""
+    hierarchy = context.hierarchy
+    tree = context.tree
+    registry = context.dataset.ixps
+    geography = context.dataset.geography
+    lo, hi = bands.crown_min, hierarchy.max_k
+    communities = _communities_in_band(context, lo, hi)
+
+    members: set[int] = set()
+    for c in communities:
+        members |= set(c.members)
+    non_eu = {a for a in members if Continent.EUROPE not in geography.continents(a)}
+    non_ixp = {a for a in members if not registry.is_on_ixp(a)}
+
+    apex = tree.apex.community
+    apex_record = ixp_share.record(apex.label)
+
+    # Case study: the largest order below max_k with >= 3 communities
+    # (the paper's nine 34-clique communities).
+    case_k = None
+    for k in range(hierarchy.max_k - 1, lo - 1, -1):
+        if k in hierarchy and len(hierarchy[k]) >= 3:
+            case_k = k
+            break
+    case_rows: list[tuple[str, str, float, bool, bool]] = []
+    if case_k is not None:
+        for c in hierarchy[case_k]:
+            record = ixp_share.record(c.label)
+            case_rows.append(
+                (
+                    c.label,
+                    record.max_share_ixp or "-",
+                    record.max_share_fraction,
+                    record.has_full_share,
+                    tree.is_main(c),
+                )
+            )
+
+    main_full_share = any(
+        ixp_share.record(tree.main_community(k).label).has_full_share
+        for k in range(lo, hi + 1)
+        if k in hierarchy
+    )
+    return CrownReport(
+        k_range=(lo, hi),
+        n_communities=len(communities),
+        apex_label=apex.label,
+        apex_size=apex.size,
+        apex_max_share_ixp=apex_record.max_share_ixp,
+        apex_max_share_fraction=apex_record.max_share_fraction,
+        apex_has_full_share=apex_record.has_full_share,
+        max_share_ixps={
+            r.max_share_ixp
+            for r in ixp_share.records
+            if lo <= r.k <= hi and r.max_share_ixp is not None
+        },
+        member_ases=members,
+        non_european_members=non_eu,
+        non_ixp_members=non_ixp,
+        main_has_full_share=main_full_share,
+        case_study_k=case_k,
+        case_study=case_rows,
+    )
+
+
+# ----------------------------------------------------------------------
+# Trunk (Section 4.2)
+# ----------------------------------------------------------------------
+@dataclass
+class TrunkReport:
+    """The Section 4.2 claims about trunk communities."""
+
+    k_range: tuple[int, int]
+    n_communities: int
+    any_full_share: bool
+    min_on_ixp_fraction: float
+    parallel_max_share_min: float | None
+    mean_member_degree: float
+    worldwide_or_continental_fraction: float
+    longest_branch: list[tuple[str, int, str | None]] = field(default_factory=list)
+    # (label, size, max-share IXP) ascending k
+
+
+def trunk_report(
+    context: AnalysisContext,
+    ixp_share: IXPShareAnalysis,
+    bands: BandBoundaries,
+) -> TrunkReport:
+    """Compute the Section 4.2 trunk-band report."""
+    hierarchy = context.hierarchy
+    tree = context.tree
+    graph = context.graph
+    geography = context.dataset.geography
+    lo, hi = bands.root_max + 1, bands.crown_min - 1
+    communities = _communities_in_band(context, lo, hi)
+    records = [r for r in ixp_share.records if lo <= r.k <= hi]
+
+    members: set[int] = set()
+    for c in communities:
+        members |= set(c.members)
+    degrees = [graph.degree(a) for a in members]
+    multi_country = [
+        a
+        for a in members
+        if geography.tag(a).value in ("worldwide", "continental")
+    ]
+
+    parallel_fracs = [
+        r.max_share_fraction for r in records if not r.is_main and r.max_share_ixp
+    ]
+    branches = [
+        b
+        for b in tree.parallel_branches()
+        if lo <= b[0].k and b[-1].k <= hi
+    ]
+    longest: list[tuple[str, int, str | None]] = []
+    if branches:
+        branch = max(branches, key=len)
+        longest = [
+            (node.label, node.community.size, ixp_share.record(node.label).max_share_ixp)
+            for node in branch
+        ]
+    return TrunkReport(
+        k_range=(lo, hi),
+        n_communities=len(communities),
+        any_full_share=any(r.has_full_share for r in records),
+        min_on_ixp_fraction=min((r.on_ixp_fraction for r in records), default=0.0),
+        parallel_max_share_min=min(parallel_fracs, default=None),
+        mean_member_degree=statistics.mean(degrees) if degrees else 0.0,
+        worldwide_or_continental_fraction=(
+            len(multi_country) / len(members) if members else 0.0
+        ),
+        longest_branch=longest,
+    )
+
+
+# ----------------------------------------------------------------------
+# Root (Section 4.3)
+# ----------------------------------------------------------------------
+@dataclass
+class RootReport:
+    """The Section 4.3 claims about root communities."""
+
+    k_range: tuple[int, int]
+    n_communities: int
+    mean_parallel_size: float
+    full_share_parallels: int
+    full_share_ixp_countries: set[str] = field(default_factory=set)
+    non_european_full_share_exists: bool = False
+    country_contained_parallels: int = 0
+
+
+def root_report(
+    context: AnalysisContext,
+    ixp_share: IXPShareAnalysis,
+    bands: BandBoundaries,
+    geo: GeoAnalysis | None = None,
+) -> RootReport:
+    """Compute the Section 4.3 root-band report."""
+    hierarchy = context.hierarchy
+    tree = context.tree
+    registry = context.dataset.ixps
+    lo, hi = hierarchy.min_k, bands.root_max
+    communities = _communities_in_band(context, lo, hi)
+    records = [r for r in ixp_share.records if lo <= r.k <= hi]
+    geo = geo or GeoAnalysis(context)
+
+    parallel_sizes = [c.size for c in communities if not tree.is_main(c)]
+    full_share_parallel = [r for r in records if not r.is_main and r.has_full_share]
+    countries = {
+        registry[name].country
+        for r in full_share_parallel
+        for name in r.full_share_ixps
+        if name in registry
+    }
+    country_contained = geo.country_contained(k_max=hi, parallel_only=True)
+    return RootReport(
+        k_range=(lo, hi),
+        n_communities=len(communities),
+        mean_parallel_size=(
+            statistics.mean(parallel_sizes) if parallel_sizes else 0.0
+        ),
+        full_share_parallels=len(full_share_parallel),
+        full_share_ixp_countries=countries,
+        non_european_full_share_exists=any(
+            Continent.EUROPE is not _continent_or_none(c) for c in countries
+        ),
+        country_contained_parallels=len(country_contained),
+    )
+
+
+def _continent_or_none(country: str):
+    from ..topology.geography import COUNTRY_CONTINENT
+
+    return COUNTRY_CONTINENT.get(country)

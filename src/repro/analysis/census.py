@@ -1,0 +1,69 @@
+"""Community census — Figure 4.1 (number of k-clique communities vs k).
+
+The paper reports 627 communities in total, with many communities at
+low k, few at high k, a single 2-clique community (the graph is
+connected), and *unique* orders — k values with exactly one community —
+at k in {2, 21, 22, 25, 36}.  By the nesting theorem a unique community
+contains every community of every higher order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.communities import CommunityHierarchy
+
+__all__ = ["CensusRow", "CommunityCensus"]
+
+
+@dataclass(frozen=True)
+class CensusRow:
+    """One point of Figure 4.1."""
+
+    k: int
+    n_communities: int
+    n_parallel: int
+
+    @property
+    def is_unique(self) -> bool:
+        return self.n_communities == 1
+
+
+class CommunityCensus:
+    """The Figure 4.1 series plus its headline statements."""
+
+    def __init__(self, hierarchy: CommunityHierarchy) -> None:
+        self.hierarchy = hierarchy
+        self.rows = [
+            CensusRow(k=k, n_communities=n, n_parallel=max(0, n - 1))
+            for k, n in hierarchy.counts_by_k().items()
+        ]
+
+    @property
+    def total_communities(self) -> int:
+        """Grand total over all k (the paper: 627)."""
+        return sum(row.n_communities for row in self.rows)
+
+    @property
+    def max_k(self) -> int:
+        return self.hierarchy.max_k
+
+    def unique_orders(self) -> list[int]:
+        """Orders with a single community (the paper: 2, 21, 22, 25, 36)."""
+        return [row.k for row in self.rows if row.is_unique]
+
+    def single_2_clique_community(self) -> bool:
+        """True iff there is exactly one 2-clique community.
+
+        Holds exactly when the dataset is one connected component —
+        the sanity property Chapter 4 opens with.
+        """
+        return 2 in self.hierarchy and len(self.hierarchy[2]) == 1
+
+    def series(self) -> list[tuple[int, int]]:
+        """(k, count) pairs — the plotted series of Figure 4.1."""
+        return [(row.k, row.n_communities) for row in self.rows]
+
+    def count_in_band(self, lo: int, hi: int) -> int:
+        """Communities with order in [lo, hi] (crown/trunk/root totals)."""
+        return sum(row.n_communities for row in self.rows if lo <= row.k <= hi)

@@ -1,0 +1,56 @@
+"""Shared analysis context.
+
+Every experiment in Chapter 4 consumes the same three artefacts: the
+dataset bundle, the full k-clique community hierarchy, and the
+community tree.  :class:`AnalysisContext` computes them once (CPM is
+the expensive step) and hands them to the per-figure analyses, so a
+full paper run costs one extraction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.lightweight import CPMRunStats, LightweightParallelCPM
+from ..core.communities import Community, CommunityHierarchy
+from ..core.tree import CommunityTree
+from ..topology.dataset import ASDataset
+
+__all__ = ["AnalysisContext"]
+
+
+@dataclass
+class AnalysisContext:
+    """Dataset + hierarchy + tree, the inputs of every Chapter 4 analysis."""
+
+    dataset: ASDataset
+    hierarchy: CommunityHierarchy
+    tree: CommunityTree
+    cpm_stats: CPMRunStats | None = None
+
+    @classmethod
+    def from_dataset(
+        cls,
+        dataset: ASDataset,
+        *,
+        workers: int = 1,
+        min_k: int = 2,
+        max_k: int | None = None,
+    ) -> "AnalysisContext":
+        """Run LP-CPM on the dataset and build the community tree."""
+        cpm = LightweightParallelCPM(dataset.graph, workers=workers)
+        hierarchy = cpm.run(min_k=min_k, max_k=max_k)
+        return cls(
+            dataset=dataset,
+            hierarchy=hierarchy,
+            tree=CommunityTree(hierarchy),
+            cpm_stats=cpm.stats,
+        )
+
+    def is_main(self, community: Community) -> bool:
+        """True iff ``community`` lies on the main chain of the tree."""
+        return self.tree.is_main(community)
+
+    @property
+    def graph(self):
+        return self.dataset.graph

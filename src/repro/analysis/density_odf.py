@@ -1,0 +1,117 @@
+"""Link density and average ODF — Figures 4.4(a) and 4.4(b).
+
+The paper identifies three behaviours:
+
+1. main communities with k in [2, 30]: long k-clique chains — low link
+   density, and members keep most connections inside (low ODF);
+2. main communities with size comparable to k (k in [31, 36]) and
+   many parallel communities: clique-like topologies — high link
+   density *and* high ODF (cohesive carrier sets with huge external
+   customer cones);
+3. small low-k parallel communities: few members, so a handful of
+   links swings both metrics — high variance.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+
+from ..core.metrics import average_odf, link_density
+from .context import AnalysisContext
+
+__all__ = ["DensityOdfPoint", "DensityOdfAnalysis"]
+
+
+@dataclass(frozen=True)
+class DensityOdfPoint:
+    """One marker of Figures 4.4(a)/(b)."""
+
+    k: int
+    label: str
+    size: int
+    link_density: float
+    average_odf: float
+    is_main: bool
+
+
+class DensityOdfAnalysis:
+    """Both Figure 4.4 series over the whole hierarchy."""
+
+    def __init__(self, context: AnalysisContext) -> None:
+        self.context = context
+        graph = context.graph
+        tree = context.tree
+        self.points = [
+            DensityOdfPoint(
+                k=c.k,
+                label=c.label,
+                size=c.size,
+                link_density=link_density(graph, c.members),
+                average_odf=average_odf(graph, c.members),
+                is_main=tree.is_main(c),
+            )
+            for c in context.hierarchy.all_communities()
+        ]
+
+    def main_density_series(self) -> list[tuple[int, float]]:
+        """(k, link density) of the main chain, ascending k."""
+        return sorted((p.k, p.link_density) for p in self.points if p.is_main)
+
+    def main_odf_series(self) -> list[tuple[int, float]]:
+        """(k, average ODF) of the main chain, ascending k."""
+        return sorted((p.k, p.average_odf) for p in self.points if p.is_main)
+
+    def parallel_density_points(self) -> list[tuple[int, float]]:
+        """(k, link density) of every parallel community."""
+        return sorted((p.k, p.link_density) for p in self.points if not p.is_main)
+
+    def parallel_odf_points(self) -> list[tuple[int, float]]:
+        """(k, average ODF) of every parallel community."""
+        return sorted((p.k, p.average_odf) for p in self.points if not p.is_main)
+
+    # ------------------------------------------------------------------
+    # Headline shape checks
+    # ------------------------------------------------------------------
+    def main_density_low_then_high(self, *, split_fraction: float = 0.8) -> bool:
+        """Main density is low over most orders and clique-like at the top.
+
+        The split defaults to the top 20% of the k range (the paper's
+        case 1 vs case 2 boundary at k ≈ 30 of 36).
+        """
+        series = self.main_density_series()
+        if len(series) < 4:
+            return False
+        split_k = series[0][0] + split_fraction * (series[-1][0] - series[0][0])
+        low_band = [d for k, d in series if k <= split_k]
+        high_band = [d for k, d in series if k > split_k]
+        if not low_band or not high_band:
+            return False
+        return statistics.mean(low_band) < statistics.mean(high_band)
+
+    def clique_like_top(self, *, threshold: float = 0.9) -> bool:
+        """The apex community has near-full-mesh density (case 2)."""
+        series = self.main_density_series()
+        return bool(series) and series[-1][1] >= threshold
+
+    def main_odf_increases_to_crown(self) -> bool:
+        """Main ODF at the top orders exceeds the low-k main ODF.
+
+        Low-k main communities absorb most well-connected ASes (links
+        stay internal); the crown is a small carrier set with huge
+        external degree.
+        """
+        series = self.main_odf_series()
+        if len(series) < 4:
+            return False
+        return series[-1][1] > series[1][1]
+
+    def parallel_variability(self, *, k_max: int = 7) -> float:
+        """Std-dev of link density across low-k parallel communities.
+
+        The paper's case 3: small communities, very variable metrics.
+        """
+        values = [p.link_density for p in self.points if not p.is_main and p.k <= k_max]
+        if len(values) < 2:
+            return 0.0
+        return statistics.stdev(values)

@@ -1,0 +1,135 @@
+"""Geographic containment analysis (Sections 4.1 and 4.3).
+
+A community is *country-contained* when all of its members have a
+geographical presence in one common country — equivalently, when it is
+a subgraph of that country-induced subgraph [24].  The paper found 382
+root communities with this property ("most of the root k-clique
+communities are likely to be originated by regional environments"),
+and that all crown ASes are European except four.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.communities import Community
+from ..topology.geography import Continent, GeoRegistry
+from .context import AnalysisContext
+
+__all__ = ["CommunityGeo", "GeoAnalysis", "common_countries", "common_continents"]
+
+
+def common_countries(registry: GeoRegistry, members: set[int]) -> frozenset[str]:
+    """Countries where *every* member has a presence (empty if none).
+
+    An AS with unknown geography has no presence anywhere, so its
+    community cannot be country-contained — matching the paper's
+    handling of unknown ASes.
+    """
+    common: frozenset[str] | None = None
+    for asn in members:
+        countries = registry.countries(asn)
+        if not countries:
+            return frozenset()
+        common = countries if common is None else (common & countries)
+        if not common:
+            return frozenset()
+    return common if common is not None else frozenset()
+
+
+def common_continents(registry: GeoRegistry, members: set[int]) -> frozenset[Continent]:
+    """Continents where every member has at least one presence."""
+    common: frozenset[Continent] | None = None
+    for asn in members:
+        continents = registry.continents(asn)
+        if not continents:
+            return frozenset()
+        common = continents if common is None else (common & continents)
+        if not common:
+            return frozenset()
+    return common if common is not None else frozenset()
+
+
+@dataclass(frozen=True)
+class CommunityGeo:
+    """Per-community geography record."""
+
+    label: str
+    k: int
+    size: int
+    is_main: bool
+    common_countries: frozenset[str]
+    common_continents: frozenset[Continent]
+    n_unknown_members: int
+
+    @property
+    def is_country_contained(self) -> bool:
+        return bool(self.common_countries)
+
+    @property
+    def is_continent_contained(self) -> bool:
+        return bool(self.common_continents)
+
+
+class GeoAnalysis:
+    """Geographic records for every community."""
+
+    def __init__(self, context: AnalysisContext) -> None:
+        self.context = context
+        registry = context.dataset.geography
+        tree = context.tree
+        self.records: list[CommunityGeo] = []
+        for community in context.hierarchy.all_communities():
+            members = set(community.members)
+            self.records.append(
+                CommunityGeo(
+                    label=community.label,
+                    k=community.k,
+                    size=community.size,
+                    is_main=tree.is_main(community),
+                    common_countries=common_countries(registry, members),
+                    common_continents=common_continents(registry, members),
+                    n_unknown_members=sum(1 for a in members if a not in registry),
+                )
+            )
+
+    def country_contained(self, *, k_max: int | None = None, parallel_only: bool = False) -> list[CommunityGeo]:
+        """Country-contained communities, optionally bounded / parallel-only.
+
+        With ``k_max`` set to the root boundary this is the paper's
+        '382 root communities fully included in country-induced
+        subgraphs'.
+        """
+        return [
+            r
+            for r in self.records
+            if r.is_country_contained
+            and (k_max is None or r.k <= k_max)
+            and (not parallel_only or not r.is_main)
+        ]
+
+    def continent_membership_fraction(
+        self, continent: Continent, *, k_min: int
+    ) -> float:
+        """Fraction of distinct ASes in communities of order >= k_min
+        with a presence in ``continent`` (the paper: crown ASes are all
+        European but four)."""
+        registry = self.context.dataset.geography
+        members: set[int] = set()
+        for community in self.context.hierarchy.all_communities():
+            if community.k >= k_min:
+                members |= set(community.members)
+        if not members:
+            return 0.0
+        present = sum(1 for a in members if continent in registry.continents(a))
+        return present / len(members)
+
+    def non_continent_members(self, continent: Continent, *, k_min: int) -> set[int]:
+        """ASes in communities of order >= k_min with no presence in
+        ``continent`` — the paper's four crown exceptions."""
+        registry = self.context.dataset.geography
+        members: set[int] = set()
+        for community in self.context.hierarchy.all_communities():
+            if community.k >= k_min:
+                members |= set(community.members)
+        return {a for a in members if continent not in registry.continents(a)}

@@ -1,0 +1,134 @@
+"""IXP-share analysis (Section 4: tags over the community tree).
+
+For each community: the fraction of its members that are on-IXP ASes,
+its max-share-IXP (the IXP with the most participants in common) and
+its full-share-IXPs (IXPs whose participant list covers every member).
+Findings reproduced:
+
+* communities of high order are made almost entirely of on-IXP ASes
+  (paper: > 90% for every k >= 16; variable below);
+* 35 communities are subgraphs of an IXP-induced subgraph (have a
+  full-share IXP);
+* three containment regimes: high k — full-share only at the largest
+  IXPs; low k — full-share at small regional IXPs; a middle band with
+  no full-share at all (this regime structure is what defines the
+  crown/trunk/root bands of :mod:`repro.analysis.bands`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.communities import Community
+from .context import AnalysisContext
+
+__all__ = ["CommunityIXPShare", "IXPShareAnalysis"]
+
+
+@dataclass(frozen=True)
+class CommunityIXPShare:
+    """Per-community IXP tagging record."""
+
+    label: str
+    k: int
+    size: int
+    is_main: bool
+    on_ixp_fraction: float
+    max_share_ixp: str | None
+    max_share_fraction: float
+    full_share_ixps: tuple[str, ...]
+
+    @property
+    def has_full_share(self) -> bool:
+        return bool(self.full_share_ixps)
+
+
+class IXPShareAnalysis:
+    """IXP share records for every community in the hierarchy."""
+
+    def __init__(self, context: AnalysisContext) -> None:
+        self.context = context
+        registry = context.dataset.ixps
+        on_ixp = registry.on_ixp_ases()
+        tree = context.tree
+        self.records: list[CommunityIXPShare] = []
+        for community in context.hierarchy.all_communities():
+            members = set(community.members)
+            max_share = registry.max_share(members)
+            self.records.append(
+                CommunityIXPShare(
+                    label=community.label,
+                    k=community.k,
+                    size=community.size,
+                    is_main=tree.is_main(community),
+                    on_ixp_fraction=len(members & on_ixp) / len(members),
+                    max_share_ixp=max_share.ixp_name if max_share else None,
+                    max_share_fraction=max_share.fraction if max_share else 0.0,
+                    full_share_ixps=tuple(
+                        s.ixp_name for s in registry.full_shares(members)
+                    ),
+                )
+            )
+
+    def record(self, label: str) -> CommunityIXPShare:
+        """The share record of the community with the given label."""
+        for record in self.records:
+            if record.label == label:
+                return record
+        raise KeyError(f"no record for community {label!r}")
+
+    # ------------------------------------------------------------------
+    # Headline statements
+    # ------------------------------------------------------------------
+    def min_on_ixp_fraction_from(self, k: int) -> float:
+        """Minimum on-IXP fraction over all communities of order >= k.
+
+        The paper: >= 0.90 from k = 16 up.
+        """
+        values = [r.on_ixp_fraction for r in self.records if r.k >= k]
+        return min(values) if values else 0.0
+
+    def high_on_ixp_threshold(self, *, fraction: float = 0.9) -> int | None:
+        """Smallest k such that every community of order >= k clears
+        the on-IXP fraction (the paper's k = 16 boundary)."""
+        orders = sorted({r.k for r in self.records})
+        for k in orders:
+            if self.min_on_ixp_fraction_from(k) >= fraction:
+                return k
+        return None
+
+    def full_share_communities(self) -> list[CommunityIXPShare]:
+        """All communities fully inside an IXP-induced subgraph (paper: 35)."""
+        return [r for r in self.records if r.has_full_share]
+
+    def full_share_orders(self) -> list[int]:
+        """Sorted distinct orders k holding a full-share community."""
+        return sorted({r.k for r in self.full_share_communities()})
+
+    def no_full_share_band(self) -> tuple[int, int] | None:
+        """The maximal k-interval strictly between the low-order and
+        high-order full-share regimes where no community has a
+        full-share IXP (the paper: k in [14, 28])."""
+        orders = self.full_share_orders()
+        if len(orders) < 2:
+            return None
+        # Find the largest gap between consecutive full-share orders.
+        best: tuple[int, int] | None = None
+        for a, b in zip(orders, orders[1:]):
+            if b - a > 1:
+                gap = (a + 1, b - 1)
+                if best is None or (gap[1] - gap[0]) > (best[1] - best[0]):
+                    best = gap
+        return best
+
+    def max_share_names_from(self, k: int) -> set[str]:
+        """Distinct max-share IXPs over communities of order >= k.
+
+        The paper: for crown communities this set is exactly
+        {AMS-IX, DE-CIX, LINX}.
+        """
+        return {
+            r.max_share_ixp
+            for r in self.records
+            if r.k >= k and r.max_share_ixp is not None
+        }

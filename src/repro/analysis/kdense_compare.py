@@ -1,0 +1,94 @@
+"""k-dense vs k-clique community structure (the sibling paper [12]).
+
+The same authors analysed the same April-2010 topology with the
+k-dense decomposition ("k-dense Communities in the Internet AS-Level
+Topology", COMSNETS 2011 — reference [12] of this paper), finding the
+same IXP-driven story at coarser granularity.  This module runs the
+comparison the two papers imply but never print side by side:
+
+* both hierarchies on one dataset — counts per k, maximum order;
+* the sandwich property CPM(k) ⊆ dense(k) ⊆ core(k-1), per order;
+* IXP participation of the innermost k-dense community vs the CPM
+  crown (both papers: the well-connected zones are the IXP fabrics);
+* granularity: the k-dense innermost zone is coarser (bigger, fewer
+  components) than the CPM apex at comparable depth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..baselines.kdense import KDenseDecomposition
+from ..core.communities import CommunityHierarchy
+from ..graph.degeneracy import k_core
+from .context import AnalysisContext
+
+__all__ = ["KDenseComparison", "compare_with_kdense"]
+
+
+@dataclass
+class KDenseComparison:
+    """Side-by-side structure of the two decompositions."""
+
+    clique_counts: dict[int, int]
+    dense_counts: dict[int, int]
+    clique_max_k: int
+    dense_max_k: int
+    sandwich_holds: bool
+    innermost_dense_size: int
+    innermost_dense_on_ixp_fraction: float
+    apex_size: int
+    apex_on_ixp_fraction: float
+
+    @property
+    def dense_is_coarser(self) -> bool:
+        """The innermost dense zone is at least as large as the CPM apex."""
+        return self.innermost_dense_size >= self.apex_size
+
+
+def compare_with_kdense(
+    context: AnalysisContext,
+    *,
+    max_dense_k: int | None = None,
+) -> KDenseComparison:
+    """Run the k-dense decomposition and compare it with the CPM output."""
+    graph = context.graph
+    hierarchy: CommunityHierarchy = context.hierarchy
+    decomposition = KDenseDecomposition(graph, max_k=max_dense_k)
+
+    sandwich = True
+    for k in range(3, min(hierarchy.max_k, decomposition.max_k) + 1):
+        if k not in decomposition.levels:
+            continue
+        dense_nodes = set(decomposition.levels[k].nodes())
+        core_nodes = set(k_core(graph, k - 1).nodes())
+        cpm_nodes: set = set()
+        if k in hierarchy:
+            for community in hierarchy[k]:
+                cpm_nodes |= set(community.members)
+        if not (cpm_nodes <= dense_nodes <= core_nodes):
+            sandwich = False
+            break
+
+    innermost = decomposition.levels[decomposition.max_k]
+    innermost_nodes = set(innermost.nodes())
+    on_ixp = context.dataset.ixps.on_ixp_ases()
+    apex = context.tree.apex.community
+    apex_members = set(apex.members)
+    return KDenseComparison(
+        clique_counts=hierarchy.counts_by_k(),
+        dense_counts=decomposition.counts_by_k(),
+        clique_max_k=hierarchy.max_k,
+        dense_max_k=decomposition.max_k,
+        sandwich_holds=sandwich,
+        innermost_dense_size=len(innermost_nodes),
+        innermost_dense_on_ixp_fraction=(
+            len(innermost_nodes & on_ixp) / len(innermost_nodes)
+            if innermost_nodes
+            else 0.0
+        ),
+        apex_size=apex.size,
+        apex_on_ixp_fraction=(
+            len(apex_members & on_ixp) / len(apex_members) if apex_members else 0.0
+        ),
+    )

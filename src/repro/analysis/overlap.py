@@ -1,0 +1,124 @@
+"""Overlap-fraction analysis (Section 4 text).
+
+At each order k the paper computes the overlap (shared members) and
+overlap fraction (overlap over the smaller community's size) between
+pairs of communities.  Findings reproduced here:
+
+a) (almost) every parallel community shares at least one AS with its
+   relative main community — 6 exceptions across the whole tree;
+b) there are parallel communities that do not overlap any other
+   parallel community;
+c) small sets of parallel communities overlap each other strongly;
+d) the parallel↔main average overlap fraction exceeds 0.432 at every k
+   and averages 0.704 over k (variance 0.023), i.e. on average ~70% of
+   a parallel community's ASes also participate in the main community;
+e) parallel↔parallel overlap fractions vary too much to average
+   usefully (variance 0.136).
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+from itertools import combinations
+
+from .context import AnalysisContext
+
+__all__ = ["OverlapRow", "OverlapAnalysis"]
+
+
+@dataclass(frozen=True)
+class OverlapRow:
+    """Per-order overlap summary."""
+
+    k: int
+    n_parallel: int
+    mean_parallel_main_fraction: float
+    zero_overlap_parallels: int
+    mean_parallel_parallel_fraction: float | None
+
+
+class OverlapAnalysis:
+    """All per-order overlap statistics of Section 4."""
+
+    def __init__(self, context: AnalysisContext) -> None:
+        self.context = context
+        self.rows: list[OverlapRow] = []
+        tree = context.tree
+        for k in context.hierarchy.orders:
+            cover = context.hierarchy[k]
+            if len(cover) < 2:
+                continue
+            main = tree.main_community(k)
+            parallels = [c for c in cover if c.label != main.label]
+            main_fracs = [p.overlap_fraction(main) for p in parallels]
+            pp_fracs = [
+                a.overlap_fraction(b) for a, b in combinations(parallels, 2)
+            ]
+            self.rows.append(
+                OverlapRow(
+                    k=k,
+                    n_parallel=len(parallels),
+                    mean_parallel_main_fraction=statistics.mean(main_fracs),
+                    zero_overlap_parallels=sum(1 for f in main_fracs if f == 0.0),
+                    mean_parallel_parallel_fraction=(
+                        statistics.mean(pp_fracs) if pp_fracs else None
+                    ),
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # The paper's headline numbers
+    # ------------------------------------------------------------------
+    def parallel_main_mean_over_k(self) -> float:
+        """Average over k of the per-k parallel↔main mean (paper: 0.704)."""
+        values = [row.mean_parallel_main_fraction for row in self.rows]
+        return statistics.mean(values) if values else 0.0
+
+    def parallel_main_variance_over_k(self) -> float:
+        """Variance of the same series (paper: 0.023)."""
+        values = [row.mean_parallel_main_fraction for row in self.rows]
+        return statistics.variance(values) if len(values) > 1 else 0.0
+
+    def parallel_main_min_over_k(self) -> float:
+        """Minimum per-k mean (paper: always larger than 0.432)."""
+        values = [row.mean_parallel_main_fraction for row in self.rows]
+        return min(values) if values else 0.0
+
+    def total_zero_overlap_exceptions(self) -> int:
+        """Parallel communities sharing no AS with their main (paper: 6)."""
+        return sum(row.zero_overlap_parallels for row in self.rows)
+
+    def parallel_parallel_variance_over_k(self) -> float:
+        """Variance of the per-k parallel↔parallel means (paper: 0.136).
+
+        The paper declines to report the average because of this
+        variance; we report the variance itself as the checkable claim.
+        """
+        values = [
+            row.mean_parallel_parallel_fraction
+            for row in self.rows
+            if row.mean_parallel_parallel_fraction is not None
+        ]
+        return statistics.variance(values) if len(values) > 1 else 0.0
+
+    def disjoint_parallel_pairs_exist(self) -> bool:
+        """Finding (b): some parallel pairs share no member."""
+        tree = self.context.tree
+        for k in self.context.hierarchy.orders:
+            parallels = tree.parallel_communities(k)
+            for a, b in combinations(parallels, 2):
+                if a.overlap(b) == 0:
+                    return True
+        return False
+
+    def strongly_overlapping_parallel_pairs(self, *, threshold: float = 0.5) -> int:
+        """Finding (c): count of parallel pairs above the given fraction."""
+        tree = self.context.tree
+        count = 0
+        for k in self.context.hierarchy.orders:
+            parallels = tree.parallel_communities(k)
+            for a, b in combinations(parallels, 2):
+                if a.overlap_fraction(b) >= threshold:
+                    count += 1
+        return count

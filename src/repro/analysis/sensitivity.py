@@ -1,0 +1,120 @@
+"""Seed-sensitivity analysis: are the headline findings seed-stable?
+
+The paper's claims are about one measured Internet; our reproduction
+runs on sampled topologies, so every claim should hold across generator
+seeds, not for one lucky draw.  This module re-runs the headline
+pipeline over a seed set and aggregates the findings the benchmarks
+assert, giving the reproduction's error bars:
+
+* total community count and maximum order;
+* the crown max-share IXP set (must be the big three every time);
+* band boundaries derived from the full-share regimes;
+* parallel↔main overlap mean;
+* main-size monotonicity and the single-2-clique-community property.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+
+from ..topology.generator import GeneratorConfig, generate_topology
+from .bands import derive_bands
+from .census import CommunityCensus
+from .context import AnalysisContext
+from .ixp_share import IXPShareAnalysis
+from .overlap import OverlapAnalysis
+from .sizes import SizeAnalysis
+
+__all__ = ["SeedRun", "SensitivityReport", "run_sensitivity"]
+
+
+@dataclass(frozen=True)
+class SeedRun:
+    """Headline findings for one seed."""
+
+    seed: int
+    n_ases: int
+    total_communities: int
+    max_k: int
+    root_max: int
+    crown_min: int
+    crown_max_share_ixps: frozenset[str]
+    overlap_mean: float
+    main_monotone: bool
+    single_2_clique_community: bool
+
+
+@dataclass
+class SensitivityReport:
+    runs: list[SeedRun] = field(default_factory=list)
+
+    @property
+    def n_seeds(self) -> int:
+        return len(self.runs)
+
+    def community_count_range(self) -> tuple[int, int]:
+        """(min, max) of the total community count across seeds."""
+        counts = [run.total_communities for run in self.runs]
+        return (min(counts), max(counts))
+
+    def max_k_values(self) -> set[int]:
+        """The set of maximum orders observed across seeds."""
+        return {run.max_k for run in self.runs}
+
+    def crown_ixps_always_big_three(self) -> bool:
+        """True iff every seed's crown max-share set is {AMS-IX, DE-CIX, LINX}."""
+        return all(
+            run.crown_max_share_ixps == frozenset({"AMS-IX", "DE-CIX", "LINX"})
+            for run in self.runs
+        )
+
+    def band_boundary_spread(self) -> tuple[int, int]:
+        """(max - min) of root_max and crown_min across seeds."""
+        roots = [run.root_max for run in self.runs]
+        crowns = [run.crown_min for run in self.runs]
+        return (max(roots) - min(roots), max(crowns) - min(crowns))
+
+    def overlap_mean_stats(self) -> tuple[float, float]:
+        """(mean, stdev) of the parallel-main overlap means across seeds."""
+        values = [run.overlap_mean for run in self.runs]
+        return (statistics.mean(values), statistics.stdev(values) if len(values) > 1 else 0.0)
+
+    def invariants_always_hold(self) -> bool:
+        """True iff the structural invariants held for every seed."""
+        return all(
+            run.main_monotone and run.single_2_clique_community for run in self.runs
+        )
+
+
+def run_sensitivity(
+    *,
+    seeds: list[int],
+    config: GeneratorConfig | None = None,
+) -> SensitivityReport:
+    """Re-run the headline pipeline for every seed."""
+    report = SensitivityReport()
+    for seed in seeds:
+        dataset = generate_topology(config, seed=seed)
+        context = AnalysisContext.from_dataset(dataset)
+        census = CommunityCensus(context.hierarchy)
+        sizes = SizeAnalysis(context)
+        overlap = OverlapAnalysis(context)
+        ixp_share = IXPShareAnalysis(context)
+        bands = derive_bands(ixp_share)
+        crown_ixps = ixp_share.max_share_names_from(bands.crown_min)
+        report.runs.append(
+            SeedRun(
+                seed=seed,
+                n_ases=dataset.n_ases,
+                total_communities=census.total_communities,
+                max_k=census.max_k,
+                root_max=bands.root_max,
+                crown_min=bands.crown_min,
+                crown_max_share_ixps=frozenset(crown_ixps),
+                overlap_mean=overlap.parallel_main_mean_over_k(),
+                main_monotone=sizes.main_is_monotone_nonincreasing(),
+                single_2_clique_community=census.single_2_clique_community(),
+            )
+        )
+    return report

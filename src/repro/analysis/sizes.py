@@ -1,0 +1,86 @@
+"""Community sizes — Figure 4.3 (size of k-clique communities vs k).
+
+Headline shapes from the paper:
+
+* the main community at k = 2 is the entire Topology dataset (35,390
+  ASes) and its size decreases rapidly as k grows;
+* main size is comparable to parallel sizes only near the maximum k;
+* the vast majority of parallel communities have size close to k
+  (a handful of maximal cliques), so their size *floor* grows with k;
+* parallel branches show locally decreasing size runs over the ranges
+  where a nested branch loses members level by level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .context import AnalysisContext
+
+__all__ = ["SizePoint", "SizeAnalysis"]
+
+
+@dataclass(frozen=True)
+class SizePoint:
+    """One marker of Figure 4.3."""
+
+    k: int
+    label: str
+    size: int
+    is_main: bool
+
+
+class SizeAnalysis:
+    """The Figure 4.3 scatter and its summary statements."""
+
+    def __init__(self, context: AnalysisContext) -> None:
+        self.context = context
+        tree = context.tree
+        self.points = [
+            SizePoint(k=c.k, label=c.label, size=c.size, is_main=tree.is_main(c))
+            for c in context.hierarchy.all_communities()
+        ]
+
+    def main_series(self) -> list[tuple[int, int]]:
+        """(k, size) for the main chain, ascending k."""
+        return sorted((p.k, p.size) for p in self.points if p.is_main)
+
+    def parallel_points(self) -> list[tuple[int, int]]:
+        """(k, size) for every parallel community."""
+        return sorted((p.k, p.size) for p in self.points if not p.is_main)
+
+    def main_is_monotone_nonincreasing(self) -> bool:
+        """Main community size never grows with k (nesting theorem corollary)."""
+        series = self.main_series()
+        return all(b[1] <= a[1] for a, b in zip(series, series[1:]))
+
+    def main_covers_graph_at_k2(self) -> bool:
+        """The 2-clique main community spans the whole (connected) dataset."""
+        series = dict(self.main_series())
+        return series.get(2) == self.context.graph.number_of_nodes
+
+    def parallel_size_ratio_stats(self) -> tuple[float, float]:
+        """(mean, max) of parallel size / k.
+
+        The paper: most parallel communities have size close to k.
+        A mean near 1 confirms the 'few maximal cliques' reading.
+        """
+        ratios = [p.size / p.k for p in self.points if not p.is_main]
+        if not ratios:
+            return (0.0, 0.0)
+        return (sum(ratios) / len(ratios), max(ratios))
+
+    def crossover_k(self, *, factor: float = 2.0) -> int | None:
+        """Smallest k where main size < factor * the largest parallel size.
+
+        Locates where 'main size is comparable to parallel sizes'
+        (the paper: only for k close to 36).
+        """
+        largest_parallel: dict[int, int] = {}
+        for p in self.points:
+            if not p.is_main:
+                largest_parallel[p.k] = max(largest_parallel.get(p.k, 0), p.size)
+        for k, size in sorted(dict(self.main_series()).items()):
+            if k in largest_parallel and size < factor * largest_parallel[k]:
+                return k
+        return None

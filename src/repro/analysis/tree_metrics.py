@@ -1,0 +1,113 @@
+"""Quantitative shape of the k-clique community tree.
+
+Chapter 5 describes the tree qualitatively: "parallel branches ...
+characterized by a limited size which are rapidly incorporated into a
+main community with a lower k".  This module turns that into numbers:
+
+* **branch persistence** — how many orders a parallel branch survives
+  before merging (the k-span of the side chains in Figure 4.2);
+* **absorption order** — the k of the main community a branch merges
+  into, by band;
+* **branching factor** — children per tree node, split main/parallel;
+* **depth profile** — nodes per order (Figure 4.1 from the tree side).
+"""
+
+from __future__ import annotations
+
+import statistics
+from collections import Counter
+from dataclasses import dataclass
+
+from ..core.tree import CommunityTree
+
+__all__ = ["BranchRecord", "TreeShape", "tree_shape"]
+
+
+@dataclass(frozen=True)
+class BranchRecord:
+    """One parallel branch of the tree."""
+
+    start_k: int            # shallowest order of the branch
+    end_k: int              # deepest order
+    absorbed_at: int | None  # order of the main community it merges into
+    sizes: tuple[int, ...]
+
+    @property
+    def persistence(self) -> int:
+        """Number of orders the branch spans."""
+        return self.end_k - self.start_k + 1
+
+
+@dataclass
+class TreeShape:
+    """Aggregate shape statistics of a community tree."""
+
+    n_nodes: int
+    n_main: int
+    n_parallel: int
+    branches: list[BranchRecord]
+    branching_factor_main: float
+    branching_factor_parallel: float
+    nodes_per_order: dict[int, int]
+
+    def mean_persistence(self) -> float:
+        """Average branch persistence (the paper: short side chains)."""
+        if not self.branches:
+            return 0.0
+        return statistics.mean(b.persistence for b in self.branches)
+
+    def max_persistence(self) -> int:
+        """The deepest-surviving branch (the MSK-IX-style chains)."""
+        return max((b.persistence for b in self.branches), default=0)
+
+    def persistence_distribution(self) -> dict[int, int]:
+        """Persistence -> number of branches."""
+        return dict(sorted(Counter(b.persistence for b in self.branches).items()))
+
+    def absorption_orders(self) -> dict[int, int]:
+        """Order absorbed into main -> number of branches."""
+        return dict(
+            sorted(
+                Counter(
+                    b.absorbed_at for b in self.branches if b.absorbed_at is not None
+                ).items()
+            )
+        )
+
+
+def tree_shape(tree: CommunityTree, *, min_branch_length: int = 1) -> TreeShape:
+    """Measure the shape of a community tree."""
+    branches = []
+    for chain in tree.parallel_branches(min_length=min_branch_length):
+        parent = chain[0].parent
+        absorbed_at = parent.k if parent is not None and tree.is_main(parent.community) else None
+        branches.append(
+            BranchRecord(
+                start_k=chain[0].k,
+                end_k=chain[-1].k,
+                absorbed_at=absorbed_at,
+                sizes=tuple(node.community.size for node in chain),
+            )
+        )
+    main_children = []
+    parallel_children = []
+    nodes_per_order: Counter[int] = Counter()
+    n_main = 0
+    for node in tree:
+        nodes_per_order[node.k] += 1
+        if tree.is_main(node.community):
+            n_main += 1
+            main_children.append(len(node.children))
+        else:
+            parallel_children.append(len(node.children))
+    return TreeShape(
+        n_nodes=len(tree),
+        n_main=n_main,
+        n_parallel=len(tree) - n_main,
+        branches=sorted(branches, key=lambda b: (-b.persistence, b.start_k)),
+        branching_factor_main=statistics.mean(main_children) if main_children else 0.0,
+        branching_factor_parallel=(
+            statistics.mean(parallel_children) if parallel_children else 0.0
+        ),
+        nodes_per_order=dict(sorted(nodes_per_order.items())),
+    )

@@ -1,0 +1,146 @@
+"""EAGLE-style agglomerative baseline ([27] Shen, Cheng, Cai, Hu).
+
+EAGLE (agglomerativE hierarchicAl clusterinG based on maximaL cliquE)
+starts from the maximal cliques of size >= a threshold (plus subordinate
+vertices — nodes in no retained clique — as singletons), repeatedly
+merges the most similar pair, and cuts the dendrogram at the level of
+maximum extended modularity EQ.
+
+The paper avoids EAGLE because (a) the clique-size threshold discards
+the small cliques that turn out to be root/regional communities, and
+(b) it is slower than CPM.  Both critiques are demonstrated by the
+baseline-contrast benchmark: the small regional cliques present in the
+CPM cover are absent from EAGLE's, and its O(n^2 log n) merge loop
+dominates runtime at equal input size.
+
+Simplifications relative to the original (documented deviations): the
+pair similarity is the overlap fraction |A ∩ B| / min(|A|, |B|) instead
+of the EQ-delta heuristic, which changes merge order but not the
+character of the output; EQ-based cut selection is retained.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Hashable
+from dataclasses import dataclass
+
+from ..core.cliques import maximal_cliques
+from ..graph.undirected import Graph
+
+__all__ = ["EagleConfig", "EagleResult", "eagle", "extended_modularity"]
+
+
+@dataclass(frozen=True)
+class EagleConfig:
+    min_clique_size: int = 4
+    #: Stop merging when the best similarity drops below this.
+    min_similarity: float = 0.05
+
+
+@dataclass
+class EagleResult:
+    communities: list[frozenset]
+    eq: float
+    n_initial_cliques: int
+    n_subordinate_vertices: int
+    n_merges: int
+
+
+def extended_modularity(graph: Graph, cover: list[frozenset]) -> float:
+    """EQ of Shen et al.: modularity generalised to overlapping covers.
+
+    EQ = (1/2m) * sum_C sum_{i,j in C} (1/(O_i * O_j)) * (A_ij - d_i d_j / 2m)
+
+    where O_i counts the communities containing node i.
+    """
+    m = graph.number_of_edges
+    if m == 0 or not cover:
+        return 0.0
+    occurrences: dict[Hashable, int] = {}
+    for community in cover:
+        for node in community:
+            occurrences[node] = occurrences.get(node, 0) + 1
+    total = 0.0
+    two_m = 2.0 * m
+    for community in cover:
+        members = sorted(community, key=repr)
+        for a_idx, i in enumerate(members):
+            d_i = graph.degree(i)
+            o_i = occurrences[i]
+            for j in members[a_idx + 1 :]:
+                a_ij = 1.0 if graph.has_edge(i, j) else 0.0
+                term = (a_ij - d_i * graph.degree(j) / two_m) / (o_i * occurrences[j])
+                total += 2.0 * term  # both (i,j) and (j,i)
+    return total / two_m
+
+
+def eagle(graph: Graph, config: EagleConfig | None = None) -> EagleResult:
+    """Run the agglomerative pipeline and cut at maximum EQ."""
+    config = config or EagleConfig()
+    cliques = [
+        c for c in maximal_cliques(graph, min_size=2) if len(c) >= config.min_clique_size
+    ]
+    covered: set[Hashable] = set().union(*cliques) if cliques else set()
+    subordinates = [frozenset((n,)) for n in graph.nodes() if n not in covered]
+    communities: list[frozenset | None] = list(cliques) + list(subordinates)
+
+    # Similarity heap over pairs sharing at least one node.
+    index: dict[Hashable, list[int]] = {}
+    for cid, community in enumerate(communities):
+        for node in community:  # type: ignore[union-attr]
+            index.setdefault(node, []).append(cid)
+    heap: list[tuple[float, int, int]] = []
+    seen_pairs: set[tuple[int, int]] = set()
+    for cids in index.values():
+        for x in range(len(cids)):
+            for y in range(x + 1, len(cids)):
+                pair = (min(cids[x], cids[y]), max(cids[x], cids[y]))
+                if pair not in seen_pairs:
+                    seen_pairs.add(pair)
+                    sim = _similarity(communities[pair[0]], communities[pair[1]])
+                    heapq.heappush(heap, (-sim, pair[0], pair[1]))
+
+    best_cover = [c for c in communities if c is not None]
+    best_eq = extended_modularity(graph, best_cover)
+    n_merges = 0
+    while heap:
+        neg_sim, a, b = heapq.heappop(heap)
+        if -neg_sim < config.min_similarity:
+            break
+        if communities[a] is None or communities[b] is None:
+            continue
+        merged = communities[a] | communities[b]  # type: ignore[operator]
+        communities[a] = None
+        communities[b] = None
+        communities.append(merged)
+        new_id = len(communities) - 1
+        n_merges += 1
+        # New similarities against every live community sharing a node.
+        neighbors: set[int] = set()
+        for node in merged:
+            for cid in index.setdefault(node, []):
+                if communities[cid] is not None and cid != new_id:
+                    neighbors.add(cid)
+            index[node].append(new_id)
+        for cid in neighbors:
+            sim = _similarity(merged, communities[cid])
+            heapq.heappush(heap, (-sim, min(cid, new_id), max(cid, new_id)))
+        cover = [c for c in communities if c is not None]
+        eq = extended_modularity(graph, cover)
+        if eq > best_eq:
+            best_eq = eq
+            best_cover = cover
+    return EagleResult(
+        communities=sorted(best_cover, key=len, reverse=True),
+        eq=best_eq,
+        n_initial_cliques=len(cliques),
+        n_subordinate_vertices=len(subordinates),
+        n_merges=n_merges,
+    )
+
+
+def _similarity(a: frozenset | None, b: frozenset | None) -> float:
+    if not a or not b:
+        return 0.0
+    return len(a & b) / min(len(a), len(b))

@@ -1,0 +1,93 @@
+"""Greedy Clique Expansion baseline ([18] Lee, Reid, McDaid, Hurley).
+
+GCE seeds communities with maximal cliques and greedily expands each
+seed by the node that most improves the fitness
+
+    F(S) = k_in(S) / (k_in(S) + k_out(S))^alpha
+
+where k_in is twice the number of internal edges and k_out the number
+of boundary edges.  Near-duplicate grown communities are discarded.
+
+The paper *rejects* GCE for the AS-level graph because this fitness
+"searches for sub-graphs where nodes have more internal connections
+than external connections" — a property Internet communities (regional
+transit meshes, the Tier-1 clique) do not have.  We implement it
+anyway: the baseline-contrast benchmark demonstrates the rejection
+empirically by showing GCE refuses to grow (or outright loses) the
+Tier-1-mesh-like communities CPM finds.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable
+from dataclasses import dataclass
+
+from ..core.cliques import maximal_cliques
+from ..graph.undirected import Graph
+
+__all__ = ["GCEConfig", "greedy_clique_expansion"]
+
+
+@dataclass(frozen=True)
+class GCEConfig:
+    """GCE parameters (defaults follow the reference implementation)."""
+
+    min_clique_size: int = 4
+    alpha: float = 1.0
+    #: Overlap fraction above which a grown community is a duplicate.
+    dedupe_eta: float = 0.6
+
+
+def _fitness(graph: Graph, members: set[Hashable], alpha: float) -> float:
+    k_in = 2 * graph.edge_count_within(members)
+    k_out = sum(graph.degree(n) for n in members) - k_in
+    if k_in + k_out == 0:
+        return 0.0
+    return k_in / (k_in + k_out) ** alpha
+
+
+def _expand(graph: Graph, seed: frozenset, alpha: float) -> frozenset:
+    members = set(seed)
+    current = _fitness(graph, members, alpha)
+    while True:
+        frontier: set[Hashable] = set()
+        for node in members:
+            frontier |= graph.neighbors(node)
+        frontier -= members
+        best_node, best_fitness = None, current
+        for node in frontier:
+            members.add(node)
+            fitness = _fitness(graph, members, alpha)
+            members.remove(node)
+            if fitness > best_fitness:
+                best_node, best_fitness = node, fitness
+        if best_node is None:
+            return frozenset(members)
+        members.add(best_node)
+        current = best_fitness
+
+
+def greedy_clique_expansion(
+    graph: Graph, config: GCEConfig | None = None
+) -> list[frozenset]:
+    """Run GCE; returns grown communities, largest first.
+
+    Seeds are processed largest-clique-first; a grown community whose
+    membership is mostly covered by an already-accepted community
+    (Jaccard-style containment above ``dedupe_eta``) is dropped.
+    """
+    config = config or GCEConfig()
+    seeds = sorted(
+        maximal_cliques(graph, min_size=config.min_clique_size),
+        key=lambda c: (-len(c), tuple(sorted(map(repr, c)))),
+    )
+    accepted: list[frozenset] = []
+    for seed in seeds:
+        grown = _expand(graph, seed, config.alpha)
+        duplicate = any(
+            len(grown & other) / len(grown) >= config.dedupe_eta for other in accepted
+        )
+        if not duplicate:
+            accepted.append(grown)
+    accepted.sort(key=len, reverse=True)
+    return accepted

@@ -1,0 +1,73 @@
+"""k-core decomposition baseline ([26] Seidman; used on the AS graph by
+[3] and [6]).
+
+The k-core of a graph is the maximal subgraph with all degrees >= k.
+Unlike k-clique communities the k-cores form a single nested chain (a
+partition refinement, not a cover): every node has one shell index, and
+overlap is impossible.  Chapter 1 of the paper contrasts exactly this:
+partition methods cannot express, e.g., an AS sitting in several IXP
+communities at once.
+
+The decomposition itself lives in :mod:`repro.graph.degeneracy`; this
+module wraps it in the same reporting shape as the CPM output so the
+baseline-contrast benchmark can compare like with like.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable
+from dataclasses import dataclass
+
+from ..graph.degeneracy import core_numbers
+from ..graph.undirected import Graph
+
+__all__ = ["KCoreDecomposition", "ShellRow"]
+
+
+@dataclass(frozen=True)
+class ShellRow:
+    """One shell of the decomposition."""
+
+    k: int
+    shell_size: int
+    core_size: int
+
+
+class KCoreDecomposition:
+    """The full k-core hierarchy of a graph."""
+
+    def __init__(self, graph: Graph) -> None:
+        self.graph = graph
+        self.core_of: dict[Hashable, int] = core_numbers(graph)
+
+    @property
+    def degeneracy(self) -> int:
+        return max(self.core_of.values(), default=0)
+
+    def core_members(self, k: int) -> set[Hashable]:
+        """Nodes of the k-core (core number >= k)."""
+        return {node for node, core in self.core_of.items() if core >= k}
+
+    def shell_members(self, k: int) -> set[Hashable]:
+        """Nodes with core number exactly k (the k-shell)."""
+        return {node for node, core in self.core_of.items() if core == k}
+
+    def rows(self) -> list[ShellRow]:
+        """Shell and core sizes for every k up to the degeneracy."""
+        out = []
+        for k in range(self.degeneracy + 1):
+            out.append(
+                ShellRow(
+                    k=k,
+                    shell_size=len(self.shell_members(k)),
+                    core_size=len(self.core_members(k)),
+                )
+            )
+        return out
+
+    def is_partition(self) -> bool:
+        """Shells partition the node set — the structural contrast with
+        the overlapping CPM cover (always True; exposed for the
+        baseline-contrast benchmark's assertion)."""
+        total = sum(len(self.shell_members(k)) for k in range(self.degeneracy + 1))
+        return total == self.graph.number_of_nodes

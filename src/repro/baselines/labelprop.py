@@ -1,0 +1,56 @@
+"""Label-propagation partition baseline.
+
+A representative of the *partition* category of community detection
+(Chapter 1's taxonomy, after [27]): every node ends up in exactly one
+community, so the overlap that motivates the paper's choice of CPM is
+impossible by construction.  Asynchronous label propagation (Raghavan
+et al.) with deterministic, seeded tie-breaking.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+from collections.abc import Hashable
+
+from ..graph.undirected import Graph
+
+__all__ = ["label_propagation"]
+
+
+def label_propagation(
+    graph: Graph,
+    *,
+    seed: int = 0,
+    max_rounds: int = 100,
+) -> list[set[Hashable]]:
+    """Partition the graph; returns communities largest first.
+
+    Each node adopts the most frequent label among its neighbors
+    (random seeded tie-breaks) until no label changes or ``max_rounds``
+    is hit.  Isolated nodes keep their own singleton community.
+    """
+    rng = random.Random(seed)
+    nodes = sorted(graph.nodes(), key=repr)
+    label: dict[Hashable, int] = {node: i for i, node in enumerate(nodes)}
+    for _ in range(max_rounds):
+        changed = False
+        order = nodes[:]
+        rng.shuffle(order)
+        for node in order:
+            neighbors = graph.neighbors(node)
+            if not neighbors:
+                continue
+            counts = Counter(label[n] for n in neighbors)
+            top = max(counts.values())
+            candidates = sorted(l for l, c in counts.items() if c == top)
+            new_label = rng.choice(candidates)
+            if new_label != label[node]:
+                label[node] = new_label
+                changed = True
+        if not changed:
+            break
+    groups: dict[int, set[Hashable]] = {}
+    for node, l in label.items():
+        groups.setdefault(l, set()).add(node)
+    return sorted(groups.values(), key=len, reverse=True)

@@ -1,0 +1,292 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``generate`` — build a synthetic April-2010-like dataset and save it;
+* ``communities`` — run LP-CPM on a dataset (or edge list) and dump the
+  per-k census and community members;
+* ``tree`` — print the k-clique community tree (ASCII or DOT);
+* ``paper`` — regenerate every table and figure of the paper.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .analysis.context import AnalysisContext
+from .core.lightweight import LightweightParallelCPM
+from .graph.io import read_edgelist
+from .report.paper import PaperRun
+from .topology.dataset import ASDataset
+from .topology.generator import GeneratorConfig, generate_topology
+
+__all__ = ["main"]
+
+
+def _load_dataset(path: str) -> ASDataset:
+    target = Path(path)
+    if target.is_dir():
+        return ASDataset.load(target)
+    # Bare edge list: wrap it with empty side datasets.
+    from .topology.geography import GeoRegistry
+    from .topology.ixp import IXPRegistry
+
+    return ASDataset(
+        graph=read_edgelist(target),
+        ixps=IXPRegistry(),
+        geography=GeoRegistry(),
+    )
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    if args.config:
+        from .topology.configio import load_config
+
+        config = load_config(args.config)
+    else:
+        config = {
+            "default": GeneratorConfig.default,
+            "tiny": GeneratorConfig.tiny,
+            "paper-scale": GeneratorConfig.paper_scale,
+        }[args.profile]()
+    dataset = generate_topology(config, seed=args.seed)
+    dataset.save(args.out)
+    print(f"wrote {dataset!r} to {args.out}")
+    return 0
+
+
+def _cmd_communities(args: argparse.Namespace) -> int:
+    dataset = _load_dataset(args.dataset)
+    cpm = LightweightParallelCPM(dataset.graph, workers=args.workers)
+    hierarchy = cpm.run(min_k=args.min_k, max_k=args.max_k)
+    print(f"maximal cliques: {cpm.stats.n_cliques} (max size {cpm.stats.max_clique_size})")
+    print(f"total communities: {hierarchy.total_communities}")
+    for k in hierarchy.orders:
+        print(f"k={k}: {len(hierarchy[k])} communities")
+        if args.members:
+            for community in hierarchy[k]:
+                members = ",".join(map(str, sorted(community.members)))
+                print(f"  {community.label} ({community.size}): {members}")
+    return 0
+
+
+def _cmd_tree(args: argparse.Namespace) -> int:
+    dataset = _load_dataset(args.dataset)
+    context = AnalysisContext.from_dataset(dataset, workers=args.workers)
+    if args.format == "dot":
+        band_of = None
+        if args.bands:
+            from .analysis.bands import derive_bands
+            from .analysis.ixp_share import IXPShareAnalysis
+
+            boundaries = derive_bands(IXPShareAnalysis(context))
+            band_of = boundaries.band_of
+        print(context.tree.to_dot(band_of=band_of))
+    else:
+        print(context.tree.to_ascii(max_children=args.max_children))
+    return 0
+
+
+def _cmd_graphml(args: argparse.Namespace) -> int:
+    from .analysis.bands import derive_bands
+    from .analysis.ixp_share import IXPShareAnalysis
+    from .report.graphml import write_graphml
+
+    dataset = _load_dataset(args.dataset)
+    context = AnalysisContext.from_dataset(dataset, workers=args.workers)
+    bands = derive_bands(IXPShareAnalysis(context))
+    write_graphml(context, args.out, k=args.k, bands=bands)
+    print(f"wrote GraphML with k={args.k} memberships to {args.out}")
+    return 0
+
+
+def _cmd_paper(args: argparse.Namespace) -> int:
+    if args.dataset:
+        dataset = _load_dataset(args.dataset)
+    else:
+        dataset = generate_topology(seed=args.seed)
+    run = PaperRun(dataset, workers=args.workers)
+    wrote_artifacts = False
+    if args.html:
+        from .report.html import render_html_report
+
+        Path(args.html).write_text(render_html_report(run), encoding="utf-8")
+        print(f"wrote HTML report to {args.html}")
+        wrote_artifacts = True
+    if args.csv_dir:
+        from .report.csvdata import write_figure_csvs
+
+        files = write_figure_csvs(run, args.csv_dir)
+        print(f"wrote {len(files)} CSV/manifest files to {args.csv_dir}")
+        wrote_artifacts = True
+    if not wrote_artifacts:
+        print(run.full_report())
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from .graph.stats import summarize_graph
+    from .report.figures import ascii_table
+
+    dataset = _load_dataset(args.dataset)
+    summary = summarize_graph(dataset.graph)
+    print(
+        ascii_table(
+            ["metric", "value"],
+            [
+                ["nodes", summary.n_nodes],
+                ["edges", summary.n_edges],
+                ["mean degree", round(summary.mean_degree, 3)],
+                ["max degree", summary.max_degree],
+                ["power-law alpha (MLE)", round(summary.powerlaw_alpha, 3)],
+                ["global clustering", round(summary.global_clustering, 4)],
+                ["avg local clustering", round(summary.average_local_clustering, 4)],
+                ["degree assortativity", round(summary.assortativity, 4)],
+                ["top-1% degree density", round(summary.top_degree_density, 4)],
+            ],
+            title="Topology statistics",
+        )
+    )
+    return 0
+
+
+def _cmd_evolve(args: argparse.Namespace) -> int:
+    from .evolution import EventKind, EvolutionTracker, TopologyEvolution
+    from .topology.generator import GeneratorConfig
+
+    profile = {
+        "default": GeneratorConfig.default,
+        "tiny": GeneratorConfig.tiny,
+    }[args.profile]()
+    evolution = TopologyEvolution(profile, seed=args.seed, n_snapshots=args.snapshots)
+    print("growth:")
+    for t, nodes, edges in evolution.growth_series():
+        print(f"  t={t:.2f}  {nodes} ASes  {edges} links")
+    tracker = EvolutionTracker(evolution.snapshots(), k=args.k)
+    counts = tracker.event_counts()
+    print(f"community events at k={args.k}:")
+    for kind in EventKind:
+        print(f"  {kind.value}: {counts[kind]}")
+    longest = tracker.longest_timeline()
+    print(f"longest timeline: born at snapshot {longest.born_at}, sizes {longest.sizes()}")
+    return 0
+
+
+def _cmd_atlas(args: argparse.Namespace) -> int:
+    from .report.atlas import build_atlas
+
+    dataset = _load_dataset(args.dataset)
+    context = AnalysisContext.from_dataset(dataset, workers=args.workers)
+    atlas = build_atlas(context)
+    print(atlas.render(top=args.top))
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    from .core.serialize import save_hierarchy
+
+    dataset = _load_dataset(args.dataset)
+    cpm = LightweightParallelCPM(dataset.graph, workers=args.workers)
+    hierarchy = cpm.run(min_k=args.min_k, max_k=args.max_k)
+    save_hierarchy(hierarchy, args.out)
+    print(
+        f"wrote {hierarchy.total_communities} communities "
+        f"(k in [{hierarchy.min_k}, {hierarchy.max_k}]) to {args.out}"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for every subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="k-clique communities in the Internet AS-level topology (ICDCS 2011 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_gen = sub.add_parser("generate", help="build and save a synthetic dataset")
+    p_gen.add_argument("out", help="output directory")
+    p_gen.add_argument("--profile", choices=["default", "tiny", "paper-scale"], default="default")
+    p_gen.add_argument("--config", default=None, help="GeneratorConfig JSON (overrides --profile)")
+    p_gen.add_argument("--seed", type=int, default=42)
+    p_gen.set_defaults(func=_cmd_generate)
+
+    p_com = sub.add_parser("communities", help="extract k-clique communities")
+    p_com.add_argument("dataset", help="dataset directory or edge-list file")
+    p_com.add_argument("--min-k", type=int, default=2)
+    p_com.add_argument("--max-k", type=int, default=None)
+    p_com.add_argument("--workers", type=int, default=1)
+    p_com.add_argument("--members", action="store_true", help="print community members")
+    p_com.set_defaults(func=_cmd_communities)
+
+    p_tree = sub.add_parser("tree", help="print the k-clique community tree")
+    p_tree.add_argument("dataset", help="dataset directory or edge-list file")
+    p_tree.add_argument("--format", choices=["ascii", "dot"], default="ascii")
+    p_tree.add_argument("--max-children", type=int, default=8)
+    p_tree.add_argument("--workers", type=int, default=1)
+    p_tree.add_argument("--bands", action="store_true", help="colour DOT layers by band")
+    p_tree.set_defaults(func=_cmd_tree)
+
+    p_gml = sub.add_parser("graphml", help="export topology + communities as GraphML")
+    p_gml.add_argument("dataset", help="dataset directory or edge-list file")
+    p_gml.add_argument("out", help="output .graphml path")
+    p_gml.add_argument("-k", type=int, default=4, help="order for membership attributes")
+    p_gml.add_argument("--workers", type=int, default=1)
+    p_gml.set_defaults(func=_cmd_graphml)
+
+    p_paper = sub.add_parser("paper", help="regenerate the paper's tables and figures")
+    p_paper.add_argument("--dataset", default=None, help="dataset directory (default: generate)")
+    p_paper.add_argument("--seed", type=int, default=42)
+    p_paper.add_argument("--workers", type=int, default=1)
+    p_paper.add_argument("--html", default=None, help="write a standalone HTML report here")
+    p_paper.add_argument("--csv-dir", default=None, help="write figure data as CSVs here")
+    p_paper.set_defaults(func=_cmd_paper)
+
+    p_stats = sub.add_parser("stats", help="structural statistics of a topology")
+    p_stats.add_argument("dataset", help="dataset directory or edge-list file")
+    p_stats.set_defaults(func=_cmd_stats)
+
+    p_evolve = sub.add_parser("evolve", help="track communities over a growing topology")
+    p_evolve.add_argument("--profile", choices=["default", "tiny"], default="tiny")
+    p_evolve.add_argument("--seed", type=int, default=42)
+    p_evolve.add_argument("--snapshots", type=int, default=5)
+    p_evolve.add_argument("-k", type=int, default=4)
+    p_evolve.set_defaults(func=_cmd_evolve)
+
+    p_atlas = sub.add_parser("atlas", help="per-IXP and per-country community profiles")
+    p_atlas.add_argument("dataset", help="dataset directory or edge-list file")
+    p_atlas.add_argument("--top", type=int, default=12)
+    p_atlas.add_argument("--workers", type=int, default=1)
+    p_atlas.set_defaults(func=_cmd_atlas)
+
+    p_export = sub.add_parser("export", help="extract communities and save them as JSON")
+    p_export.add_argument("dataset", help="dataset directory or edge-list file")
+    p_export.add_argument("out", help="output JSON path")
+    p_export.add_argument("--min-k", type=int, default=2)
+    p_export.add_argument("--max-k", type=int, default=None)
+    p_export.add_argument("--workers", type=int, default=1)
+    p_export.set_defaults(func=_cmd_export)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code.
+
+    User-input failures (missing files, malformed datasets) print one
+    clean error line and return 2 instead of a traceback.
+    """
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except (FileNotFoundError, NotADirectoryError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except (KeyError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

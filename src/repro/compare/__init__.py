@@ -1,0 +1,7 @@
+"""Cover-comparison metrics: Jaccard matching, recall at threshold,
+and the chance-corrected Omega index for overlapping covers.
+"""
+
+from .covers import MatchResult, jaccard, match_covers, omega_index, recall_at
+
+__all__ = ["jaccard", "match_covers", "MatchResult", "recall_at", "omega_index"]

@@ -1,0 +1,173 @@
+"""Maximal clique enumeration and fixed-size clique enumeration.
+
+CPM consumes the maximal cliques of the graph: in the Topology dataset
+the paper found 2,730,916 of them, 88% with sizes in [18, 28] —
+enumerating them efficiently is what made the analysis feasible at all.
+We implement Bron–Kerbosch with:
+
+* **pivoting** (Tomita et al.): the pivot is the candidate covering the
+  most of P, so recursion only branches on P \\ N(pivot);
+* **degeneracy ordering** on the outermost level (Eppstein–Löffler–
+  Strash), bounding work by O(d * n * 3^(d/3)) where d is the graph
+  degeneracy — small for AS-like graphs even when the core is dense.
+
+Fixed-size k-clique enumeration (``k_cliques``) implements the literal
+objects of the k-clique community definition; it is exponentially more
+numerous than maximal cliques and is used only as a test oracle and for
+the direct-definition CPM variant.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Hashable, Iterator
+
+from ..graph.degeneracy import degeneracy_ordering
+from ..graph.undirected import Graph
+
+__all__ = [
+    "maximal_cliques",
+    "max_clique_size",
+    "k_cliques",
+    "clique_size_census",
+    "CliqueCensus",
+]
+
+
+def maximal_cliques(graph: Graph, *, min_size: int = 1) -> list[frozenset[Hashable]]:
+    """All maximal cliques of ``graph`` with at least ``min_size`` nodes.
+
+    Deterministic for a given graph construction order.  Isolated nodes
+    are themselves maximal 1-cliques (filtered out when min_size > 1).
+    """
+    if min_size < 1:
+        raise ValueError(f"min_size must be >= 1, got {min_size}")
+    cliques: list[frozenset[Hashable]] = []
+    emit = cliques.append
+    order = degeneracy_ordering(graph)
+    rank = {node: i for i, node in enumerate(order)}
+    for node in order:
+        neighbors = graph.neighbors(node)
+        later = {v for v in neighbors if rank[v] > rank[node]}
+        earlier = {v for v in neighbors if rank[v] < rank[node]}
+        _bron_kerbosch_pivot(graph, {node}, later, earlier, min_size, emit)
+    return cliques
+
+
+def _bron_kerbosch_pivot(
+    graph: Graph,
+    r: set[Hashable],
+    p: set[Hashable],
+    x: set[Hashable],
+    min_size: int,
+    emit,
+) -> None:
+    """Bron–Kerbosch with Tomita pivoting.
+
+    ``r`` is the growing clique, ``p`` candidates, ``x`` excluded
+    (already covered) nodes.  Emits frozensets of maximal cliques.
+    """
+    if not p and not x:
+        if len(r) >= min_size:
+            emit(frozenset(r))
+        return
+    if not p:
+        return
+    # Pivot: the node of P ∪ X with the most neighbors in P.
+    pivot = max(p | x, key=lambda u: len(graph.neighbors(u) & p))
+    for node in list(p - graph.neighbors(pivot)):
+        neighbors = graph.neighbors(node)
+        r.add(node)
+        _bron_kerbosch_pivot(graph, r, p & neighbors, x & neighbors, min_size, emit)
+        r.remove(node)
+        p.remove(node)
+        x.add(node)
+
+
+def max_clique_size(graph: Graph) -> int:
+    """Size of the largest clique (the clique number omega(G))."""
+    return max((len(c) for c in maximal_cliques(graph)), default=0)
+
+
+def k_cliques(graph: Graph, k: int) -> Iterator[frozenset[Hashable]]:
+    """Yield every complete subgraph on exactly ``k`` nodes.
+
+    This enumerates the raw k-cliques of the community definition
+    (Expression 3.3); it is the oracle behind the direct CPM variant.
+    The recursion extends partial cliques only with higher-ordered
+    common neighbors, so each k-clique is produced exactly once.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    order = degeneracy_ordering(graph)
+    rank = {node: i for i, node in enumerate(order)}
+
+    def extend(members: list[Hashable], candidates: set[Hashable]) -> Iterator[frozenset[Hashable]]:
+        if len(members) == k:
+            yield frozenset(members)
+            return
+        # Prune: not enough candidates to complete the clique.
+        if len(members) + len(candidates) < k:
+            return
+        for node in sorted(candidates, key=rank.__getitem__):
+            later = {v for v in graph.neighbors(node) & candidates if rank[v] > rank[node]}
+            members.append(node)
+            yield from extend(members, later)
+            members.pop()
+
+    if k == 1:
+        for node in order:
+            yield frozenset((node,))
+        return
+    for node in order:
+        later = {v for v in graph.neighbors(node) if rank[v] > rank[node]}
+        yield from extend([node], later)
+
+
+class CliqueCensus:
+    """Summary statistics over a set of maximal cliques.
+
+    Mirrors the paper's Section 3 report: total count, the size
+    histogram, and the share of cliques inside a size band (the paper:
+    88% of the 2.7M maximal cliques had sizes in [18, 28]).
+    """
+
+    def __init__(self, cliques: list[frozenset[Hashable]]) -> None:
+        self._histogram = Counter(len(c) for c in cliques)
+        self._total = len(cliques)
+
+    @property
+    def total(self) -> int:
+        return self._total
+
+    @property
+    def histogram(self) -> dict[int, int]:
+        """Clique size -> number of maximal cliques of that size."""
+        return dict(sorted(self._histogram.items()))
+
+    @property
+    def max_size(self) -> int:
+        return max(self._histogram, default=0)
+
+    def share_in_band(self, lo: int, hi: int) -> float:
+        """Fraction of maximal cliques with size in [lo, hi]."""
+        if self._total == 0:
+            return 0.0
+        in_band = sum(count for size, count in self._histogram.items() if lo <= size <= hi)
+        return in_band / self._total
+
+    def dominant_band(self, width: int) -> tuple[int, int]:
+        """The size window of the given width covering the most cliques."""
+        if not self._histogram:
+            return (0, 0)
+        best_lo, best_cover = 0, -1
+        for lo in range(1, self.max_size + 1):
+            cover = sum(self._histogram.get(size, 0) for size in range(lo, lo + width))
+            if cover > best_cover:
+                best_lo, best_cover = lo, cover
+        return (best_lo, best_lo + width - 1)
+
+
+def clique_size_census(graph: Graph) -> CliqueCensus:
+    """Convenience: enumerate maximal cliques and summarise their sizes."""
+    return CliqueCensus(maximal_cliques(graph))

@@ -1,0 +1,89 @@
+"""Hierarchy filtering utilities.
+
+Analyses often need a *view* of the hierarchy — one band, one k-window,
+or only the communities an AS belongs to — without re-running CPM.
+These helpers build consistent sub-hierarchies: covers are restricted,
+and parent provenance is kept wherever both endpoints survive the
+filter.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Hashable
+
+from .communities import Community, CommunityCover, CommunityHierarchy
+
+__all__ = ["restrict_orders", "filter_communities", "communities_of_node"]
+
+
+def restrict_orders(
+    hierarchy: CommunityHierarchy, *, min_k: int | None = None, max_k: int | None = None
+) -> CommunityHierarchy:
+    """The sub-hierarchy over orders in [min_k, max_k].
+
+    Raises when the window is empty.  Parent links whose parent order
+    falls outside the window are dropped (the window's lowest order
+    becomes the new root level).
+    """
+    lo = hierarchy.min_k if min_k is None else max(min_k, hierarchy.min_k)
+    hi = hierarchy.max_k if max_k is None else min(max_k, hierarchy.max_k)
+    orders = [k for k in hierarchy.orders if lo <= k <= hi]
+    if not orders:
+        raise ValueError(f"no orders in window [{lo}, {hi}]")
+    covers = {k: hierarchy[k] for k in orders}
+    kept_orders = set(orders)
+    parents = {
+        child: parent
+        for child, parent in hierarchy.parent_labels.items()
+        if int(child.lstrip("k").split("id")[0]) in kept_orders
+        and int(parent.lstrip("k").split("id")[0]) in kept_orders
+    }
+    return CommunityHierarchy(covers, parent_labels=parents)
+
+
+def filter_communities(
+    hierarchy: CommunityHierarchy,
+    predicate: Callable[[Community], bool],
+) -> CommunityHierarchy:
+    """Keep only the communities satisfying ``predicate``.
+
+    Orders left with no community are dropped entirely; parent links
+    survive only between kept communities.  Note that labels are
+    re-indexed per order (``k<k>id<n>`` numbering is positional), so
+    the provenance map is rebuilt through the surviving member sets.
+    """
+    kept_sets: dict[int, list] = {}
+    kept_labels: dict[str, tuple[int, frozenset]] = {}
+    for community in hierarchy.all_communities():
+        if predicate(community):
+            kept_sets.setdefault(community.k, []).append(community.members)
+            kept_labels[community.label] = (community.k, community.members)
+    if not kept_sets:
+        raise ValueError("predicate removed every community")
+    covers = {k: CommunityCover(k, member_sets) for k, member_sets in kept_sets.items()}
+    filtered = CommunityHierarchy(covers)
+    # Rebuild provenance: an old edge survives when both endpoints were
+    # kept; translate via (k, member-set) identity.
+    translation: dict[tuple[int, frozenset], str] = {}
+    for k in filtered.orders:
+        for community in filtered[k]:
+            translation[(k, community.members)] = community.label
+    parents = {}
+    for child, parent in hierarchy.parent_labels.items():
+        if child in kept_labels and parent in kept_labels:
+            new_child = translation[kept_labels[child]]
+            new_parent = translation[kept_labels[parent]]
+            parents[new_child] = new_parent
+    filtered.parent_labels.update(parents)
+    return filtered
+
+
+def communities_of_node(
+    hierarchy: CommunityHierarchy, node: Hashable
+) -> CommunityHierarchy:
+    """The sub-hierarchy of communities containing ``node``.
+
+    The node's full nesting chain plus every overlapping community it
+    sits in — its position in Figure 4.2.
+    """
+    return filter_communities(hierarchy, lambda c: node in c.members)

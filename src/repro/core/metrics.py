@@ -1,0 +1,125 @@
+"""Structural metrics for communities (Figures 4.3 and 4.4).
+
+* **size** — number of ASes in the community (Figure 4.3);
+* **link density** [17] — existing intra-community edges over the
+  full-mesh count, in [0, 1] (Figure 4.4(a));
+* **Out Degree Fraction** [20] — per node, the fraction of its degree
+  directed *outside* the community (Leskovec et al.).  The paper's
+  Chapter 4 wording ("the ratio between its degree within the subgraph
+  and its overall degree") describes the complementary internal
+  fraction, but its *interpretation* of Figure 4.4(b) — crown carriers
+  with thousands of customer links score high, members of the huge
+  low-k main communities score low — matches the out-degree reading of
+  [20], which we therefore implement; ``node_internal_fraction``
+  exposes the complement;
+* **overlap / overlap fraction** — shared members between two
+  communities of the same order, raw and normalised by the smaller
+  community's size (Section 4 text).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable
+from dataclasses import dataclass
+
+from ..graph.undirected import Graph
+from .communities import Community
+
+__all__ = [
+    "link_density",
+    "node_odf",
+    "node_internal_fraction",
+    "average_odf",
+    "overlap",
+    "overlap_fraction",
+    "CommunityMetrics",
+    "community_metrics",
+]
+
+
+def link_density(graph: Graph, members: Iterable[Hashable]) -> float:
+    """Fraction of existing to possible connections within ``members``.
+
+    1.0 for a full mesh; defined as 0.0 for fewer than two members.
+    """
+    member_set = set(members)
+    n = len(member_set)
+    if n < 2:
+        return 0.0
+    return 2.0 * graph.edge_count_within(member_set) / (n * (n - 1))
+
+
+def node_internal_fraction(graph: Graph, node: Hashable, members: set[Hashable]) -> float:
+    """Fraction of ``node``'s degree directed inside ``members``.
+
+    Nodes with zero total degree (isolated) are defined to score 0.0.
+    """
+    total = graph.degree(node)
+    if total == 0:
+        return 0.0
+    # The node itself never counts (simple graph, no self-loops).
+    return graph.degree_within(node, members) / total
+
+
+def node_odf(graph: Graph, node: Hashable, members: set[Hashable]) -> float:
+    """Per-node Out Degree Fraction [20]: external degree over total degree.
+
+    1.0 means every connection leaves the community (a Tier-1 whose
+    links are almost all customer links); 0.0 means all links stay
+    inside.  Isolated nodes are defined to score 0.0.
+    """
+    total = graph.degree(node)
+    if total == 0:
+        return 0.0
+    return 1.0 - graph.degree_within(node, members) / total
+
+
+def average_odf(graph: Graph, members: Iterable[Hashable]) -> float:
+    """Average per-member ODF — the y-axis of Figure 4.4(b).
+
+    High values mean members direct most connections *outside* the
+    community (crown communities: cohesive carrier meshes with huge
+    customer cones); low values mean members keep their degree inside
+    (the giant low-k main communities).
+    """
+    member_set = set(members)
+    if not member_set:
+        return 0.0
+    return sum(node_odf(graph, node, member_set) for node in member_set) / len(member_set)
+
+
+def overlap(a: Community, b: Community) -> int:
+    """Number of members shared by two communities."""
+    return a.overlap(b)
+
+
+def overlap_fraction(a: Community, b: Community) -> float:
+    """Overlap normalised by the smaller community's size, in [0, 1]."""
+    return a.overlap_fraction(b)
+
+
+@dataclass(frozen=True)
+class CommunityMetrics:
+    """The per-community record behind Figures 4.3 and 4.4."""
+
+    label: str
+    k: int
+    size: int
+    link_density: float
+    average_odf: float
+
+    def as_row(self) -> tuple:
+        """The record as a (label, k, size, density, odf) tuple."""
+        return (self.label, self.k, self.size, self.link_density, self.average_odf)
+
+
+def community_metrics(graph: Graph, community: Community) -> CommunityMetrics:
+    """Compute the full metric record for one community."""
+    members = set(community.members)
+    return CommunityMetrics(
+        label=community.label,
+        k=community.k,
+        size=community.size,
+        link_density=link_density(graph, members),
+        average_odf=average_odf(graph, members),
+    )

@@ -1,0 +1,71 @@
+"""Hierarchy serialisation.
+
+The paper's community extraction took days; persisting the result is
+what made the analysis iterable.  This module round-trips a
+:class:`CommunityHierarchy` (member sets, labels, parent provenance)
+through a stable JSON document so expensive CPM runs can be cached and
+the analysis layers re-run offline::
+
+    save_hierarchy(hierarchy, "communities.json")
+    hierarchy = load_hierarchy("communities.json")
+
+Only int and str members are supported (AS numbers are ints); mixed
+member types raise, rather than silently producing an unloadable file.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .communities import CommunityCover, CommunityHierarchy
+
+__all__ = ["hierarchy_to_dict", "hierarchy_from_dict", "save_hierarchy", "load_hierarchy"]
+
+_FORMAT = "repro.k-clique-hierarchy/1"
+
+
+def hierarchy_to_dict(hierarchy: CommunityHierarchy) -> dict:
+    """A JSON-ready document (deterministic member ordering)."""
+    covers = {}
+    for k in hierarchy.orders:
+        members_per_community = []
+        for community in hierarchy[k]:
+            members = sorted(community.members)
+            for member in members:
+                if not isinstance(member, (int, str)):
+                    raise TypeError(
+                        f"only int/str members serialise; {community.label} "
+                        f"holds {type(member).__name__}"
+                    )
+            members_per_community.append(members)
+        covers[str(k)] = members_per_community
+    return {
+        "format": _FORMAT,
+        "covers": covers,
+        "parent_labels": dict(sorted(hierarchy.parent_labels.items())),
+    }
+
+
+def hierarchy_from_dict(document: dict) -> CommunityHierarchy:
+    """Rebuild a hierarchy from :func:`hierarchy_to_dict` output."""
+    if document.get("format") != _FORMAT:
+        raise ValueError(f"unrecognised hierarchy format: {document.get('format')!r}")
+    covers = {}
+    for k_str, member_lists in document["covers"].items():
+        k = int(k_str)
+        covers[k] = CommunityCover(k, [frozenset(members) for members in member_lists])
+    return CommunityHierarchy(covers, parent_labels=document.get("parent_labels"))
+
+
+def save_hierarchy(hierarchy: CommunityHierarchy, path: str | Path) -> None:
+    """Write a hierarchy to ``path`` as stable JSON."""
+    Path(path).write_text(
+        json.dumps(hierarchy_to_dict(hierarchy), indent=1, sort_keys=True),
+        encoding="utf-8",
+    )
+
+
+def load_hierarchy(path: str | Path) -> CommunityHierarchy:
+    """Read a hierarchy previously written by :func:`save_hierarchy`."""
+    return hierarchy_from_dict(json.loads(Path(path).read_text(encoding="utf-8")))

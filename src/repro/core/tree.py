@@ -1,0 +1,312 @@
+"""The k-clique community tree (Figure 4.2) and the nesting theorem.
+
+Theorem 1 of the paper: for each k-clique community there is exactly
+one (k-1)-clique community containing it.  Consequently the communities
+of all orders form a forest under containment — a tree when the graph
+is connected, rooted at the single 2-clique community.
+
+On top of the tree the paper defines:
+
+* **main communities** — the apex (the community of maximum order,
+  largest if tied) and all of its ancestors: the filled nodes of
+  Figure 4.2, exactly one per order;
+* **parallel communities** — every other node: the side branches.
+
+This module builds the tree from a :class:`CommunityHierarchy`,
+classifies main vs parallel, extracts parallel branches (the nested
+chains like the MSK-IX k=20/19/18 example of Section 4.2), verifies the
+nesting theorem empirically, and renders the tree as ASCII or DOT.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from dataclasses import dataclass, field
+
+from .communities import Community, CommunityHierarchy
+
+__all__ = ["CommunityTree", "TreeNode", "NestingViolation", "verify_nesting", "find_parent"]
+
+
+class NestingViolation(AssertionError):
+    """Raised when the empirical containment structure contradicts Theorem 1."""
+
+
+def find_parent(hierarchy: CommunityHierarchy, community: Community) -> Community:
+    """The (k-1)-clique community that structurally contains ``community``.
+
+    When the hierarchy carries percolation provenance
+    (``hierarchy.parent_labels``, produced by the extraction layer) the
+    parent is resolved exactly: it is the (k-1)-community that the
+    child's maximal cliques percolated into — the unique parent of
+    Theorem 1.
+
+    Without provenance the parent is resolved by node-set containment.
+    Containment is guaranteed by Theorem 1, but because communities
+    overlap, *several* (k-1)-communities can contain the child's member
+    set; only one of them is the structural parent, and member sets
+    alone cannot tell which.  In that ambiguous case the smallest
+    containing community is returned (the most specific candidate; for
+    hierarchies produced by this library's extractors the ambiguity
+    never arises because provenance is always attached).
+    """
+    k = community.k
+    if k - 1 not in hierarchy:
+        raise KeyError(f"hierarchy has no order {k - 1}; cannot resolve parent of {community.label}")
+    parent_label = hierarchy.parent_labels.get(community.label)
+    if parent_label is not None:
+        return hierarchy.find(parent_label)
+    witness = next(iter(community.members))
+    candidates = hierarchy[k - 1].communities_of(witness)
+    parents = [c for c in candidates if community.members <= c.members]
+    if not parents:
+        raise NestingViolation(
+            f"{community.label} has no containing community at order {k - 1}; "
+            "Theorem 1 requires exactly one"
+        )
+    return min(parents, key=lambda c: (c.size, c.index))
+
+
+def verify_nesting(hierarchy: CommunityHierarchy) -> int:
+    """Check Theorem 1 for every community above the minimum order.
+
+    Asserts, for each community, that a containing (k-1)-community
+    exists, and — when provenance is attached — that the structural
+    parent does contain the child's member set.  Returns the number of
+    containment edges verified; raises :class:`NestingViolation` on the
+    first counterexample.  This is the library's executable proof-check
+    of Section 3.1.
+    """
+    checked = 0
+    for k in hierarchy.orders:
+        if k == hierarchy.min_k:
+            continue
+        for community in hierarchy[k]:
+            parent = find_parent(hierarchy, community)
+            if not community.members <= parent.members:
+                raise NestingViolation(
+                    f"{community.label} is not contained in its structural parent {parent.label}"
+                )
+            if parent.k != k - 1:
+                raise NestingViolation(
+                    f"parent of {community.label} is {parent.label}, expected order {k - 1}"
+                )
+            checked += 1
+    return checked
+
+
+@dataclass
+class TreeNode:
+    """One node of the community tree."""
+
+    community: Community
+    parent: "TreeNode | None" = None
+    children: list["TreeNode"] = field(default_factory=list)
+
+    @property
+    def label(self) -> str:
+        return self.community.label
+
+    @property
+    def k(self) -> int:
+        return self.community.k
+
+    def ancestors(self) -> Iterator["TreeNode"]:
+        """Yield ancestors from parent to root."""
+        node = self.parent
+        while node is not None:
+            yield node
+            node = node.parent
+
+    def descendants(self) -> Iterator["TreeNode"]:
+        """Yield every node of this subtree (excluding itself)."""
+        stack = list(self.children)
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(node.children)
+
+
+class CommunityTree:
+    """The containment forest over all k-clique communities.
+
+    Construction resolves each community's unique parent (Theorem 1);
+    communities at the minimum order are roots.  On the AS-level graph
+    (connected, so one 2-clique community) this is a single tree — the
+    object drawn in Figure 4.2.
+    """
+
+    def __init__(self, hierarchy: CommunityHierarchy) -> None:
+        self.hierarchy = hierarchy
+        self._nodes: dict[str, TreeNode] = {}
+        self.roots: list[TreeNode] = []
+        for k in hierarchy.orders:
+            for community in hierarchy[k]:
+                node = TreeNode(community)
+                self._nodes[community.label] = node
+                if k == hierarchy.min_k:
+                    self.roots.append(node)
+                else:
+                    parent_community = find_parent(hierarchy, community)
+                    parent = self._nodes[parent_community.label]
+                    node.parent = parent
+                    parent.children.append(node)
+        self._apex = self._find_apex()
+        self._main_labels = self._resolve_main_labels()
+
+    # ------------------------------------------------------------------
+    # Structure queries
+    # ------------------------------------------------------------------
+    def node(self, label: str) -> TreeNode:
+        """The tree node labelled ``label`` (raises KeyError if absent)."""
+        try:
+            return self._nodes[label]
+        except KeyError as exc:
+            raise KeyError(f"no community {label!r} in tree") from exc
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __iter__(self) -> Iterator[TreeNode]:
+        return iter(self._nodes.values())
+
+    def _find_apex(self) -> TreeNode:
+        """The maximum-order community (index 0, i.e. largest, if tied)."""
+        top_cover = self.hierarchy[self.hierarchy.max_k]
+        return self._nodes[top_cover[0].label]
+
+    def _resolve_main_labels(self) -> set[str]:
+        labels = {self._apex.label}
+        labels.update(node.label for node in self._apex.ancestors())
+        return labels
+
+    @property
+    def apex(self) -> TreeNode:
+        """The deepest community — the paper's 36-clique community."""
+        return self._apex
+
+    def is_main(self, community: Community | str) -> bool:
+        """True iff the community is on the apex's ancestor chain.
+
+        These are the paper's *main communities*: there is exactly one
+        per order, and each contains all main communities of higher
+        order (Section 4, by recursive application of Expression 3.1).
+        """
+        label = community if isinstance(community, str) else community.label
+        return label in self._main_labels
+
+    def main_chain(self) -> list[TreeNode]:
+        """Main communities ascending in k (root first, apex last)."""
+        chain = [self._apex, *self._apex.ancestors()]
+        chain.reverse()
+        return chain
+
+    def main_community(self, k: int) -> Community:
+        """The main community of order ``k``."""
+        for node in self.main_chain():
+            if node.k == k:
+                return node.community
+        raise KeyError(f"no main community at order {k}")
+
+    def parallel_communities(self, k: int | None = None) -> list[Community]:
+        """All parallel (non-main) communities, optionally at one order."""
+        return [
+            node.community
+            for node in self._nodes.values()
+            if node.label not in self._main_labels and (k is None or node.k == k)
+        ]
+
+    def parallel_branches(self, *, min_length: int = 2) -> list[list[TreeNode]]:
+        """Maximal descending chains of parallel communities.
+
+        A *branch* is a path k, k+1, ... of nested parallel communities
+        where each node is its parent's continuation (the paper's
+        [11:17], [18:20], [26:29], [31:35] branch ranges in Figure 4.3,
+        and the MSK-IX k=18/19/20 example).  A chain starts at a
+        parallel community whose parent is main (or a root) and follows
+        single-child descent; only chains of at least ``min_length``
+        nodes are reported.
+        """
+        branches: list[list[TreeNode]] = []
+        for node in self._nodes.values():
+            if node.label in self._main_labels:
+                continue
+            parent = node.parent
+            starts_branch = parent is None or self.is_main(parent.community)
+            if not starts_branch:
+                continue
+            chain = [node]
+            cursor = node
+            while len(cursor.children) == 1 and not self.is_main(cursor.children[0].community):
+                cursor = cursor.children[0]
+                chain.append(cursor)
+            if len(chain) >= min_length:
+                branches.append(chain)
+        branches.sort(key=lambda c: (-len(c), c[0].label))
+        return branches
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    def to_dot(self, *, band_of=None) -> str:
+        """Graphviz DOT source in the style of Figure 4.2.
+
+        Main communities are filled; parallel communities unfilled.
+        Nodes of equal order share a rank (the figure's horizontal
+        layers).  ``band_of``, if given, maps an order k to a band name
+        ('root' / 'trunk' / 'crown') used to colour the layers like the
+        figure's three brackets.
+        """
+        band_colors = {"root": "#d9e8f5", "trunk": "#e9f5d9", "crown": "#f5e0d9"}
+        lines = ["digraph kclique_community_tree {", "  rankdir=TB;", '  node [shape=circle];']
+        by_order: dict[int, list[TreeNode]] = {}
+        for node in self._nodes.values():
+            by_order.setdefault(node.k, []).append(node)
+        for k in sorted(by_order):
+            fill = ""
+            if band_of is not None:
+                color = band_colors.get(band_of(k))
+                if color:
+                    fill = f' fillcolor="{color}"'
+            for node in sorted(by_order[k], key=lambda n: n.label):
+                if node.label in self._main_labels:
+                    style = '"filled,bold"' if fill else "filled"
+                else:
+                    style = "filled" if fill else "solid"
+                lines.append(f'  "{node.label}" [style={style}{fill}];')
+            members = " ".join(f'"{node.label}";' for node in sorted(by_order[k], key=lambda n: n.label))
+            lines.append(f"  {{ rank=same; {members} }}")
+        for node in self._nodes.values():
+            if node.parent is not None:
+                lines.append(f'  "{node.parent.label}" -> "{node.label}";')
+        lines.append("}")
+        return "\n".join(lines)
+
+    def to_ascii(self, *, max_children: int | None = None) -> str:
+        """Indented text rendering; ``max_children`` truncates wide levels.
+
+        Main communities are marked with ``*`` (the filled nodes of the
+        figure).
+        """
+        out: list[str] = []
+
+        def render(node: TreeNode, depth: int) -> None:
+            mark = "*" if node.label in self._main_labels else " "
+            out.append(f"{'  ' * depth}{mark} {node.label} (size={node.community.size})")
+            children = sorted(node.children, key=lambda c: (not self.is_main(c.community), c.label))
+            shown = children if max_children is None else children[:max_children]
+            for child in shown:
+                render(child, depth + 1)
+            hidden = len(children) - len(shown)
+            if hidden > 0:
+                out.append(f"{'  ' * (depth + 1)}  ... {hidden} more")
+
+        for root in sorted(self.roots, key=lambda r: r.label):
+            render(root, 0)
+        return "\n".join(out)
+
+    def __repr__(self) -> str:
+        return (
+            f"CommunityTree(nodes={len(self._nodes)}, roots={len(self.roots)}, "
+            f"apex={self._apex.label})"
+        )

@@ -1,0 +1,14 @@
+"""Temporal extension: growing-topology snapshots and community
+tracking (birth / growth / merge / split events across campaigns).
+"""
+
+from .snapshots import TopologyEvolution
+from .tracking import CommunityEvent, CommunityTimeline, EventKind, EvolutionTracker
+
+__all__ = [
+    "TopologyEvolution",
+    "EvolutionTracker",
+    "CommunityEvent",
+    "CommunityTimeline",
+    "EventKind",
+]

@@ -1,0 +1,215 @@
+"""Community tracking across snapshots.
+
+Given a sequence of growing topology snapshots, extract the k-clique
+communities of a fixed order k in each, match communities between
+consecutive snapshots by Jaccard similarity, and classify the life
+events of each community, following the taxonomy of Palla, Barabási &
+Vicsek's community-evolution study:
+
+* **birth** — a community with no counterpart in the previous snapshot;
+* **death** — a community with no counterpart in the next one (rare in
+  a strictly growing topology, but splits can starve a branch);
+* **continuation** — a matched pair, annotated as *growth* /
+  *contraction* / *stable* by relative size change;
+* **merge** — a community absorbing the bulk of two or more previous
+  communities;
+* **split** — two or more communities each inheriting the bulk of one
+  previous community.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from ..compare.covers import jaccard, match_covers
+from ..core.lightweight import LightweightParallelCPM
+from ..graph.undirected import Graph
+
+__all__ = ["EventKind", "CommunityEvent", "CommunityTimeline", "EvolutionTracker"]
+
+
+class EventKind(str, Enum):
+    BIRTH = "birth"
+    DEATH = "death"
+    GROWTH = "growth"
+    CONTRACTION = "contraction"
+    STABLE = "stable"
+    MERGE = "merge"
+    SPLIT = "split"
+
+
+@dataclass(frozen=True)
+class CommunityEvent:
+    """One life event between snapshots ``step`` and ``step + 1``."""
+
+    kind: EventKind
+    step: int
+    #: Community indices in the earlier snapshot's cover (empty for births).
+    before: tuple[int, ...]
+    #: Community indices in the later snapshot's cover (empty for deaths).
+    after: tuple[int, ...]
+    jaccard: float = 0.0
+
+
+@dataclass
+class CommunityTimeline:
+    """One community followed through consecutive snapshots."""
+
+    timeline_id: int
+    #: (step, community index within that snapshot's cover, size).
+    path: list[tuple[int, int, int]] = field(default_factory=list)
+
+    @property
+    def born_at(self) -> int:
+        return self.path[0][0]
+
+    @property
+    def last_seen(self) -> int:
+        return self.path[-1][0]
+
+    @property
+    def final_size(self) -> int:
+        return self.path[-1][2]
+
+    def sizes(self) -> list[int]:
+        """Community size at each step of the timeline."""
+        return [size for _, _, size in self.path]
+
+
+class EvolutionTracker:
+    """Track k-clique communities of one order k over snapshots."""
+
+    def __init__(
+        self,
+        snapshots: list[Graph],
+        *,
+        k: int,
+        match_threshold: float = 0.3,
+        absorb_threshold: float = 0.5,
+        size_change: float = 0.25,
+    ) -> None:
+        if len(snapshots) < 2:
+            raise ValueError("need at least two snapshots to track")
+        self.k = k
+        self.match_threshold = match_threshold
+        self.absorb_threshold = absorb_threshold
+        self.size_change = size_change
+        self.covers: list[list[set]] = [self._extract(graph) for graph in snapshots]
+        self.events: list[CommunityEvent] = []
+        self.timelines: list[CommunityTimeline] = []
+        self._track()
+
+    def _extract(self, graph: Graph) -> list[set]:
+        try:
+            hierarchy = LightweightParallelCPM(graph).run(min_k=self.k, max_k=self.k)
+        except ValueError:  # snapshot too small to hold any k-clique
+            return []
+        if self.k not in hierarchy:
+            return []
+        return [set(c.members) for c in hierarchy[self.k]]
+
+    # ------------------------------------------------------------------
+    # Tracking
+    # ------------------------------------------------------------------
+    def _track(self) -> None:
+        # timeline id currently carrying each community index of the
+        # latest processed snapshot.
+        carrier: dict[int, int] = {}
+        for index, members in enumerate(self.covers[0]):
+            timeline = CommunityTimeline(timeline_id=len(self.timelines))
+            timeline.path.append((0, index, len(members)))
+            self.timelines.append(timeline)
+            carrier[index] = timeline.timeline_id
+
+        for step in range(len(self.covers) - 1):
+            before, after = self.covers[step], self.covers[step + 1]
+            result = match_covers(before, after)
+            matched_pairs = [
+                (i, j, score) for i, j, score in result.pairs if score >= self.match_threshold
+            ]
+            matched_before = {i for i, _, _ in matched_pairs}
+            matched_after = {j for _, j, _ in matched_pairs}
+            next_carrier: dict[int, int] = {}
+
+            for i, j, score in matched_pairs:
+                size_before, size_after = len(before[i]), len(after[j])
+                kind = EventKind.STABLE
+                if size_after >= size_before * (1 + self.size_change):
+                    kind = EventKind.GROWTH
+                elif size_after <= size_before * (1 - self.size_change):
+                    kind = EventKind.CONTRACTION
+                self.events.append(
+                    CommunityEvent(kind=kind, step=step, before=(i,), after=(j,), jaccard=score)
+                )
+                timeline_id = carrier[i]
+                self.timelines[timeline_id].path.append((step + 1, j, size_after))
+                next_carrier[j] = timeline_id
+
+            self._detect_merges(step, before, after, matched_after)
+            self._detect_splits(step, before, after, matched_before)
+
+            for j, members in enumerate(after):
+                if j in matched_after:
+                    continue
+                self.events.append(
+                    CommunityEvent(kind=EventKind.BIRTH, step=step, before=(), after=(j,))
+                )
+                timeline = CommunityTimeline(timeline_id=len(self.timelines))
+                timeline.path.append((step + 1, j, len(members)))
+                self.timelines.append(timeline)
+                next_carrier[j] = timeline.timeline_id
+            for i in range(len(before)):
+                if i not in matched_before:
+                    self.events.append(
+                        CommunityEvent(kind=EventKind.DEATH, step=step, before=(i,), after=())
+                    )
+            carrier = next_carrier
+
+    def _detect_merges(self, step, before, after, matched_after) -> None:
+        """A later community absorbing >= absorb_threshold of >= 2
+        earlier communities is a merge."""
+        for j, members in enumerate(after):
+            absorbed = tuple(
+                i
+                for i, earlier in enumerate(before)
+                if earlier and len(earlier & members) / len(earlier) >= self.absorb_threshold
+            )
+            if len(absorbed) >= 2:
+                self.events.append(
+                    CommunityEvent(
+                        kind=EventKind.MERGE, step=step, before=absorbed, after=(j,)
+                    )
+                )
+
+    def _detect_splits(self, step, before, after, matched_before) -> None:
+        """Two or more later communities each drawing the bulk of their
+        membership from one earlier community is a split."""
+        for i, earlier in enumerate(before):
+            heirs = tuple(
+                j
+                for j, members in enumerate(after)
+                if members and len(members & earlier) / len(members) >= self.absorb_threshold
+            )
+            if len(heirs) >= 2:
+                self.events.append(
+                    CommunityEvent(kind=EventKind.SPLIT, step=step, before=(i,), after=heirs)
+                )
+
+    # ------------------------------------------------------------------
+    # Summaries
+    # ------------------------------------------------------------------
+    def event_counts(self) -> dict[EventKind, int]:
+        """Event kind -> number of occurrences (all kinds present)."""
+        counts: dict[EventKind, int] = {}
+        for event in self.events:
+            counts[event.kind] = counts.get(event.kind, 0) + 1
+        return {kind: counts.get(kind, 0) for kind in EventKind}
+
+    def longest_timeline(self) -> CommunityTimeline:
+        """The timeline spanning the most snapshots (largest final size on ties)."""
+        return max(self.timelines, key=lambda t: (len(t.path), t.final_size))
+
+    def communities_at(self, step: int) -> list[set]:
+        """The member sets of the cover at the given snapshot index."""
+        return self.covers[step]

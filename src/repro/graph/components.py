@@ -1,0 +1,73 @@
+"""Connected-component and traversal algorithms.
+
+The Topology dataset of the paper is a single connected component,
+which is why there is exactly one 2-clique community (Chapter 4).  The
+library verifies that property with these helpers, and the percolation
+engine reuses the same union-find-free BFS machinery.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Hashable, Iterator
+
+from .undirected import Graph
+
+__all__ = [
+    "bfs_order",
+    "connected_components",
+    "is_connected",
+    "largest_connected_component",
+    "node_component",
+]
+
+
+def bfs_order(graph: Graph, source: Hashable) -> Iterator[Hashable]:
+    """Yield nodes reachable from ``source`` in breadth-first order."""
+    seen = {source}
+    queue: deque[Hashable] = deque([source])
+    while queue:
+        node = queue.popleft()
+        yield node
+        for neighbor in graph.neighbors(node):
+            if neighbor not in seen:
+                seen.add(neighbor)
+                queue.append(neighbor)
+
+
+def connected_components(graph: Graph) -> list[set[Hashable]]:
+    """All connected components, largest first (ties broken arbitrarily)."""
+    remaining = set(graph.nodes())
+    components: list[set[Hashable]] = []
+    while remaining:
+        source = next(iter(remaining))
+        component = set(bfs_order(graph, source))
+        components.append(component)
+        remaining -= component
+    components.sort(key=len, reverse=True)
+    return components
+
+
+def node_component(graph: Graph, node: Hashable) -> set[Hashable]:
+    """The connected component containing ``node``."""
+    return set(bfs_order(graph, node))
+
+
+def is_connected(graph: Graph) -> bool:
+    """True iff the graph is non-empty and forms one connected component."""
+    if len(graph) == 0:
+        return False
+    source = next(iter(graph.nodes()))
+    return sum(1 for _ in bfs_order(graph, source)) == len(graph)
+
+
+def largest_connected_component(graph: Graph) -> Graph:
+    """The induced subgraph of the largest connected component.
+
+    Mirrors the cleaning step of the dataset-merge methodology ([10]):
+    after removing spurious data the AS-level graph is reduced to its
+    giant component so that a single 2-clique community exists.
+    """
+    if len(graph) == 0:
+        return Graph()
+    return graph.subgraph(connected_components(graph)[0])

@@ -1,0 +1,151 @@
+"""Elementary graph generators.
+
+Used by the test-suite (oracles with known clique structure), by the
+synthetic Internet generator (building blocks: cliques, stars,
+preferential attachment) and by benchmark scaling sweeps.
+All generators take an explicit ``random.Random`` where randomness is
+involved so that every experiment in the repository is reproducible
+from a seed.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Hashable, Sequence
+
+from .undirected import Graph
+
+__all__ = [
+    "complete_graph",
+    "cycle_graph",
+    "path_graph",
+    "star_graph",
+    "erdos_renyi",
+    "barabasi_albert",
+    "ring_of_cliques",
+    "overlapping_cliques",
+]
+
+
+def complete_graph(nodes: int | Sequence[Hashable]) -> Graph:
+    """K_n on ``range(n)`` or on an explicit node sequence."""
+    members: Sequence[Hashable] = range(nodes) if isinstance(nodes, int) else nodes
+    graph = Graph()
+    members = list(members)
+    graph.add_nodes_from(members)
+    for i, u in enumerate(members):
+        for v in members[i + 1 :]:
+            graph.add_edge(u, v)
+    return graph
+
+
+def path_graph(n: int) -> Graph:
+    """A simple path on nodes 0..n-1."""
+    graph = Graph()
+    graph.add_nodes_from(range(n))
+    graph.add_edges_from((i, i + 1) for i in range(n - 1))
+    return graph
+
+
+def cycle_graph(n: int) -> Graph:
+    """A simple cycle on nodes 0..n-1 (needs n >= 3)."""
+    if n < 3:
+        raise ValueError(f"cycle needs >= 3 nodes, got {n}")
+    graph = path_graph(n)
+    graph.add_edge(n - 1, 0)
+    return graph
+
+
+def star_graph(n_leaves: int) -> Graph:
+    """Node 0 is the hub; 1..n_leaves are leaves."""
+    graph = Graph()
+    graph.add_node(0)
+    graph.add_edges_from((0, leaf) for leaf in range(1, n_leaves + 1))
+    return graph
+
+
+def erdos_renyi(n: int, p: float, rng: random.Random) -> Graph:
+    """G(n, p) sampled with the given generator."""
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"p must be in [0, 1], got {p}")
+    graph = Graph()
+    graph.add_nodes_from(range(n))
+    for u in range(n):
+        for v in range(u + 1, n):
+            if rng.random() < p:
+                graph.add_edge(u, v)
+    return graph
+
+
+def barabasi_albert(n: int, m: int, rng: random.Random) -> Graph:
+    """Preferential-attachment graph: each new node attaches to ``m`` targets.
+
+    The heavy-tailed degree distribution of the Internet AS graph is the
+    canonical instance of this process; the synthetic topology generator
+    uses it for the stub/customer periphery.
+    """
+    if m < 1 or m >= n:
+        raise ValueError(f"need 1 <= m < n, got m={m}, n={n}")
+    graph = complete_graph(m + 1)
+    # Repeated-nodes list: sampling uniformly from it is sampling
+    # proportionally to degree.
+    repeated: list[int] = [node for u, v in graph.edges() for node in (u, v)]
+    for new in range(m + 1, n):
+        targets: set[int] = set()
+        while len(targets) < m:
+            targets.add(rng.choice(repeated))
+        for target in targets:
+            graph.add_edge(new, target)
+            repeated.extend((new, target))
+    return graph
+
+
+def ring_of_cliques(n_cliques: int, clique_size: int) -> Graph:
+    """``n_cliques`` disjoint K_{clique_size} joined in a ring by single edges.
+
+    A standard community-detection oracle: every clique is its own
+    k-clique community for k == clique_size, while for k == 2 the whole
+    ring is one community.
+    """
+    if n_cliques < 1 or clique_size < 2:
+        raise ValueError("need n_cliques >= 1 and clique_size >= 2")
+    graph = Graph()
+    for c in range(n_cliques):
+        members = [c * clique_size + i for i in range(clique_size)]
+        for i, u in enumerate(members):
+            for v in members[i + 1 :]:
+                graph.add_edge(u, v)
+    if n_cliques > 1:
+        for c in range(n_cliques):
+            u = c * clique_size  # first member of clique c
+            v = ((c + 1) % n_cliques) * clique_size
+            if not graph.has_edge(u, v):
+                graph.add_edge(u, v)
+    return graph
+
+
+def overlapping_cliques(sizes: Sequence[int], overlap: int) -> Graph:
+    """A chain of cliques, consecutive ones sharing ``overlap`` nodes.
+
+    With ``overlap == k - 1`` consecutive k-cliques are CPM-adjacent, so
+    the whole chain is one k-clique community: the elementary object of
+    the paper's Section 3 definition, used as a ground-truth fixture.
+    """
+    if overlap < 0:
+        raise ValueError("overlap must be non-negative")
+    graph = Graph()
+    next_node = 0
+    previous: list[int] = []
+    for size in sizes:
+        if overlap >= size:
+            raise ValueError(f"overlap {overlap} must be < clique size {size}")
+        shared = previous[-overlap:] if overlap and previous else []
+        fresh = list(range(next_node, next_node + size - len(shared)))
+        next_node += len(fresh)
+        members = shared + fresh
+        for i, u in enumerate(members):
+            for v in members[i + 1 :]:
+                if not graph.has_edge(u, v):
+                    graph.add_edge(u, v)
+        previous = members
+    return graph

@@ -1,0 +1,71 @@
+"""Edge-list serialisation for topology graphs.
+
+The measurement datasets the paper merges (CAIDA IPv4 Routed /24 AS
+Links, DIMES, UCLA IRL) are all, after normalisation, flat AS-pair edge
+lists.  This module reads and writes that interchange format:
+
+* one edge per line, two whitespace-separated AS numbers;
+* ``#``-prefixed comment lines and blank lines ignored;
+* duplicate and reversed duplicates collapse (the graph is simple).
+"""
+
+from __future__ import annotations
+
+import io
+from collections.abc import Iterable
+from pathlib import Path
+
+from .undirected import Graph
+
+__all__ = ["read_edgelist", "write_edgelist", "parse_edgelist", "format_edgelist"]
+
+
+class EdgeListError(ValueError):
+    """Raised when an edge-list line cannot be parsed."""
+
+
+def parse_edgelist(lines: Iterable[str], *, node_type: type = int) -> Graph:
+    """Build a graph from edge-list ``lines``.
+
+    ``node_type`` converts each token (default ``int``, since AS numbers
+    are integers).  Self-loops are rejected — they are spurious data in
+    an AS-level topology and the merge methodology of [10] drops them.
+    """
+    graph = Graph()
+    for lineno, raw in enumerate(lines, start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split()
+        if len(parts) != 2:
+            raise EdgeListError(f"line {lineno}: expected 2 tokens, got {len(parts)}: {line!r}")
+        try:
+            u, v = node_type(parts[0]), node_type(parts[1])
+        except (TypeError, ValueError) as exc:
+            raise EdgeListError(f"line {lineno}: cannot parse {line!r} as {node_type.__name__}") from exc
+        if u == v:
+            continue  # spurious self-link: skip, mirroring dataset cleaning
+        graph.add_edge(u, v)
+    return graph
+
+
+def read_edgelist(path: str | Path, *, node_type: type = int) -> Graph:
+    """Read a graph from the edge-list file at ``path``."""
+    with open(path, encoding="utf-8") as handle:
+        return parse_edgelist(handle, node_type=node_type)
+
+
+def format_edgelist(graph: Graph, *, header: str | None = None) -> str:
+    """Render ``graph`` as edge-list text with deterministic ordering."""
+    out = io.StringIO()
+    if header:
+        for line in header.splitlines():
+            out.write(f"# {line}\n")
+    for u, v in sorted(tuple(sorted((a, b))) for a, b in graph.edges()):
+        out.write(f"{u} {v}\n")
+    return out.getvalue()
+
+
+def write_edgelist(graph: Graph, path: str | Path, *, header: str | None = None) -> None:
+    """Write ``graph`` to ``path`` in edge-list format."""
+    Path(path).write_text(format_edgelist(graph, header=header), encoding="utf-8")

@@ -1,0 +1,58 @@
+"""Tag-induced subgraphs (Palla et al. [24], Section 2.4 of the paper).
+
+A subgraph of G induced by the tag alpha is made up of all the edges of
+G whose endpoints are **both** tagged alpha.  The paper builds
+IXP-induced subgraphs (both endpoints participate in one given IXP) and
+country-induced subgraphs (both endpoints have a presence in one given
+country), then asks which k-clique communities are fully contained in
+them — the core of the crown/trunk/root analysis.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Hashable, Iterable
+
+from .undirected import Graph
+
+__all__ = ["tag_induced_subgraph", "tag_induced_node_sets", "containment_fraction"]
+
+
+def tag_induced_subgraph(graph: Graph, tagged_nodes: Iterable[Hashable]) -> Graph:
+    """The subgraph induced by the nodes carrying a tag.
+
+    Per [24] the tag-induced subgraph keeps exactly the edges whose two
+    endpoints are both tagged; isolated tagged nodes are kept as
+    isolated nodes so that membership queries remain meaningful.
+    """
+    return graph.subgraph(tagged_nodes)
+
+
+def tag_induced_node_sets(
+    universe: Iterable[Hashable],
+    tags_of: Callable[[Hashable], Iterable[Hashable]],
+) -> dict[Hashable, set[Hashable]]:
+    """Invert a node→tags mapping into tag→node-set.
+
+    ``tags_of`` returns the tags of a node (e.g. the IXPs an AS
+    participates in, or the countries where it has a point of
+    presence).  The result indexes, for every tag, the node set whose
+    induced subgraph [24] defines that tag's community substrate.
+    """
+    by_tag: dict[Hashable, set[Hashable]] = {}
+    for node in universe:
+        for tag in tags_of(node):
+            by_tag.setdefault(tag, set()).add(node)
+    return by_tag
+
+
+def containment_fraction(members: set[Hashable], tag_nodes: set[Hashable]) -> float:
+    """Fraction of ``members`` inside ``tag_nodes``.
+
+    1.0 means the community is a subgraph of the tag-induced subgraph
+    (a *full-share* tag in the paper's IXP terminology); the tag
+    maximising this value over a registry is the *max-share* tag.
+    Empty communities are defined to have containment 0.0.
+    """
+    if not members:
+        return 0.0
+    return len(members & tag_nodes) / len(members)

@@ -1,0 +1,218 @@
+"""Undirected, unweighted, simple-graph substrate.
+
+The paper models the Internet AS-level topology as an undirected,
+unweighted graph without self-links (Expression 3.2).  This module
+provides that substrate: an adjacency-set graph with the operations the
+rest of the library needs (degree queries, neighborhood iteration,
+induced subgraphs, edge arithmetic).
+
+The class deliberately stores adjacency as ``dict[node, set[node]]``:
+membership tests during clique enumeration are the hot path of the
+Clique Percolation Method, and set lookups keep them O(1).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Iterator
+from typing import TypeVar
+
+Node = TypeVar("Node", bound=Hashable)
+
+__all__ = ["Graph", "GraphError"]
+
+
+class GraphError(ValueError):
+    """Raised for structurally invalid graph operations (e.g. self-loops)."""
+
+
+class Graph:
+    """An undirected simple graph backed by adjacency sets.
+
+    Nodes may be any hashable value.  Self-loops are rejected because
+    the paper's graph definition excludes them and k-clique semantics
+    assume distinct endpoints.  Parallel edges are impossible by
+    construction (adjacency is a set).
+
+    >>> g = Graph()
+    >>> g.add_edge(1, 2)
+    >>> g.add_edge(2, 3)
+    >>> sorted(g.neighbors(2))
+    [1, 3]
+    >>> g.degree(2)
+    2
+    """
+
+    __slots__ = ("_adj",)
+
+    def __init__(self, edges: Iterable[tuple[Hashable, Hashable]] | None = None) -> None:
+        self._adj: dict[Hashable, set[Hashable]] = {}
+        if edges is not None:
+            self.add_edges_from(edges)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_node(self, node: Hashable) -> None:
+        """Add ``node`` if absent; no-op if already present."""
+        if node not in self._adj:
+            self._adj[node] = set()
+
+    def add_nodes_from(self, nodes: Iterable[Hashable]) -> None:
+        """Add every node of the iterable (idempotent)."""
+        for node in nodes:
+            self.add_node(node)
+
+    def add_edge(self, u: Hashable, v: Hashable) -> None:
+        """Add the undirected edge {u, v}, creating endpoints as needed."""
+        if u == v:
+            raise GraphError(f"self-loop rejected: {u!r}")
+        self.add_node(u)
+        self.add_node(v)
+        self._adj[u].add(v)
+        self._adj[v].add(u)
+
+    def add_edges_from(self, edges: Iterable[tuple[Hashable, Hashable]]) -> None:
+        """Add every (u, v) edge of the iterable."""
+        for u, v in edges:
+            self.add_edge(u, v)
+
+    def remove_edge(self, u: Hashable, v: Hashable) -> None:
+        """Remove the edge {u, v}; raise ``GraphError`` if absent."""
+        try:
+            self._adj[u].remove(v)
+            self._adj[v].remove(u)
+        except KeyError as exc:
+            raise GraphError(f"edge {{{u!r}, {v!r}}} not in graph") from exc
+
+    def remove_node(self, node: Hashable) -> None:
+        """Remove ``node`` and all incident edges; raise if absent."""
+        try:
+            neighbors = self._adj.pop(node)
+        except KeyError as exc:
+            raise GraphError(f"node {node!r} not in graph") from exc
+        for other in neighbors:
+            self._adj[other].discard(node)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def __contains__(self, node: Hashable) -> bool:
+        return node in self._adj
+
+    def __len__(self) -> int:
+        return len(self._adj)
+
+    def __iter__(self) -> Iterator[Hashable]:
+        return iter(self._adj)
+
+    @property
+    def number_of_nodes(self) -> int:
+        return len(self._adj)
+
+    @property
+    def number_of_edges(self) -> int:
+        return sum(len(nbrs) for nbrs in self._adj.values()) // 2
+
+    def nodes(self) -> Iterator[Hashable]:
+        """Iterate over the node set."""
+        return iter(self._adj)
+
+    def edges(self) -> Iterator[tuple[Hashable, Hashable]]:
+        """Yield each undirected edge exactly once.
+
+        For orderable node types each edge is yielded with endpoints in
+        a deterministic orientation; for mixed/unorderable nodes the
+        orientation follows insertion bookkeeping.
+        """
+        seen: set[Hashable] = set()
+        for u, nbrs in self._adj.items():
+            for v in nbrs:
+                if v not in seen:
+                    yield (u, v)
+            seen.add(u)
+
+    def has_edge(self, u: Hashable, v: Hashable) -> bool:
+        """True iff the undirected edge {u, v} exists."""
+        nbrs = self._adj.get(u)
+        return nbrs is not None and v in nbrs
+
+    def neighbors(self, node: Hashable) -> set[Hashable]:
+        """The adjacency set of ``node`` (a live reference; do not mutate)."""
+        try:
+            return self._adj[node]
+        except KeyError as exc:
+            raise GraphError(f"node {node!r} not in graph") from exc
+
+    def degree(self, node: Hashable) -> int:
+        """Number of neighbors of ``node``."""
+        return len(self.neighbors(node))
+
+    def degrees(self) -> dict[Hashable, int]:
+        """Node -> degree for every node."""
+        return {node: len(nbrs) for node, nbrs in self._adj.items()}
+
+    def density(self) -> float:
+        """Fraction of existing edges to possible edges ([17] in the paper).
+
+        Defined as 0.0 for graphs with fewer than 2 nodes (no possible
+        edge), matching the link-density metric used in Figure 4.4(a).
+        """
+        n = len(self._adj)
+        if n < 2:
+            return 0.0
+        return 2.0 * self.number_of_edges / (n * (n - 1))
+
+    # ------------------------------------------------------------------
+    # Derived graphs
+    # ------------------------------------------------------------------
+    def subgraph(self, nodes: Iterable[Hashable]) -> "Graph":
+        """The subgraph induced by ``nodes`` (unknown nodes are ignored)."""
+        keep = {node for node in nodes if node in self._adj}
+        sub = Graph()
+        for node in keep:
+            sub.add_node(node)
+            for other in self._adj[node] & keep:
+                sub._adj[node].add(other)
+        return sub
+
+    def copy(self) -> "Graph":
+        """An independent deep copy of the adjacency structure."""
+        dup = Graph()
+        dup._adj = {node: set(nbrs) for node, nbrs in self._adj.items()}
+        return dup
+
+    def edge_count_within(self, nodes: Iterable[Hashable]) -> int:
+        """Number of edges with both endpoints in ``nodes``.
+
+        Cheaper than materialising :meth:`subgraph` when only the count
+        is needed (the link-density hot path of Figure 4.4(a)).
+        """
+        keep = set(nodes)
+        total = 0
+        for node in keep:
+            nbrs = self._adj.get(node)
+            if nbrs:
+                total += len(nbrs & keep)
+        return total // 2
+
+    def degree_within(self, node: Hashable, nodes: set[Hashable]) -> int:
+        """Degree of ``node`` counting only neighbors inside ``nodes``.
+
+        This is the numerator of the per-node Out Degree Fraction used
+        in Figure 4.4(b).
+        """
+        return len(self.neighbors(node) & nodes)
+
+    def is_clique(self, nodes: Iterable[Hashable]) -> bool:
+        """True iff ``nodes`` induce a complete subgraph of this graph."""
+        members = list(dict.fromkeys(nodes))
+        member_set = set(members)
+        if not member_set <= self._adj.keys():
+            return False
+        for node in members:
+            if len(self._adj[node] & member_set) != len(member_set) - 1:
+                return False
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Graph(nodes={self.number_of_nodes}, edges={self.number_of_edges})"

@@ -1,0 +1,114 @@
+"""Weighted undirected graphs.
+
+The AS-level topology of the paper is unweighted, but the Clique
+Percolation Method family it builds on ([23]) has a weighted variant
+(CPMw — Farkas, Ábel, Palla, Vicsek 2007) that thresholds k-cliques by
+*intensity*, the geometric mean of their edge weights.  This module
+supplies the weighted substrate so :mod:`repro.core.weighted` can
+implement CPMw; it also lets users attach link weights (e.g. observed
+path counts from the measurement simulation) to AS graphs.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable
+
+from .undirected import Graph, GraphError
+
+__all__ = ["WeightedGraph"]
+
+
+class WeightedGraph(Graph):
+    """An undirected simple graph with positive edge weights.
+
+    Behaves exactly like :class:`Graph` (so every algorithm in the
+    library works on it, ignoring weights); adds weight storage and
+    weighted-specific queries.  Unweighted ``add_edge`` defaults the
+    weight to 1.0.
+    """
+
+    __slots__ = ("_weights",)
+
+    def __init__(
+        self,
+        edges: Iterable[tuple[Hashable, Hashable, float]] | None = None,
+    ) -> None:
+        super().__init__()
+        self._weights: dict[frozenset, float] = {}
+        if edges is not None:
+            for u, v, weight in edges:
+                self.add_edge(u, v, weight)
+
+    def add_edge(self, u: Hashable, v: Hashable, weight: float = 1.0) -> None:
+        if weight <= 0:
+            raise GraphError(f"edge weight must be positive, got {weight}")
+        super().add_edge(u, v)
+        self._weights[frozenset((u, v))] = float(weight)
+
+    def remove_edge(self, u: Hashable, v: Hashable) -> None:
+        super().remove_edge(u, v)
+        del self._weights[frozenset((u, v))]
+
+    def remove_node(self, node: Hashable) -> None:
+        for other in list(self.neighbors(node)):
+            del self._weights[frozenset((node, other))]
+        super().remove_node(node)
+
+    def weight(self, u: Hashable, v: Hashable) -> float:
+        """The weight of edge {u, v}; raises if the edge is absent."""
+        try:
+            return self._weights[frozenset((u, v))]
+        except KeyError as exc:
+            raise GraphError(f"edge {{{u!r}, {v!r}}} not in graph") from exc
+
+    def set_weight(self, u: Hashable, v: Hashable, weight: float) -> None:
+        """Update an existing edge's weight."""
+        if weight <= 0:
+            raise GraphError(f"edge weight must be positive, got {weight}")
+        key = frozenset((u, v))
+        if key not in self._weights:
+            raise GraphError(f"edge {{{u!r}, {v!r}}} not in graph")
+        self._weights[key] = float(weight)
+
+    def total_weight(self) -> float:
+        """Sum of all edge weights."""
+        return sum(self._weights.values())
+
+    def strength(self, node: Hashable) -> float:
+        """Weighted degree: sum of incident edge weights."""
+        return sum(self._weights[frozenset((node, nb))] for nb in self.neighbors(node))
+
+    def intensity(self, nodes: Iterable[Hashable]) -> float:
+        """Subgraph intensity: geometric mean of the clique's weights.
+
+        Defined (Onnela et al.) for complete subgraphs; raises if
+        ``nodes`` is not a clique of this graph.  Intensity of a single
+        node or edgeless set is defined as 0.0.
+        """
+        members = list(dict.fromkeys(nodes))
+        if len(members) < 2:
+            return 0.0
+        if not self.is_clique(members):
+            raise GraphError(f"intensity is defined on cliques; {members!r} is not one")
+        product = 1.0
+        count = 0
+        for i, u in enumerate(members):
+            for v in members[i + 1 :]:
+                product *= self._weights[frozenset((u, v))]
+                count += 1
+        return product ** (1.0 / count)
+
+    def copy(self) -> "WeightedGraph":
+        """An independent copy including edge weights."""
+        dup = WeightedGraph()
+        for node in self.nodes():
+            dup.add_node(node)
+        for u, v in self.edges():
+            dup.add_edge(u, v, self.weight(u, v))
+        return dup
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"WeightedGraph(nodes={self.number_of_nodes}, "
+            f"edges={self.number_of_edges}, total_weight={self.total_weight():g})"
+        )

@@ -1,0 +1,161 @@
+"""The dataset atlas: entity-centric profiles.
+
+The paper's analyses are community-centric; operators read the same
+data entity-first: *what does AMS-IX anchor?  what lives in Austria?*
+The atlas inverts the analysis into per-IXP and per-country profiles —
+participants/ASes, the communities each entity anchors (max-share or
+full-share), and its band footprint — rendered as text for the CLI
+(``python -m repro atlas <dataset>``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..analysis.bands import BandBoundaries, derive_bands
+from ..analysis.context import AnalysisContext
+from ..analysis.geo import GeoAnalysis
+from ..analysis.ixp_share import IXPShareAnalysis
+from .figures import ascii_table
+
+__all__ = ["IXPProfile", "CountryProfile", "Atlas", "build_atlas"]
+
+
+@dataclass
+class IXPProfile:
+    """One IXP's community footprint."""
+
+    name: str
+    country: str
+    n_participants: int
+    max_share_of: list[str] = field(default_factory=list)
+    full_share_of: list[str] = field(default_factory=list)
+    bands_touched: set[str] = field(default_factory=set)
+
+
+@dataclass
+class CountryProfile:
+    """One country's community footprint."""
+
+    country: str
+    n_ases: int
+    n_providers_estimate: int
+    contained_communities: list[str] = field(default_factory=list)
+    hosts_ixps: list[str] = field(default_factory=list)
+
+
+@dataclass
+class Atlas:
+    """Every profile plus the band boundaries they refer to."""
+
+    bands: BandBoundaries
+    ixps: list[IXPProfile]
+    countries: list[CountryProfile]
+
+    def ixp(self, name: str) -> IXPProfile:
+        """The profile of the named IXP (raises KeyError if absent)."""
+        for profile in self.ixps:
+            if profile.name == name:
+                return profile
+        raise KeyError(f"no IXP {name!r} in atlas")
+
+    def country(self, code: str) -> CountryProfile:
+        """The profile of the named country (raises KeyError if absent)."""
+        for profile in self.countries:
+            if profile.country == code:
+                return profile
+        raise KeyError(f"no country {code!r} in atlas")
+
+    def render(self, *, top: int = 12) -> str:
+        """Text rendering: the busiest IXPs and countries."""
+        ixp_rows = [
+            [
+                p.name,
+                p.country,
+                p.n_participants,
+                len(p.max_share_of),
+                len(p.full_share_of),
+                ",".join(sorted(p.bands_touched)) or "-",
+            ]
+            for p in self.ixps[:top]
+        ]
+        country_rows = [
+            [
+                p.country,
+                p.n_ases,
+                p.n_providers_estimate,
+                len(p.contained_communities),
+                ",".join(p.hosts_ixps) or "-",
+            ]
+            for p in self.countries[:top]
+        ]
+        parts = [
+            ascii_table(
+                ["IXP", "country", "participants", "max-share of", "full-share of", "bands"],
+                ixp_rows,
+                title="IXP atlas (by communities anchored)",
+            ),
+            ascii_table(
+                ["country", "ASes", "high-degree ASes", "contained communities", "hosts IXPs"],
+                country_rows,
+                title="Country atlas (by contained communities)",
+            ),
+        ]
+        return "\n\n".join(parts)
+
+
+def build_atlas(context: AnalysisContext, *, degree_threshold: int = 10) -> Atlas:
+    """Compute every profile from one analysis context."""
+    share = IXPShareAnalysis(context)
+    bands = derive_bands(share)
+    geo = GeoAnalysis(context)
+    registry = context.dataset.ixps
+    geography = context.dataset.geography
+    graph = context.graph
+
+    profiles: dict[str, IXPProfile] = {
+        ixp.name: IXPProfile(
+            name=ixp.name, country=ixp.country, n_participants=ixp.size
+        )
+        for ixp in registry
+    }
+    for record in share.records:
+        if record.max_share_ixp and record.max_share_ixp in profiles:
+            profile = profiles[record.max_share_ixp]
+            profile.max_share_of.append(record.label)
+            profile.bands_touched.add(bands.band_of(record.k))
+        for name in record.full_share_ixps:
+            if name in profiles:
+                profiles[name].full_share_of.append(record.label)
+
+    country_profiles: dict[str, CountryProfile] = {}
+    for code in sorted(geography.all_countries()):
+        ases = geography.ases_in_country(code)
+        present = [a for a in ases if a in graph]
+        country_profiles[code] = CountryProfile(
+            country=code,
+            n_ases=len(present),
+            n_providers_estimate=sum(
+                1 for a in present if graph.degree(a) >= degree_threshold
+            ),
+            hosts_ixps=sorted(
+                ixp.name for ixp in registry if ixp.country == code
+            ),
+        )
+    for record in geo.records:
+        if record.is_country_contained:
+            for code in sorted(record.common_countries):
+                if code in country_profiles:
+                    country_profiles[code].contained_communities.append(record.label)
+
+    return Atlas(
+        bands=bands,
+        ixps=sorted(
+            profiles.values(),
+            key=lambda p: (-len(p.max_share_of), -p.n_participants, p.name),
+        ),
+        countries=sorted(
+            country_profiles.values(),
+            key=lambda p: (-len(p.contained_communities), -p.n_ases, p.country),
+        ),
+    )

@@ -1,0 +1,108 @@
+"""Plain-text figure renderers.
+
+The benchmark harness prints the same series the paper plots; these
+helpers render them as terminal-friendly charts (log-scale capable
+scatter/line plots) and aligned tables, so every figure can be
+regenerated without a plotting stack.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+__all__ = ["ascii_scatter", "ascii_table", "format_number"]
+
+
+def format_number(value: float | int) -> str:
+    """Human-friendly rendering of ints and floats for tables."""
+    if isinstance(value, int):
+        return f"{value:,}"
+    if value == 0:
+        return "0"
+    if abs(value) >= 1000:
+        return f"{value:,.0f}"
+    if abs(value) >= 1:
+        return f"{value:.2f}"
+    return f"{value:.3f}"
+
+
+def ascii_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    title: str | None = None,
+) -> str:
+    """A github-markdown-style aligned table."""
+    cells = [[str(h) for h in headers]]
+    for row in rows:
+        cells.append(
+            [format_number(v) if isinstance(v, (int, float)) else str(v) for v in row]
+        )
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append("-|-".join("-" * w for w in widths))
+    for row in cells[1:]:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def ascii_scatter(
+    series: dict[str, list[tuple[float, float]]],
+    *,
+    title: str = "",
+    width: int = 72,
+    height: int = 20,
+    log_y: bool = False,
+    x_label: str = "k",
+    y_label: str = "",
+) -> str:
+    """Render one or more (x, y) series as a character plot.
+
+    Each series gets its own marker (in declaration order: ``*``, ``o``,
+    ``+``, ``x``); overlapping points show the later series' marker.
+    ``log_y`` switches the y-axis to log10 (zeros clamped to the axis).
+    """
+    markers = "*o+x#@"
+    points = [(name, pts) for name, pts in series.items() if pts]
+    if not points:
+        return f"{title}\n(no data)"
+    all_x = [x for _, pts in points for x, _ in pts]
+    all_y = [y for _, pts in points for _, y in pts]
+
+    def ty(y: float) -> float:
+        if not log_y:
+            return y
+        return math.log10(y) if y > 0 else math.log10(max(min(v for v in all_y if v > 0), 1e-9)) - 0.5
+
+    x_lo, x_hi = min(all_x), max(all_x)
+    y_values = [ty(y) for y in all_y]
+    y_lo, y_hi = min(y_values), max(y_values)
+    if x_hi == x_lo:
+        x_hi = x_lo + 1
+    if y_hi == y_lo:
+        y_hi = y_lo + 1
+    grid = [[" "] * width for _ in range(height)]
+    for (name, pts), marker in zip(points, markers):
+        for x, y in pts:
+            col = round((x - x_lo) / (x_hi - x_lo) * (width - 1))
+            row = round((ty(y) - y_lo) / (y_hi - y_lo) * (height - 1))
+            grid[height - 1 - row][col] = marker
+    lines = []
+    if title:
+        lines.append(title)
+    y_top = f"{(10 ** y_hi if log_y else y_hi):g}"
+    y_bottom = f"{(10 ** y_lo if log_y else y_lo):g}"
+    lines.append(f"{y_label} (top={y_top}, bottom={y_bottom}{', log scale' if log_y else ''})")
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    lines.append(f" {x_label}: {x_lo:g} .. {x_hi:g}")
+    legend = "  ".join(
+        f"{marker}={name}" for (name, _), marker in zip(points, markers)
+    )
+    lines.append(f" legend: {legend}")
+    return "\n".join(lines)

@@ -1,0 +1,151 @@
+"""Standalone HTML report: every table and figure in one file.
+
+``render_html_report(run)`` lays the :class:`PaperRun` artefacts out as
+a self-contained document — inline SVG figures, styled tables, the band
+reports — suitable for sharing results without any toolchain.  The CLI
+exposes it as ``python -m repro paper --html out.html``.
+"""
+
+from __future__ import annotations
+
+import html
+
+from .paper import PaperRun
+from .svg import svg_scatter
+
+__all__ = ["render_html_report"]
+
+_STYLE = """
+body { font-family: Georgia, serif; max-width: 860px; margin: 2em auto; color: #222; }
+h1 { font-size: 1.5em; } h2 { font-size: 1.2em; margin-top: 2em; border-bottom: 1px solid #ccc; }
+table { border-collapse: collapse; margin: 1em 0; font-size: 0.95em; }
+th, td { border: 1px solid #bbb; padding: 4px 10px; text-align: right; }
+th { background: #f0f0f0; }
+td:first-child, th:first-child { text-align: left; }
+pre { background: #f7f7f7; padding: 1em; overflow-x: auto; font-size: 0.8em; }
+figure { margin: 1.5em 0; }
+figcaption { font-size: 0.9em; color: #555; margin-top: 0.3em; }
+"""
+
+
+def _table(headers: list[str], rows: list[list], caption: str = "") -> str:
+    head = "".join(f"<th>{html.escape(str(h))}</th>" for h in headers)
+    body = "".join(
+        "<tr>" + "".join(f"<td>{html.escape(str(cell))}</td>" for cell in row) + "</tr>"
+        for row in rows
+    )
+    caption_html = f"<caption>{html.escape(caption)}</caption>" if caption else ""
+    return f"<table>{caption_html}<thead><tr>{head}</tr></thead><tbody>{body}</tbody></table>"
+
+
+def render_html_report(run: PaperRun, *, title: str | None = None) -> str:
+    """The full paper report as a standalone HTML document."""
+    dataset = run.dataset
+    census = run.census
+    sizes = run.sizes
+    density = run.density_odf
+    overlap = run.overlap
+    crown, trunk, root = run.crown, run.trunk, run.root
+
+    heading = title or "k-clique Communities in the Internet AS-level Topology Graph — reproduction"
+    tags = dataset.tag_summary()
+
+    fig41 = svg_scatter(
+        {"communities": [(float(k), float(n)) for k, n in census.series()]},
+        title="Figure 4.1: number of k-clique communities vs k",
+        y_label="# communities",
+        log_y=True,
+    )
+    fig43 = svg_scatter(
+        {
+            "main": [(float(k), float(s)) for k, s in sizes.main_series()],
+            "parallel": [(float(k), float(s)) for k, s in sizes.parallel_points()],
+        },
+        title="Figure 4.3: community size vs k",
+        y_label="size",
+        log_y=True,
+    )
+    fig44a = svg_scatter(
+        {
+            "main": [(float(k), v) for k, v in density.main_density_series()],
+            "parallel": [(float(k), v) for k, v in density.parallel_density_points()],
+        },
+        title="Figure 4.4(a): link density vs k",
+        y_label="link density",
+    )
+    fig44b = svg_scatter(
+        {
+            "main": [(float(k), v) for k, v in density.main_odf_series()],
+            "parallel": [(float(k), v) for k, v in density.parallel_odf_points()],
+        },
+        title="Figure 4.4(b): average ODF vs k",
+        y_label="average ODF",
+    )
+
+    overlap_rows = [
+        [
+            row.k,
+            row.n_parallel,
+            f"{row.mean_parallel_main_fraction:.3f}",
+            row.zero_overlap_parallels,
+        ]
+        for row in overlap.rows
+    ]
+    case_rows = [
+        [label, "main" if is_main else "parallel", ixp, f"{fraction:.0%}", "yes" if full else "no"]
+        for label, ixp, fraction, full, is_main in crown.case_study
+    ]
+
+    sections = [
+        f"<h1>{html.escape(heading)}</h1>",
+        f"<p>Dataset: {dataset.n_ases:,} ASes, {dataset.n_links:,} links, "
+        f"{len(dataset.ixps)} IXPs, {len(dataset.geography):,} geolocated ASes. "
+        f"Communities: {census.total_communities} across k ∈ "
+        f"[{run.context.hierarchy.min_k}, {run.context.hierarchy.max_k}].</p>",
+        "<h2>Chapter 2 — tagging</h2>",
+        _table(["on-IXP", "not-on-IXP"], [[tags.ixp.on_ixp, tags.ixp.not_on_ixp]],
+               "Table 2.1"),
+        _table(
+            ["National", "Continental", "Worldwide", "Unknown"],
+            [[tags.geo.national, tags.geo.continental, tags.geo.worldwide, tags.geo.unknown]],
+            "Table 2.2",
+        ),
+        "<h2>Chapter 4 — figures</h2>",
+        f"<figure>{fig41}<figcaption>Unique orders: {census.unique_orders()}"
+        "</figcaption></figure>",
+        f"<figure>{fig43}</figure>",
+        f"<figure>{fig44a}</figure>",
+        f"<figure>{fig44b}</figure>",
+        "<h2>Overlap fractions</h2>",
+        _table(["k", "# parallel", "mean fraction vs main", "zero-overlap"], overlap_rows),
+        f"<p>Parallel↔main over k: mean {overlap.parallel_main_mean_over_k():.3f}, "
+        f"variance {overlap.parallel_main_variance_over_k():.3f}; "
+        f"zero-overlap exceptions: {overlap.total_zero_overlap_exceptions()}.</p>",
+        "<h2>Crown / trunk / root</h2>",
+        f"<p>Bands: root ≤ k{run.bands.root_max}, crown ≥ k{run.bands.crown_min}. "
+        f"Apex {crown.apex_label}: {crown.apex_size} ASes, max-share "
+        f"{crown.apex_max_share_ixp} ({crown.apex_max_share_fraction:.0%}).</p>",
+        _table(
+            ["community", "role", "max-share IXP", "share", "full-share"],
+            case_rows,
+            f"Crown case study at k = {crown.case_study_k}",
+        ),
+        _table(
+            ["band", "k range", "communities", "note"],
+            [
+                ["crown", f"{crown.k_range[0]}–{crown.k_range[1]}", crown.n_communities,
+                 f"max-share IXPs: {', '.join(sorted(crown.max_share_ixps))}"],
+                ["trunk", f"{trunk.k_range[0]}–{trunk.k_range[1]}", trunk.n_communities,
+                 f"no full-share; mean member degree {trunk.mean_member_degree:.1f}"],
+                ["root", f"{root.k_range[0]}–{root.k_range[1]}", root.n_communities,
+                 f"{root.country_contained_parallels} country-contained parallels"],
+            ],
+        ),
+        "<h2>Community tree (Figure 4.2)</h2>",
+        f"<pre>{html.escape(run.context.tree.to_ascii(max_children=5))}</pre>",
+    ]
+    return (
+        "<!DOCTYPE html><html><head><meta charset='utf-8'>"
+        f"<title>{html.escape(heading)}</title><style>{_STYLE}</style></head>"
+        f"<body>{''.join(sections)}</body></html>"
+    )

@@ -1,0 +1,136 @@
+"""Minimal SVG chart rendering (no plotting dependencies).
+
+Produces the inline figures of the HTML report: scatter/line charts
+with optional log-scale y axis, styled consistently, sized for an
+article column.  Only what the paper's figures need — two series,
+markers, axes, ticks, a legend.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+__all__ = ["svg_scatter"]
+
+_COLORS = ["#1f6f8b", "#d1495b", "#66a182", "#8d6a9f"]
+_WIDTH, _HEIGHT = 640, 360
+_MARGIN = {"left": 64, "right": 16, "top": 28, "bottom": 44}
+
+
+def _nice_ticks(lo: float, hi: float, count: int = 6) -> list[float]:
+    if hi <= lo:
+        return [lo]
+    raw_step = (hi - lo) / max(count - 1, 1)
+    magnitude = 10 ** math.floor(math.log10(raw_step))
+    for multiplier in (1, 2, 5, 10):
+        step = multiplier * magnitude
+        if step >= raw_step:
+            break
+    start = math.ceil(lo / step) * step
+    ticks = []
+    tick = start
+    while tick <= hi + 1e-12:
+        ticks.append(round(tick, 12))
+        tick += step
+    return ticks or [lo]
+
+
+def svg_scatter(
+    series: dict[str, Sequence[tuple[float, float]]],
+    *,
+    title: str,
+    x_label: str = "k",
+    y_label: str = "",
+    log_y: bool = False,
+) -> str:
+    """Render named (x, y) series as a standalone ``<svg>`` element."""
+    named = [(name, list(points)) for name, points in series.items() if points]
+    if not named:
+        return f'<svg width="{_WIDTH}" height="{_HEIGHT}"><text x="20" y="40">{title}: no data</text></svg>'
+
+    all_x = [x for _, pts in named for x, _ in pts]
+    all_y = [y for _, pts in named for _, y in pts]
+    positive_y = [y for y in all_y if y > 0]
+
+    def ty(y: float) -> float:
+        if not log_y:
+            return y
+        floor = min(positive_y) if positive_y else 1e-9
+        return math.log10(max(y, floor / 3.0))
+
+    x_lo, x_hi = min(all_x), max(all_x)
+    y_values = [ty(y) for y in all_y]
+    y_lo, y_hi = min(y_values), max(y_values)
+    if x_hi == x_lo:
+        x_hi = x_lo + 1
+    if y_hi == y_lo:
+        y_hi = y_lo + 1
+
+    plot_w = _WIDTH - _MARGIN["left"] - _MARGIN["right"]
+    plot_h = _HEIGHT - _MARGIN["top"] - _MARGIN["bottom"]
+
+    def px(x: float) -> float:
+        return _MARGIN["left"] + (x - x_lo) / (x_hi - x_lo) * plot_w
+
+    def py(y: float) -> float:
+        return _MARGIN["top"] + plot_h - (ty(y) - y_lo) / (y_hi - y_lo) * plot_h
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{_WIDTH}" height="{_HEIGHT}" '
+        f'viewBox="0 0 {_WIDTH} {_HEIGHT}" font-family="sans-serif" font-size="12">',
+        f'<text x="{_WIDTH / 2}" y="18" text-anchor="middle" font-size="14" font-weight="bold">{title}</text>',
+        f'<rect x="{_MARGIN["left"]}" y="{_MARGIN["top"]}" width="{plot_w}" height="{plot_h}" '
+        'fill="none" stroke="#888"/>',
+    ]
+
+    # Axis ticks.
+    for tick in _nice_ticks(x_lo, x_hi):
+        x = px(tick)
+        parts.append(
+            f'<line x1="{x:.1f}" y1="{_MARGIN["top"] + plot_h}" x2="{x:.1f}" '
+            f'y2="{_MARGIN["top"] + plot_h + 5}" stroke="#888"/>'
+            f'<text x="{x:.1f}" y="{_MARGIN["top"] + plot_h + 18}" text-anchor="middle">{tick:g}</text>'
+        )
+    if log_y:
+        lo_exp = math.floor(y_lo)
+        hi_exp = math.ceil(y_hi)
+        y_ticks = [10.0 ** e for e in range(int(lo_exp), int(hi_exp) + 1)]
+    else:
+        y_ticks = [t for t in _nice_ticks(y_lo, y_hi)]
+    for tick in y_ticks:
+        value = tick if not log_y else tick
+        y = py(value)
+        if not (_MARGIN["top"] - 1 <= y <= _MARGIN["top"] + plot_h + 1):
+            continue
+        parts.append(
+            f'<line x1="{_MARGIN["left"] - 5}" y1="{y:.1f}" x2="{_MARGIN["left"]}" '
+            f'y2="{y:.1f}" stroke="#888"/>'
+            f'<text x="{_MARGIN["left"] - 8}" y="{y + 4:.1f}" text-anchor="end">{value:g}</text>'
+        )
+
+    # Axis labels.
+    parts.append(
+        f'<text x="{_MARGIN["left"] + plot_w / 2}" y="{_HEIGHT - 8}" '
+        f'text-anchor="middle">{x_label}</text>'
+    )
+    if y_label:
+        label = y_label + (" (log)" if log_y else "")
+        parts.append(
+            f'<text x="14" y="{_MARGIN["top"] + plot_h / 2}" text-anchor="middle" '
+            f'transform="rotate(-90 14 {_MARGIN["top"] + plot_h / 2})">{label}</text>'
+        )
+
+    # Series markers + legend.
+    for index, (name, points) in enumerate(named):
+        color = _COLORS[index % len(_COLORS)]
+        for x, y in points:
+            parts.append(f'<circle cx="{px(x):.1f}" cy="{py(y):.1f}" r="3" fill="{color}" fill-opacity="0.75"/>')
+        legend_x = _MARGIN["left"] + 10 + index * 130
+        legend_y = _MARGIN["top"] + 12
+        parts.append(
+            f'<circle cx="{legend_x}" cy="{legend_y}" r="4" fill="{color}"/>'
+            f'<text x="{legend_x + 9}" y="{legend_y + 4}">{name}</text>'
+        )
+    parts.append("</svg>")
+    return "".join(parts)

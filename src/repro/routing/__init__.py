@@ -1,0 +1,30 @@
+"""Routing substrate: AS business relationships and Gao-Rexford policy
+routing, with path-inflation and traffic-locality analyses.
+"""
+
+from .analysis import PathInflation, measure_locality, measure_path_inflation
+from .inference import GaoInference, InferenceScore, infer_from_paths, score_inference
+from .observation import PathCollection, collect_policy_paths
+from .bgp import BGPSimulator, Route, RouteKind
+from .relationships import Relationship, RelationshipMap, infer_relationships
+from .resilience import FailureImpact, simulate_as_failure
+
+__all__ = [
+    "Relationship",
+    "RelationshipMap",
+    "infer_relationships",
+    "BGPSimulator",
+    "Route",
+    "RouteKind",
+    "PathInflation",
+    "measure_path_inflation",
+    "measure_locality",
+    "PathCollection",
+    "collect_policy_paths",
+    "GaoInference",
+    "InferenceScore",
+    "infer_from_paths",
+    "score_inference",
+    "FailureImpact",
+    "simulate_as_failure",
+]

@@ -1,0 +1,154 @@
+"""Routing-level analyses: path inflation and locality.
+
+Two classic measurements connect the routing substrate back to the
+paper's community story:
+
+* **path inflation** — policy routing forbids valleys, so AS paths are
+  often longer than shortest paths; the detour happens exactly where
+  dense peering (the communities!) is missing;
+* **traffic locality** — the fraction of policy paths between ASes of
+  one country that stay inside that country's AS set: the paper's
+  regional-community motivation ("traffic to remain localized ...
+  without unnecessarily traversing other transit networks"), made
+  measurable.
+"""
+
+from __future__ import annotations
+
+import random
+import statistics
+from collections import deque
+from dataclasses import dataclass
+
+from ..graph.undirected import Graph
+from ..topology.dataset import ASDataset
+from .bgp import BGPSimulator
+from .relationships import RelationshipMap
+
+__all__ = ["PathInflation", "measure_path_inflation", "measure_locality"]
+
+
+def _bfs_distances(graph: Graph, source) -> dict:
+    distances = {source: 0}
+    queue = deque([source])
+    while queue:
+        node = queue.popleft()
+        for neighbor in graph.neighbors(node):
+            if neighbor not in distances:
+                distances[neighbor] = distances[node] + 1
+                queue.append(neighbor)
+    return distances
+
+
+@dataclass(frozen=True)
+class PathInflation:
+    """Aggregate of policy-vs-shortest path comparison."""
+
+    n_pairs: int
+    mean_policy_length: float
+    mean_shortest_length: float
+    mean_inflation: float        # policy − shortest, in hops
+    inflated_fraction: float     # pairs with a strictly longer policy path
+    unrouted_pairs: int
+    valley_violations: int
+
+
+def measure_path_inflation(
+    graph: Graph,
+    relationships: RelationshipMap,
+    *,
+    n_destinations: int = 20,
+    sources_per_destination: int = 40,
+    seed: int = 0,
+) -> PathInflation:
+    """Sample destination ASes, compare policy paths to shortest paths.
+
+    Every sampled policy path is also validated against Gao's
+    valley-free predicate; ``valley_violations`` must come out 0 for a
+    correct simulator (asserted by the test-suite and benchmark).
+    """
+    rng = random.Random(f"{seed}:inflation")
+    simulator = BGPSimulator(graph, relationships)
+    nodes = sorted(graph.nodes())
+    destinations = rng.sample(nodes, min(n_destinations, len(nodes)))
+
+    policy_lengths: list[int] = []
+    shortest_lengths: list[int] = []
+    inflated = 0
+    unrouted = 0
+    violations = 0
+    for destination in destinations:
+        routes = simulator.routes_to(destination)
+        distances = _bfs_distances(graph, destination)
+        sources = rng.sample(nodes, min(sources_per_destination, len(nodes)))
+        for source in sources:
+            if source == destination:
+                continue
+            route = routes.get(source)
+            if route is None:
+                unrouted += 1
+                continue
+            if not relationships.is_valley_free(route.path):
+                violations += 1
+            policy_lengths.append(route.length)
+            shortest_lengths.append(distances[source])
+            if route.length > distances[source]:
+                inflated += 1
+    n_pairs = len(policy_lengths)
+    return PathInflation(
+        n_pairs=n_pairs,
+        mean_policy_length=statistics.mean(policy_lengths) if policy_lengths else 0.0,
+        mean_shortest_length=statistics.mean(shortest_lengths) if shortest_lengths else 0.0,
+        mean_inflation=(
+            statistics.mean(p - s for p, s in zip(policy_lengths, shortest_lengths))
+            if policy_lengths
+            else 0.0
+        ),
+        inflated_fraction=(inflated / n_pairs) if n_pairs else 0.0,
+        unrouted_pairs=unrouted,
+        valley_violations=violations,
+    )
+
+
+def measure_locality(
+    dataset: ASDataset,
+    relationships: RelationshipMap,
+    country: str,
+    *,
+    max_pairs: int = 60,
+    seed: int = 0,
+) -> float:
+    """Fraction of intra-country policy paths that stay in-country.
+
+    High locality for countries with their own provider meshes and
+    IXPs is the routing-level effect of the paper's root communities.
+    Returns 0.0 when the country has fewer than two routed ASes.
+    """
+    rng = random.Random(f"{seed}:{country}:locality")
+    members = sorted(dataset.geography.ases_in_country(country))
+    members = [m for m in members if m in dataset.graph]
+    if len(members) < 2:
+        return 0.0
+    simulator = BGPSimulator(dataset.graph, relationships)
+    pairs: list[tuple[int, int]] = []
+    attempts = 0
+    while len(pairs) < max_pairs and attempts < max_pairs * 4:
+        attempts += 1
+        a, b = rng.sample(members, 2)
+        pairs.append((a, b))
+    by_destination: dict[int, list[int]] = {}
+    for a, b in pairs:
+        by_destination.setdefault(b, []).append(a)
+    member_set = set(members)
+    local = 0
+    total = 0
+    for destination, sources in by_destination.items():
+        routes = simulator.routes_to(destination)
+        for source in sources:
+            route = routes.get(source)
+            if route is None:
+                continue
+            total += 1
+            if all(hop in member_set for hop in route.path):
+                local += 1
+    return (local / total) if total else 0.0

@@ -1,0 +1,145 @@
+"""Policy routing: Gao–Rexford route computation.
+
+BGP routes are chosen by economics, not distance: an AS prefers routes
+through its customers (it gets paid) over routes through peers (free)
+over routes through providers (it pays), and only exports to a
+neighbor the routes that neighbor is allowed to resell — which yields
+exactly the valley-free paths of Gao's model.
+
+:class:`BGPSimulator` computes, for one destination AS, the stable
+route of every other AS under these preferences (customer > peer >
+provider, then shortest AS path, then lowest-numbered next hop — a
+deterministic tie-break standing in for router IDs).  The propagation
+is the standard three-stage relaxation:
+
+1. **customer routes** climb provider edges from the destination
+   (breadth-first, so shortest-uphill wins);
+2. **peer routes** cross one peering edge from any routed AS;
+3. **provider routes** descend customer edges from any routed AS.
+
+Each stage only improves unrouted-or-worse nodes, giving the unique
+Gao-Rexford stable state on relationship graphs without customer-
+provider cycles (which the generator's strata guarantee).
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Hashable
+from dataclasses import dataclass
+from enum import IntEnum
+
+from ..graph.undirected import Graph
+from .relationships import Relationship, RelationshipMap
+
+__all__ = ["RouteKind", "Route", "BGPSimulator"]
+
+
+class RouteKind(IntEnum):
+    """Route preference tiers (lower is better)."""
+
+    SELF = 0
+    CUSTOMER = 1
+    PEER = 2
+    PROVIDER = 3
+
+
+@dataclass(frozen=True)
+class Route:
+    """One AS's best route to the destination."""
+
+    kind: RouteKind
+    path: tuple[Hashable, ...]  # this AS first, destination last
+
+    @property
+    def length(self) -> int:
+        return len(self.path) - 1
+
+
+class BGPSimulator:
+    """Compute Gao-Rexford routes on a relationship-annotated graph."""
+
+    def __init__(self, graph: Graph, relationships: RelationshipMap) -> None:
+        self.graph = graph
+        self.relationships = relationships
+
+    def routes_to(self, destination: Hashable) -> dict[Hashable, Route]:
+        """Best route of every AS towards ``destination``.
+
+        ASes with no policy-compliant route are absent from the result
+        (possible when the destination has no providers and a remote AS
+        has no downhill path to it).
+        """
+        if destination not in self.graph:
+            raise KeyError(f"destination {destination!r} not in graph")
+        routes: dict[Hashable, Route] = {
+            destination: Route(RouteKind.SELF, (destination,))
+        }
+
+        # Stage 1 — customer routes climb provider edges breadth-first.
+        frontier: list[tuple[int, object, Hashable]] = [(0, _key(destination), destination)]
+        while frontier:
+            dist, _, node = heapq.heappop(frontier)
+            route = routes[node]
+            if route.length != dist:
+                continue  # stale entry
+            for neighbor in sorted(self.graph.neighbors(node), key=_key):
+                # The neighbor learns the route from its CUSTOMER side.
+                if self.relationships.kind(neighbor, node) is not Relationship.CUSTOMER:
+                    continue
+                candidate = Route(RouteKind.CUSTOMER, (neighbor, *route.path))
+                if self._better(candidate, routes.get(neighbor)):
+                    routes[neighbor] = candidate
+                    heapq.heappush(frontier, (candidate.length, _key(neighbor), neighbor))
+
+        # Stage 2 — one peering hop from any customer-routed AS.
+        uphill = list(routes.items())
+        for node, route in sorted(uphill, key=lambda kv: (kv[1].length, _key(kv[0]))):
+            for neighbor in sorted(self.graph.neighbors(node), key=_key):
+                if self.relationships.kind(neighbor, node) is not Relationship.PEER:
+                    continue
+                if node in (destination,) or route.kind in (RouteKind.SELF, RouteKind.CUSTOMER):
+                    candidate = Route(RouteKind.PEER, (neighbor, *route.path))
+                    if self._better(candidate, routes.get(neighbor)):
+                        routes[neighbor] = candidate
+
+        # Stage 3 — provider routes descend customer edges from any
+        # routed AS (a provider exports everything to its customers).
+        frontier = [
+            (route.length, _key(node), node) for node, route in routes.items()
+        ]
+        heapq.heapify(frontier)
+        while frontier:
+            dist, _, node = heapq.heappop(frontier)
+            route = routes.get(node)
+            if route is None or route.length != dist:
+                continue
+            for neighbor in sorted(self.graph.neighbors(node), key=_key):
+                if self.relationships.kind(neighbor, node) is not Relationship.PROVIDER:
+                    continue
+                candidate = Route(RouteKind.PROVIDER, (neighbor, *route.path))
+                if self._better(candidate, routes.get(neighbor)):
+                    routes[neighbor] = candidate
+                    heapq.heappush(frontier, (candidate.length, _key(neighbor), neighbor))
+        return routes
+
+    def path(self, source: Hashable, destination: Hashable) -> tuple[Hashable, ...] | None:
+        """The AS path from ``source`` to ``destination`` (None if unrouted)."""
+        route = self.routes_to(destination).get(source)
+        return route.path if route else None
+
+    @staticmethod
+    def _better(candidate: Route, incumbent: Route | None) -> bool:
+        if incumbent is None:
+            return True
+        if candidate.kind != incumbent.kind:
+            return candidate.kind < incumbent.kind
+        if candidate.length != incumbent.length:
+            return candidate.length < incumbent.length
+        # Deterministic router-id tie-break on the next hop.
+        return _key(candidate.path[1]) < _key(incumbent.path[1])
+
+
+def _key(node: Hashable):
+    """Stable ordering key for heterogeneous node types."""
+    return (str(type(node).__name__), repr(node))

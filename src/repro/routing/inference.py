@@ -1,0 +1,151 @@
+"""Relationship inference from AS paths (Gao's algorithm).
+
+The business relationships of the real Internet are not published;
+they are *inferred* from observed BGP paths.  Gao's classic algorithm
+(IEEE/ACM ToN 2001) exploits the valley-free property in reverse: on
+any valid path there is a single summit — the highest point of the
+uphill/downhill walk — so, taking the highest-degree AS of each path
+as the summit, every hop before it votes customer→provider and every
+hop after it votes provider→customer.  Edges with enough conflicting
+votes are siblings in Gao's original; the common simplification used
+here classifies near-balanced, summit-adjacent edges as peering.
+
+This module exists as the measurement-pipeline counterpart of
+:mod:`repro.routing.relationships` (which knows the ground truth):
+running Gao inference on the policy paths of
+:mod:`repro.routing.observation` and scoring it against the generator's
+ground truth reproduces the validation the original paper performed
+against internal AT&T data.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Hashable, Iterable
+from dataclasses import dataclass
+
+from ..graph.undirected import Graph
+from .relationships import Relationship, RelationshipMap
+
+__all__ = ["GaoInference", "InferenceScore", "infer_from_paths", "score_inference"]
+
+
+@dataclass
+class GaoInference:
+    """The inferred relationship map plus the raw transit votes."""
+
+    relationships: RelationshipMap
+    transit_votes: dict[tuple[Hashable, Hashable], int]
+    n_paths: int
+    n_edges: int
+
+
+def infer_from_paths(
+    paths: Iterable[tuple],
+    graph: Graph,
+    *,
+    peer_degree_ratio: float = 2.0,
+) -> GaoInference:
+    """Run Gao-style inference over recorded AS paths.
+
+    ``graph`` supplies node degrees (the summit heuristic).  Edges
+    appearing on no path are left unannotated.  An edge whose endpoints
+    were both observed only at path summits, with a degree ratio below
+    ``peer_degree_ratio``, and with conflicting or no transit majority,
+    is classified as peering.
+    """
+    degree = {node: graph.degree(node) for node in graph.nodes()}
+    # transit_votes[(c, p)]: times c appeared to route through p uphill.
+    transit_votes: Counter[tuple[Hashable, Hashable]] = Counter()
+    summit_edges: set[frozenset] = set()
+    seen_edges: set[frozenset] = set()
+    n_paths = 0
+    for path in paths:
+        hops = list(path)
+        if len(hops) < 2:
+            continue
+        n_paths += 1
+        summit_index = max(range(len(hops)), key=lambda i: (degree.get(hops[i], 0), -i))
+        for i, (u, v) in enumerate(zip(hops, hops[1:])):
+            seen_edges.add(frozenset((u, v)))
+            if i < summit_index:
+                transit_votes[(u, v)] += 1      # u buys from v
+            else:
+                transit_votes[(v, u)] += 1      # v buys from u
+        # The summit's two incident path edges are peering candidates.
+        if 0 < summit_index:
+            summit_edges.add(frozenset((hops[summit_index - 1], hops[summit_index])))
+        if summit_index < len(hops) - 1:
+            summit_edges.add(frozenset((hops[summit_index], hops[summit_index + 1])))
+
+    relationships = RelationshipMap()
+    for edge in seen_edges:
+        u, v = sorted(edge, key=repr)
+        up = transit_votes.get((u, v), 0)      # u -> v uphill votes
+        down = transit_votes.get((v, u), 0)
+        balanced = min(up, down) > 0 and max(up, down) < 3 * min(up, down)
+        degrees_close = (
+            max(degree.get(u, 1), degree.get(v, 1))
+            <= peer_degree_ratio * min(degree.get(u, 1), degree.get(v, 1))
+        )
+        if edge in summit_edges and degrees_close and (balanced or up == down):
+            relationships.add_peering(u, v)
+        elif up >= down:
+            relationships.add_customer_provider(u, v)
+        else:
+            relationships.add_customer_provider(v, u)
+    return GaoInference(
+        relationships=relationships,
+        transit_votes=dict(transit_votes),
+        n_paths=n_paths,
+        n_edges=len(seen_edges),
+    )
+
+
+@dataclass(frozen=True)
+class InferenceScore:
+    """Accuracy of an inferred map against the ground truth."""
+
+    n_scored_edges: int
+    correct: int
+    transit_direction_errors: int
+    peer_confusions: int
+
+    @property
+    def accuracy(self) -> float:
+        return self.correct / self.n_scored_edges if self.n_scored_edges else 0.0
+
+
+def score_inference(
+    inferred: RelationshipMap,
+    truth: RelationshipMap,
+    edges: Iterable[frozenset],
+) -> InferenceScore:
+    """Compare inferred vs true relationships over the given edges.
+
+    An edge scores correct when the inferred kind matches exactly
+    (including the customer/provider orientation).
+    """
+    scored = 0
+    correct = 0
+    direction_errors = 0
+    peer_confusions = 0
+    for edge in edges:
+        u, v = tuple(edge)
+        if (u, v) not in inferred or (u, v) not in truth:
+            continue
+        scored += 1
+        inferred_kind = inferred.kind(u, v)
+        true_kind = truth.kind(u, v)
+        if inferred_kind is true_kind:
+            correct += 1
+        elif Relationship.PEER in (inferred_kind, true_kind):
+            peer_confusions += 1
+        else:
+            direction_errors += 1
+    return InferenceScore(
+        n_scored_edges=scored,
+        correct=correct,
+        transit_direction_errors=direction_errors,
+        peer_confusions=peer_confusions,
+    )

@@ -1,0 +1,89 @@
+"""Policy-path observation: AS paths as a measurement substrate.
+
+The real collections behind the paper's Topology dataset record **BGP
+AS paths**, not shortest paths.  With the routing substrate available,
+observation can be modelled at full fidelity: collectors hosted at
+high-degree ASes record the valley-free path every AS uses towards
+sampled destination prefixes.  The collected paths serve two purposes:
+
+* their edges are the observed topology (compare with the BFS-based
+  :mod:`repro.topology.sources` model);
+* they are the input to relationship inference
+  (:mod:`repro.routing.inference`), closing the loop the real pipelines
+  run: paths → topology + relationships.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..graph.undirected import Graph
+from .bgp import BGPSimulator
+from .relationships import RelationshipMap
+
+__all__ = ["PathCollection", "collect_policy_paths"]
+
+
+@dataclass
+class PathCollection:
+    """AS paths recorded by a collector campaign."""
+
+    paths: list[tuple] = field(default_factory=list)
+
+    @property
+    def n_paths(self) -> int:
+        return len(self.paths)
+
+    def edges(self) -> set[frozenset]:
+        """Every AS adjacency appearing on a recorded path."""
+        observed: set[frozenset] = set()
+        for path in self.paths:
+            for u, v in zip(path, path[1:]):
+                observed.add(frozenset((u, v)))
+        return observed
+
+    def as_graph(self) -> Graph:
+        """The observed topology graph (edges on any recorded path)."""
+        graph = Graph()
+        for edge in self.edges():
+            u, v = tuple(edge)
+            graph.add_edge(u, v)
+        return graph
+
+    def mean_length(self) -> float:
+        """Mean AS-path length over the collection (0.0 when empty)."""
+        if not self.paths:
+            return 0.0
+        return sum(len(p) - 1 for p in self.paths) / len(self.paths)
+
+
+def collect_policy_paths(
+    truth: Graph,
+    relationships: RelationshipMap,
+    *,
+    n_collectors: int = 15,
+    n_destinations: int = 60,
+    seed: int = 0,
+) -> PathCollection:
+    """Record the policy paths from degree-top collectors to sampled
+    destinations.
+
+    Collectors sit at the ``n_collectors`` highest-degree ASes (the
+    Route Views / RIS model); routing state is computed once per
+    destination and read off for every collector, so the cost is
+    ``n_destinations`` route computations.
+    """
+    rng = random.Random(f"{seed}:paths")
+    nodes = sorted(truth.nodes())
+    collectors = sorted(nodes, key=lambda n: (-truth.degree(n), n))[:n_collectors]
+    destinations = rng.sample(nodes, min(n_destinations, len(nodes)))
+    simulator = BGPSimulator(truth, relationships)
+    collection = PathCollection()
+    for destination in destinations:
+        routes = simulator.routes_to(destination)
+        for collector in collectors:
+            route = routes.get(collector)
+            if route is not None and route.length >= 1:
+                collection.paths.append(route.path)
+    return collection

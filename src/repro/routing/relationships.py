@@ -1,0 +1,190 @@
+"""AS business relationships.
+
+Inter-domain links carry economics: a *customer* pays its *provider*
+for transit; *peers* exchange their customers' traffic settlement-free.
+The paper's community interpretations are economic at heart — regional
+transit meshes keeping traffic local, IXP fabrics existing to create
+cheap peering — so the routing substrate models the relationships
+explicitly:
+
+* :class:`Relationship` — customer→provider or peer↔peer;
+* :class:`RelationshipMap` — the annotated edge set, with valley-free
+  path validation;
+* :func:`infer_relationships` — derive the map for a generated dataset
+  from the generator roles (stubs buy transit from providers, providers
+  from carriers and Tier-1s, while meshes — IXP fabrics, the Tier-1
+  clique, national provider meshes — are peering).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable
+from enum import Enum
+
+from ..graph.undirected import Graph
+from ..topology.dataset import ASDataset
+
+__all__ = ["Relationship", "RelationshipMap", "infer_relationships"]
+
+
+class Relationship(str, Enum):
+    """Directed view of an edge from one endpoint's perspective."""
+
+    CUSTOMER = "customer"      # the neighbor is my customer
+    PROVIDER = "provider"      # the neighbor is my provider
+    PEER = "peer"
+
+
+class RelationshipMap:
+    """Business relationship of every annotated edge."""
+
+    def __init__(self) -> None:
+        #: (u, v) -> relationship of v from u's perspective.
+        self._kind: dict[tuple[Hashable, Hashable], Relationship] = {}
+
+    def add_customer_provider(self, customer: Hashable, provider: Hashable) -> None:
+        """Annotate: ``customer`` buys transit from ``provider``."""
+        self._kind[(customer, provider)] = Relationship.PROVIDER
+        self._kind[(provider, customer)] = Relationship.CUSTOMER
+
+    def add_peering(self, a: Hashable, b: Hashable) -> None:
+        """Annotate: ``a`` and ``b`` peer settlement-free."""
+        self._kind[(a, b)] = Relationship.PEER
+        self._kind[(b, a)] = Relationship.PEER
+
+    def kind(self, u: Hashable, v: Hashable) -> Relationship:
+        """Relationship of ``v`` from ``u``'s perspective."""
+        try:
+            return self._kind[(u, v)]
+        except KeyError as exc:
+            raise KeyError(f"edge ({u!r}, {v!r}) has no relationship annotation") from exc
+
+    def __contains__(self, edge: tuple[Hashable, Hashable]) -> bool:
+        return edge in self._kind
+
+    def __len__(self) -> int:
+        return len(self._kind) // 2
+
+    def providers_of(self, node: Hashable, graph: Graph) -> list[Hashable]:
+        """The neighbors ``node`` buys transit from."""
+        return [v for v in graph.neighbors(node) if self.kind(node, v) is Relationship.PROVIDER]
+
+    def customers_of(self, node: Hashable, graph: Graph) -> list[Hashable]:
+        """The neighbors buying transit from ``node``."""
+        return [v for v in graph.neighbors(node) if self.kind(node, v) is Relationship.CUSTOMER]
+
+    def peers_of(self, node: Hashable, graph: Graph) -> list[Hashable]:
+        """The neighbors peering with ``node``."""
+        return [v for v in graph.neighbors(node) if self.kind(node, v) is Relationship.PEER]
+
+    def is_valley_free(self, path: Iterable[Hashable]) -> bool:
+        """Gao's export rule as a path predicate.
+
+        A valid AS path is an uphill segment (customer→provider hops),
+        at most one peer hop, then a downhill segment
+        (provider→customer hops).  Equivalently: after the first peer
+        or downhill hop, only downhill hops may follow.
+        """
+        hops = list(path)
+        descending = False
+        used_peer = False
+        for u, v in zip(hops, hops[1:]):
+            step = self.kind(u, v)
+            if step is Relationship.PROVIDER:  # uphill
+                if descending or used_peer:
+                    return False
+            elif step is Relationship.PEER:
+                if descending or used_peer:
+                    return False
+                used_peer = True
+            else:  # downhill
+                descending = True
+        return True
+
+
+#: Role-pair -> relationship rules, most specific first.  ``c2p`` means
+#: the *first* role buys transit from the second; ``p2p`` is peering.
+_MESH_PEER_ROLES = {
+    "tier1",
+    "pool_carrier",
+    "crown_exclusive",
+    "crown_exception",
+    "crown_extension",
+    "medium_core",
+    "provider",
+    "small_ixp_member",
+}
+
+_CUSTOMER_ROLES = {
+    "stub",
+    "carrier_stub",
+    "regional_customer",
+    "triangle_member",
+    "large_periphery",
+    "medium_periphery",
+}
+
+#: Transit hierarchy order: an edge between different strata points the
+#: customer side at the lower stratum.  IXP peripheries sit *below*
+#: their cores — a regional ISP at an exchange buys transit/route-server
+#: reachability from the resident carriers — so their uplinks are
+#: customer-provider, which keeps them reachable under valley-free
+#: export (peer-learned routes never propagate two hops).
+_STRATUM = {
+    "tier1": 5,
+    "pool_carrier": 4,
+    "crown_exclusive": 4,
+    "crown_exception": 4,
+    "crown_extension": 4,
+    "medium_core": 3,
+    "large_periphery": 2,
+    "medium_periphery": 2,
+    "provider": 1,
+    # Below national providers: small-IXP locals reach the world through
+    # the resident anchor providers (route-server reachability is not
+    # transit), so their anchor links must be customer-provider.
+    "small_ixp_member": 0.5,
+    "stub": 0,
+    "carrier_stub": 0,
+    "regional_customer": 0,
+    "triangle_member": 0,
+}
+
+
+def infer_relationships(dataset: ASDataset) -> RelationshipMap:
+    """Annotate every edge of a generated dataset.
+
+    Rules (checked in order):
+
+    1. same-stratum edges between infrastructure roles are **peering**
+       (the Tier-1 clique, IXP fabrics, national provider meshes,
+       customer-triangle internals);
+    2. pool carriers peer with Tier-1s (settlement-free, the classic
+       'donut' peering);
+    3. otherwise the lower-stratum endpoint is the **customer** of the
+       higher-stratum one (stub → provider, provider → carrier,
+       periphery → IXP core, carrier → Tier-1 transit).
+    """
+    relationships = RelationshipMap()
+    roles = dataset.as_roles
+    graph = dataset.graph
+    for u, v in graph.edges():
+        role_u = roles.get(u, "stub")
+        role_v = roles.get(v, "stub")
+        stratum_u = _STRATUM.get(role_u, 0)
+        stratum_v = _STRATUM.get(role_v, 0)
+        if {role_u, role_v} == {"pool_carrier", "tier1"}:
+            relationships.add_peering(u, v)
+        elif role_u == role_v == "triangle_member":
+            # The gateway member (created first, hence lowest ASN)
+            # resells its transit to its triangle partners — a pure
+            # peer triangle would leave the partners unreachable.
+            customer, provider = (u, v) if u > v else (v, u)
+            relationships.add_customer_provider(customer, provider)
+        elif stratum_u == stratum_v:
+            relationships.add_peering(u, v)
+        elif stratum_u < stratum_v:
+            relationships.add_customer_provider(u, v)
+        else:
+            relationships.add_customer_provider(v, u)
+    return relationships

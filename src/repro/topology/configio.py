@@ -1,0 +1,69 @@
+"""Generator configuration files.
+
+Experiment sweeps want configs under version control:
+:func:`config_to_dict` / :func:`config_from_dict` round-trip a
+:class:`GeneratorConfig` (including the nested IXP specs) through plain
+JSON, and the CLI accepts ``generate --config my-internet.json``.
+Unknown keys are rejected — a typo'd knob must fail loudly, not
+silently fall back to a default.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+
+from .generator import CrownBlockSpec, GeneratorConfig, MediumIXPSpec, SmallIXPSpec
+
+__all__ = ["config_to_dict", "config_from_dict", "save_config", "load_config"]
+
+_SPEC_TYPES = {
+    "crown_blocks": CrownBlockSpec,
+    "medium_ixps": MediumIXPSpec,
+    "small_ixps": SmallIXPSpec,
+}
+
+
+def config_to_dict(config: GeneratorConfig) -> dict:
+    """A JSON-ready dictionary of every knob."""
+    out: dict = {}
+    for field in dataclasses.fields(config):
+        value = getattr(config, field.name)
+        if field.name in _SPEC_TYPES:
+            out[field.name] = [dataclasses.asdict(spec) for spec in value]
+        elif isinstance(value, tuple):
+            out[field.name] = list(value)
+        else:
+            out[field.name] = value
+    return out
+
+
+def config_from_dict(document: dict) -> GeneratorConfig:
+    """Rebuild a config; raises on unknown keys or malformed specs."""
+    field_names = {field.name for field in dataclasses.fields(GeneratorConfig)}
+    unknown = set(document) - field_names
+    if unknown:
+        raise ValueError(f"unknown GeneratorConfig keys: {sorted(unknown)}")
+    kwargs: dict = {}
+    for name, value in document.items():
+        if name in _SPEC_TYPES:
+            spec_type = _SPEC_TYPES[name]
+            kwargs[name] = tuple(spec_type(**entry) for entry in value)
+        elif isinstance(value, list):
+            kwargs[name] = tuple(value)
+        else:
+            kwargs[name] = value
+    return GeneratorConfig(**kwargs)
+
+
+def save_config(config: GeneratorConfig, path: str | Path) -> None:
+    """Write the config as indented JSON."""
+    Path(path).write_text(
+        json.dumps(config_to_dict(config), indent=2, sort_keys=True), encoding="utf-8"
+    )
+
+
+def load_config(path: str | Path) -> GeneratorConfig:
+    """Read a config written by :func:`save_config` (or by hand)."""
+    return config_from_dict(json.loads(Path(path).read_text(encoding="utf-8")))

@@ -1,0 +1,111 @@
+"""The dataset bundle: topology + IXP + geography, correlated by tags.
+
+The paper's three data sources (Chapter 2) were all collected at the
+end of April 2010 so that entries can be correlated.  The synthetic
+equivalent is :class:`ASDataset`: one object carrying the AS-level
+graph, the IXP registry and the geography registry, produced together
+by one generator run (hence mutually consistent), plus optional
+human-readable AS names for the special-cased ASes the reports mention.
+
+Bundles round-trip to a directory of plain-text files so experiments
+can be re-run on frozen inputs::
+
+    dataset.save("out/april2010-synthetic")
+    dataset = ASDataset.load("out/april2010-synthetic")
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..graph.io import format_edgelist, parse_edgelist
+from ..graph.undirected import Graph
+from .geography import GeoRegistry
+from .ixp import IXPRegistry
+from .tags import TagSummary, summarize_tags
+
+__all__ = ["ASDataset"]
+
+
+@dataclass
+class ASDataset:
+    """A correlated (topology, IXP, geography) dataset."""
+
+    graph: Graph
+    ixps: IXPRegistry
+    geography: GeoRegistry
+    as_names: dict[int, str] = field(default_factory=dict)
+    #: Generator role of each AS (tier1 / pool_carrier / provider / ...),
+    #: consumed by the relationship-inference layer of repro.routing.
+    as_roles: dict[int, str] = field(default_factory=dict)
+    notes: dict[str, object] = field(default_factory=dict)
+
+    @property
+    def n_ases(self) -> int:
+        return self.graph.number_of_nodes
+
+    @property
+    def n_links(self) -> int:
+        return self.graph.number_of_edges
+
+    def tag_summary(self) -> TagSummary:
+        """Tables 2.1 and 2.2 for this dataset."""
+        return summarize_tags(self.graph.nodes(), self.ixps, self.geography)
+
+    def name_of(self, asn: int) -> str:
+        """Human-readable name (falls back to ``AS<number>``)."""
+        return self.as_names.get(asn, f"AS{asn}")
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def save(self, directory: str | Path) -> None:
+        """Write the bundle to ``directory`` (edge list, TSVs, meta.json)."""
+        path = Path(directory)
+        path.mkdir(parents=True, exist_ok=True)
+        (path / "topology.edges").write_text(
+            format_edgelist(self.graph, header="AS-level topology (undirected, unweighted)"),
+            encoding="utf-8",
+        )
+        (path / "ixps.tsv").write_text(self.ixps.to_tsv(), encoding="utf-8")
+        (path / "geography.tsv").write_text(self.geography.to_tsv(), encoding="utf-8")
+        meta = {
+            "as_names": {str(k): v for k, v in self.as_names.items()},
+            "as_roles": {str(k): v for k, v in self.as_roles.items()},
+            "notes": self.notes,
+        }
+        (path / "meta.json").write_text(json.dumps(meta, indent=2, sort_keys=True), encoding="utf-8")
+
+    @classmethod
+    def load(cls, directory: str | Path) -> "ASDataset":
+        path = Path(directory)
+        graph = parse_edgelist(
+            (path / "topology.edges").read_text(encoding="utf-8").splitlines()
+        )
+        ixps = IXPRegistry.from_tsv((path / "ixps.tsv").read_text(encoding="utf-8"))
+        geography = GeoRegistry.from_tsv((path / "geography.tsv").read_text(encoding="utf-8"))
+        as_names: dict[int, str] = {}
+        as_roles: dict[int, str] = {}
+        notes: dict[str, object] = {}
+        meta_path = path / "meta.json"
+        if meta_path.exists():
+            meta = json.loads(meta_path.read_text(encoding="utf-8"))
+            as_names = {int(k): v for k, v in meta.get("as_names", {}).items()}
+            as_roles = {int(k): v for k, v in meta.get("as_roles", {}).items()}
+            notes = meta.get("notes", {})
+        return cls(
+            graph=graph,
+            ixps=ixps,
+            geography=geography,
+            as_names=as_names,
+            as_roles=as_roles,
+            notes=notes,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"ASDataset(ases={self.n_ases}, links={self.n_links}, "
+            f"ixps={len(self.ixps)}, geolocated={len(self.geography)})"
+        )

@@ -1,0 +1,711 @@
+"""Synthetic Internet AS-level topology generator.
+
+The paper's Topology dataset (35,390 ASes, 152,233 links, April 2010)
+is built from measurement collections that are not available offline,
+so this module builds a *structural model* of the same object.  The
+model encodes exactly the driving factors the paper identifies in
+Chapter 4 and 5, each mapped to a generator ingredient:
+
+===========================  =====================================================
+Paper phenomenon             Generator ingredient
+===========================  =====================================================
+Crown communities            Three large European IXPs modelled as *crown blocks*:
+(k near the max; AMS-IX /    a shared carrier pool (their common participants)
+DE-CIX / LINX; overlap       meshed into each block's base clique, plus per-block
+through 119 shared           exclusive members and *extension* ASes connected to
+participants; the 36-clique  the base but not to each other — so the apex
+community of 38 ASes)        community is a union of overlapping (pool+1)-cliques,
+                             not one monolithic clique, exactly like the paper's
+                             36-clique community of 38 ASes
+Trunk main communities       Large-IXP periphery: each participant peers with the
+(large, low density, long    top-j members of the IXP's ranked base (j heavy-
+k-clique chains)             tailed), giving nested cliques that chain through the
+                             core and shrink as k grows
+Trunk parallel branches      Medium national IXPs whose cores mix q carriers from
+(MSK-IX branch; >95%         the shared pool with national members: the core is
+max-share, no full-share)    parallel for k in [q+2, core], merging into the main
+                             community exactly at k = q+1
+Tier-1 full mesh             A clique of Tier-1 ASes that do *not* participate in
+(motivating example of       IXPs and whose degree is dominated by customer links
+Chapter 1)                   — found by CPM, invisible to internal-degree methods
+Root communities             Small national IXPs (full-share), regional
+(regional, country-          provider+customer multi-homing cliques, and isolated
+contained, avg size ~5)      customer triangles, all within one country
+Degree heavy tail            Stub ASes preferentially attached to providers and
+                             carriers (the carrier attachment also produces the
+                             high crown ODF of Figure 4.4(b))
+Unknown-geography ASes       A configurable fraction of stubs left out of the
+                             geography registry
+===========================  =====================================================
+
+**Clique-count discipline.**  CPM cost is driven by the number of
+maximal cliques (the real graph has 2.7M; infeasible here).  Every
+dense structure in this generator is an *exact* clique plus
+deterministic prefix attachments, so peripheral members contribute O(1)
+maximal cliques each and the total stays linear in the AS count.  This
+is the substitution documented in DESIGN.md §5.
+
+Everything is driven by one ``random.Random(seed)``; two runs with the
+same config and seed produce identical datasets.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from math import ceil
+
+from ..graph.undirected import Graph
+from .dataset import ASDataset
+from .geography import COUNTRY_CONTINENT, Continent, GeoRegistry
+from .ixp import IXP, IXPRegistry
+
+__all__ = [
+    "CrownBlockSpec",
+    "MediumIXPSpec",
+    "SmallIXPSpec",
+    "GeneratorConfig",
+    "InternetTopologyGenerator",
+    "generate_topology",
+]
+
+
+@dataclass(frozen=True)
+class CrownBlockSpec:
+    """One dense block of a large IXP.
+
+    ``base_extra`` exclusive members are meshed together with the shared
+    pool into the block's base clique; ``n_ext`` extension ASes connect
+    to every base member but not to each other, so the block's top
+    community (order ``pool + base_extra + 1``) has
+    ``pool + base_extra + n_ext`` members.
+    """
+
+    ixp: str
+    country: str
+    base_extra: int
+    n_ext: int
+
+
+@dataclass(frozen=True)
+class MediumIXPSpec:
+    """A national IXP producing a trunk parallel branch.
+
+    ``pool_members`` (q) of the core are carriers from the shared pool;
+    the branch is parallel for k in [q+2, core_size] and merges into
+    the main community at k = q+1.
+    """
+
+    name: str
+    country: str
+    core_size: int
+    pool_members: int
+    periphery: int
+
+
+@dataclass(frozen=True)
+class SmallIXPSpec:
+    """A small regional IXP: a full-share root community."""
+
+    name: str
+    country: str
+    core_size: int
+
+
+_DEFAULT_CROWN = (
+    CrownBlockSpec("AMS-IX", "NL", base_extra=7, n_ext=4),
+    CrownBlockSpec("LINX", "GB", base_extra=6, n_ext=2),
+    CrownBlockSpec("DE-CIX", "DE", base_extra=5, n_ext=2),
+    CrownBlockSpec("LINX", "GB", base_extra=4, n_ext=2),
+    CrownBlockSpec("DE-CIX", "DE", base_extra=3, n_ext=3),
+)
+
+_DEFAULT_MEDIUM = (
+    MediumIXPSpec("MSK-IX", "RU", core_size=22, pool_members=14, periphery=18),
+    MediumIXPSpec("France-IX", "FR", core_size=19, pool_members=13, periphery=14),
+    MediumIXPSpec("Netnod", "SE", core_size=18, pool_members=12, periphery=12),
+    MediumIXPSpec("PLIX", "PL", core_size=16, pool_members=11, periphery=10),
+    MediumIXPSpec("ESPANIX", "ES", core_size=15, pool_members=10, periphery=10),
+    MediumIXPSpec("TOP-IX", "IT", core_size=15, pool_members=9, periphery=8),
+)
+
+_DEFAULT_SMALL = (
+    SmallIXPSpec("WIX", "NZ", 7),
+    SmallIXPSpec("KhIX", "RU", 6),
+    SmallIXPSpec("SIX", "US", 12),
+    SmallIXPSpec("SIX.SK", "SK", 6),
+    SmallIXPSpec("PIPE-NSW", "AU", 9),
+    SmallIXPSpec("NIXI-Delhi", "IN", 7),
+    SmallIXPSpec("SPB-IX", "RU", 8),
+    SmallIXPSpec("PTTMetro-SaoPaulo", "BR", 11),
+    SmallIXPSpec("NIX.CZ", "CZ", 10),
+    SmallIXPSpec("SwissIX", "CH", 9),
+    SmallIXPSpec("MIX-IT", "IT", 8),
+    SmallIXPSpec("VIX", "AT", 10),
+)
+
+_EU_COUNTRIES = [c for c, cont in COUNTRY_CONTINENT.items() if cont is Continent.EUROPE]
+_NON_EU_COUNTRIES = [c for c, cont in COUNTRY_CONTINENT.items() if cont is not Continent.EUROPE]
+
+
+@dataclass(frozen=True)
+class GeneratorConfig:
+    """All knobs of the synthetic topology.
+
+    ``scale`` multiplies the *population* counts (periphery, providers,
+    customers, stubs) without touching the clique core sizes — so the
+    community tree's depth and band boundaries stay put while the graph
+    grows or shrinks around them.
+    """
+
+    shared_pool: int = 28
+    crown_blocks: tuple[CrownBlockSpec, ...] = _DEFAULT_CROWN
+    medium_ixps: tuple[MediumIXPSpec, ...] = _DEFAULT_MEDIUM
+    small_ixps: tuple[SmallIXPSpec, ...] = _DEFAULT_SMALL
+    large_periphery: int = 55          # per crown IXP (deduplicated by name)
+    periphery_attach_min: int = 4
+    periphery_attach_alpha: float = 1.7
+    n_tier1: int = 12
+    tier1_links_per_pool_carrier: tuple[int, int] = (3, 6)
+    n_countries: int = 36
+    providers_per_country: tuple[int, int] = (3, 5)
+    regional_groups_per_country: tuple[int, int] = (1, 5)
+    regional_customers: tuple[int, int] = (2, 5)
+    regional_mesh_probability: float = 0.3
+    n_stubs: int = 2200
+    n_carrier_stubs: int = 800
+    n_isolated_triangles: int = 70
+    unknown_geo_fraction: float = 0.045
+    scale: float = 1.0
+
+    @classmethod
+    def default(cls) -> "GeneratorConfig":
+        """Benchmark-scale config (~4k ASes, CPM in seconds)."""
+        return cls()
+
+    @classmethod
+    def tiny(cls) -> "GeneratorConfig":
+        """Test-scale config (~450 ASes, CPM well under a second)."""
+        return cls(
+            shared_pool=10,
+            crown_blocks=(
+                CrownBlockSpec("AMS-IX", "NL", base_extra=4, n_ext=2),
+                CrownBlockSpec("LINX", "GB", base_extra=3, n_ext=2),
+                CrownBlockSpec("DE-CIX", "DE", base_extra=2, n_ext=2),
+            ),
+            medium_ixps=(
+                MediumIXPSpec("MSK-IX", "RU", core_size=9, pool_members=5, periphery=6),
+                MediumIXPSpec("France-IX", "FR", core_size=8, pool_members=4, periphery=5),
+            ),
+            small_ixps=(
+                SmallIXPSpec("WIX", "NZ", 5),
+                SmallIXPSpec("VIX", "AT", 6),
+                SmallIXPSpec("NIX.CZ", "CZ", 5),
+            ),
+            large_periphery=14,
+            periphery_attach_min=3,
+            n_tier1=6,
+            n_countries=12,
+            n_stubs=220,
+            n_carrier_stubs=60,
+            n_isolated_triangles=8,
+        )
+
+    @classmethod
+    def paper_scale(cls) -> "GeneratorConfig":
+        """Approach the April-2010 census (tens of thousands of ASes).
+
+        CPM on this takes minutes-to-hours on one core; provided for
+        completeness, not used by the CI-sized benchmarks.
+        """
+        return cls(scale=9.0, large_periphery=120, n_countries=60)
+
+    def scaled(self, value: int) -> int:
+        """``value`` multiplied by the population scale (minimum 1)."""
+        return max(1, ceil(value * self.scale))
+
+
+class InternetTopologyGenerator:
+    """Build an :class:`ASDataset` from a :class:`GeneratorConfig` and a seed."""
+
+    def __init__(self, config: GeneratorConfig | None = None, *, seed: int = 42) -> None:
+        self.config = config or GeneratorConfig.default()
+        self.seed = seed
+        self._rng = random.Random(seed)
+        self._next_asn = 1
+        self._graph = Graph()
+        self._geo: dict[int, set[str]] = {}
+        self._ixp_members: dict[str, set[int]] = {}
+        self._ixp_country: dict[str, str] = {}
+        self._names: dict[int, str] = {}
+        self._uplinks: dict[int, int] = {}
+        self.roles: dict[str, list[int]] = {}
+
+    # ------------------------------------------------------------------
+    # Public entry point
+    # ------------------------------------------------------------------
+    def generate(self) -> ASDataset:
+        """Build the dataset: graph, IXP and geography registries, roles."""
+        cfg = self.config
+        pool, rankings = self._build_crown_blocks()
+        tier1 = self._build_tier1_mesh(pool)
+        self._build_large_periphery(rankings)
+        self._build_medium_ixps(pool, rankings)
+        providers_by_country = self._build_countries(tier1, pool)
+        self._build_small_ixps(providers_by_country, pool)
+        self._build_regional_groups(providers_by_country, pool)
+        self._build_stubs(providers_by_country)
+        self._build_carrier_stubs(pool, rankings)
+        self._build_isolated_triangles(providers_by_country)
+        self._connect_components(tier1)
+
+        ixps = IXPRegistry(
+            IXP(name=name, country=self._ixp_country[name], participants=frozenset(members))
+            for name, members in self._ixp_members.items()
+        )
+        geography = GeoRegistry({asn: c for asn, c in self._geo.items()})
+        notes = {
+            "config": repr(cfg),
+            "seed": self.seed,
+            "roles": {role: len(ases) for role, ases in self.roles.items()},
+        }
+        as_roles = {
+            asn: role for role, ases in self.roles.items() for asn in ases
+        }
+        return ASDataset(
+            graph=self._graph,
+            ixps=ixps,
+            geography=geography,
+            as_names=self._names,
+            as_roles=as_roles,
+            notes=notes,
+        )
+
+    # ------------------------------------------------------------------
+    # Low-level helpers
+    # ------------------------------------------------------------------
+    def _new_as(self, role: str, *, countries: set[str] | None = None, name: str | None = None) -> int:
+        asn = self._next_asn
+        self._next_asn += 1
+        self._graph.add_node(asn)
+        if countries:
+            self._geo[asn] = set(countries)
+        if name:
+            self._names[asn] = name
+        self.roles.setdefault(role, []).append(asn)
+        return asn
+
+    def _mesh(self, members: list[int]) -> None:
+        for i, u in enumerate(members):
+            for v in members[i + 1 :]:
+                if not self._graph.has_edge(u, v):
+                    self._graph.add_edge(u, v)
+
+    def _join_ixp(self, name: str, country: str, asn: int) -> None:
+        self._ixp_members.setdefault(name, set()).add(asn)
+        self._ixp_country.setdefault(name, country)
+
+    def _pareto_attach(self, lo: int, hi: int) -> int:
+        """Heavy-tailed attachment depth in [lo, hi] (bounded Pareto)."""
+        if hi <= lo:
+            return lo
+        alpha = self.config.periphery_attach_alpha
+        u = self._rng.random()
+        value = lo / max((1.0 - u), 1e-12) ** (1.0 / alpha)
+        return min(hi, max(lo, int(value)))
+
+    def _eu_countries(self, n: int) -> set[str]:
+        return set(self._rng.sample(_EU_COUNTRIES, n))
+
+    # ------------------------------------------------------------------
+    # Crown: large European IXP blocks
+    # ------------------------------------------------------------------
+    def _build_crown_blocks(self) -> tuple[list[int], dict[str, list[int]]]:
+        """The shared carrier pool and the per-IXP base rankings.
+
+        Returns ``(pool, rankings)`` where ``rankings[ixp]`` is the
+        ranked base member list peripherals attach to (pool carriers
+        first: they are the most-open peers of every large IXP).
+        """
+        cfg = self.config
+        pool: list[int] = []
+        for _ in range(cfg.shared_pool):
+            if self._rng.random() < 0.4:
+                countries = self._eu_countries(2) | {self._rng.choice(_NON_EU_COUNTRIES)}
+            else:
+                countries = self._eu_countries(self._rng.randint(2, 4))
+            pool.append(self._new_as("pool_carrier", countries=countries))
+        self._mesh(pool)
+
+        # Crown exception ASes (paper: 4 non-European crown members, 3 of
+        # which participate in no IXP) live in the first block's extensions.
+        exception_names = ["TICSA-like", "MIT-GW-like-1", "MIT-GW-like-2", "AFRICAINX-like"]
+        exception_countries = [{"ZA"}, {"US"}, {"US"}, {"ZA"}]
+        exceptions_left = list(zip(exception_names, exception_countries))
+
+        rankings: dict[str, list[int]] = {}
+        for block_idx, block in enumerate(cfg.crown_blocks):
+            base = list(pool)
+            for _ in range(block.base_extra):
+                asn = self._new_as(
+                    "crown_exclusive", countries={block.country} | self._eu_countries(1)
+                )
+                self._join_ixp(block.ixp, block.country, asn)
+                base.append(asn)
+            self._mesh(base)
+            for ext_idx in range(block.n_ext):
+                if block_idx == 0 and exceptions_left:
+                    name, countries = exceptions_left.pop(0)
+                    asn = self._new_as("crown_exception", countries=countries, name=name)
+                    # Only the first exception keeps an IXP membership
+                    # (paper: 4 non-EU crown ASes, 3 with no IXP at all).
+                    if len(exceptions_left) == 3:
+                        self._join_ixp(block.ixp, block.country, asn)
+                else:
+                    asn = self._new_as("crown_extension", countries={block.country})
+                    self._join_ixp(block.ixp, block.country, asn)
+                for member in base:
+                    self._graph.add_edge(asn, member)
+            if block.ixp not in rankings:
+                ranked_pool = list(pool)
+                self._rng.shuffle(ranked_pool)
+                rankings[block.ixp] = ranked_pool
+            # Exclusive base members extend the ranking after the pool.
+            rankings[block.ixp].extend(base[len(pool) :])
+
+        for asn in pool:
+            for ixp in rankings:
+                self._join_ixp(ixp, self._ixp_country[ixp] if ixp in self._ixp_country else "", asn)
+        return pool, rankings
+
+    # ------------------------------------------------------------------
+    # Tier-1 mesh
+    # ------------------------------------------------------------------
+    def _build_tier1_mesh(self, pool: list[int]) -> list[int]:
+        cfg = self.config
+        tier1: list[int] = []
+        for _ in range(cfg.n_tier1):
+            continents = [Continent.NORTH_AMERICA, Continent.EUROPE, Continent.ASIA]
+            countries: set[str] = set()
+            for cont in continents:
+                options = [c for c, cc in COUNTRY_CONTINENT.items() if cc is cont]
+                countries.add(self._rng.choice(options))
+            tier1.append(self._new_as("tier1", countries=countries))
+        self._mesh(tier1)
+        lo, hi = cfg.tier1_links_per_pool_carrier
+        for carrier in pool:
+            for t in self._rng.sample(tier1, self._rng.randint(lo, min(hi, len(tier1)))):
+                if not self._graph.has_edge(carrier, t):
+                    self._graph.add_edge(carrier, t)
+        return tier1
+
+    # ------------------------------------------------------------------
+    # Large-IXP periphery (trunk main chains)
+    # ------------------------------------------------------------------
+    def _build_large_periphery(self, rankings: dict[str, list[int]]) -> None:
+        cfg = self.config
+        ixp_names = list(rankings)
+        for ixp in ixp_names:
+            country = self._ixp_country[ixp]
+            for _ in range(cfg.scaled(cfg.large_periphery)):
+                roll = self._rng.random()
+                if roll < 0.70:
+                    countries = {country if self._rng.random() < 0.5 else self._rng.choice(_EU_COUNTRIES)}
+                elif roll < 0.92:
+                    countries = self._eu_countries(2)
+                else:
+                    # Multinational carriers with a footprint outside
+                    # Europe (Table 2.2's worldwide ASes).
+                    countries = self._eu_countries(2) | {self._rng.choice(_NON_EU_COUNTRIES)}
+                asn = self._new_as("large_periphery", countries=countries)
+                self._join_ixp(ixp, country, asn)
+                ranking = rankings[ixp]
+                depth = self._pareto_attach(cfg.periphery_attach_min, len(ranking) - 1)
+                for member in ranking[:depth]:
+                    self._graph.add_edge(asn, member)
+                # A quarter of the periphery peers at a second large IXP.
+                if len(ixp_names) > 1 and self._rng.random() < 0.25:
+                    other = self._rng.choice([x for x in ixp_names if x != ixp])
+                    self._join_ixp(other, self._ixp_country[other], asn)
+                    other_depth = self._pareto_attach(
+                        cfg.periphery_attach_min, min(depth, len(rankings[other]) - 1)
+                    )
+                    for member in rankings[other][:other_depth]:
+                        if not self._graph.has_edge(asn, member):
+                            self._graph.add_edge(asn, member)
+
+    # ------------------------------------------------------------------
+    # Medium IXPs (trunk parallel branches)
+    # ------------------------------------------------------------------
+    def _build_medium_ixps(self, pool: list[int], rankings: dict[str, list[int]]) -> None:
+        cfg = self.config
+        for spec in cfg.medium_ixps:
+            q = min(spec.pool_members, len(pool))
+            core = self._rng.sample(pool, q)
+            n_national = spec.core_size - q
+            nationals = [
+                self._new_as("medium_core", countries={spec.country})
+                for _ in range(n_national)
+            ]
+            core.extend(nationals)
+            self._mesh(core)
+            # All but one national member join the IXP: the missing one
+            # keeps every trunk community short of a full-share IXP.
+            skip = nationals[0] if nationals else None
+            for asn in core:
+                if asn != skip:
+                    self._join_ixp(spec.name, spec.country, asn)
+            ranking = list(core)
+            for _ in range(cfg.scaled(spec.periphery)):
+                asn = self._new_as("medium_periphery", countries={spec.country})
+                self._join_ixp(spec.name, spec.country, asn)
+                depth = self._pareto_attach(3, len(ranking) - 1)
+                for member in ranking[:depth]:
+                    self._graph.add_edge(asn, member)
+
+    # ------------------------------------------------------------------
+    # Countries, providers, transit
+    # ------------------------------------------------------------------
+    def _build_countries(self, tier1: list[int], pool: list[int]) -> dict[str, list[int]]:
+        cfg = self.config
+        eu_weight = 0.55
+        countries: list[str] = []
+        n_eu = int(cfg.n_countries * eu_weight)
+        countries.extend(self._rng.sample(_EU_COUNTRIES, min(n_eu, len(_EU_COUNTRIES))))
+        rest = [c for c in _NON_EU_COUNTRIES if c not in countries]
+        countries.extend(
+            self._rng.sample(rest, min(cfg.n_countries - len(countries), len(rest)))
+        )
+        # Countries hosting small IXPs must exist so that root
+        # communities can anchor to national providers.
+        for spec in cfg.small_ixps:
+            if spec.country not in countries:
+                countries.append(spec.country)
+
+        providers_by_country: dict[str, list[int]] = {}
+        lo, hi = cfg.providers_per_country
+        for country in countries:
+            continent = COUNTRY_CONTINENT[country]
+            siblings = [
+                c for c, cont in COUNTRY_CONTINENT.items()
+                if cont is continent and c != country
+            ]
+            providers = []
+            for _ in range(self._rng.randint(lo, hi)):
+                presence = {country}
+                # Some national providers grow into a second market of
+                # their continent (Table 2.2's continental ASes).
+                if siblings and self._rng.random() < 0.12:
+                    presence.add(self._rng.choice(siblings))
+                providers.append(self._new_as("provider", countries=presence))
+            self._mesh(providers)
+            providers_by_country[country] = providers
+            # Every provider buys transit from 1-3 Tier-1s and from a
+            # handful of pool carriers.  A provider with >= k-1 carrier
+            # uplinks sits in the main k-clique community (its uplink
+            # clique chains into the carrier mesh), which is what makes
+            # parallel root communities overlap the main community the
+            # way Section 4's overlap-fraction statistics describe.
+            for p in providers:
+                for t in self._rng.sample(tier1, self._rng.randint(1, 3)):
+                    if not self._graph.has_edge(p, t):
+                        self._graph.add_edge(p, t)
+                self._add_carrier_uplinks(p, pool)
+        return providers_by_country
+
+    def _add_carrier_uplinks(
+        self, asn: int, pool: list[int], *, boost: int | None = None
+    ) -> None:
+        """Connect ``asn`` to a heavy-tailed number of pool carriers.
+
+        An AS with u uplinks into the (meshed) pool belongs to the main
+        k-clique community for every k <= u + 1.  ``boost`` forces at
+        least that many uplinks — used for the anchor members of root
+        communities, whose double membership (regional clique + main
+        community) produces the overlap-fraction statistics of
+        Section 4.
+        """
+        roll = self._rng.random()
+        if roll < 0.15:
+            n_uplinks = 0
+        elif roll < 0.35:
+            n_uplinks = 2
+        elif roll < 0.60:
+            n_uplinks = 3
+        elif roll < 0.78:
+            n_uplinks = 4
+        elif roll < 0.88:
+            n_uplinks = 5
+        elif roll < 0.95:
+            n_uplinks = 6
+        else:
+            n_uplinks = 7
+        if boost is not None:
+            n_uplinks = max(n_uplinks, boost)
+        n_uplinks = min(n_uplinks, len(pool))
+        for carrier in self._rng.sample(pool, n_uplinks):
+            if not self._graph.has_edge(asn, carrier):
+                self._graph.add_edge(asn, carrier)
+        self._uplinks[asn] = max(self._uplinks.get(asn, 0), n_uplinks)
+
+    # ------------------------------------------------------------------
+    # Small IXPs (root full-share communities)
+    # ------------------------------------------------------------------
+    def _build_small_ixps(
+        self, providers_by_country: dict[str, list[int]], pool: list[int]
+    ) -> None:
+        cfg = self.config
+        for spec in cfg.small_ixps:
+            providers = providers_by_country.get(spec.country, [])
+            anchors = providers[: min(2, len(providers))]
+            for anchor in anchors:
+                # IXP anchor providers are well connected upstream, so
+                # they also sit in the main community at the orders
+                # where this root community is parallel.
+                self._add_carrier_uplinks(anchor, pool, boost=spec.core_size + 1)
+            locals_needed = spec.core_size - len(anchors)
+            members = list(anchors)
+            for _ in range(locals_needed):
+                asn = self._new_as("small_ixp_member", countries={spec.country})
+                # Half of the local members also buy carrier transit,
+                # placing them in the main community at moderate k.
+                if self._rng.random() < 0.5:
+                    self._add_carrier_uplinks(asn, pool)
+                members.append(asn)
+            self._mesh(members)
+            for asn in members:
+                self._join_ixp(spec.name, spec.country, asn)
+
+    # ------------------------------------------------------------------
+    # Regional multi-homing cliques (root communities)
+    # ------------------------------------------------------------------
+    def _build_regional_groups(
+        self, providers_by_country: dict[str, list[int]], pool: list[int]
+    ) -> None:
+        cfg = self.config
+        glo, ghi = cfg.regional_groups_per_country
+        clo, chi = cfg.regional_customers
+        for country, providers in providers_by_country.items():
+            if len(providers) < 2:
+                continue
+            for _ in range(cfg.scaled(self._rng.randint(glo, ghi))):
+                n_homes = self._rng.randint(2, min(4, len(providers)))
+                # Multi-homed customers prefer the best-connected national
+                # providers, so root communities inherit members that also
+                # sit in the main community (Section 4's overlap story).
+                weights = [1 + self._uplinks.get(p, 0) ** 2 for p in providers]
+                homes: list[int] = []
+                candidates = list(providers)
+                cand_weights = list(weights)
+                for _ in range(n_homes):
+                    pick = self._rng.choices(range(len(candidates)), weights=cand_weights)[0]
+                    homes.append(candidates.pop(pick))
+                    cand_weights.pop(pick)
+                customers = [
+                    self._new_as("regional_customer", countries={country})
+                    for _ in range(self._rng.randint(clo, chi))
+                ]
+                for c in customers:
+                    for p in homes:
+                        self._graph.add_edge(c, p)
+                if self._rng.random() < cfg.regional_mesh_probability:
+                    self._mesh(customers)
+                    # The meshed clique reaches order len(homes) +
+                    # len(customers); boosting the primary home keeps
+                    # it co-resident in the main community there.
+                    self._add_carrier_uplinks(
+                        homes[0], pool, boost=len(homes) + len(customers) + 1
+                    )
+
+    # ------------------------------------------------------------------
+    # Stubs
+    # ------------------------------------------------------------------
+    def _build_stubs(self, providers_by_country: dict[str, list[int]]) -> None:
+        cfg = self.config
+        countries = list(providers_by_country)
+        for _ in range(cfg.scaled(cfg.n_stubs)):
+            country = self._rng.choice(countries)
+            providers = providers_by_country[country]
+            known = self._rng.random() >= cfg.unknown_geo_fraction
+            asn = self._new_as("stub", countries={country} if known else None)
+            roll = self._rng.random()
+            n_homes = 1 if roll < 0.4 else (2 if roll < 0.85 else 3)
+            for p in self._rng.sample(providers, min(n_homes, len(providers))):
+                self._graph.add_edge(asn, p)
+
+    def _build_carrier_stubs(self, pool: list[int], rankings: dict[str, list[int]]) -> None:
+        """Customer cones of the big carriers: the source of crown ODF."""
+        cfg = self.config
+        # Weight carriers by rank so the top of each ranking gets the
+        # heaviest cone, mimicking the paper's huge crown degrees.
+        weighted: list[int] = []
+        for ranking in rankings.values():
+            for position, asn in enumerate(ranking):
+                weighted.extend([asn] * max(1, (len(ranking) - position) // 3))
+        weighted.extend(pool * 2)
+        for _ in range(cfg.scaled(cfg.n_carrier_stubs)):
+            carrier = self._rng.choice(weighted)
+            carrier_countries = self._geo.get(carrier, set())
+            country = (
+                self._rng.choice(sorted(carrier_countries))
+                if carrier_countries
+                else self._rng.choice(_EU_COUNTRIES)
+            )
+            asn = self._new_as("carrier_stub", countries={country})
+            self._graph.add_edge(asn, carrier)
+            if self._rng.random() < 0.35:
+                second = self._rng.choice(weighted)
+                if second != asn and not self._graph.has_edge(asn, second):
+                    self._graph.add_edge(asn, second)
+
+    # ------------------------------------------------------------------
+    # Isolated customer triangles (parallel 3-clique communities)
+    # ------------------------------------------------------------------
+    def _build_isolated_triangles(self, providers_by_country: dict[str, list[int]]) -> None:
+        cfg = self.config
+        countries = list(providers_by_country)
+        for index in range(cfg.scaled(cfg.n_isolated_triangles)):
+            country = self._rng.choice(countries)
+            n_members = 4 if self._rng.random() < 0.3 else 3
+            members = [
+                self._new_as("triangle_member", countries={country})
+                for _ in range(n_members)
+            ]
+            self._mesh(members[:3])
+            if n_members == 4:
+                # Two triangles sharing an edge: a parallel 3-clique
+                # community of size 4.
+                self._graph.add_edge(members[3], members[0])
+                self._graph.add_edge(members[3], members[1])
+            providers = providers_by_country[country]
+            if len(providers) >= 3 and index % 8 != 0:
+                # The gateway member homes onto two (meshed) providers,
+                # so it also belongs to the main 3-clique community —
+                # the parallel triangle shares exactly that one AS with
+                # the main community.
+                for p in self._rng.sample(providers, 2):
+                    self._graph.add_edge(members[0], p)
+            else:
+                # A few communities keep a single bridge edge and share
+                # no AS with the main community — the paper found 6
+                # such exceptions.
+                self._graph.add_edge(members[0], self._rng.choice(providers))
+
+    # ------------------------------------------------------------------
+    # Connectivity guarantee
+    # ------------------------------------------------------------------
+    def _connect_components(self, tier1: list[int]) -> None:
+        from ..graph.components import connected_components
+
+        components = connected_components(self._graph)
+        anchor = tier1[0]
+        for component in components[1:]:
+            node = next(iter(component))
+            self._graph.add_edge(node, anchor)
+
+
+def generate_topology(
+    config: GeneratorConfig | None = None, *, seed: int = 42
+) -> ASDataset:
+    """One-call convenience: build the synthetic April-2010-like dataset."""
+    return InternetTopologyGenerator(config, seed=seed).generate()

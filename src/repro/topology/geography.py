@@ -1,0 +1,172 @@
+"""Geographical dataset (Section 2.3).
+
+The paper associates each AS with the list of countries where it has at
+least one point of presence (MaxMind GeoLite, April 2010; 34,190 ASes
+geolocated).  We reproduce the same *shape* of data offline: a
+:class:`GeoRegistry` mapping AS numbers to country sets, a static
+country→continent table, and the derived tags of Section 2.4:
+
+* **national** — all locations in one country;
+* **continental** — more than one country, all in one continent;
+* **worldwide** — locations in at least two continents;
+* **unknown** — AS absent from the registry (mostly low-degree stubs).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Mapping
+from enum import Enum
+
+__all__ = ["Continent", "GeoTag", "GeoRegistry", "COUNTRY_CONTINENT", "continent_of"]
+
+
+class Continent(str, Enum):
+    EUROPE = "EU"
+    NORTH_AMERICA = "NA"
+    SOUTH_AMERICA = "SA"
+    ASIA = "AS"
+    AFRICA = "AF"
+    OCEANIA = "OC"
+
+
+class GeoTag(str, Enum):
+    """The geographic tag categories of Table 2.2."""
+
+    NATIONAL = "national"
+    CONTINENTAL = "continental"
+    WORLDWIDE = "worldwide"
+    UNKNOWN = "unknown"
+
+
+#: ISO-3166-style country code -> continent.  Covers the countries the
+#: paper's analysis names (IXP host countries of Sections 4.1-4.3) plus
+#: enough others for realistic synthetic topologies.
+COUNTRY_CONTINENT: dict[str, Continent] = {
+    # Europe
+    "NL": Continent.EUROPE, "DE": Continent.EUROPE, "GB": Continent.EUROPE,
+    "FR": Continent.EUROPE, "IT": Continent.EUROPE, "ES": Continent.EUROPE,
+    "CH": Continent.EUROPE, "AT": Continent.EUROPE, "SE": Continent.EUROPE,
+    "NO": Continent.EUROPE, "DK": Continent.EUROPE, "FI": Continent.EUROPE,
+    "PL": Continent.EUROPE, "CZ": Continent.EUROPE, "SK": Continent.EUROPE,
+    "HU": Continent.EUROPE, "RO": Continent.EUROPE, "BG": Continent.EUROPE,
+    "GR": Continent.EUROPE, "PT": Continent.EUROPE, "IE": Continent.EUROPE,
+    "BE": Continent.EUROPE, "LU": Continent.EUROPE, "UA": Continent.EUROPE,
+    "RU": Continent.EUROPE,  # paper treats RU IXPs (MSK-IX, SPB-IX, KhIX) as European-side
+    "TR": Continent.EUROPE, "RS": Continent.EUROPE, "HR": Continent.EUROPE,
+    "SI": Continent.EUROPE, "EE": Continent.EUROPE, "LV": Continent.EUROPE,
+    "LT": Continent.EUROPE, "IS": Continent.EUROPE,
+    # North America
+    "US": Continent.NORTH_AMERICA, "CA": Continent.NORTH_AMERICA,
+    "MX": Continent.NORTH_AMERICA, "PA": Continent.NORTH_AMERICA,
+    # South America
+    "BR": Continent.SOUTH_AMERICA, "AR": Continent.SOUTH_AMERICA,
+    "CL": Continent.SOUTH_AMERICA, "CO": Continent.SOUTH_AMERICA,
+    "PE": Continent.SOUTH_AMERICA, "EC": Continent.SOUTH_AMERICA,
+    # Asia
+    "JP": Continent.ASIA, "CN": Continent.ASIA, "KR": Continent.ASIA,
+    "IN": Continent.ASIA, "SG": Continent.ASIA, "HK": Continent.ASIA,
+    "TW": Continent.ASIA, "TH": Continent.ASIA, "MY": Continent.ASIA,
+    "ID": Continent.ASIA, "PH": Continent.ASIA, "VN": Continent.ASIA,
+    "IL": Continent.ASIA, "AE": Continent.ASIA, "SA": Continent.ASIA,
+    "PK": Continent.ASIA, "BD": Continent.ASIA,
+    # Africa
+    "ZA": Continent.AFRICA, "EG": Continent.AFRICA, "NG": Continent.AFRICA,
+    "KE": Continent.AFRICA, "MA": Continent.AFRICA, "TN": Continent.AFRICA,
+    "GH": Continent.AFRICA, "AO": Continent.AFRICA,
+    # Oceania
+    "AU": Continent.OCEANIA, "NZ": Continent.OCEANIA, "FJ": Continent.OCEANIA,
+}
+
+
+def continent_of(country: str) -> Continent:
+    """The continent of a country code; raises ``KeyError`` if unknown."""
+    return COUNTRY_CONTINENT[country]
+
+
+class GeoRegistry:
+    """AS -> set of country codes with at least one point of presence.
+
+    ASes not present are *unknown* (Section 2.4: mostly low-degree stub
+    ASes whose geolocation was not discovered).
+    """
+
+    def __init__(self, locations: Mapping[int, Iterable[str]] | None = None) -> None:
+        self._countries: dict[int, frozenset[str]] = {}
+        if locations:
+            for asn, countries in locations.items():
+                self.assign(asn, countries)
+
+    def assign(self, asn: int, countries: Iterable[str]) -> None:
+        """Record the country presence list of ``asn`` (replacing any prior)."""
+        country_set = frozenset(countries)
+        for code in country_set:
+            if code not in COUNTRY_CONTINENT:
+                raise KeyError(f"unknown country code {code!r} for AS{asn}")
+        if not country_set:
+            raise ValueError(f"AS{asn}: empty country list; omit the AS instead")
+        self._countries[asn] = country_set
+
+    def __contains__(self, asn: int) -> bool:
+        return asn in self._countries
+
+    def __len__(self) -> int:
+        return len(self._countries)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._countries)
+
+    def countries(self, asn: int) -> frozenset[str]:
+        """Country presence of ``asn``; empty frozenset when unknown."""
+        return self._countries.get(asn, frozenset())
+
+    def continents(self, asn: int) -> frozenset[Continent]:
+        """The continents covered by ``asn``'s country presence."""
+        return frozenset(COUNTRY_CONTINENT[c] for c in self.countries(asn))
+
+    def tag(self, asn: int) -> GeoTag:
+        """The Section 2.4 geographic tag of ``asn``."""
+        countries = self.countries(asn)
+        if not countries:
+            return GeoTag.UNKNOWN
+        if len(countries) == 1:
+            return GeoTag.NATIONAL
+        if len(self.continents(asn)) == 1:
+            return GeoTag.CONTINENTAL
+        return GeoTag.WORLDWIDE
+
+    def ases_in_country(self, country: str) -> set[int]:
+        """All registered ASes with a presence in ``country``.
+
+        The node set of the country-induced subgraph [24] used in the
+        root-community analysis (Section 4.3).
+        """
+        return {asn for asn, countries in self._countries.items() if country in countries}
+
+    def all_countries(self) -> set[str]:
+        """Every country appearing in the registry."""
+        return {c for countries in self._countries.values() for c in countries}
+
+    # ------------------------------------------------------------------
+    # Serialisation (TSV: asn <tab> comma-separated country codes)
+    # ------------------------------------------------------------------
+    def to_tsv(self) -> str:
+        """Serialise as 'asn<TAB>countries' lines."""
+        lines = [
+            f"{asn}\t{','.join(sorted(countries))}"
+            for asn, countries in sorted(self._countries.items())
+        ]
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    @classmethod
+    def from_tsv(cls, text: str) -> "GeoRegistry":
+        registry = cls()
+        for raw in text.splitlines():
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            asn_part, countries_part = line.split("\t")
+            registry.assign(int(asn_part), countries_part.split(","))
+        return registry
+
+    def __repr__(self) -> str:
+        return f"GeoRegistry(ases={len(self)}, countries={len(self.all_countries())})"

@@ -1,0 +1,181 @@
+"""IXP dataset (Section 2.2).
+
+An Internet Exchange Point is a colocation facility where participant
+ASes establish BGP sessions directly.  The paper's IXP dataset covers
+232 IXPs active in April 2010, each with a geographic location and a
+participant list; ASes participating in IXPs create the well-connected
+zones the crown communities live in ([10], [12]).
+
+This module models that dataset: :class:`IXP` records and an
+:class:`IXPRegistry` supporting the queries the analysis needs —
+on-IXP tagging (Table 2.1), IXP-induced node sets, and the
+max-share-IXP / full-share-IXP resolution of Section 4.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Iterator
+from dataclasses import dataclass, field
+
+from ..graph.subgraph import containment_fraction
+
+__all__ = ["IXP", "IXPRegistry", "IXPShare"]
+
+
+@dataclass(frozen=True)
+class IXP:
+    """One Internet Exchange Point."""
+
+    name: str
+    country: str
+    participants: frozenset[int] = field(repr=False)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("IXP needs a non-empty name")
+
+    @property
+    def size(self) -> int:
+        return len(self.participants)
+
+    def __contains__(self, asn: int) -> bool:
+        return asn in self.participants
+
+    def __repr__(self) -> str:
+        return f"IXP({self.name}, {self.country}, participants={self.size})"
+
+
+@dataclass(frozen=True)
+class IXPShare:
+    """How much of a community one IXP covers (Section 4 terminology).
+
+    ``fraction`` is the share of the community's members participating
+    in the IXP.  A *full-share* IXP has fraction 1.0 (the community is
+    a subgraph of the IXP-induced subgraph); the *max-share* IXP is the
+    one maximising the fraction (ties broken by larger shared count,
+    then name).
+    """
+
+    ixp_name: str
+    shared: int
+    fraction: float
+
+    @property
+    def is_full_share(self) -> bool:
+        return self.fraction == 1.0
+
+
+class IXPRegistry:
+    """All IXPs of a dataset, indexed by name and by participant."""
+
+    def __init__(self, ixps: Iterable[IXP] = ()) -> None:
+        self._ixps: dict[str, IXP] = {}
+        self._of_as: dict[int, set[str]] = {}
+        for ixp in ixps:
+            self.add(ixp)
+
+    def add(self, ixp: IXP) -> None:
+        """Register an IXP (names must be unique)."""
+        if ixp.name in self._ixps:
+            raise ValueError(f"duplicate IXP name {ixp.name!r}")
+        self._ixps[ixp.name] = ixp
+        for asn in ixp.participants:
+            self._of_as.setdefault(asn, set()).add(ixp.name)
+
+    def __len__(self) -> int:
+        return len(self._ixps)
+
+    def __iter__(self) -> Iterator[IXP]:
+        return iter(self._ixps.values())
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._ixps
+
+    def __getitem__(self, name: str) -> IXP:
+        try:
+            return self._ixps[name]
+        except KeyError as exc:
+            raise KeyError(f"no IXP named {name!r}") from exc
+
+    def names(self) -> list[str]:
+        """Sorted IXP names."""
+        return sorted(self._ixps)
+
+    # ------------------------------------------------------------------
+    # Tagging and share analysis
+    # ------------------------------------------------------------------
+    def is_on_ixp(self, asn: int) -> bool:
+        """The Section 2.4 tag: AS belongs to >= 1 IXP participant list."""
+        return asn in self._of_as
+
+    def ixps_of(self, asn: int) -> set[str]:
+        """Names of the IXPs ``asn`` participates in (empty if none)."""
+        return set(self._of_as.get(asn, ()))
+
+    def on_ixp_ases(self) -> set[int]:
+        """All ASes participating in at least one IXP."""
+        return set(self._of_as)
+
+    def participant_sets(self) -> dict[str, frozenset[int]]:
+        """IXP name -> participant set (IXP-induced node sets, [24])."""
+        return {name: ixp.participants for name, ixp in self._ixps.items()}
+
+    def shares_of(self, members: set[Hashable]) -> list[IXPShare]:
+        """Every IXP's share of a community, best first.
+
+        Only IXPs actually intersecting the member set are reported.
+        Candidate IXPs are gathered through the participant index so
+        the scan is proportional to the community size, not to the
+        registry size.
+        """
+        candidates: set[str] = set()
+        for asn in members:
+            candidates |= self._of_as.get(asn, set())
+        shares = []
+        for name in candidates:
+            participants = self._ixps[name].participants
+            shared = len(members & participants)
+            shares.append(
+                IXPShare(
+                    ixp_name=name,
+                    shared=shared,
+                    fraction=containment_fraction(set(members), set(participants)),
+                )
+            )
+        shares.sort(key=lambda s: (-s.fraction, -s.shared, s.ixp_name))
+        return shares
+
+    def max_share(self, members: set[Hashable]) -> IXPShare | None:
+        """The max-share-IXP of a community (None if no IXP intersects it)."""
+        shares = self.shares_of(members)
+        return shares[0] if shares else None
+
+    def full_shares(self, members: set[Hashable]) -> list[IXPShare]:
+        """All full-share IXPs of a community (often empty)."""
+        return [s for s in self.shares_of(members) if s.is_full_share]
+
+    # ------------------------------------------------------------------
+    # Serialisation (TSV: name <tab> country <tab> comma-separated ASNs)
+    # ------------------------------------------------------------------
+    def to_tsv(self) -> str:
+        """Serialise as 'name<TAB>country<TAB>asns' lines."""
+        lines = [
+            f"{ixp.name}\t{ixp.country}\t{','.join(map(str, sorted(ixp.participants)))}"
+            for ixp in sorted(self._ixps.values(), key=lambda x: x.name)
+        ]
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    @classmethod
+    def from_tsv(cls, text: str) -> "IXPRegistry":
+        registry = cls()
+        for raw in text.splitlines():
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            name, country, members = line.split("\t")
+            participants = frozenset(int(x) for x in members.split(",") if x)
+            registry.add(IXP(name=name, country=country, participants=participants))
+        return registry
+
+    def __repr__(self) -> str:
+        return f"IXPRegistry(ixps={len(self)}, on_ixp_ases={len(self._of_as)})"

@@ -1,0 +1,111 @@
+"""Parsers for the real datasets' public file formats.
+
+The synthetic generator stands in for the paper's inputs, but the
+pipeline accepts the originals: these parsers read the public CAIDA
+formats so that, given the actual April-2010 files, the identical
+analysis reproduces the paper's absolute numbers.
+
+* **AS-links** (the IPv4 Routed /24 AS Links dataset [15]): lines like
+  ``D|1239|3257|...`` (direct link) and ``I|1239|7018|...`` (indirect,
+  from unresponsive-hop gaps); ``#`` comments.  Multi-origin fields may
+  carry underscore-joined ASNs (``174_3356``), which are expanded
+  pairwise-conservatively: each listed ASN links to the other side.
+* **AS-relationships** (CAIDA serial-1): ``provider|customer|-1`` and
+  ``peer|peer|0`` lines, read into a
+  :class:`repro.routing.relationships.RelationshipMap`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from pathlib import Path
+
+from ..graph.undirected import Graph
+
+__all__ = ["parse_as_links", "read_as_links", "parse_as_relationships", "read_as_relationships"]
+
+
+class RealDataError(ValueError):
+    """Raised on malformed real-dataset lines."""
+
+
+def _expand_asns(field: str) -> list[int]:
+    """One AS-links endpoint field: an ASN or underscore-joined MOAS set."""
+    try:
+        return [int(token) for token in field.split("_")]
+    except ValueError as exc:
+        raise RealDataError(f"cannot parse ASN field {field!r}") from exc
+
+
+def parse_as_links(
+    lines: Iterable[str],
+    *,
+    include_indirect: bool = True,
+) -> Graph:
+    """Build a graph from CAIDA AS-links text.
+
+    Only ``D`` (direct) and — unless disabled — ``I`` (indirect)
+    records produce edges; other record types (``T``, ``M``…, carrying
+    monitor metadata) are skipped, as are comments and blanks.
+    """
+    graph = Graph()
+    wanted = {"D", "I"} if include_indirect else {"D"}
+    for lineno, raw in enumerate(lines, start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        fields = line.split("|")
+        record = fields[0]
+        if record not in {"D", "I", "T", "M"}:
+            raise RealDataError(f"line {lineno}: unknown record type {record!r}")
+        if record not in wanted or len(fields) < 3:
+            continue
+        for left in _expand_asns(fields[1]):
+            for right in _expand_asns(fields[2]):
+                if left != right:
+                    graph.add_edge(left, right)
+    return graph
+
+
+def read_as_links(path: str | Path, **kwargs) -> Graph:
+    """Read a CAIDA AS-links file from disk."""
+    with open(path, encoding="utf-8") as handle:
+        return parse_as_links(handle, **kwargs)
+
+
+def parse_as_relationships(lines: Iterable[str]):
+    """Build a RelationshipMap from CAIDA serial-1 relationship text.
+
+    Lines are ``<as1>|<as2>|<code>`` with code -1 (as1 is the provider
+    of as2) or 0 (peers).  Siblings (code 2, rare) are mapped to
+    peering — the closest expressible semantics.
+    """
+    from ..routing.relationships import RelationshipMap
+
+    relationships = RelationshipMap()
+    for lineno, raw in enumerate(lines, start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        fields = line.split("|")
+        if len(fields) < 3:
+            raise RealDataError(f"line {lineno}: expected as1|as2|code, got {line!r}")
+        try:
+            as1, as2, code = int(fields[0]), int(fields[1]), int(fields[2])
+        except ValueError as exc:
+            raise RealDataError(f"line {lineno}: cannot parse {line!r}") from exc
+        if code == -1:
+            relationships.add_customer_provider(customer=as2, provider=as1)
+        elif code in (0, 2):
+            relationships.add_peering(as1, as2)
+        elif code == 1:
+            relationships.add_customer_provider(customer=as1, provider=as2)
+        else:
+            raise RealDataError(f"line {lineno}: unknown relationship code {code}")
+    return relationships
+
+
+def read_as_relationships(path: str | Path):
+    """Read a CAIDA serial-1 relationship file from disk."""
+    with open(path, encoding="utf-8") as handle:
+        return parse_as_relationships(handle)

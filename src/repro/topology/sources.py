@@ -1,0 +1,184 @@
+"""Measurement-source simulators (Section 2.1 substitution).
+
+The paper's Topology dataset merges three measurement collections —
+the CAIDA IPv4 Routed /24 AS Links dataset [15], DIMES [1] and the UCLA
+IRL Internet Topology Collection [2] — each of which observes a biased
+subset of the true AS-level topology plus some spurious links.  With
+the original collections unavailable offline, this module simulates the
+*observation process*: a :class:`MeasurementSource` samples the edges a
+vantage-point campaign would see from a ground-truth graph.
+
+The observation model is path-based, like the underlying traceroute/BGP
+collection: each vantage point discovers the edges on shortest paths
+toward a sample of destinations.  High-degree core links appear on many
+paths (observed by every source); peripheral links are seen only by
+sources with a nearby vantage point — reproducing the
+coverage-disagreement between collections that makes merging worthwhile
+(the motivation of [10]).  A small rate of *spurious* edges (false AS
+adjacencies from aliasing/IXP artifacts) is injected per source and
+tagged, so the cleaning stage of :mod:`repro.topology.merge` has real
+work to do and can be validated against ground truth.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from dataclasses import dataclass, field
+
+from ..graph.undirected import Graph
+
+__all__ = ["ObservedDataset", "MeasurementSource", "default_sources", "observe_all"]
+
+
+@dataclass
+class ObservedDataset:
+    """The output of one measurement campaign."""
+
+    source_name: str
+    edges: set[frozenset]
+    #: Edges injected by the noise model (absent from the ground truth).
+    #: Carried for validation only — the merge pipeline must not peek.
+    spurious: set[frozenset] = field(default_factory=set)
+
+    @property
+    def n_edges(self) -> int:
+        return len(self.edges)
+
+    def as_graph(self) -> Graph:
+        """The observed edges as a Graph."""
+        graph = Graph()
+        for edge in self.edges:
+            u, v = tuple(edge)
+            graph.add_edge(u, v)
+        return graph
+
+
+@dataclass(frozen=True)
+class MeasurementSource:
+    """One vantage-point campaign definition.
+
+    ``n_vantage_points`` BGP/traceroute monitors, each tracing towards
+    ``destinations_per_vp`` random destination ASes; ``spurious_rate``
+    false adjacencies are added per thousand observed edges.
+
+    ``core_biased`` places vantage points proportionally to degree —
+    the reality of BGP collectors (Route Views / RIPE RIS peers are
+    large carriers), and the reason merged datasets cover the dense
+    core: same-depth peering edges (IXP meshes, the Tier-1 clique) lie
+    on *no* shortest-path tree from a distant monitor, so they are only
+    seen as the first-hop adjacency of a monitor hosted at a core AS.
+    Each vantage point therefore also contributes its full neighbor
+    set (its BGP session list).  ``core_biased=False`` models
+    host-based agent swarms (DIMES-style), which systematically miss
+    the core mesh — the measurement bias that motivates merging.
+    """
+
+    name: str
+    n_vantage_points: int
+    destinations_per_vp: int
+    spurious_rate_per_mille: float = 2.0
+    core_biased: bool = True
+
+    def observe(self, truth: Graph, rng: random.Random) -> ObservedDataset:
+        """Run the campaign against the ground-truth topology."""
+        nodes = sorted(truth.nodes())
+        if not nodes:
+            return ObservedDataset(self.name, set())
+        observed: set[frozenset] = set()
+        vantage_points = self._place_vantage_points(truth, nodes, rng)
+        for vp in vantage_points:
+            # The monitor's own BGP sessions are all visible.
+            for neighbor in truth.neighbors(vp):
+                observed.add(frozenset((vp, neighbor)))
+            destinations = rng.sample(nodes, min(self.destinations_per_vp, len(nodes)))
+            observed |= _edges_on_shortest_paths(truth, vp, set(destinations))
+        spurious: set[frozenset] = set()
+        n_spurious = int(len(observed) * self.spurious_rate_per_mille / 1000.0)
+        attempts = 0
+        while len(spurious) < n_spurious and attempts < n_spurious * 50:
+            attempts += 1
+            u, v = rng.sample(nodes, 2)
+            edge = frozenset((u, v))
+            if not truth.has_edge(u, v) and edge not in spurious:
+                spurious.add(edge)
+        return ObservedDataset(self.name, observed | spurious, spurious)
+
+    def _place_vantage_points(self, truth: Graph, nodes: list, rng: random.Random) -> list:
+        count = min(self.n_vantage_points, len(nodes))
+        if not self.core_biased:
+            return rng.sample(nodes, count)
+        # Core-biased collectors mirror Route Views / RIPE RIS: half the
+        # monitors sit at the largest carriers outright (collectors are
+        # hosted at the major IXPs and peer with the top networks), the
+        # rest land degree-weighted across the graph.
+        by_degree = sorted(nodes, key=lambda n: (-truth.degree(n), n))
+        pinned = by_degree[: count // 2]
+        chosen = list(pinned)
+        pool = [n for n in nodes if n not in set(pinned)]
+        weights = [truth.degree(n) + 1 for n in pool]
+        for _ in range(count - len(chosen)):
+            if not pool:
+                break
+            pick = rng.choices(range(len(pool)), weights=weights)[0]
+            chosen.append(pool.pop(pick))
+            weights.pop(pick)
+        return chosen
+
+
+def _edges_on_shortest_paths(graph: Graph, source, destinations: set) -> set[frozenset]:
+    """Edges on one BFS shortest-path tree from ``source`` to ``destinations``.
+
+    A single parent per node models the best-path selection of BGP: the
+    campaign sees *a* shortest path per destination, not all of them.
+    """
+    parent: dict = {source: None}
+    queue = deque([source])
+    remaining = set(destinations) - {source}
+    while queue and remaining:
+        node = queue.popleft()
+        for neighbor in graph.neighbors(node):
+            if neighbor not in parent:
+                parent[neighbor] = node
+                remaining.discard(neighbor)
+                queue.append(neighbor)
+    edges: set[frozenset] = set()
+    for dest in destinations:
+        cursor = dest
+        while cursor in parent and parent[cursor] is not None:
+            edges.add(frozenset((cursor, parent[cursor])))
+            cursor = parent[cursor]
+    return edges
+
+
+def default_sources() -> list[MeasurementSource]:
+    """The three campaign profiles mirroring [15], [1] and [2].
+
+    The profiles differ in vantage-point count and per-VP reach, like
+    the real collections: CAIDA-like (few dedicated monitors, broad
+    destination sweep), DIMES-like (many light agents), IRL-like
+    (BGP-table-driven, widest edge coverage per VP).
+    """
+    return [
+        MeasurementSource("ipv4-routed-24-links", n_vantage_points=12, destinations_per_vp=900),
+        MeasurementSource(
+            "dimes", n_vantage_points=60, destinations_per_vp=150, core_biased=False
+        ),
+        MeasurementSource("irl-topology", n_vantage_points=25, destinations_per_vp=500),
+    ]
+
+
+def observe_all(
+    truth: Graph,
+    sources: list[MeasurementSource] | None = None,
+    *,
+    seed: int = 0,
+) -> list[ObservedDataset]:
+    """Run every campaign (each with an independent, seed-derived RNG)."""
+    campaigns = sources if sources is not None else default_sources()
+    # String-keyed seeding is stable across processes (tuple hashes of
+    # strings are randomised per interpreter by PYTHONHASHSEED).
+    return [
+        source.observe(truth, random.Random(f"{seed}:{source.name}"))
+        for source in campaigns
+    ]

@@ -1,0 +1,89 @@
+"""Tagging (Section 2.4): correlate topology, IXP and geography datasets.
+
+An AS is **on-IXP** if it appears in at least one IXP participant list,
+otherwise **not-on-IXP** (Table 2.1).  Geographically an AS is
+**national**, **continental**, **worldwide** or **unknown** (Table 2.2)
+— see :class:`repro.topology.geography.GeoRegistry`.
+
+Only ASes present in the Topology dataset are counted: the tables
+summarise the tagging of the topology's node set, with side-dataset
+entries for unseen ASes ignored (the paper's tables sum to 35,390, the
+topology size).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+from .geography import GeoRegistry, GeoTag
+from .ixp import IXPRegistry
+
+__all__ = ["IXPTagSummary", "GeoTagSummary", "TagSummary", "summarize_tags"]
+
+
+@dataclass(frozen=True)
+class IXPTagSummary:
+    """Row counts of Table 2.1."""
+
+    on_ixp: int
+    not_on_ixp: int
+
+    @property
+    def total(self) -> int:
+        return self.on_ixp + self.not_on_ixp
+
+    @property
+    def on_ixp_fraction(self) -> float:
+        return self.on_ixp / self.total if self.total else 0.0
+
+
+@dataclass(frozen=True)
+class GeoTagSummary:
+    """Row counts of Table 2.2."""
+
+    national: int
+    continental: int
+    worldwide: int
+    unknown: int
+
+    @property
+    def total(self) -> int:
+        return self.national + self.continental + self.worldwide + self.unknown
+
+    def count(self, tag: GeoTag) -> int:
+        """The count of the given geographic tag."""
+        return getattr(self, tag.value)
+
+
+@dataclass(frozen=True)
+class TagSummary:
+    """Both tag tables plus per-AS accessors."""
+
+    ixp: IXPTagSummary
+    geo: GeoTagSummary
+
+
+def summarize_tags(
+    ases: Iterable[int],
+    ixps: IXPRegistry,
+    geography: GeoRegistry,
+) -> TagSummary:
+    """Compute Tables 2.1 and 2.2 over the topology's AS set."""
+    on_ixp = 0
+    geo_counts = {tag: 0 for tag in GeoTag}
+    total = 0
+    for asn in ases:
+        total += 1
+        if ixps.is_on_ixp(asn):
+            on_ixp += 1
+        geo_counts[geography.tag(asn)] += 1
+    return TagSummary(
+        ixp=IXPTagSummary(on_ixp=on_ixp, not_on_ixp=total - on_ixp),
+        geo=GeoTagSummary(
+            national=geo_counts[GeoTag.NATIONAL],
+            continental=geo_counts[GeoTag.CONTINENTAL],
+            worldwide=geo_counts[GeoTag.WORLDWIDE],
+            unknown=geo_counts[GeoTag.UNKNOWN],
+        ),
+    )

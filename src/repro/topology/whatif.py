@@ -1,0 +1,95 @@
+"""Counterfactual topology edits: what-if analysis.
+
+The paper's interpretation invites planning questions the library can
+now answer mechanically: *what if country X opened an IXP?*  or *what
+if an IXP lost its fabric?*  These helpers apply the counterfactual to
+a dataset copy (the original is never touched) and return the modified
+bundle ready for re-extraction; diffing the two hierarchies with
+:mod:`repro.compare` quantifies the community-level effect.
+
+Both edits keep the side datasets consistent: a new IXP registers its
+participants; a removed fabric keeps the registry entry (membership is
+a contract, the mesh is infrastructure) so tag analyses remain
+comparable across the counterfactual.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+
+from ..graph.undirected import Graph
+from .dataset import ASDataset
+from .ixp import IXP
+
+__all__ = ["add_ixp", "remove_ixp_fabric"]
+
+
+def add_ixp(
+    dataset: ASDataset,
+    *,
+    name: str,
+    country: str,
+    n_members: int,
+    seed: int = 0,
+) -> ASDataset:
+    """A copy of ``dataset`` where ``country`` opens a new IXP.
+
+    ``n_members`` ASes with a presence in the country (preferring the
+    best-connected ones, as real IXPs bootstrap from the local
+    providers) are meshed and registered as participants.  Raises when
+    the country has fewer than two eligible ASes or the name is taken.
+    """
+    if name in dataset.ixps:
+        raise ValueError(f"IXP {name!r} already exists")
+    candidates = sorted(
+        (a for a in dataset.geography.ases_in_country(country) if a in dataset.graph),
+        key=lambda a: (-dataset.graph.degree(a), a),
+    )
+    if len(candidates) < 2:
+        raise ValueError(f"country {country!r} has fewer than two ASes to mesh")
+    rng = random.Random(f"{seed}:{name}")
+    n_members = min(n_members, len(candidates))
+    # Half the membership is the local top; the rest sampled.
+    anchor_count = max(2, n_members // 2)
+    members = candidates[:anchor_count]
+    pool = [a for a in candidates[anchor_count:]]
+    while len(members) < n_members and pool:
+        members.append(pool.pop(rng.randrange(len(pool))))
+
+    graph = dataset.graph.copy()
+    for i, u in enumerate(members):
+        for v in members[i + 1 :]:
+            if not graph.has_edge(u, v):
+                graph.add_edge(u, v)
+    ixps = _copy_registry(dataset)
+    ixps.add(IXP(name=name, country=country, participants=frozenset(members)))
+    return dataclasses.replace(dataset, graph=graph, ixps=ixps)
+
+
+def remove_ixp_fabric(dataset: ASDataset, name: str) -> ASDataset:
+    """A copy of ``dataset`` where the named IXP's peering mesh is gone.
+
+    Every edge between two of the IXP's participants is removed —
+    the infrastructure-failure counterfactual.  The registry entry
+    stays (the ASes are still members; there is just nothing to peer
+    over), so on-IXP tags are unchanged and the community-level diff
+    isolates the *topological* role of the fabric.
+    """
+    participants = set(dataset.ixps[name].participants)
+    graph = Graph()
+    graph.add_nodes_from(dataset.graph.nodes())
+    for u, v in dataset.graph.edges():
+        if u in participants and v in participants:
+            continue
+        graph.add_edge(u, v)
+    return dataclasses.replace(dataset, graph=graph)
+
+
+def _copy_registry(dataset: ASDataset):
+    from .ixp import IXPRegistry
+
+    registry = IXPRegistry()
+    for ixp in dataset.ixps:
+        registry.add(ixp)
+    return registry

@@ -1,0 +1,61 @@
+"""Shared fixtures.
+
+The expensive artefacts (synthetic datasets and their CPM runs) are
+session-scoped: the default-profile dataset takes ~1 s of CPM, the tiny
+profile is near-instant, and dozens of analysis tests reuse both.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.analysis.context import AnalysisContext
+from repro.graph import Graph, ring_of_cliques
+from repro.topology.generator import GeneratorConfig, generate_topology
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset():
+    return generate_topology(GeneratorConfig.tiny(), seed=7)
+
+
+@pytest.fixture(scope="session")
+def tiny_context(tiny_dataset):
+    return AnalysisContext.from_dataset(tiny_dataset)
+
+
+@pytest.fixture(scope="session")
+def default_dataset():
+    return generate_topology(GeneratorConfig.default(), seed=42)
+
+
+@pytest.fixture(scope="session")
+def default_context(default_dataset):
+    return AnalysisContext.from_dataset(default_dataset)
+
+
+@pytest.fixture(scope="session")
+def paper_run(default_dataset):
+    from repro.report.paper import PaperRun
+
+    return PaperRun(default_dataset)
+
+
+@pytest.fixture()
+def rng():
+    return random.Random(1234)
+
+
+@pytest.fixture()
+def ring_graph() -> Graph:
+    """4 pentagon cliques joined in a ring — a standard CPM oracle."""
+    return ring_of_cliques(4, 5)
+
+
+def random_graph(n: int, p: float, seed: int) -> Graph:
+    """Deterministic G(n, p) helper for oracle comparisons."""
+    from repro.graph import erdos_renyi
+
+    return erdos_renyi(n, p, random.Random(seed))

@@ -1,0 +1,84 @@
+"""Tests for the Figure 4.1 census and Figure 4.3 size analyses."""
+
+import pytest
+
+from repro.analysis import CommunityCensus, SizeAnalysis
+from repro.core import extract_hierarchy
+from repro.graph import ring_of_cliques
+
+
+class TestCensusOnOracle:
+    @pytest.fixture(scope="class")
+    def census(self):
+        return CommunityCensus(extract_hierarchy(ring_of_cliques(4, 5)))
+
+    def test_series(self, census):
+        assert census.series() == [(2, 1), (3, 4), (4, 4), (5, 4)]
+
+    def test_total(self, census):
+        assert census.total_communities == 13
+
+    def test_unique_orders(self, census):
+        assert census.unique_orders() == [2]
+
+    def test_single_2_clique_community(self, census):
+        assert census.single_2_clique_community()
+
+    def test_band_count(self, census):
+        assert census.count_in_band(3, 4) == 8
+
+    def test_parallel_counts(self, census):
+        by_k = {row.k: row.n_parallel for row in census.rows}
+        assert by_k == {2: 0, 3: 3, 4: 3, 5: 3}
+
+
+class TestCensusOnDataset:
+    """Figure 4.1 shape claims on the synthetic Internet."""
+
+    def test_paper_shape(self, default_context):
+        census = CommunityCensus(default_context.hierarchy)
+        series = dict(census.series())
+        # Single 2-clique community (connected dataset).
+        assert census.single_2_clique_community()
+        # Low k: many communities; high k: few.
+        assert series[3] > 30
+        assert series[census.max_k] <= 5
+        # Unique orders exist in the mid band and at the apex.
+        uniques = census.unique_orders()
+        assert census.max_k in uniques
+        assert any(2 < k < census.max_k for k in uniques)
+        # Total in the paper's order of magnitude (scaled dataset).
+        assert 100 <= census.total_communities <= 1500
+
+
+class TestSizesOnDataset:
+    """Figure 4.3 shape claims."""
+
+    @pytest.fixture(scope="class")
+    def sizes(self, default_context):
+        return SizeAnalysis(default_context)
+
+    def test_main_monotone_nonincreasing(self, sizes):
+        assert sizes.main_is_monotone_nonincreasing()
+
+    def test_main_covers_graph_at_k2(self, sizes):
+        assert sizes.main_covers_graph_at_k2()
+
+    def test_main_shrinks_rapidly(self, sizes):
+        series = dict(sizes.main_series())
+        assert series[2] > 10 * series[10]
+
+    def test_parallel_sizes_near_k(self, sizes):
+        mean_ratio, max_ratio = sizes.parallel_size_ratio_stats()
+        # Paper: most parallel communities have size close to k.
+        assert 1.0 <= mean_ratio < 3.0
+        assert max_ratio < 20
+
+    def test_crossover_only_near_max_k(self, sizes, default_context):
+        crossover = sizes.crossover_k()
+        assert crossover is not None
+        # Main is comparable to parallels only deep in the crown band.
+        assert crossover > 0.7 * default_context.hierarchy.max_k
+
+    def test_every_community_has_a_point(self, sizes, default_context):
+        assert len(sizes.points) == default_context.hierarchy.total_communities

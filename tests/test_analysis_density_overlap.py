@@ -1,0 +1,92 @@
+"""Tests for the Figure 4.4 density/ODF analysis and the Section 4
+overlap-fraction analysis."""
+
+import pytest
+
+from repro.analysis import DensityOdfAnalysis, OverlapAnalysis
+
+
+class TestDensityOdf:
+    @pytest.fixture(scope="class")
+    def analysis(self, default_context):
+        return DensityOdfAnalysis(default_context)
+
+    def test_all_metrics_in_unit_interval(self, analysis):
+        for p in analysis.points:
+            assert 0.0 <= p.link_density <= 1.0
+            assert 0.0 <= p.average_odf <= 1.0
+
+    def test_main_density_low_then_high(self, analysis):
+        """Case 1 vs case 2: chains at low k, cliques in the crown."""
+        assert analysis.main_density_low_then_high()
+
+    def test_clique_like_top(self, analysis):
+        assert analysis.clique_like_top(threshold=0.9)
+
+    def test_low_k_main_density_is_low(self, analysis):
+        series = dict(analysis.main_density_series())
+        assert series[2] < 0.01
+        assert series[3] < 0.05
+
+    def test_main_odf_increases_to_crown(self, analysis):
+        assert analysis.main_odf_increases_to_crown()
+
+    def test_low_k_main_odf_is_low(self, analysis):
+        """Members of the giant low-k communities keep links internal."""
+        series = dict(analysis.main_odf_series())
+        assert series[2] == 0.0  # whole graph: nothing is external
+        assert series[3] < 0.3
+
+    def test_parallel_low_k_variability(self, analysis):
+        """Case 3: small parallel communities have variable density."""
+        assert analysis.parallel_variability(k_max=7) > 0.1
+
+    def test_series_cover_all_orders(self, analysis, default_context):
+        main_ks = [k for k, _ in analysis.main_density_series()]
+        assert main_ks == default_context.hierarchy.orders
+
+
+class TestOverlap:
+    @pytest.fixture(scope="class")
+    def analysis(self, default_context):
+        return OverlapAnalysis(default_context)
+
+    def test_rows_only_for_orders_with_parallels(self, analysis, default_context):
+        for row in analysis.rows:
+            assert len(default_context.hierarchy[row.k]) >= 2
+            assert row.n_parallel >= 1
+
+    def test_parallel_main_mean_is_substantial(self, analysis):
+        """Paper: 0.704 on the real graph; the synthetic graph must at
+        least show the same who-wins (most parallel members also sit in
+        the main community at mid/high k)."""
+        assert analysis.parallel_main_mean_over_k() > 0.4
+
+    def test_mean_fraction_bounds(self, analysis):
+        for row in analysis.rows:
+            assert 0.0 <= row.mean_parallel_main_fraction <= 1.0
+
+    def test_zero_overlap_is_rare_exception(self, analysis, default_context):
+        """Paper: 6 exceptions out of 627 communities."""
+        exceptions = analysis.total_zero_overlap_exceptions()
+        assert exceptions < 0.05 * default_context.hierarchy.total_communities
+
+    def test_crown_overlap_is_high(self, analysis, default_context):
+        """Crown parallels share the big-IXP carrier pool with main."""
+        max_k = default_context.hierarchy.max_k
+        crown_rows = [r for r in analysis.rows if r.k >= max_k - 5]
+        assert crown_rows
+        assert all(r.mean_parallel_main_fraction > 0.6 for r in crown_rows)
+
+    def test_parallel_parallel_more_variable_than_parallel_main(self, analysis):
+        """Paper: par-par variance 0.136 vs par-main 0.023."""
+        assert (
+            analysis.parallel_parallel_variance_over_k()
+            > analysis.parallel_main_variance_over_k()
+        )
+
+    def test_finding_b_disjoint_parallels_exist(self, analysis):
+        assert analysis.disjoint_parallel_pairs_exist()
+
+    def test_finding_c_strongly_overlapping_parallels_exist(self, analysis):
+        assert analysis.strongly_overlapping_parallel_pairs(threshold=0.5) > 0

@@ -1,0 +1,164 @@
+"""Tests for IXP-share, geography and crown/trunk/root band analyses."""
+
+import pytest
+
+from repro.analysis import (
+    GeoAnalysis,
+    IXPShareAnalysis,
+    common_continents,
+    common_countries,
+    crown_report,
+    derive_bands,
+    root_report,
+    trunk_report,
+)
+from repro.topology import GeoRegistry
+from repro.topology.geography import Continent
+
+
+@pytest.fixture(scope="module")
+def ixp_share(default_context):
+    return IXPShareAnalysis(default_context)
+
+
+@pytest.fixture(scope="module")
+def bands(ixp_share):
+    return derive_bands(ixp_share)
+
+
+@pytest.fixture(scope="module")
+def geo(default_context):
+    return GeoAnalysis(default_context)
+
+
+class TestIXPShare:
+    def test_record_per_community(self, ixp_share, default_context):
+        assert len(ixp_share.records) == default_context.hierarchy.total_communities
+
+    def test_high_k_communities_mostly_on_ixp(self, ixp_share):
+        """Paper: > 90% on-IXP members for every community with k >= 16."""
+        threshold = ixp_share.high_on_ixp_threshold(fraction=0.9)
+        assert threshold is not None
+        assert threshold <= 16
+
+    def test_full_share_communities_exist(self, ixp_share):
+        full = ixp_share.full_share_communities()
+        assert len(full) > 10
+        # Full shares appear at both ends of the k range, not the middle.
+        orders = ixp_share.full_share_orders()
+        assert min(orders) <= 8
+        assert max(orders) >= 25
+
+    def test_no_full_share_band_exists(self, ixp_share):
+        gap = ixp_share.no_full_share_band()
+        assert gap is not None
+        lo, hi = gap
+        assert lo < hi
+        for record in ixp_share.records:
+            if lo <= record.k <= hi:
+                assert not record.has_full_share
+
+    def test_crown_max_share_names(self, ixp_share, default_context):
+        """Paper: crown max-share IXPs are exactly the big three."""
+        names = ixp_share.max_share_names_from(default_context.hierarchy.max_k - 6)
+        assert names == {"AMS-IX", "DE-CIX", "LINX"}
+
+    def test_record_lookup(self, ixp_share):
+        record = ixp_share.record("k2id0")
+        assert record.k == 2
+        with pytest.raises(KeyError):
+            ixp_share.record("k99id99")
+
+
+class TestGeoHelpers:
+    def test_common_countries(self):
+        reg = GeoRegistry({1: ["IT"], 2: ["IT", "FR"], 3: ["IT", "US"]})
+        assert common_countries(reg, {1, 2, 3}) == {"IT"}
+        assert common_countries(reg, {2, 3}) == {"IT"}
+
+    def test_unknown_member_blocks_containment(self):
+        reg = GeoRegistry({1: ["IT"]})
+        assert common_countries(reg, {1, 99}) == frozenset()
+
+    def test_disjoint_members(self):
+        reg = GeoRegistry({1: ["IT"], 2: ["JP"]})
+        assert common_countries(reg, {1, 2}) == frozenset()
+
+    def test_common_continents(self):
+        reg = GeoRegistry({1: ["IT"], 2: ["FR", "US"]})
+        assert common_continents(reg, {1, 2}) == {Continent.EUROPE}
+
+
+class TestGeoAnalysis:
+    def test_records_per_community(self, geo, default_context):
+        assert len(geo.records) == default_context.hierarchy.total_communities
+
+    def test_root_communities_often_country_contained(self, geo, bands):
+        """Paper: 382 of the root communities are country-contained."""
+        contained = geo.country_contained(k_max=bands.root_max, parallel_only=True)
+        assert len(contained) > 50
+
+    def test_crown_is_european(self, geo, default_context):
+        k_min = default_context.hierarchy.max_k - 6
+        fraction = geo.continent_membership_fraction(Continent.EUROPE, k_min=k_min)
+        assert fraction > 0.85
+        exceptions = geo.non_continent_members(Continent.EUROPE, k_min=k_min)
+        assert len(exceptions) == 4  # paper: exactly four non-EU crown ASes
+
+
+class TestBands:
+    def test_three_band_structure(self, bands, default_context):
+        assert 2 < bands.root_max < bands.crown_min <= default_context.hierarchy.max_k
+        assert bands.band_of(2) == "root"
+        assert bands.band_of(bands.root_max + 1) == "trunk"
+        assert bands.band_of(default_context.hierarchy.max_k) == "crown"
+
+    def test_fallback_when_no_regimes(self, tiny_context):
+        share = IXPShareAnalysis(tiny_context)
+        boundaries = derive_bands(share, fallback=(5, 9))
+        assert boundaries.root_max >= 2
+
+    def test_crown_report_claims(self, default_context, ixp_share, bands):
+        report = crown_report(default_context, ixp_share, bands)
+        assert report.n_communities > 5
+        # Apex: AMS-IX max share, high but not full (paper: 89%).
+        assert report.apex_max_share_ixp == "AMS-IX"
+        assert 0.8 <= report.apex_max_share_fraction < 1.0
+        assert not report.apex_has_full_share
+        assert not report.main_has_full_share
+        assert report.max_share_ixps == {"AMS-IX", "DE-CIX", "LINX"}
+        assert len(report.non_european_members) == 4
+        assert len(report.non_ixp_members) == 3
+        # Case study: main + full-share parallels at one order.
+        assert report.case_study_k is not None
+        mains = [row for row in report.case_study if row[4]]
+        parallels = [row for row in report.case_study if not row[4]]
+        assert len(mains) == 1
+        assert parallels
+        assert any(row[3] for row in parallels)  # some parallel is full-share
+
+    def test_trunk_report_claims(self, default_context, ixp_share, bands):
+        report = trunk_report(default_context, ixp_share, bands)
+        assert report.n_communities > 5
+        assert not report.any_full_share  # defining property of the band
+        assert report.min_on_ixp_fraction > 0.8
+        assert report.parallel_max_share_min is not None
+        assert report.parallel_max_share_min > 0.9  # paper: > 95% for MSK-IX
+        # Trunk members are the high-degree provider stratum.
+        assert report.mean_member_degree > 20
+        assert report.worldwide_or_continental_fraction > 0.2
+        # The MSK-IX-style nested branch.
+        assert len(report.longest_branch) >= 3
+        branch_ixps = {ixp for _, _, ixp in report.longest_branch}
+        assert len(branch_ixps) == 1  # whole branch shares one max-share IXP
+
+    def test_root_report_claims(self, default_context, ixp_share, bands, geo):
+        report = root_report(default_context, ixp_share, bands, geo)
+        assert report.n_communities > 100
+        # Paper: average parallel size 5.09 — small.
+        assert report.mean_parallel_size < 15
+        assert report.full_share_parallels >= 10
+        # Paper: several full-share IXPs, some outside Europe.
+        assert len(report.full_share_ixp_countries) >= 5
+        assert report.non_european_full_share_exists
+        assert report.country_contained_parallels > 50

@@ -1,0 +1,46 @@
+"""Tests for the dataset atlas."""
+
+import pytest
+
+from repro.report import build_atlas
+
+
+@pytest.fixture(scope="module")
+def atlas(default_context):
+    return build_atlas(default_context)
+
+
+class TestAtlas:
+    def test_every_ixp_profiled(self, atlas, default_context):
+        assert len(atlas.ixps) == len(default_context.dataset.ixps)
+
+    def test_big_three_anchor_the_most_communities(self, atlas):
+        top_names = {p.name for p in atlas.ixps[:6]}
+        assert {"AMS-IX", "DE-CIX", "LINX"} & top_names
+
+    def test_ams_ix_profile(self, atlas):
+        profile = atlas.ixp("AMS-IX")
+        assert profile.country == "NL"
+        assert profile.max_share_of  # anchors the crown main chain
+        assert "crown" in profile.bands_touched
+
+    def test_small_ixps_have_full_shares(self, atlas):
+        small = atlas.ixp("VIX")
+        assert small.full_share_of
+        assert "root" in small.bands_touched
+
+    def test_country_profiles(self, atlas):
+        assert atlas.countries
+        busiest = atlas.countries[0]
+        assert busiest.contained_communities
+        assert busiest.n_ases > 0
+
+    def test_lookup_errors(self, atlas):
+        with pytest.raises(KeyError):
+            atlas.ixp("NOPE-IX")
+        with pytest.raises(KeyError):
+            atlas.country("XX")
+
+    def test_render(self, atlas):
+        text = atlas.render(top=5)
+        assert "IXP atlas" in text and "Country atlas" in text

@@ -1,0 +1,147 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.graph import Graph, write_edgelist
+from repro.topology import ASDataset
+
+
+@pytest.fixture(scope="module")
+def saved_dataset(tmp_path_factory, tiny_dataset):
+    path = tmp_path_factory.mktemp("data") / "bundle"
+    tiny_dataset.save(path)
+    return str(path)
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_known_commands(self):
+        parser = build_parser()
+        for command in ("generate", "communities", "tree", "paper"):
+            args = parser.parse_args(
+                [command] + ([] if command == "paper" else ["x"])
+            )
+            assert args.command == command
+
+
+class TestGenerate:
+    def test_generates_and_saves(self, tmp_path, capsys):
+        out = tmp_path / "ds"
+        assert main(["generate", str(out), "--profile", "tiny", "--seed", "5"]) == 0
+        assert (out / "topology.edges").exists()
+        loaded = ASDataset.load(out)
+        assert loaded.n_ases > 100
+        assert "wrote" in capsys.readouterr().out
+
+
+class TestCommunities:
+    def test_on_dataset_directory(self, saved_dataset, capsys):
+        assert main(["communities", saved_dataset, "--max-k", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "maximal cliques:" in out
+        assert "k=3:" in out
+
+    def test_members_flag(self, saved_dataset, capsys):
+        assert main(["communities", saved_dataset, "--min-k", "4", "--max-k", "4", "--members"]) == 0
+        assert "k4id0" in capsys.readouterr().out
+
+    def test_on_bare_edgelist(self, tmp_path, capsys):
+        g = Graph([(1, 2), (2, 3), (1, 3), (3, 4), (4, 5), (3, 5)])
+        path = tmp_path / "graph.edges"
+        write_edgelist(g, path)
+        assert main(["communities", str(path)]) == 0
+        # Two triangles sharing a single node stay separate at k = 3.
+        assert "k=3: 2 communities" in capsys.readouterr().out
+
+
+class TestTree:
+    def test_ascii(self, saved_dataset, capsys):
+        assert main(["tree", saved_dataset]) == 0
+        out = capsys.readouterr().out
+        assert "k2id0" in out
+
+    def test_dot(self, saved_dataset, capsys):
+        assert main(["tree", saved_dataset, "--format", "dot"]) == 0
+        assert capsys.readouterr().out.startswith("digraph")
+
+
+class TestPaper:
+    def test_paper_on_saved_dataset(self, saved_dataset, capsys):
+        assert main(["paper", "--dataset", saved_dataset]) == 0
+        out = capsys.readouterr().out
+        assert "Table 2.1" in out
+        assert "Figure 4.1" in out
+
+
+class TestStats:
+    def test_stats_table(self, saved_dataset, capsys):
+        assert main(["stats", saved_dataset]) == 0
+        out = capsys.readouterr().out
+        assert "power-law alpha" in out
+        assert "assortativity" in out
+
+
+class TestEvolve:
+    def test_evolve_tiny(self, capsys):
+        assert main(["evolve", "--profile", "tiny", "--seed", "7",
+                     "--snapshots", "3", "-k", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "growth:" in out
+        assert "birth:" in out
+
+
+class TestExport:
+    def test_export_and_reload(self, saved_dataset, tmp_path, capsys):
+        out_path = tmp_path / "hierarchy.json"
+        assert main(["export", saved_dataset, str(out_path), "--max-k", "5"]) == 0
+        assert "communities" in capsys.readouterr().out
+        from repro.core import load_hierarchy
+
+        hierarchy = load_hierarchy(out_path)
+        assert hierarchy.max_k == 5
+        assert hierarchy.total_communities > 0
+
+
+class TestGraphmlCommand:
+    def test_export(self, saved_dataset, tmp_path, capsys):
+        out = tmp_path / "topo.graphml"
+        assert main(["graphml", saved_dataset, str(out), "-k", "4"]) == 0
+        assert out.exists()
+        import xml.etree.ElementTree as ET
+
+        ET.fromstring(out.read_text())
+
+    def test_tree_dot_with_bands(self, saved_dataset, capsys):
+        assert main(["tree", saved_dataset, "--format", "dot", "--bands"]) == 0
+        out = capsys.readouterr().out
+        assert "rank=same" in out
+        assert "fillcolor" in out
+
+
+class TestErrorHandling:
+    def test_missing_dataset_is_clean_error(self, capsys):
+        assert main(["communities", "/no/such/place"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_missing_config_is_clean_error(self, tmp_path, capsys):
+        assert main(["generate", str(tmp_path / "x"), "--config", "/no/cfg.json"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_bad_edgelist_is_clean_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.edges"
+        bad.write_text("not an edge list\n")
+        assert main(["communities", str(bad)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestAtlasCommand:
+    def test_atlas_renders(self, saved_dataset, capsys):
+        assert main(["atlas", saved_dataset, "--top", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "IXP atlas" in out
+        assert "Country atlas" in out
+        assert "AMS-IX" in out

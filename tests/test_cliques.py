@@ -1,0 +1,135 @@
+"""Unit tests for clique enumeration, cross-checked against networkx."""
+
+import random
+from itertools import combinations
+
+import networkx as nx
+import pytest
+
+from repro.core import (
+    CliqueCensus,
+    clique_size_census,
+    k_cliques,
+    max_clique_size,
+    maximal_cliques,
+)
+from repro.graph import (
+    Graph,
+    complete_graph,
+    cycle_graph,
+    erdos_renyi,
+    path_graph,
+    ring_of_cliques,
+)
+
+
+def _as_nx(g: Graph) -> nx.Graph:
+    G = nx.Graph(list(g.edges()))
+    G.add_nodes_from(g.nodes())
+    return G
+
+
+class TestMaximalCliques:
+    def test_complete_graph_single_clique(self):
+        cliques = maximal_cliques(complete_graph(6))
+        assert cliques == [frozenset(range(6))]
+
+    def test_path_graph_cliques_are_edges(self):
+        cliques = maximal_cliques(path_graph(4))
+        assert sorted(map(sorted, cliques)) == [[0, 1], [1, 2], [2, 3]]
+
+    def test_isolated_node_is_singleton_clique(self):
+        g = Graph([(1, 2)])
+        g.add_node(9)
+        cliques = maximal_cliques(g)
+        assert frozenset((9,)) in cliques
+
+    def test_min_size_filter(self):
+        g = Graph([(1, 2)])
+        g.add_node(9)
+        assert frozenset((9,)) not in maximal_cliques(g, min_size=2)
+
+    def test_min_size_validation(self):
+        with pytest.raises(ValueError):
+            maximal_cliques(Graph(), min_size=0)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_networkx_on_random_graphs(self, seed):
+        g = erdos_renyi(25, 0.35, random.Random(seed))
+        ours = {frozenset(c) for c in maximal_cliques(g)}
+        theirs = {frozenset(c) for c in nx.find_cliques(_as_nx(g))}
+        assert ours == theirs
+
+    def test_all_results_are_maximal_cliques(self):
+        g = erdos_renyi(30, 0.3, random.Random(99))
+        for clique in maximal_cliques(g):
+            assert g.is_clique(clique)
+            # No node extends the clique.
+            others = set(g.nodes()) - clique
+            assert not any(clique <= g.neighbors(n) for n in others)
+
+
+class TestMaxCliqueSize:
+    def test_values(self):
+        assert max_clique_size(complete_graph(7)) == 7
+        assert max_clique_size(cycle_graph(5)) == 2
+        assert max_clique_size(Graph()) == 0
+
+
+class TestKCliques:
+    def test_triangle_count_on_complete_graph(self):
+        found = set(k_cliques(complete_graph(6), 3))
+        assert len(found) == 20  # C(6,3)
+
+    def test_all_k_subsets_of_clique(self):
+        g = complete_graph(5)
+        for k in range(1, 6):
+            expected = {frozenset(c) for c in combinations(range(5), k)}
+            assert set(k_cliques(g, k)) == expected
+
+    def test_k1_yields_nodes(self):
+        g = path_graph(3)
+        assert set(k_cliques(g, 1)) == {frozenset((n,)) for n in g.nodes()}
+
+    def test_k2_yields_edges(self):
+        g = path_graph(4)
+        assert set(k_cliques(g, 2)) == {frozenset(e) for e in g.edges()}
+
+    def test_no_duplicates(self):
+        g = erdos_renyi(20, 0.4, random.Random(5))
+        triangles = list(k_cliques(g, 3))
+        assert len(triangles) == len(set(triangles))
+
+    def test_matches_networkx_triangle_count(self):
+        g = erdos_renyi(30, 0.3, random.Random(6))
+        ours = len(list(k_cliques(g, 3)))
+        theirs = sum(nx.triangles(_as_nx(g)).values()) // 3
+        assert ours == theirs
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            list(k_cliques(Graph(), 0))
+
+
+class TestCliqueCensus:
+    def test_histogram(self):
+        census = clique_size_census(ring_of_cliques(4, 4))
+        assert census.histogram[4] == 4
+        assert census.total == 8  # 4 cliques + 4 bridge edges
+        assert census.max_size == 4
+
+    def test_share_in_band(self):
+        census = clique_size_census(ring_of_cliques(4, 4))
+        assert census.share_in_band(4, 4) == 0.5
+        assert census.share_in_band(2, 4) == 1.0
+
+    def test_empty_census(self):
+        census = CliqueCensus([])
+        assert census.total == 0
+        assert census.share_in_band(1, 10) == 0.0
+        assert census.dominant_band(3) == (0, 0)
+
+    def test_dominant_band(self):
+        census = CliqueCensus([frozenset(range(s)) for s in (3, 3, 3, 7)])
+        lo, hi = census.dominant_band(2)
+        assert (lo, hi) == (2, 3)

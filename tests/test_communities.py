@@ -1,0 +1,141 @@
+"""Unit tests for the community data model."""
+
+import pytest
+
+from repro.core import Community, CommunityCover, CommunityHierarchy
+from repro.core.communities import member_sort_key
+
+
+def _community(k: int, index: int, members) -> Community:
+    return Community(k=k, index=index, members=frozenset(members))
+
+
+class TestCommunity:
+    def test_label_format(self):
+        assert _community(34, 5, range(40)).label == "k34id5"
+
+    def test_size_iteration_containment(self):
+        c = _community(3, 0, [10, 20, 30])
+        assert c.size == 3
+        assert len(c) == 3
+        assert 10 in c
+        assert sorted(c) == [10, 20, 30]
+
+    def test_rejects_k_below_2(self):
+        with pytest.raises(ValueError):
+            _community(1, 0, [1])
+
+    def test_rejects_negative_index(self):
+        with pytest.raises(ValueError):
+            _community(2, -1, [1, 2])
+
+    def test_rejects_too_few_members(self):
+        with pytest.raises(ValueError):
+            _community(4, 0, [1, 2, 3])
+
+    def test_overlap_and_fraction(self):
+        a = _community(3, 0, [1, 2, 3, 4])
+        b = _community(3, 1, [3, 4, 5])
+        assert a.overlap(b) == 2
+        assert a.overlap_fraction(b) == pytest.approx(2 / 3)
+
+    def test_overlap_fraction_full_containment(self):
+        a = _community(3, 0, [1, 2, 3, 4, 5])
+        b = _community(3, 1, [1, 2, 3])
+        assert a.overlap_fraction(b) == 1.0
+
+    def test_contains_community(self):
+        a = _community(3, 0, [1, 2, 3, 4])
+        b = _community(4, 0, [1, 2, 3, 4])
+        assert a.contains_community(b) and b.contains_community(a)
+        c = _community(3, 1, [1, 2, 9])
+        assert not a.contains_community(c)
+
+
+class TestCommunityCover:
+    def test_index_ordering_by_size_desc(self):
+        cover = CommunityCover(3, [frozenset({1, 2, 3}), frozenset(range(10))])
+        assert cover[0].size == 10
+        assert cover[1].size == 3
+        assert [c.index for c in cover] == [0, 1]
+
+    def test_deterministic_tie_break(self):
+        a = CommunityCover(3, [frozenset({1, 2, 3}), frozenset({4, 5, 6})])
+        b = CommunityCover(3, [frozenset({4, 5, 6}), frozenset({1, 2, 3})])
+        assert [sorted(c.members) for c in a] == [sorted(c.members) for c in b]
+
+    def test_communities_of_overlapping_node(self):
+        cover = CommunityCover(3, [frozenset({1, 2, 3, 4}), frozenset({4, 5, 6})])
+        assert len(cover.communities_of(4)) == 2
+        assert len(cover.communities_of(1)) == 1
+        assert cover.communities_of(99) == []
+
+    def test_nodes_union(self):
+        cover = CommunityCover(3, [frozenset({1, 2, 3}), frozenset({3, 4, 5})])
+        assert cover.nodes() == {1, 2, 3, 4, 5}
+
+    def test_largest_of_empty_cover(self):
+        assert CommunityCover(3, []).largest() is None
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            CommunityCover(1, [])
+
+
+class TestSortKey:
+    def test_size_dominates(self):
+        assert member_sort_key(frozenset({1, 2, 3})) < member_sort_key(frozenset({4, 5}))
+
+    def test_ties_by_members(self):
+        assert member_sort_key(frozenset({1, 2})) < member_sort_key(frozenset({1, 3}))
+
+
+class TestCommunityHierarchy:
+    @pytest.fixture()
+    def hierarchy(self):
+        covers = {
+            2: CommunityCover(2, [frozenset(range(10))]),
+            3: CommunityCover(3, [frozenset(range(6)), frozenset({7, 8, 9})]),
+            4: CommunityCover(4, [frozenset(range(4))]),
+        }
+        return CommunityHierarchy(covers)
+
+    def test_orders_and_bounds(self, hierarchy):
+        assert hierarchy.orders == [2, 3, 4]
+        assert hierarchy.min_k == 2
+        assert hierarchy.max_k == 4
+
+    def test_total_and_counts(self, hierarchy):
+        assert hierarchy.total_communities == 4
+        assert hierarchy.counts_by_k() == {2: 1, 3: 2, 4: 1}
+
+    def test_unique_orders(self, hierarchy):
+        assert hierarchy.unique_orders() == [2, 4]
+
+    def test_find_by_label(self, hierarchy):
+        assert hierarchy.find("k3id1").members == frozenset({7, 8, 9})
+
+    def test_find_rejects_bad_labels(self, hierarchy):
+        with pytest.raises(KeyError):
+            hierarchy.find("nonsense")
+        with pytest.raises(KeyError):
+            hierarchy.find("k9id0")
+        with pytest.raises(KeyError):
+            hierarchy.find("k3id7")
+
+    def test_all_communities_ascending_k(self, hierarchy):
+        ks = [c.k for c in hierarchy.all_communities()]
+        assert ks == sorted(ks)
+
+    def test_mapping_protocol(self, hierarchy):
+        assert len(hierarchy) == 3
+        assert 3 in hierarchy
+        assert list(hierarchy) == [2, 3, 4]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            CommunityHierarchy({})
+
+    def test_mismatched_cover_key_rejected(self):
+        with pytest.raises(ValueError):
+            CommunityHierarchy({5: CommunityCover(3, [])})

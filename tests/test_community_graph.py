@@ -1,0 +1,84 @@
+"""Tests for the community graph, its statistics and membership queries."""
+
+import pytest
+
+from repro.analysis import community_graph, community_graph_stats
+from repro.core import CommunityCover, extract_hierarchy, k_clique_communities
+from repro.graph import Graph, overlapping_cliques, ring_of_cliques
+
+
+def _cover(k, member_sets):
+    return CommunityCover(k, [frozenset(m) for m in member_sets])
+
+
+class TestCommunityGraph:
+    def test_disjoint_cover_has_no_edges(self):
+        cover = _cover(3, [{1, 2, 3}, {4, 5, 6}])
+        graph = community_graph(cover)
+        assert graph.number_of_nodes == 2
+        assert graph.number_of_edges == 0
+
+    def test_overlapping_pair_gets_an_edge(self):
+        cover = _cover(3, [{1, 2, 3}, {3, 4, 5}])
+        graph = community_graph(cover)
+        assert graph.number_of_edges == 1
+
+    def test_hub_community_degree(self):
+        cover = _cover(3, [{1, 2, 3, 4, 5, 6}, {1, 10, 11}, {2, 20, 21}, {3, 30, 31}])
+        graph = community_graph(cover)
+        assert graph.degree("k3id0") == 3
+
+
+class TestStats:
+    @pytest.fixture(scope="class")
+    def stats(self):
+        # Two pentagon communities sharing 2 nodes + an isolated one.
+        g = overlapping_cliques([5, 5], 2)
+        extra = [(100, 101), (101, 102), (100, 102), (100, 103), (101, 103), (102, 103)]
+        for u, v in extra:
+            g.add_edge(u, v)
+        return community_graph_stats(k_clique_communities(g, 4))
+
+    def test_distribution_totals(self, stats):
+        assert sum(stats.size_distribution.values()) == stats.n_communities
+        assert sum(stats.membership_distribution.values()) == 12  # covered nodes
+
+    def test_membership_counts_overlap(self, stats):
+        # The 2 shared nodes belong to both pentagon communities.
+        assert stats.membership_distribution.get(2) == 2
+        assert stats.overlapping_nodes() == 2
+        assert stats.max_membership == 2
+
+    def test_overlap_distribution(self, stats):
+        assert stats.overlap_distribution == {2: 1}
+
+    def test_community_degree(self, stats):
+        # Two overlapping communities (degree 1 each) + isolated (0).
+        assert stats.community_degree_distribution == {0: 1, 1: 2}
+        assert stats.mean_community_degree() == pytest.approx(2 / 3)
+
+    def test_on_dataset_cover(self, default_context):
+        stats = community_graph_stats(default_context.hierarchy[4])
+        assert stats.n_communities == len(default_context.hierarchy[4])
+        assert stats.overlapping_nodes() > 0  # covers overlap by design
+        assert stats.max_membership >= 2
+
+
+class TestMembershipQuery:
+    def test_membership_spans_orders(self):
+        h = extract_hierarchy(ring_of_cliques(3, 5))
+        memberships = h.membership_of(0)
+        assert sorted(memberships) == [2, 3, 4, 5]
+        assert memberships[2] == ["k2id0"]
+
+    def test_uncovered_node(self):
+        g = Graph([(1, 2), (2, 3), (1, 3)])
+        g.add_edge(3, 99)  # 99 is in no triangle
+        h = extract_hierarchy(g)
+        memberships = h.membership_of(99)
+        assert 3 not in memberships
+        assert 2 in memberships
+
+    def test_unknown_node_is_empty(self):
+        h = extract_hierarchy(ring_of_cliques(2, 4))
+        assert h.membership_of("nope") == {}

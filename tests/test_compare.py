@@ -1,0 +1,100 @@
+"""Unit tests for cover-comparison metrics."""
+
+import pytest
+
+from repro.compare import jaccard, match_covers, omega_index, recall_at
+
+
+class TestJaccard:
+    def test_identical(self):
+        assert jaccard({1, 2}, {1, 2}) == 1.0
+
+    def test_disjoint(self):
+        assert jaccard({1}, {2}) == 0.0
+
+    def test_partial(self):
+        assert jaccard({1, 2, 3}, {2, 3, 4}) == pytest.approx(0.5)
+
+    def test_both_empty(self):
+        assert jaccard(set(), set()) == 1.0
+
+
+class TestMatchCovers:
+    def test_perfect_matching(self):
+        cover = [{1, 2, 3}, {4, 5}]
+        result = match_covers(cover, cover)
+        assert result.mean_jaccard == 1.0
+        assert not result.unmatched_a and not result.unmatched_b
+
+    def test_greedy_prefers_best_pairs(self):
+        a = [{1, 2, 3, 4}, {1, 2}]
+        b = [{1, 2, 3, 4}]
+        result = match_covers(a, b)
+        assert result.pairs[0][:2] == (0, 0)
+        assert result.unmatched_a == (1,)
+
+    def test_disjoint_covers_never_scored(self):
+        result = match_covers([{1, 2}], [{8, 9}])
+        assert result.pairs == ()
+        assert result.unmatched_a == (0,)
+        assert result.unmatched_b == (0,)
+
+    def test_matched_fraction(self):
+        a = [{1, 2, 3}, {7, 8}]
+        b = [{1, 2, 3}]
+        result = match_covers(a, b)
+        assert result.matched_fraction_a(threshold=0.5) == pytest.approx(0.5)
+
+    def test_empty_covers(self):
+        result = match_covers([], [])
+        assert result.mean_jaccard == 0.0
+        assert result.matched_fraction_a() == 0.0
+
+
+class TestRecallAt:
+    def test_full_recall(self):
+        reference = [{1, 2, 3}, {4, 5, 6}]
+        assert recall_at(reference, reference) == 1.0
+
+    def test_threshold_effect(self):
+        reference = [{1, 2, 3, 4}]
+        candidate = [{1, 2, 9, 10}]  # jaccard 2/6 = 0.33
+        assert recall_at(reference, candidate, threshold=0.5) == 0.0
+        assert recall_at(reference, candidate, threshold=0.3) == 1.0
+
+    def test_many_to_one_allowed(self):
+        """Two reference communities may match the same candidate."""
+        reference = [{1, 2, 3}, {1, 2, 3, 4}]
+        candidate = [{1, 2, 3, 4}]
+        assert recall_at(reference, candidate, threshold=0.7) == 1.0
+
+    def test_empty_reference(self):
+        assert recall_at([], [{1}]) == 1.0
+
+
+class TestOmegaIndex:
+    def test_identical_covers(self):
+        cover = [{1, 2, 3}, {3, 4, 5}]
+        assert omega_index(cover, cover, range(1, 6)) == 1.0
+
+    def test_perfect_disagreement_is_low(self):
+        a = [{1, 2}, {3, 4}]
+        b = [{1, 3}, {2, 4}]
+        assert omega_index(a, b, range(1, 5)) < 0.5
+
+    def test_overlap_multiplicity_matters(self):
+        """Omega distinguishes pairs sharing 2 communities from pairs
+        sharing 1 — plain Rand-style indices cannot."""
+        double = [{1, 2, 3}, {1, 2, 4}]  # pair (1,2) co-occurs twice
+        single = [{1, 2, 3}, {5, 6, 4}]
+        assert omega_index(double, double, range(1, 7)) == 1.0
+        assert omega_index(double, single, range(1, 7)) < 1.0
+
+    def test_empty_universe(self):
+        assert omega_index([], [], []) == 1.0
+
+    def test_symmetry(self):
+        a = [{1, 2, 3}, {4, 5}]
+        b = [{1, 2}, {3, 4, 5}]
+        universe = range(1, 6)
+        assert omega_index(a, b, universe) == pytest.approx(omega_index(b, a, universe))

@@ -1,0 +1,55 @@
+"""Tests for generator-config serialisation."""
+
+import pytest
+
+from repro.topology import (
+    GeneratorConfig,
+    config_from_dict,
+    config_to_dict,
+    load_config,
+    save_config,
+)
+from repro.topology.generator import CrownBlockSpec
+
+
+class TestConfigRoundTrip:
+    def test_default_round_trip(self):
+        config = GeneratorConfig.default()
+        assert config_from_dict(config_to_dict(config)) == config
+
+    def test_tiny_round_trip_via_file(self, tmp_path):
+        config = GeneratorConfig.tiny()
+        path = tmp_path / "cfg.json"
+        save_config(config, path)
+        assert load_config(path) == config
+
+    def test_custom_specs_survive(self):
+        config = GeneratorConfig(
+            crown_blocks=(CrownBlockSpec("AMS-IX", "NL", base_extra=2, n_ext=1),),
+            n_stubs=10,
+        )
+        loaded = config_from_dict(config_to_dict(config))
+        assert loaded.crown_blocks[0].base_extra == 2
+        assert loaded.n_stubs == 10
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ValueError, match="unknown GeneratorConfig keys"):
+            config_from_dict({"n_stub": 5})
+
+    def test_loaded_config_generates(self, tmp_path):
+        from repro.topology import generate_topology
+
+        path = tmp_path / "cfg.json"
+        save_config(GeneratorConfig.tiny(), path)
+        a = generate_topology(load_config(path), seed=3)
+        b = generate_topology(GeneratorConfig.tiny(), seed=3)
+        assert a.n_links == b.n_links
+
+    def test_cli_generate_with_config(self, tmp_path, capsys):
+        from repro.cli import main
+
+        cfg = tmp_path / "cfg.json"
+        save_config(GeneratorConfig.tiny(), cfg)
+        out = tmp_path / "ds"
+        assert main(["generate", str(out), "--config", str(cfg), "--seed", "5"]) == 0
+        assert (out / "topology.edges").exists()

@@ -1,0 +1,134 @@
+"""Unit tests for topology snapshots and community tracking."""
+
+import pytest
+
+from repro.evolution import EventKind, EvolutionTracker, TopologyEvolution
+from repro.graph import Graph, complete_graph
+from repro.topology import GeneratorConfig
+
+
+class TestTopologyEvolution:
+    @pytest.fixture(scope="class")
+    def evolution(self):
+        return TopologyEvolution(GeneratorConfig.tiny(), seed=7, n_snapshots=4)
+
+    def test_snapshot_times(self, evolution):
+        assert evolution.snapshot_times() == [0.0, pytest.approx(1 / 3, abs=1e-4),
+                                              pytest.approx(2 / 3, abs=1e-4), 1.0]
+
+    def test_growth_is_monotone(self, evolution):
+        series = evolution.growth_series()
+        nodes = [n for _, n, _ in series]
+        edges = [m for _, _, m in series]
+        assert nodes == sorted(nodes)
+        assert edges == sorted(edges)
+
+    def test_final_snapshot_is_full_graph(self, evolution):
+        final = evolution.snapshot(1.0)
+        assert final.number_of_nodes == evolution.dataset.graph.number_of_nodes
+
+    def test_core_born_first(self, evolution):
+        """Tier-1s and pool carriers predate the window; stubs spread."""
+        roles = evolution.dataset.notes["roles"]
+        early = evolution.snapshot(0.0)
+        assert early.number_of_nodes >= roles["tier1"]
+
+    def test_deterministic(self):
+        a = TopologyEvolution(GeneratorConfig.tiny(), seed=9, n_snapshots=3)
+        b = TopologyEvolution(GeneratorConfig.tiny(), seed=9, n_snapshots=3)
+        assert a.birth_time == b.birth_time
+
+    def test_too_few_snapshots_rejected(self):
+        with pytest.raises(ValueError):
+            TopologyEvolution(GeneratorConfig.tiny(), n_snapshots=1)
+
+
+def _clique_on(nodes) -> list[tuple]:
+    nodes = list(nodes)
+    return [(u, v) for i, u in enumerate(nodes) for v in nodes[i + 1 :]]
+
+
+class TestEvolutionTrackerSynthetic:
+    """Hand-built snapshot sequences with known event structure."""
+
+    def test_stable_continuation(self):
+        g1 = Graph(_clique_on(range(5)))
+        g2 = Graph(_clique_on(range(5)))
+        tracker = EvolutionTracker([g1, g2], k=4)
+        counts = tracker.event_counts()
+        assert counts[EventKind.STABLE] == 1
+        assert counts[EventKind.BIRTH] == 0
+        assert counts[EventKind.DEATH] == 0
+
+    def test_growth_event(self):
+        g1 = Graph(_clique_on(range(4)))
+        g2 = Graph(_clique_on(range(8)))
+        tracker = EvolutionTracker([g1, g2], k=4)
+        assert tracker.event_counts()[EventKind.GROWTH] == 1
+
+    def test_birth_event(self):
+        g1 = Graph(_clique_on(range(4)))
+        g2 = Graph(_clique_on(range(4)) + _clique_on(range(10, 14)))
+        tracker = EvolutionTracker([g1, g2], k=4)
+        counts = tracker.event_counts()
+        assert counts[EventKind.BIRTH] == 1
+        assert counts[EventKind.STABLE] == 1
+        assert len(tracker.timelines) == 2
+
+    def test_death_event(self):
+        g1 = Graph(_clique_on(range(4)) + _clique_on(range(10, 14)))
+        g2 = Graph(_clique_on(range(4)))
+        g2.add_nodes_from(range(10, 14))
+        tracker = EvolutionTracker([g1, g2], k=4)
+        assert tracker.event_counts()[EventKind.DEATH] == 1
+
+    def test_merge_event(self):
+        # Two 4-cliques fuse into one 8-clique.
+        g1 = Graph(_clique_on(range(4)) + _clique_on(range(4, 8)))
+        g2 = Graph(_clique_on(range(8)))
+        tracker = EvolutionTracker([g1, g2], k=4)
+        merges = [e for e in tracker.events if e.kind is EventKind.MERGE]
+        assert len(merges) == 1
+        assert len(merges[0].before) == 2
+
+    def test_split_event(self):
+        g1 = Graph(_clique_on(range(8)))
+        g2 = Graph(_clique_on(range(4)) + _clique_on(range(4, 8)))
+        tracker = EvolutionTracker([g1, g2], k=4)
+        splits = [e for e in tracker.events if e.kind is EventKind.SPLIT]
+        assert len(splits) == 1
+        assert len(splits[0].after) == 2
+
+    def test_timeline_path(self):
+        g1 = Graph(_clique_on(range(4)))
+        g2 = Graph(_clique_on(range(6)))
+        g3 = Graph(_clique_on(range(6)))
+        tracker = EvolutionTracker([g1, g2, g3], k=4)
+        timeline = tracker.longest_timeline()
+        assert [step for step, _, _ in timeline.path] == [0, 1, 2]
+        assert timeline.sizes() == [4, 6, 6]
+        assert timeline.born_at == 0 and timeline.last_seen == 2
+
+    def test_snapshot_without_k_cliques(self):
+        g1 = Graph([(0, 1), (1, 2)])  # no 4-clique at all
+        g2 = Graph(_clique_on(range(4)))
+        tracker = EvolutionTracker([g1, g2], k=4)
+        assert tracker.event_counts()[EventKind.BIRTH] == 1
+
+    def test_needs_two_snapshots(self):
+        with pytest.raises(ValueError):
+            EvolutionTracker([complete_graph(4)], k=3)
+
+
+class TestEvolutionTrackerOnGenerator:
+    def test_tracks_growing_internet(self):
+        evolution = TopologyEvolution(GeneratorConfig.tiny(), seed=7, n_snapshots=4)
+        tracker = EvolutionTracker(evolution.snapshots(), k=4)
+        counts = tracker.event_counts()
+        # A growing Internet: births dominate deaths, growth happens.
+        assert counts[EventKind.BIRTH] > counts[EventKind.DEATH]
+        assert counts[EventKind.GROWTH] >= 1
+        # Some community persists across all snapshots where k-cliques
+        # exist (the IXP core).
+        longest = tracker.longest_timeline()
+        assert len(longest.path) >= 3

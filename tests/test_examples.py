@@ -1,0 +1,38 @@
+"""Every example must run end-to-end — examples are living documentation
+and this is what keeps them from rotting."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted((Path(__file__).parent.parent / "examples").glob("*.py"))
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(script, capsys, monkeypatch):
+    """Run the example as __main__ with default arguments."""
+    monkeypatch.setattr(sys, "argv", [str(script)])
+    runpy.run_path(str(script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert len(out) > 100, f"{script.name} produced almost no output"
+
+
+def test_example_inventory():
+    """The README's example table and the directory stay in sync."""
+    names = {p.stem for p in EXAMPLES}
+    expected = {
+        "quickstart",
+        "internet_analysis",
+        "ixp_communities",
+        "regional_communities",
+        "measurement_merge",
+        "evolution_study",
+        "routing_study",
+        "baselines_comparison",
+        "weighted_traffic",
+        "tutorial",
+        "what_if_planning",
+    }
+    assert expected <= names

@@ -1,0 +1,104 @@
+"""Tests for hierarchy filtering and routing resilience."""
+
+import pytest
+
+from repro.core import extract_hierarchy
+from repro.core.filtering import communities_of_node, filter_communities, restrict_orders
+from repro.graph import ring_of_cliques
+from repro.routing import infer_relationships
+from repro.routing.resilience import simulate_as_failure
+
+
+class TestRestrictOrders:
+    @pytest.fixture(scope="class")
+    def hierarchy(self):
+        return extract_hierarchy(ring_of_cliques(4, 6))
+
+    def test_window(self, hierarchy):
+        window = restrict_orders(hierarchy, min_k=3, max_k=5)
+        assert window.orders == [3, 4, 5]
+        assert window.counts_by_k() == {k: hierarchy.counts_by_k()[k] for k in (3, 4, 5)}
+
+    def test_parent_links_trimmed_at_window_floor(self, hierarchy):
+        window = restrict_orders(hierarchy, min_k=4)
+        for child, parent in window.parent_labels.items():
+            assert child.startswith(("k5", "k6"))
+            assert parent.startswith(("k4", "k5"))
+        # No parents point below the window.
+        assert all(not p.startswith("k3") for p in window.parent_labels.values())
+
+    def test_empty_window_rejected(self, hierarchy):
+        with pytest.raises(ValueError):
+            restrict_orders(hierarchy, min_k=50)
+
+
+class TestFilterCommunities:
+    @pytest.fixture(scope="class")
+    def hierarchy(self):
+        return extract_hierarchy(ring_of_cliques(4, 6))
+
+    def test_size_filter(self, hierarchy):
+        big = filter_communities(hierarchy, lambda c: c.size >= 10)
+        for community in big.all_communities():
+            assert community.size >= 10
+
+    def test_parent_links_rebuilt(self, hierarchy):
+        filtered = filter_communities(hierarchy, lambda c: True)
+        assert len(filtered.parent_labels) == len(hierarchy.parent_labels)
+        for child, parent in filtered.parent_labels.items():
+            assert filtered.find(child).members <= filtered.find(parent).members
+
+    def test_everything_removed_rejected(self, hierarchy):
+        with pytest.raises(ValueError):
+            filter_communities(hierarchy, lambda c: False)
+
+    def test_communities_of_node(self, hierarchy):
+        view = communities_of_node(hierarchy, 0)
+        assert view.orders == [2, 3, 4, 5, 6]
+        for community in view.all_communities():
+            assert 0 in community.members
+        # Node 0's chain: exactly one community per order in a ring corner.
+        assert all(len(view[k]) == 1 for k in view.orders)
+
+
+class TestResilience:
+    @pytest.fixture(scope="module")
+    def setup(self, tiny_dataset):
+        return tiny_dataset, infer_relationships(tiny_dataset)
+
+    def test_stub_failure_is_invisible(self, setup):
+        dataset, relationships = setup
+        stub = next(
+            a for a, r in dataset.as_roles.items()
+            if r == "stub" and dataset.graph.degree(a) == 1
+        )
+        impact = simulate_as_failure(dataset.graph, relationships, stub, seed=3)
+        assert impact.n_pairs_sampled == 0
+        assert impact.lost_fraction == 0.0
+
+    def test_carrier_failure_hurts_more_than_provider(self, setup):
+        dataset, relationships = setup
+        carrier = next(a for a, r in dataset.as_roles.items() if r == "pool_carrier")
+        provider = next(a for a, r in dataset.as_roles.items() if r == "provider")
+        carrier_impact = simulate_as_failure(
+            dataset.graph, relationships, carrier, seed=3
+        )
+        provider_impact = simulate_as_failure(
+            dataset.graph, relationships, provider, seed=3
+        )
+        assert carrier_impact.n_pairs_sampled >= provider_impact.n_pairs_sampled
+
+    def test_most_traffic_reroutes(self, setup):
+        """Multi-homing means a single carrier failure rarely severs
+        connectivity: pairs reroute with modest stretch."""
+        dataset, relationships = setup
+        carrier = next(a for a, r in dataset.as_roles.items() if r == "pool_carrier")
+        impact = simulate_as_failure(dataset.graph, relationships, carrier, seed=4)
+        if impact.n_pairs_sampled:
+            assert impact.rerouted_pairs >= impact.lost_pairs
+            assert impact.mean_stretch >= 0.0
+
+    def test_unknown_as_rejected(self, setup):
+        dataset, relationships = setup
+        with pytest.raises(KeyError):
+            simulate_as_failure(dataset.graph, relationships, 10**9)

@@ -1,0 +1,121 @@
+"""Tests for the synthetic Internet topology generator.
+
+These check the *structural contract* of the generator: the properties
+the Chapter 4 analyses rely on must hold by construction, for both the
+tiny and the default profile.
+"""
+
+import pytest
+
+from repro.core import max_clique_size
+from repro.graph import is_connected
+from repro.topology import GeneratorConfig, InternetTopologyGenerator, generate_topology
+from repro.topology.geography import Continent
+
+
+class TestDeterminism:
+    def test_same_seed_same_dataset(self):
+        a = generate_topology(GeneratorConfig.tiny(), seed=3)
+        b = generate_topology(GeneratorConfig.tiny(), seed=3)
+        assert {frozenset(e) for e in a.graph.edges()} == {
+            frozenset(e) for e in b.graph.edges()
+        }
+        assert a.ixps.to_tsv() == b.ixps.to_tsv()
+        assert a.geography.to_tsv() == b.geography.to_tsv()
+
+    def test_different_seed_different_dataset(self):
+        a = generate_topology(GeneratorConfig.tiny(), seed=3)
+        b = generate_topology(GeneratorConfig.tiny(), seed=4)
+        assert {frozenset(e) for e in a.graph.edges()} != {
+            frozenset(e) for e in b.graph.edges()
+        }
+
+
+class TestStructuralContract:
+    def test_connected(self, tiny_dataset, default_dataset):
+        assert is_connected(tiny_dataset.graph)
+        assert is_connected(default_dataset.graph)
+
+    def test_max_clique_matches_crown_spec(self, default_dataset):
+        # AMS-IX block: pool 28 + 7 exclusive + 1 extension = 36.
+        assert max_clique_size(default_dataset.graph) == 36
+
+    def test_crown_exceptions(self, default_dataset):
+        """Paper: 4 non-European crown ASes, 3 in no IXP."""
+        named = default_dataset.as_names
+        assert len(named) == 4
+        geo = default_dataset.geography
+        for asn in named:
+            assert Continent.EUROPE not in geo.continents(asn)
+        non_ixp = [a for a in named if not default_dataset.ixps.is_on_ixp(a)]
+        assert len(non_ixp) == 3
+
+    def test_large_ixps_exist_and_share_pool(self, default_dataset):
+        registry = default_dataset.ixps
+        for name in ("AMS-IX", "DE-CIX", "LINX"):
+            assert name in registry
+        shared = (
+            registry["AMS-IX"].participants
+            & registry["DE-CIX"].participants
+            & registry["LINX"].participants
+        )
+        # The carrier pool participates in all three (paper: 119 shared).
+        assert len(shared) >= 28
+
+    def test_small_ixps_are_country_local(self, default_dataset):
+        registry = default_dataset.ixps
+        geo = default_dataset.geography
+        for spec_name, country in [("VIX", "AT"), ("WIX", "NZ"), ("NIX.CZ", "CZ")]:
+            ixp = registry[spec_name]
+            assert ixp.country == country
+            # Participants all have a presence in the host country.
+            for asn in ixp.participants:
+                assert country in geo.countries(asn)
+
+    def test_tier1_mesh_present_not_on_ixp(self, default_dataset):
+        gen = InternetTopologyGenerator(seed=42)
+        ds = gen.generate()
+        tier1 = gen.roles["tier1"]
+        assert ds.graph.is_clique(tier1)
+        assert not any(ds.ixps.is_on_ixp(a) for a in tier1)
+
+    def test_tag_shape_matches_tables(self, default_dataset):
+        """Tables 2.1 / 2.2 shape: national dominates; minorities of
+        continental, worldwide and unknown ASes; on-IXP well below half."""
+        summary = default_dataset.tag_summary()
+        assert summary.ixp.on_ixp_fraction < 0.5
+        assert summary.ixp.on_ixp > 0
+        geo = summary.geo
+        assert geo.national > geo.continental > 0
+        assert geo.worldwide > 0
+        assert geo.unknown > 0
+        assert geo.national > 0.8 * geo.total
+
+    def test_unknown_ases_are_low_degree(self, default_dataset):
+        """Paper: unknown ASes are mostly low-degree stubs."""
+        geo = default_dataset.geography
+        graph = default_dataset.graph
+        unknown_degrees = [graph.degree(a) for a in graph.nodes() if a not in geo]
+        assert unknown_degrees
+        assert max(unknown_degrees) <= 5
+
+
+class TestScaling:
+    def test_scale_changes_population_not_depth(self):
+        small = generate_topology(GeneratorConfig(scale=0.5), seed=1)
+        large = generate_topology(GeneratorConfig(scale=1.5), seed=1)
+        assert large.n_ases > small.n_ases
+        assert max_clique_size(small.graph) == max_clique_size(large.graph)
+
+    def test_scaled_helper(self):
+        cfg = GeneratorConfig(scale=2.0)
+        assert cfg.scaled(10) == 20
+        assert GeneratorConfig(scale=0.01).scaled(10) == 1
+
+    def test_tiny_profile_is_small(self, tiny_dataset):
+        assert tiny_dataset.n_ases < 800
+
+    def test_roles_recorded_in_notes(self, default_dataset):
+        roles = default_dataset.notes["roles"]
+        for role in ("pool_carrier", "tier1", "provider", "stub"):
+            assert roles[role] > 0

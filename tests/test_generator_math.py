@@ -1,0 +1,164 @@
+"""The generator's clique arithmetic, asserted.
+
+docs/generator.md derives the community-tree consequences of each knob
+(apex order and size, the crown merge order, medium-IXP branch ranges).
+These tests build *custom* configurations and verify the arithmetic on
+the extracted hierarchy — the knob → phenomenon map is a contract, not
+folklore.
+"""
+
+import pytest
+
+from repro.core import CommunityTree, LightweightParallelCPM
+from repro.topology import GeneratorConfig, generate_topology
+from repro.topology.generator import CrownBlockSpec, MediumIXPSpec, SmallIXPSpec
+
+
+def _custom_config(**overrides):
+    """A minimal, fast config with explicit crown/medium structure."""
+    base = dict(
+        shared_pool=8,
+        crown_blocks=(
+            CrownBlockSpec("AMS-IX", "NL", base_extra=4, n_ext=3),
+            CrownBlockSpec("LINX", "GB", base_extra=2, n_ext=2),
+        ),
+        medium_ixps=(
+            MediumIXPSpec("MSK-IX", "RU", core_size=8, pool_members=4, periphery=4),
+        ),
+        small_ixps=(SmallIXPSpec("VIX", "AT", 5),),
+        large_periphery=8,
+        periphery_attach_min=3,
+        n_tier1=5,
+        n_countries=8,
+        n_stubs=80,
+        n_carrier_stubs=25,
+        n_isolated_triangles=4,
+    )
+    base.update(overrides)
+    return GeneratorConfig(**base)
+
+
+@pytest.fixture(scope="module")
+def custom_run():
+    config = _custom_config()
+    dataset = generate_topology(config, seed=5)
+    hierarchy = LightweightParallelCPM(dataset.graph).run()
+    return config, dataset, hierarchy
+
+
+class TestCrownArithmetic:
+    def test_max_order_is_pool_plus_base_extra_plus_one(self, custom_run):
+        config, _, hierarchy = custom_run
+        biggest = max(
+            config.shared_pool + block.base_extra + 1 for block in config.crown_blocks
+        )
+        assert hierarchy.max_k == biggest  # 8 + 4 + 1 = 13
+
+    def test_apex_size_is_base_plus_extensions(self, custom_run):
+        config, _, hierarchy = custom_run
+        apex_block = config.crown_blocks[0]
+        expected = config.shared_pool + apex_block.base_extra + apex_block.n_ext
+        apex = hierarchy[hierarchy.max_k][0]
+        assert apex.size == expected  # 12 base + 3 ext = 15
+
+    def test_blocks_merge_exactly_at_pool_plus_one(self, custom_run):
+        """Two blocks overlap in the pool: separate above pool+1,
+        merged at and below it."""
+        config, _, hierarchy = custom_run
+        merge_k = config.shared_pool + 1  # 9
+        second_top = config.shared_pool + config.crown_blocks[1].base_extra + 1  # 11
+        # Above the merge order, both blocks are present where both
+        # have cliques.
+        assert len(hierarchy[second_top]) >= 2
+        # At the merge order, a single community holds both bases.
+        pool_merged = hierarchy[merge_k]
+        biggest = pool_merged[0]
+        for block_top in (hierarchy.max_k, second_top):
+            block_apex = hierarchy[block_top][0]
+            assert set(block_apex.members) <= set(biggest.members)
+
+    def test_extensions_are_not_mutually_adjacent(self, custom_run):
+        """Ext members attach to the base only — the apex community is
+        a union of overlapping cliques, not one clique."""
+        config, dataset, hierarchy = custom_run
+        apex = hierarchy[hierarchy.max_k][0]
+        assert not dataset.graph.is_clique(apex.members)
+
+
+class TestMediumArithmetic:
+    def test_branch_parallel_range(self, custom_run):
+        """The medium core (q pool members) is parallel for
+        k in [q+2, core] and inside main at k = q+1."""
+        config, dataset, hierarchy = custom_run
+        spec = config.medium_ixps[0]
+        tree = CommunityTree(hierarchy)
+        core_members = {
+            asn
+            for asn in dataset.ixps[spec.name].participants
+        }
+        q = spec.pool_members
+        # Parallel at the top of the branch: some community at
+        # k = core_size holds the core and is not main.
+        top_cover = hierarchy[spec.core_size]
+        holders = [c for c in top_cover if len(core_members & set(c.members)) >= spec.core_size - 1]
+        assert holders
+        assert any(not tree.is_main(c) for c in holders)
+        # Merged at q+1: the main community contains the whole core.
+        main = tree.main_community(q + 1)
+        core_ases = [a for a in core_members if dataset.as_roles.get(a) in ("pool_carrier", "medium_core")]
+        inside = sum(1 for a in core_ases if a in main.members)
+        assert inside >= len(core_ases) - 1  # all but the skipped member
+
+
+class TestSmallIxpArithmetic:
+    def test_small_ixps_yield_full_share_root_communities(self, default_context):
+        """On a realistically sized pool (28), the named small IXPs
+        surface as parallel communities made only of their own
+        participants.  (A cramped pool lets anchor uplinks percolate
+        the IXP clique straight into the main community — which is why
+        this contract is checked on the default profile.)
+        """
+        registry = default_context.dataset.ixps
+        hierarchy = default_context.hierarchy
+        matched = 0
+        for name in ("VIX", "WIX", "NIX.CZ", "SIX"):
+            participants = set(registry[name].participants)
+            found = any(
+                set(community.members) <= participants
+                and len(community.members) >= len(participants) - 2
+                for k in hierarchy.orders
+                if 3 <= k <= 13
+                for community in hierarchy[k]
+            )
+            matched += found
+        assert matched >= 3
+
+
+class TestKnobEffects:
+    def test_bigger_pool_raises_crown_merge_order(self):
+        """crown_min tracks shared_pool + 2 (docs/generator.md table)."""
+        counts = {}
+        for pool in (6, 10):
+            config = _custom_config(shared_pool=pool)
+            dataset = generate_topology(config, seed=5)
+            hierarchy = LightweightParallelCPM(dataset.graph).run()
+            # The last order with >= 2 crown communities sits just
+            # above the merge order pool + 1.
+            multi = [
+                k for k in hierarchy.orders
+                if k > pool and len(hierarchy[k]) >= 2
+            ]
+            counts[pool] = max(multi)
+        assert counts[10] > counts[6]
+
+    def test_more_extensions_grow_apex_not_depth(self):
+        small = _custom_config()
+        big_blocks = (
+            CrownBlockSpec("AMS-IX", "NL", base_extra=4, n_ext=6),
+            small.crown_blocks[1],
+        )
+        big = _custom_config(crown_blocks=big_blocks)
+        h_small = LightweightParallelCPM(generate_topology(small, seed=5).graph).run()
+        h_big = LightweightParallelCPM(generate_topology(big, seed=5).graph).run()
+        assert h_big.max_k == h_small.max_k
+        assert h_big[h_big.max_k][0].size == h_small[h_small.max_k][0].size + 3

@@ -1,0 +1,77 @@
+"""Unit tests for the geography registry and tags."""
+
+import pytest
+
+from repro.topology import COUNTRY_CONTINENT, Continent, GeoRegistry, GeoTag, continent_of
+
+
+class TestCountryTable:
+    def test_paper_ixp_countries_present(self):
+        # Every country hosting an IXP named in Sections 4.1-4.3.
+        for code in ("NL", "DE", "GB", "RU", "NZ", "US", "SK", "AU", "IN", "BR", "CZ", "CH", "IT", "AT"):
+            assert code in COUNTRY_CONTINENT
+
+    def test_continent_of(self):
+        assert continent_of("NL") is Continent.EUROPE
+        assert continent_of("BR") is Continent.SOUTH_AMERICA
+        with pytest.raises(KeyError):
+            continent_of("XX")
+
+
+class TestGeoRegistry:
+    def test_assign_and_lookup(self):
+        reg = GeoRegistry()
+        reg.assign(100, ["IT", "FR"])
+        assert reg.countries(100) == {"IT", "FR"}
+        assert reg.continents(100) == {Continent.EUROPE}
+
+    def test_constructor_mapping(self):
+        reg = GeoRegistry({1: ["US"], 2: ["DE", "JP"]})
+        assert len(reg) == 2
+        assert 1 in reg and 3 not in reg
+
+    def test_unknown_as(self):
+        reg = GeoRegistry()
+        assert reg.countries(9) == frozenset()
+        assert reg.tag(9) is GeoTag.UNKNOWN
+
+    def test_invalid_country_rejected(self):
+        reg = GeoRegistry()
+        with pytest.raises(KeyError):
+            reg.assign(1, ["ZZ"])
+
+    def test_empty_country_list_rejected(self):
+        with pytest.raises(ValueError):
+            GeoRegistry().assign(1, [])
+
+    def test_tags(self):
+        reg = GeoRegistry(
+            {
+                1: ["IT"],                 # national
+                2: ["IT", "FR"],           # continental
+                3: ["IT", "US"],           # worldwide
+            }
+        )
+        assert reg.tag(1) is GeoTag.NATIONAL
+        assert reg.tag(2) is GeoTag.CONTINENTAL
+        assert reg.tag(3) is GeoTag.WORLDWIDE
+
+    def test_ases_in_country(self):
+        reg = GeoRegistry({1: ["IT"], 2: ["IT", "FR"], 3: ["DE"]})
+        assert reg.ases_in_country("IT") == {1, 2}
+        assert reg.ases_in_country("JP") == set()
+
+    def test_all_countries(self):
+        reg = GeoRegistry({1: ["IT"], 2: ["FR"]})
+        assert reg.all_countries() == {"IT", "FR"}
+
+    def test_tsv_round_trip(self):
+        reg = GeoRegistry({5: ["IT", "FR"], 10: ["US"]})
+        loaded = GeoRegistry.from_tsv(reg.to_tsv())
+        assert loaded.countries(5) == {"FR", "IT"}
+        assert loaded.countries(10) == {"US"}
+        assert len(loaded) == 2
+
+    def test_tsv_skips_comments(self):
+        loaded = GeoRegistry.from_tsv("# comment\n1\tIT\n")
+        assert loaded.countries(1) == {"IT"}

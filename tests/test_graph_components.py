@@ -1,0 +1,71 @@
+"""Unit tests for connectivity algorithms."""
+
+from repro.graph import (
+    Graph,
+    bfs_order,
+    complete_graph,
+    connected_components,
+    is_connected,
+    largest_connected_component,
+    node_component,
+    path_graph,
+)
+
+
+class TestBfs:
+    def test_bfs_reaches_component(self):
+        g = Graph([(1, 2), (2, 3), (4, 5)])
+        assert set(bfs_order(g, 1)) == {1, 2, 3}
+
+    def test_bfs_level_order(self):
+        g = path_graph(4)
+        assert list(bfs_order(g, 0)) == [0, 1, 2, 3]
+
+
+class TestComponents:
+    def test_single_component(self):
+        assert len(connected_components(complete_graph(4))) == 1
+
+    def test_multiple_components_sorted_by_size(self):
+        g = Graph([(1, 2), (2, 3), (10, 11)])
+        components = connected_components(g)
+        assert [len(c) for c in components] == [3, 2]
+
+    def test_isolated_nodes_are_components(self):
+        g = Graph()
+        g.add_nodes_from([1, 2])
+        assert len(connected_components(g)) == 2
+
+    def test_empty_graph(self):
+        assert connected_components(Graph()) == []
+
+    def test_node_component(self):
+        g = Graph([(1, 2), (3, 4)])
+        assert node_component(g, 3) == {3, 4}
+
+
+class TestIsConnected:
+    def test_connected(self):
+        assert is_connected(path_graph(5))
+
+    def test_disconnected(self):
+        assert not is_connected(Graph([(1, 2), (3, 4)]))
+
+    def test_empty_graph_not_connected(self):
+        assert not is_connected(Graph())
+
+    def test_single_node_connected(self):
+        g = Graph()
+        g.add_node(1)
+        assert is_connected(g)
+
+
+class TestGiantComponent:
+    def test_keeps_largest(self):
+        g = Graph([(1, 2), (2, 3), (10, 11)])
+        giant = largest_connected_component(g)
+        assert set(giant.nodes()) == {1, 2, 3}
+        assert giant.number_of_edges == 2
+
+    def test_empty_graph(self):
+        assert len(largest_connected_component(Graph())) == 0

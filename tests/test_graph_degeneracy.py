@@ -1,0 +1,97 @@
+"""Unit tests for core decomposition, cross-checked against networkx."""
+
+import random
+
+import networkx as nx
+import pytest
+
+from repro.graph import (
+    Graph,
+    complete_graph,
+    core_numbers,
+    degeneracy,
+    degeneracy_ordering,
+    erdos_renyi,
+    k_core,
+    path_graph,
+    star_graph,
+)
+
+
+class TestCoreNumbers:
+    def test_complete_graph(self):
+        cores = core_numbers(complete_graph(5))
+        assert all(c == 4 for c in cores.values())
+
+    def test_path(self):
+        cores = core_numbers(path_graph(5))
+        assert all(c == 1 for c in cores.values())
+
+    def test_star(self):
+        cores = core_numbers(star_graph(6))
+        assert all(c == 1 for c in cores.values())
+
+    def test_empty(self):
+        assert core_numbers(Graph()) == {}
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_networkx(self, seed):
+        g = erdos_renyi(40, 0.15, random.Random(seed))
+        G = nx.Graph(list(g.edges()))
+        G.add_nodes_from(g.nodes())
+        assert core_numbers(g) == nx.core_number(G)
+
+
+class TestDegeneracy:
+    def test_complete_graph(self):
+        assert degeneracy(complete_graph(6)) == 5
+
+    def test_empty(self):
+        assert degeneracy(Graph()) == 0
+
+    def test_ordering_property(self):
+        """Each node has at most degeneracy(G) neighbors later in order."""
+        g = erdos_renyi(50, 0.2, random.Random(3))
+        order = degeneracy_ordering(g)
+        rank = {node: i for i, node in enumerate(order)}
+        d = degeneracy(g)
+        for node in order:
+            later = sum(1 for nb in g.neighbors(node) if rank[nb] > rank[node])
+            assert later <= d
+
+    def test_ordering_covers_all_nodes(self):
+        g = erdos_renyi(30, 0.1, random.Random(4))
+        assert sorted(degeneracy_ordering(g)) == sorted(g.nodes())
+
+
+class TestKCore:
+    def test_k_core_degrees(self):
+        g = erdos_renyi(40, 0.2, random.Random(5))
+        core = k_core(g, 3)
+        for node in core.nodes():
+            assert core.degree(node) >= 3
+
+    def test_k_core_matches_networkx(self):
+        g = erdos_renyi(40, 0.2, random.Random(6))
+        G = nx.Graph(list(g.edges()))
+        G.add_nodes_from(g.nodes())
+        ours = set(k_core(g, 3).nodes())
+        theirs = set(nx.k_core(G, 3).nodes())
+        assert ours == theirs
+
+    def test_k_core_zero_is_whole_graph(self):
+        g = path_graph(5)
+        assert set(k_core(g, 0).nodes()) == set(g.nodes())
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(ValueError):
+            k_core(path_graph(3), -1)
+
+    def test_nesting(self):
+        """k-cores form a nested chain — the partition-method contrast."""
+        g = erdos_renyi(40, 0.25, random.Random(7))
+        previous = set(g.nodes())
+        for k in range(1, degeneracy(g) + 1):
+            current = set(k_core(g, k).nodes())
+            assert current <= previous
+            previous = current

@@ -1,0 +1,108 @@
+"""Unit tests for the elementary graph generators."""
+
+import random
+
+import pytest
+
+from repro.graph import (
+    barabasi_albert,
+    complete_graph,
+    cycle_graph,
+    erdos_renyi,
+    is_connected,
+    overlapping_cliques,
+    path_graph,
+    ring_of_cliques,
+    star_graph,
+)
+
+
+class TestDeterministicGenerators:
+    def test_complete_graph_edge_count(self):
+        g = complete_graph(6)
+        assert g.number_of_edges == 15
+        assert g.is_clique(range(6))
+
+    def test_complete_graph_on_explicit_nodes(self):
+        g = complete_graph(["x", "y", "z"])
+        assert g.is_clique(["x", "y", "z"])
+
+    def test_path_graph(self):
+        g = path_graph(5)
+        assert g.number_of_edges == 4
+        assert g.degree(0) == 1 and g.degree(2) == 2
+
+    def test_cycle_graph(self):
+        g = cycle_graph(5)
+        assert g.number_of_edges == 5
+        assert all(g.degree(n) == 2 for n in g.nodes())
+
+    def test_cycle_too_small(self):
+        with pytest.raises(ValueError):
+            cycle_graph(2)
+
+    def test_star_graph(self):
+        g = star_graph(7)
+        assert g.degree(0) == 7
+        assert g.number_of_edges == 7
+
+
+class TestRandomGenerators:
+    def test_erdos_renyi_bounds(self):
+        rng = random.Random(0)
+        empty = erdos_renyi(10, 0.0, rng)
+        full = erdos_renyi(10, 1.0, rng)
+        assert empty.number_of_edges == 0
+        assert full.number_of_edges == 45
+
+    def test_erdos_renyi_bad_p(self):
+        with pytest.raises(ValueError):
+            erdos_renyi(5, 1.5, random.Random(0))
+
+    def test_erdos_renyi_deterministic(self):
+        a = erdos_renyi(20, 0.3, random.Random(9))
+        b = erdos_renyi(20, 0.3, random.Random(9))
+        assert {frozenset(e) for e in a.edges()} == {frozenset(e) for e in b.edges()}
+
+    def test_barabasi_albert_structure(self):
+        g = barabasi_albert(50, 3, random.Random(1))
+        assert g.number_of_nodes == 50
+        assert is_connected(g)
+        # Each new node adds exactly m edges.
+        assert g.number_of_edges == 6 + (50 - 4) * 3
+
+    def test_barabasi_albert_bad_m(self):
+        with pytest.raises(ValueError):
+            barabasi_albert(5, 5, random.Random(0))
+
+
+class TestCliqueOracles:
+    def test_ring_of_cliques(self):
+        g = ring_of_cliques(4, 5)
+        assert g.number_of_nodes == 20
+        assert g.number_of_edges == 4 * 10 + 4
+        assert is_connected(g)
+        assert g.is_clique(range(5))
+
+    def test_ring_of_one_clique(self):
+        g = ring_of_cliques(1, 4)
+        assert g.number_of_edges == 6
+
+    def test_ring_invalid(self):
+        with pytest.raises(ValueError):
+            ring_of_cliques(0, 5)
+
+    def test_overlapping_cliques_chain(self):
+        g = overlapping_cliques([5, 5, 5], 4)
+        # Each new clique adds exactly one fresh node.
+        assert g.number_of_nodes == 7
+        assert g.is_clique(range(5))
+
+    def test_overlapping_cliques_disjoint(self):
+        g = overlapping_cliques([3, 3], 0)
+        assert g.number_of_nodes == 6
+        assert not is_connected(g)
+
+    def test_overlap_must_be_less_than_size(self):
+        with pytest.raises(ValueError):
+            overlapping_cliques([3, 3], 3)

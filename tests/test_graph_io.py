@@ -1,0 +1,60 @@
+"""Unit tests for edge-list I/O."""
+
+import pytest
+
+from repro.graph import Graph, format_edgelist, parse_edgelist, read_edgelist, write_edgelist
+from repro.graph.io import EdgeListError
+
+
+class TestParse:
+    def test_basic(self):
+        g = parse_edgelist(["1 2", "2 3"])
+        assert g.number_of_edges == 2
+
+    def test_comments_and_blanks_ignored(self):
+        g = parse_edgelist(["# header", "", "1 2", "   ", "# trailing"])
+        assert g.number_of_edges == 1
+
+    def test_duplicates_collapse(self):
+        g = parse_edgelist(["1 2", "2 1", "1 2"])
+        assert g.number_of_edges == 1
+
+    def test_self_loops_skipped(self):
+        g = parse_edgelist(["1 1", "1 2"])
+        assert g.number_of_edges == 1
+        assert not g.has_edge(1, 1)
+
+    def test_bad_token_count(self):
+        with pytest.raises(EdgeListError, match="line 1"):
+            parse_edgelist(["1 2 3"])
+
+    def test_bad_type(self):
+        with pytest.raises(EdgeListError, match="cannot parse"):
+            parse_edgelist(["a b"])
+
+    def test_custom_node_type(self):
+        g = parse_edgelist(["a b"], node_type=str)
+        assert g.has_edge("a", "b")
+
+
+class TestRoundTrip:
+    def test_format_is_deterministic_and_sorted(self):
+        g = Graph([(3, 1), (2, 1)])
+        text = format_edgelist(g)
+        assert text == "1 2\n1 3\n"
+
+    def test_header_rendered_as_comments(self):
+        text = format_edgelist(Graph([(1, 2)]), header="line one\nline two")
+        assert text.startswith("# line one\n# line two\n")
+
+    def test_file_round_trip(self, tmp_path):
+        g = Graph([(1, 2), (2, 3), (9, 4)])
+        path = tmp_path / "topo.edges"
+        write_edgelist(g, path, header="test")
+        loaded = read_edgelist(path)
+        assert {frozenset(e) for e in loaded.edges()} == {frozenset(e) for e in g.edges()}
+
+    def test_empty_graph_round_trip(self, tmp_path):
+        path = tmp_path / "empty.edges"
+        write_edgelist(Graph(), path)
+        assert read_edgelist(path).number_of_edges == 0

@@ -1,0 +1,135 @@
+"""Unit tests for whole-graph statistics, cross-checked vs networkx."""
+
+import random
+
+import networkx as nx
+import pytest
+
+from repro.graph import (
+    Graph,
+    average_local_clustering,
+    complete_graph,
+    degree_assortativity,
+    degree_ccdf,
+    degree_histogram,
+    erdos_renyi,
+    global_clustering,
+    path_graph,
+    powerlaw_alpha_mle,
+    star_graph,
+    summarize_graph,
+    top_degree_density,
+)
+
+
+def _as_nx(g: Graph) -> nx.Graph:
+    G = nx.Graph(list(g.edges()))
+    G.add_nodes_from(g.nodes())
+    return G
+
+
+class TestDegreeDistribution:
+    def test_histogram(self):
+        assert degree_histogram(star_graph(4)) == {1: 4, 4: 1}
+
+    def test_empty(self):
+        assert degree_histogram(Graph()) == {}
+        assert degree_ccdf(Graph()) == []
+
+    def test_ccdf_monotone_starting_at_one(self):
+        g = erdos_renyi(40, 0.2, random.Random(1))
+        ccdf = degree_ccdf(g)
+        assert ccdf[0][1] == 1.0
+        values = [p for _, p in ccdf]
+        assert values == sorted(values, reverse=True)
+
+
+class TestPowerLaw:
+    def test_known_alpha_recovered(self):
+        """Degrees sampled from a discrete power law should yield a
+        nearby MLE estimate."""
+        rng = random.Random(0)
+        alpha_true = 2.3
+        g = Graph()
+        node = 0
+        hub = "hub"
+        for _ in range(3000):
+            # Inverse-CDF sample from a Pareto tail, then attach a star
+            # of that degree to fresh nodes.
+            degree = int(3 * (1 - rng.random()) ** (-1 / (alpha_true - 1)))
+            degree = min(degree, 500)
+            center = ("c", node)
+            for _ in range(degree):
+                g.add_edge(center, ("leaf", node, _))
+            node += 1
+        estimate = powerlaw_alpha_mle(g, x_min=3)
+        assert 2.0 < estimate < 2.6
+
+    def test_no_tail_returns_zero(self):
+        assert powerlaw_alpha_mle(path_graph(4), x_min=5) == 0.0
+
+
+class TestClustering:
+    def test_complete_graph(self):
+        assert global_clustering(complete_graph(5)) == pytest.approx(1.0)
+        assert average_local_clustering(complete_graph(5)) == pytest.approx(1.0)
+
+    def test_star_has_zero_clustering(self):
+        assert global_clustering(star_graph(5)) == 0.0
+        assert average_local_clustering(star_graph(5)) == 0.0
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_networkx(self, seed):
+        g = erdos_renyi(35, 0.2, random.Random(seed))
+        G = _as_nx(g)
+        assert global_clustering(g) == pytest.approx(nx.transitivity(G))
+        assert average_local_clustering(g) == pytest.approx(nx.average_clustering(G))
+
+
+class TestAssortativity:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_networkx(self, seed):
+        g = erdos_renyi(40, 0.15, random.Random(seed))
+        if g.number_of_edges < 2:
+            return
+        ours = degree_assortativity(g)
+        theirs = nx.degree_pearson_correlation_coefficient(_as_nx(g))
+        assert ours == pytest.approx(theirs, abs=1e-9)
+
+    def test_star_is_disassortative(self):
+        assert degree_assortativity(star_graph(6)) < 0 or star_graph(6).number_of_edges == 6
+
+    def test_no_variance(self):
+        assert degree_assortativity(complete_graph(4)) == 0.0
+        assert degree_assortativity(Graph()) == 0.0
+
+
+class TestTopDegreeDensity:
+    def test_clique_core(self):
+        g = complete_graph(5)
+        for hub in range(5):
+            for leaf in range(100 + hub * 10, 110 + hub * 10):
+                g.add_edge(hub, leaf)
+        assert top_degree_density(g, fraction=0.1) == 1.0
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            top_degree_density(complete_graph(3), fraction=0.0)
+
+
+class TestSummary:
+    def test_internet_like_profile(self, default_dataset):
+        """The generator must reproduce the AS graph's invariants:
+        heavy tail (alpha ~ 2), high local clustering, disassortative
+        mixing, dense top-degree core."""
+        summary = summarize_graph(default_dataset.graph)
+        assert 1.7 < summary.powerlaw_alpha < 2.6
+        assert summary.average_local_clustering > 0.3
+        assert summary.assortativity < -0.05
+        assert summary.top_degree_density > 0.4
+        assert summary.max_degree > 20 * summary.mean_degree
+
+    def test_empty_graph(self):
+        summary = summarize_graph(Graph())
+        assert summary.n_nodes == 0
+        assert summary.mean_degree == 0.0

@@ -1,0 +1,46 @@
+"""Unit tests for tag-induced subgraphs."""
+
+from repro.graph import (
+    Graph,
+    containment_fraction,
+    tag_induced_node_sets,
+    tag_induced_subgraph,
+)
+
+
+class TestTagInducedSubgraph:
+    def test_keeps_only_doubly_tagged_edges(self):
+        g = Graph([(1, 2), (2, 3), (3, 4)])
+        sub = tag_induced_subgraph(g, [1, 2, 4])
+        assert sub.has_edge(1, 2)
+        assert sub.number_of_edges == 1
+        assert 4 in sub  # kept as isolated tagged node
+
+    def test_empty_tag_set(self):
+        g = Graph([(1, 2)])
+        assert len(tag_induced_subgraph(g, [])) == 0
+
+
+class TestTagIndex:
+    def test_inversion(self):
+        tags = {1: ["a"], 2: ["a", "b"], 3: ["b"]}
+        index = tag_induced_node_sets([1, 2, 3], lambda n: tags[n])
+        assert index == {"a": {1, 2}, "b": {2, 3}}
+
+    def test_nodes_without_tags(self):
+        index = tag_induced_node_sets([1, 2], lambda n: [] if n == 1 else ["x"])
+        assert index == {"x": {2}}
+
+
+class TestContainmentFraction:
+    def test_full_containment(self):
+        assert containment_fraction({1, 2}, {1, 2, 3}) == 1.0
+
+    def test_partial(self):
+        assert containment_fraction({1, 2, 3, 4}, {1, 2}) == 0.5
+
+    def test_disjoint(self):
+        assert containment_fraction({1}, {2}) == 0.0
+
+    def test_empty_members(self):
+        assert containment_fraction(set(), {1}) == 0.0

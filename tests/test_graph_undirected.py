@@ -1,0 +1,148 @@
+"""Unit tests for the undirected graph substrate."""
+
+import pytest
+
+from repro.graph import Graph, GraphError
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        g = Graph()
+        assert len(g) == 0
+        assert g.number_of_edges == 0
+
+    def test_from_edge_iterable(self):
+        g = Graph([(1, 2), (2, 3)])
+        assert g.number_of_nodes == 3
+        assert g.number_of_edges == 2
+
+    def test_add_edge_creates_endpoints(self):
+        g = Graph()
+        g.add_edge("a", "b")
+        assert "a" in g and "b" in g
+
+    def test_add_edge_is_idempotent(self):
+        g = Graph()
+        g.add_edge(1, 2)
+        g.add_edge(1, 2)
+        g.add_edge(2, 1)
+        assert g.number_of_edges == 1
+
+    def test_self_loop_rejected(self):
+        g = Graph()
+        with pytest.raises(GraphError):
+            g.add_edge(5, 5)
+
+    def test_add_node_idempotent(self):
+        g = Graph()
+        g.add_edge(1, 2)
+        g.add_node(1)  # must not clear adjacency
+        assert g.has_edge(1, 2)
+
+    def test_add_nodes_from(self):
+        g = Graph()
+        g.add_nodes_from(range(5))
+        assert len(g) == 5
+        assert g.number_of_edges == 0
+
+
+class TestRemoval:
+    def test_remove_edge(self):
+        g = Graph([(1, 2), (2, 3)])
+        g.remove_edge(1, 2)
+        assert not g.has_edge(1, 2)
+        assert 1 in g  # endpoints stay
+
+    def test_remove_missing_edge_raises(self):
+        g = Graph([(1, 2)])
+        with pytest.raises(GraphError):
+            g.remove_edge(1, 3)
+
+    def test_remove_node_removes_incident_edges(self):
+        g = Graph([(1, 2), (1, 3), (2, 3)])
+        g.remove_node(1)
+        assert 1 not in g
+        assert g.number_of_edges == 1
+        assert g.has_edge(2, 3)
+
+    def test_remove_missing_node_raises(self):
+        with pytest.raises(GraphError):
+            Graph().remove_node(9)
+
+
+class TestQueries:
+    def test_degree_and_neighbors(self):
+        g = Graph([(1, 2), (1, 3), (1, 4)])
+        assert g.degree(1) == 3
+        assert g.neighbors(1) == {2, 3, 4}
+        assert g.degree(2) == 1
+
+    def test_neighbors_of_missing_node_raises(self):
+        with pytest.raises(GraphError):
+            Graph().neighbors(1)
+
+    def test_edges_yields_each_edge_once(self):
+        g = Graph([(1, 2), (2, 3), (1, 3)])
+        edges = {frozenset(e) for e in g.edges()}
+        assert len(list(g.edges())) == 3
+        assert edges == {frozenset((1, 2)), frozenset((2, 3)), frozenset((1, 3))}
+
+    def test_degrees_map(self):
+        g = Graph([(1, 2), (2, 3)])
+        assert g.degrees() == {1: 1, 2: 2, 3: 1}
+
+    def test_density_triangle(self):
+        g = Graph([(1, 2), (2, 3), (1, 3)])
+        assert g.density() == 1.0
+
+    def test_density_small_graphs(self):
+        assert Graph().density() == 0.0
+        g = Graph()
+        g.add_node(1)
+        assert g.density() == 0.0
+
+    def test_iteration(self):
+        g = Graph([(1, 2)])
+        assert set(g) == {1, 2}
+        assert set(g.nodes()) == {1, 2}
+
+
+class TestDerived:
+    def test_subgraph_keeps_internal_edges_only(self):
+        g = Graph([(1, 2), (2, 3), (3, 4), (4, 1)])
+        sub = g.subgraph([1, 2, 3])
+        assert sub.number_of_nodes == 3
+        assert sub.has_edge(1, 2) and sub.has_edge(2, 3)
+        assert not sub.has_edge(3, 4)
+
+    def test_subgraph_ignores_unknown_nodes(self):
+        g = Graph([(1, 2)])
+        sub = g.subgraph([1, 2, 99])
+        assert 99 not in sub
+
+    def test_copy_is_independent(self):
+        g = Graph([(1, 2)])
+        dup = g.copy()
+        dup.add_edge(2, 3)
+        assert not g.has_edge(2, 3)
+
+    def test_edge_count_within(self):
+        g = Graph([(1, 2), (2, 3), (3, 1), (3, 4)])
+        assert g.edge_count_within({1, 2, 3}) == 3
+        assert g.edge_count_within({1, 4}) == 0
+        assert g.edge_count_within(set()) == 0
+
+    def test_degree_within(self):
+        g = Graph([(1, 2), (1, 3), (1, 4)])
+        assert g.degree_within(1, {2, 3}) == 2
+
+    def test_is_clique(self):
+        g = Graph([(1, 2), (2, 3), (1, 3), (3, 4)])
+        assert g.is_clique([1, 2, 3])
+        assert not g.is_clique([1, 2, 4])
+        assert g.is_clique([1])
+        assert not g.is_clique([1, 99])
+
+    def test_is_clique_with_duplicate_input(self):
+        g = Graph([(1, 2)])
+        assert g.is_clique([1, 2, 1])

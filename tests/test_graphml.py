@@ -1,0 +1,51 @@
+"""Tests for the GraphML exporter."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.analysis import IXPShareAnalysis, derive_bands
+from repro.report.graphml import graphml_document, write_graphml
+
+_NS = {"g": "http://graphml.graphdrawing.org/xmlns"}
+
+
+@pytest.fixture(scope="module")
+def document(tiny_context):
+    bands = derive_bands(IXPShareAnalysis(tiny_context), fallback=(6, 10))
+    return graphml_document(tiny_context, k=4, bands=bands)
+
+
+class TestGraphml:
+    def test_valid_xml_with_all_nodes_and_edges(self, document, tiny_context):
+        root = ET.fromstring(document)
+        nodes = root.findall(".//g:node", _NS)
+        edges = root.findall(".//g:edge", _NS)
+        assert len(nodes) == tiny_context.graph.number_of_nodes
+        assert len(edges) == tiny_context.graph.number_of_edges
+
+    def test_keys_declared(self, document):
+        root = ET.fromstring(document)
+        names = {key.get("attr.name") for key in root.findall("g:key", _NS)}
+        assert {"role", "countries", "on_ixp", "communities", "band"} <= names
+
+    def test_membership_attributes(self, document, tiny_context):
+        root = ET.fromstring(document)
+        cover = tiny_context.hierarchy[4]
+        member = next(iter(cover[0].members))
+        node = next(
+            n for n in root.findall(".//g:node", _NS) if n.get("id") == f"AS{member}"
+        )
+        data = {d.get("key"): d.text for d in node.findall("g:data", _NS)}
+        # d4 is 'communities' (fifth declared key).
+        assert any("k4id" in (text or "") for text in data.values())
+
+    def test_invalid_order_rejected(self, tiny_context):
+        with pytest.raises(KeyError):
+            graphml_document(tiny_context, k=99)
+
+    def test_write_to_file(self, tiny_context, tmp_path):
+        target = tmp_path / "topology.graphml"
+        write_graphml(tiny_context, target, k=3)
+        assert target.exists()
+        ET.fromstring(target.read_text())  # parses cleanly

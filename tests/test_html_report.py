@@ -1,0 +1,74 @@
+"""Tests for the SVG renderer and the standalone HTML report."""
+
+import pytest
+
+from repro.report import render_html_report, svg_scatter
+
+
+class TestSvgScatter:
+    def test_basic_structure(self):
+        svg = svg_scatter({"s": [(1, 2), (3, 4)]}, title="T", y_label="v")
+        assert svg.startswith("<svg")
+        assert svg.endswith("</svg>")
+        assert "T" in svg
+        assert svg.count("<circle") >= 2  # data markers + legend
+
+    def test_log_scale_handles_zero(self):
+        svg = svg_scatter({"s": [(1, 0), (2, 100)]}, title="log", log_y=True)
+        assert "<svg" in svg
+        assert "(log)" in svg or "log" in svg
+
+    def test_two_series_get_two_colors(self):
+        svg = svg_scatter({"a": [(1, 1)], "b": [(2, 2)]}, title="x")
+        assert "#1f6f8b" in svg and "#d1495b" in svg
+
+    def test_empty_series(self):
+        svg = svg_scatter({"s": []}, title="empty")
+        assert "no data" in svg
+
+    def test_single_point_does_not_crash(self):
+        svg = svg_scatter({"s": [(5, 5)]}, title="one")
+        assert "<circle" in svg
+
+
+class TestHtmlReport:
+    @pytest.fixture(scope="class")
+    def html_doc(self, paper_run):
+        return render_html_report(paper_run)
+
+    def test_is_standalone_document(self, html_doc):
+        assert html_doc.startswith("<!DOCTYPE html>")
+        assert "<style>" in html_doc
+        assert html_doc.count("<svg") == 4  # the four scatter figures
+
+    def test_contains_all_artefacts(self, html_doc):
+        for marker in (
+            "Table 2.1",
+            "Table 2.2",
+            "Figure 4.1",
+            "Figure 4.3",
+            "Figure 4.4(a)",
+            "Figure 4.4(b)",
+            "Crown case study",
+            "Community tree",
+        ):
+            assert marker in html_doc
+
+    def test_band_table_present(self, html_doc):
+        assert "crown" in html_doc and "trunk" in html_doc and "root" in html_doc
+        assert "AMS-IX" in html_doc
+
+    def test_custom_title_escaped(self, paper_run):
+        doc = render_html_report(paper_run, title="<script>alert(1)</script>")
+        assert "<script>alert" not in doc
+        assert "&lt;script&gt;" in doc
+
+    def test_cli_writes_html(self, paper_run, tmp_path, capsys):
+        from repro.cli import main
+
+        target = tmp_path / "dataset"
+        paper_run.dataset.save(target)
+        out = tmp_path / "report.html"
+        assert main(["paper", "--dataset", str(target), "--html", str(out)]) == 0
+        assert out.exists()
+        assert "<svg" in out.read_text()

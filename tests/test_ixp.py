@@ -1,0 +1,98 @@
+"""Unit tests for the IXP registry and share analysis."""
+
+import pytest
+
+from repro.topology import IXP, IXPRegistry
+
+
+def _ixp(name: str, country: str, members) -> IXP:
+    return IXP(name=name, country=country, participants=frozenset(members))
+
+
+class TestIXP:
+    def test_fields(self):
+        ixp = _ixp("AMS-IX", "NL", [1, 2, 3])
+        assert ixp.size == 3
+        assert 2 in ixp
+        assert 9 not in ixp
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            _ixp("", "NL", [1])
+
+
+class TestRegistryBasics:
+    def test_add_and_lookup(self):
+        reg = IXPRegistry([_ixp("VIX", "AT", [1, 2])])
+        assert "VIX" in reg
+        assert reg["VIX"].country == "AT"
+        assert len(reg) == 1
+
+    def test_duplicate_name_rejected(self):
+        reg = IXPRegistry([_ixp("VIX", "AT", [1])])
+        with pytest.raises(ValueError):
+            reg.add(_ixp("VIX", "AT", [2]))
+
+    def test_missing_lookup(self):
+        with pytest.raises(KeyError):
+            IXPRegistry()["nope"]
+
+    def test_names_sorted(self):
+        reg = IXPRegistry([_ixp("b", "AT", [1]), _ixp("a", "AT", [2])])
+        assert reg.names() == ["a", "b"]
+
+
+class TestTagging:
+    def test_on_ixp(self):
+        reg = IXPRegistry([_ixp("VIX", "AT", [1, 2]), _ixp("MIX", "IT", [2, 3])])
+        assert reg.is_on_ixp(1)
+        assert not reg.is_on_ixp(9)
+        assert reg.on_ixp_ases() == {1, 2, 3}
+
+    def test_ixps_of(self):
+        reg = IXPRegistry([_ixp("VIX", "AT", [1, 2]), _ixp("MIX", "IT", [2])])
+        assert reg.ixps_of(2) == {"VIX", "MIX"}
+        assert reg.ixps_of(9) == set()
+
+    def test_participant_sets(self):
+        reg = IXPRegistry([_ixp("VIX", "AT", [1, 2])])
+        assert reg.participant_sets() == {"VIX": frozenset({1, 2})}
+
+
+class TestShares:
+    @pytest.fixture()
+    def registry(self):
+        return IXPRegistry(
+            [
+                _ixp("BIG", "NL", range(0, 30)),
+                _ixp("SMALL", "AT", [1, 2, 3]),
+            ]
+        )
+
+    def test_max_share(self, registry):
+        share = registry.max_share({1, 2, 3})
+        assert share.ixp_name == "BIG"  # full containment beats size
+        assert share.fraction == 1.0
+
+    def test_full_shares_ordering(self, registry):
+        shares = registry.full_shares({1, 2, 3})
+        # Both IXPs fully contain the set; tie broken by shared count
+        # (equal here) then name.
+        assert {s.ixp_name for s in shares} == {"BIG", "SMALL"}
+        assert all(s.is_full_share for s in shares)
+
+    def test_partial_share(self, registry):
+        share = registry.max_share({1, 2, 100})
+        assert share.ixp_name == "BIG"
+        assert share.fraction == pytest.approx(2 / 3)
+        assert not share.is_full_share
+
+    def test_no_intersection(self, registry):
+        assert registry.max_share({999}) is None
+        assert registry.shares_of({999}) == []
+
+    def test_tsv_round_trip(self, registry):
+        loaded = IXPRegistry.from_tsv(registry.to_tsv())
+        assert loaded.names() == registry.names()
+        assert loaded["SMALL"].participants == frozenset({1, 2, 3})
+        assert loaded["BIG"].country == "NL"

@@ -1,0 +1,86 @@
+"""Tests for the k-dense comparison and CSV export features."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.analysis import compare_with_kdense
+
+
+class TestKDenseComparison:
+    @pytest.fixture(scope="class")
+    def comparison(self, tiny_context):
+        return compare_with_kdense(tiny_context, max_dense_k=10)
+
+    def test_sandwich_property(self, comparison):
+        """CPM(k) ⊆ dense(k) ⊆ core(k-1) — both papers' consistency."""
+        assert comparison.sandwich_holds
+
+    def test_dense_is_coarser(self, comparison):
+        assert comparison.dense_is_coarser
+        assert comparison.dense_max_k <= comparison.clique_max_k
+
+    def test_innermost_zones_are_ixp_fabric(self, comparison):
+        """Both papers' shared finding: the deepest zone is on-IXP."""
+        assert comparison.innermost_dense_on_ixp_fraction > 0.5
+        assert comparison.apex_on_ixp_fraction > 0.8
+
+    def test_counts_present(self, comparison):
+        assert comparison.clique_counts[2] == 1
+        assert comparison.dense_counts
+        assert min(comparison.dense_counts) == 2
+
+
+class TestCsvExport:
+    @pytest.fixture(scope="class")
+    def csvs(self, paper_run):
+        from repro.report import figure_csvs
+
+        return figure_csvs(paper_run)
+
+    def test_all_series_present(self, csvs):
+        assert set(csvs) == {
+            "table_2_1.csv",
+            "table_2_2.csv",
+            "figure_4_1.csv",
+            "figure_4_3.csv",
+            "figure_4_4.csv",
+            "section_4_overlap.csv",
+            "communities.csv",
+        }
+
+    def test_figure_4_1_parses_and_matches(self, csvs, paper_run):
+        rows = list(csv.reader(io.StringIO(csvs["figure_4_1.csv"])))
+        assert rows[0] == ["k", "n_communities"]
+        parsed = {int(k): int(n) for k, n in rows[1:]}
+        assert parsed == dict(paper_run.census.series())
+
+    def test_communities_csv_covers_hierarchy(self, csvs, paper_run):
+        rows = list(csv.reader(io.StringIO(csvs["communities.csv"])))
+        assert len(rows) - 1 == paper_run.context.hierarchy.total_communities
+        header = rows[0]
+        assert header == ["label", "k", "size", "is_main", "band"]
+        bands = {row[4] for row in rows[1:]}
+        assert bands == {"root", "trunk", "crown"}
+
+    def test_write_to_directory(self, paper_run, tmp_path):
+        from repro.report import write_figure_csvs
+
+        files = write_figure_csvs(paper_run, tmp_path / "csv")
+        assert "manifest.json" in files
+        manifest = json.loads((tmp_path / "csv" / "manifest.json").read_text())
+        assert set(manifest["files"]) == set(files) - {"manifest.json"}
+        for name in manifest["files"]:
+            assert (tmp_path / "csv" / name).exists()
+
+    def test_cli_csv_dir(self, paper_run, tmp_path, capsys):
+        from repro.cli import main
+
+        dataset_dir = tmp_path / "ds"
+        paper_run.dataset.save(dataset_dir)
+        out = tmp_path / "csvs"
+        assert main(["paper", "--dataset", str(dataset_dir), "--csv-dir", str(out)]) == 0
+        assert (out / "figure_4_1.csv").exists()
+        assert "CSV" in capsys.readouterr().out

@@ -1,0 +1,88 @@
+"""Unit tests for the community metrics (Figures 4.3 / 4.4)."""
+
+import pytest
+
+from repro.core import (
+    Community,
+    average_odf,
+    community_metrics,
+    link_density,
+    node_internal_fraction,
+    node_odf,
+    overlap,
+    overlap_fraction,
+)
+from repro.graph import Graph, complete_graph, path_graph, star_graph
+
+
+class TestLinkDensity:
+    def test_full_mesh(self):
+        assert link_density(complete_graph(5), range(5)) == 1.0
+
+    def test_chain(self):
+        assert link_density(path_graph(4), range(4)) == pytest.approx(3 / 6)
+
+    def test_subset(self):
+        g = complete_graph(4)
+        assert link_density(g, [0, 1]) == 1.0
+
+    def test_degenerate_sets(self):
+        g = complete_graph(3)
+        assert link_density(g, [0]) == 0.0
+        assert link_density(g, []) == 0.0
+
+
+class TestOdf:
+    def test_fully_internal_node(self):
+        g = complete_graph(4)
+        assert node_odf(g, 0, {0, 1, 2, 3}) == 0.0
+        assert node_internal_fraction(g, 0, {0, 1, 2, 3}) == 1.0
+
+    def test_fully_external_hub(self):
+        g = star_graph(5)
+        # Hub in a "community" containing none of its leaves.
+        assert node_odf(g, 0, {0}) == 1.0
+
+    def test_mixed(self):
+        g = Graph([(1, 2), (1, 3), (1, 4), (1, 5)])
+        assert node_odf(g, 1, {1, 2, 3}) == pytest.approx(0.5)
+
+    def test_isolated_node(self):
+        g = Graph()
+        g.add_node(7)
+        assert node_odf(g, 7, {7}) == 0.0
+
+    def test_average_odf_tier1_mesh_with_customers(self):
+        """The Chapter 1 motivating example: a full mesh whose members
+        have big external customer cones scores high ODF."""
+        g = complete_graph(4)
+        next_node = 100
+        for hub in range(4):
+            for _ in range(12):
+                g.add_edge(hub, next_node)
+                next_node += 1
+        odf = average_odf(g, range(4))
+        assert odf == pytest.approx(12 / 15)
+
+    def test_average_odf_empty(self):
+        assert average_odf(complete_graph(3), []) == 0.0
+
+
+class TestOverlapHelpers:
+    def test_overlap_functions_delegate(self):
+        a = Community(k=3, index=0, members=frozenset({1, 2, 3, 4}))
+        b = Community(k=3, index=1, members=frozenset({3, 4, 5}))
+        assert overlap(a, b) == 2
+        assert overlap_fraction(a, b) == pytest.approx(2 / 3)
+
+
+class TestCommunityMetrics:
+    def test_record_fields(self):
+        g = complete_graph(5)
+        c = Community(k=5, index=0, members=frozenset(range(5)))
+        m = community_metrics(g, c)
+        assert m.label == "k5id0"
+        assert m.size == 5
+        assert m.link_density == 1.0
+        assert m.average_odf == 0.0
+        assert m.as_row() == ("k5id0", 5, 5, 1.0, 0.0)

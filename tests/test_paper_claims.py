@@ -1,0 +1,161 @@
+"""The paper-claims ledger.
+
+One test per headline claim of the paper, in paper order — the
+regression contract of the reproduction.  Each test states the claim it
+covers; EXPERIMENTS.md carries the quantitative paper-vs-measured
+record, this module keeps the claims from silently breaking.  Deeper
+per-module checks live in the other test files; these are intentionally
+end-to-end.
+"""
+
+import pytest
+
+from repro.analysis import (
+    CommunityCensus,
+    DensityOdfAnalysis,
+    GeoAnalysis,
+    IXPShareAnalysis,
+    OverlapAnalysis,
+    SizeAnalysis,
+    crown_report,
+    derive_bands,
+    root_report,
+    trunk_report,
+)
+from repro.core import verify_nesting
+from repro.topology.geography import Continent
+
+
+@pytest.fixture(scope="module")
+def ledger(default_context):
+    """Everything the claims need, computed once."""
+    share = IXPShareAnalysis(default_context)
+    bands = derive_bands(share)
+    return {
+        "context": default_context,
+        "census": CommunityCensus(default_context.hierarchy),
+        "sizes": SizeAnalysis(default_context),
+        "density": DensityOdfAnalysis(default_context),
+        "overlap": OverlapAnalysis(default_context),
+        "share": share,
+        "bands": bands,
+        "geo": GeoAnalysis(default_context),
+        "crown": crown_report(default_context, share, bands),
+        "trunk": trunk_report(default_context, share, bands),
+        "root": root_report(default_context, share, bands),
+    }
+
+
+class TestChapter3Claims:
+    def test_theorem_1_every_community_nests_uniquely(self, ledger):
+        """Sec 3.1: each k-community lies in exactly one (k-1)-community."""
+        hierarchy = ledger["context"].hierarchy
+        expected = sum(
+            len(hierarchy[k]) for k in hierarchy.orders if k > hierarchy.min_k
+        )
+        assert verify_nesting(hierarchy) == expected
+
+
+class TestChapter4StructureClaims:
+    def test_single_2_clique_community(self, ledger):
+        """Ch 4: a connected dataset has exactly one 2-clique community."""
+        assert ledger["census"].single_2_clique_community()
+
+    def test_unique_orders_contain_all_higher_communities(self, ledger):
+        """Ch 4: a unique k-community contains every higher-order one."""
+        hierarchy = ledger["context"].hierarchy
+        for k in ledger["census"].unique_orders():
+            unique = hierarchy[k][0]
+            for higher_k in hierarchy.orders:
+                if higher_k <= k:
+                    continue
+                for community in hierarchy[higher_k]:
+                    assert community.members <= unique.members
+
+    def test_main_chain_one_per_order_and_nested(self, ledger):
+        """Fig 4.2: one main community per k, each containing the next."""
+        tree = ledger["context"].tree
+        chain = tree.main_chain()
+        assert [n.k for n in chain] == ledger["context"].hierarchy.orders
+        for parent, child in zip(chain, chain[1:]):
+            assert child.community.members <= parent.community.members
+
+    def test_main_size_decreases_parallel_sizes_near_k(self, ledger):
+        """Fig 4.3's two point clouds."""
+        sizes = ledger["sizes"]
+        assert sizes.main_is_monotone_nonincreasing()
+        assert sizes.main_covers_graph_at_k2()
+        mean_ratio, _ = sizes.parallel_size_ratio_stats()
+        assert mean_ratio < 3.0
+
+    def test_density_and_odf_regimes(self, ledger):
+        """Fig 4.4: chain-like main at low k, clique-like crown, high
+        crown ODF."""
+        density = ledger["density"]
+        assert density.main_density_low_then_high()
+        assert density.clique_like_top()
+        assert density.main_odf_increases_to_crown()
+
+    def test_overlap_fractions(self, ledger):
+        """Sec 4 text: parallels overlap main; zero overlap is rare;
+        par-par too variable to average."""
+        overlap = ledger["overlap"]
+        assert overlap.parallel_main_mean_over_k() > 0.4
+        total = ledger["context"].hierarchy.total_communities
+        assert overlap.total_zero_overlap_exceptions() < 0.05 * total
+        assert (
+            overlap.parallel_parallel_variance_over_k()
+            > overlap.parallel_main_variance_over_k()
+        )
+
+
+class TestChapter4TagClaims:
+    def test_high_k_communities_are_on_ixp(self, ledger):
+        """Sec 4: >90% on-IXP members for every community above a
+        threshold order (paper: 16)."""
+        threshold = ledger["share"].high_on_ixp_threshold(fraction=0.9)
+        assert threshold is not None and threshold <= 16
+
+    def test_three_full_share_regimes(self, ledger):
+        """Sec 4: full shares at the extremes, none in the trunk gap."""
+        gap = ledger["share"].no_full_share_band()
+        orders = ledger["share"].full_share_orders()
+        assert gap is not None
+        assert min(orders) < gap[0] and max(orders) > gap[1]
+
+    def test_crown_claims(self, ledger):
+        """Sec 4.1: AMS-IX apex without full share; big-three max
+        shares; 4 non-EU / 3 non-IXP members; full-share parallels."""
+        crown = ledger["crown"]
+        assert crown.apex_max_share_ixp == "AMS-IX"
+        assert not crown.apex_has_full_share
+        assert not crown.main_has_full_share
+        assert crown.max_share_ixps == {"AMS-IX", "DE-CIX", "LINX"}
+        assert len(crown.non_european_members) == 4
+        assert len(crown.non_ixp_members) == 3
+        assert any(full for *_, full, is_main in crown.case_study if not is_main)
+
+    def test_crown_is_european(self, ledger):
+        """Sec 4.1: all crown ASes are in Europe but the exceptions."""
+        geo = ledger["geo"]
+        k_min = ledger["bands"].crown_min
+        assert geo.continent_membership_fraction(Continent.EUROPE, k_min=k_min) > 0.85
+
+    def test_trunk_claims(self, ledger):
+        """Sec 4.2: no full share, high on-IXP, >90% max-share
+        parallels, high-degree multi-country members, nested branch."""
+        trunk = ledger["trunk"]
+        assert not trunk.any_full_share
+        assert trunk.min_on_ixp_fraction > 0.8
+        assert trunk.parallel_max_share_min > 0.9
+        assert trunk.mean_member_degree > 20
+        assert len(trunk.longest_branch) >= 3
+
+    def test_root_claims(self, ledger):
+        """Sec 4.3: small parallels, full-share small IXPs incl.
+        non-European, country-contained majority."""
+        root = ledger["root"]
+        assert root.mean_parallel_size < 15
+        assert root.full_share_parallels >= 10
+        assert root.non_european_full_share_exists
+        assert root.country_contained_parallels > 50

@@ -1,0 +1,145 @@
+"""Unit tests for CPM, cross-checked against networkx and the direct
+definition oracle."""
+
+import random
+
+import networkx as nx
+import pytest
+
+from repro.core import (
+    CliqueOverlapIndex,
+    extract_hierarchy,
+    k_clique_communities,
+    k_clique_communities_direct,
+)
+from repro.graph import (
+    Graph,
+    complete_graph,
+    erdos_renyi,
+    overlapping_cliques,
+    path_graph,
+    ring_of_cliques,
+)
+
+
+def _nx_communities(g: Graph, k: int) -> list[list]:
+    G = nx.Graph(list(g.edges()))
+    G.add_nodes_from(g.nodes())
+    return sorted(sorted(c) for c in nx.community.k_clique_communities(G, k))
+
+
+class TestKnownStructures:
+    def test_ring_of_cliques(self):
+        g = ring_of_cliques(4, 5)
+        cover = k_clique_communities(g, 5)
+        assert len(cover) == 4
+        assert all(c.size == 5 for c in cover)
+
+    def test_ring_is_single_community_at_k2(self):
+        cover = k_clique_communities(ring_of_cliques(4, 5), 2)
+        assert len(cover) == 1
+        assert cover[0].size == 20
+
+    def test_clique_chain_is_one_community(self):
+        g = overlapping_cliques([6, 6, 6], 5)
+        cover = k_clique_communities(g, 6)
+        assert len(cover) == 1
+        assert cover[0].size == 8
+
+    def test_chain_with_small_overlap_splits_at_high_k(self):
+        g = overlapping_cliques([5, 5], 2)
+        assert len(k_clique_communities(g, 5)) == 2
+        assert len(k_clique_communities(g, 3)) == 1  # overlap 2 >= k-1
+
+    def test_complete_graph_one_community_every_k(self):
+        g = complete_graph(6)
+        for k in range(2, 7):
+            cover = k_clique_communities(g, k)
+            assert len(cover) == 1
+            assert cover[0].size == 6
+
+    def test_path_graph_k3_empty(self):
+        assert len(k_clique_communities(path_graph(5), 3)) == 0
+
+    def test_k2_communities_are_nontrivial_components(self):
+        g = Graph([(1, 2), (3, 4), (4, 5)])
+        g.add_node(99)  # isolated: in no 2-clique community
+        cover = k_clique_communities(g, 2)
+        assert sorted(sorted(c.members) for c in cover) == [[1, 2], [3, 4, 5]]
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            k_clique_communities(path_graph(3), 1)
+
+
+class TestOracleEquivalence:
+    @pytest.mark.parametrize("seed", range(10))
+    @pytest.mark.parametrize("k", [3, 4, 5])
+    def test_three_implementations_agree(self, seed, k):
+        g = erdos_renyi(28, 0.3, random.Random(seed))
+        fast = sorted(sorted(c.members) for c in k_clique_communities(g, k))
+        direct = sorted(sorted(c.members) for c in k_clique_communities_direct(g, k))
+        assert fast == direct == _nx_communities(g, k)
+
+    def test_direct_validates_k(self):
+        with pytest.raises(ValueError):
+            k_clique_communities_direct(path_graph(3), 1)
+
+    def test_direct_empty_result(self):
+        assert len(k_clique_communities_direct(path_graph(4), 3)) == 0
+
+
+class TestOverlapIndex:
+    def test_overlaps_of_ring(self):
+        index = CliqueOverlapIndex.from_graph(ring_of_cliques(4, 4))
+        overlaps = index.overlaps()
+        # Bridge edges each share one node with two cliques.
+        assert all(v >= 1 for v in overlaps.values())
+        assert index.max_clique_size == 4
+
+    def test_eligible_prefix(self):
+        # 4 cliques of size 4 plus 4 bridge edges (size-2 cliques).
+        index = CliqueOverlapIndex.from_graph(ring_of_cliques(4, 4))
+        assert index._eligible_count(4) == 4
+        assert index._eligible_count(2) == 8
+        assert index._eligible_count(5) == 0
+
+    def test_empty_graph(self):
+        index = CliqueOverlapIndex([])
+        assert index.max_clique_size == 0
+        assert index.percolate(3) == []
+
+
+class TestHierarchy:
+    def test_orders_cover_full_range(self):
+        h = extract_hierarchy(ring_of_cliques(3, 5))
+        assert h.orders == [2, 3, 4, 5]
+
+    def test_min_max_k_window(self):
+        h = extract_hierarchy(ring_of_cliques(3, 5), min_k=3, max_k=4)
+        assert h.orders == [3, 4]
+
+    def test_raises_when_nothing_to_extract(self):
+        g = Graph()
+        g.add_node(1)
+        with pytest.raises(ValueError):
+            extract_hierarchy(g)
+
+    def test_invalid_min_k(self):
+        with pytest.raises(ValueError):
+            extract_hierarchy(ring_of_cliques(2, 3), min_k=1)
+
+    def test_shared_index_gives_same_result(self):
+        g = ring_of_cliques(3, 5)
+        index = CliqueOverlapIndex.from_graph(g)
+        a = extract_hierarchy(g)
+        b = extract_hierarchy(g, index=index)
+        assert a.counts_by_k() == b.counts_by_k()
+
+    def test_parent_labels_attached(self):
+        h = extract_hierarchy(ring_of_cliques(3, 5))
+        # Every community above min_k has a parent link.
+        expected = sum(len(h[k]) for k in h.orders if k > h.min_k)
+        assert len(h.parent_labels) == expected
+        for child, parent in h.parent_labels.items():
+            assert h.find(child).members <= h.find(parent).members

@@ -1,0 +1,55 @@
+"""Unit tests for the k-clique percolation phase-transition module."""
+
+import pytest
+
+from repro.analysis import critical_probability, empirical_threshold, threshold_sweep
+from repro.analysis.percolation_threshold import SweepPoint
+
+
+class TestCriticalProbability:
+    def test_formula(self):
+        # p_c = [(k-1) n]^(-1/(k-1))
+        assert critical_probability(100, 2) == pytest.approx(1 / 100)
+        assert critical_probability(100, 3) == pytest.approx((2 * 100) ** -0.5)
+
+    def test_decreases_with_n(self):
+        assert critical_probability(1000, 3) < critical_probability(100, 3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            critical_probability(100, 1)
+        with pytest.raises(ValueError):
+            critical_probability(2, 3)
+
+
+class TestSweep:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return threshold_sweep(
+            n=120, k=3, relative_ps=[0.5, 0.8, 1.0, 1.3, 1.8], trials=2, seed=5
+        )
+
+    def test_order_parameter_grows_through_transition(self, points):
+        shares = [p.largest_community_share for p in points]
+        assert shares[0] < 0.1           # subcritical: microscopic
+        assert shares[-1] > 0.6          # supercritical: giant community
+
+    def test_transition_near_theory(self, points):
+        threshold = empirical_threshold(points, share=0.2)
+        assert threshold is not None
+        assert 0.8 <= threshold <= 1.8   # finite-size window around p/p_c = 1
+
+    def test_point_fields(self, points):
+        for point in points:
+            assert isinstance(point, SweepPoint)
+            assert 0.0 <= point.largest_community_share <= 1.0
+            assert point.p <= 1.0
+
+    def test_deterministic(self):
+        a = threshold_sweep(n=60, k=3, relative_ps=[1.0], trials=2, seed=9)
+        b = threshold_sweep(n=60, k=3, relative_ps=[1.0], trials=2, seed=9)
+        assert a == b
+
+    def test_empirical_threshold_none_when_subcritical(self):
+        points = [SweepPoint(p=0.01, relative_p=0.5, largest_community_share=0.01, n_communities=2)]
+        assert empirical_threshold(points, share=0.5) is None

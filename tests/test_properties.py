@@ -1,0 +1,143 @@
+"""Property-based tests (hypothesis) for the core invariants.
+
+Strategy: random small graphs drawn as edge sets over a bounded node
+universe.  Each property is one of the paper's formal claims (or a
+definitional invariant of the data structures) checked against
+arbitrary inputs rather than fixtures.
+"""
+
+import networkx as nx
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    CommunityTree,
+    UnionFind,
+    extract_hierarchy,
+    k_clique_communities,
+    k_clique_communities_direct,
+    maximal_cliques,
+    verify_nesting,
+)
+from repro.core.metrics import average_odf, link_density
+from repro.graph import Graph, core_numbers
+
+
+@st.composite
+def graphs(draw, max_nodes: int = 12, min_edges: int = 0):
+    n = draw(st.integers(min_value=2, max_value=max_nodes))
+    possible = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    edges = draw(
+        st.lists(st.sampled_from(possible), min_size=min_edges, max_size=len(possible), unique=True)
+    )
+    g = Graph()
+    g.add_nodes_from(range(n))
+    g.add_edges_from(edges)
+    return g
+
+
+def _as_nx(g: Graph) -> nx.Graph:
+    G = nx.Graph(list(g.edges()))
+    G.add_nodes_from(g.nodes())
+    return G
+
+
+class TestCliqueProperties:
+    @given(graphs())
+    @settings(max_examples=60, deadline=None)
+    def test_maximal_cliques_match_networkx(self, g):
+        ours = {frozenset(c) for c in maximal_cliques(g)}
+        theirs = {frozenset(c) for c in nx.find_cliques(_as_nx(g))}
+        assert ours == theirs
+
+    @given(graphs())
+    @settings(max_examples=60, deadline=None)
+    def test_every_edge_in_some_maximal_clique(self, g):
+        cliques = maximal_cliques(g)
+        for u, v in g.edges():
+            assert any(u in c and v in c for c in cliques)
+
+
+class TestCpmProperties:
+    @given(graphs(min_edges=1), st.integers(min_value=2, max_value=5))
+    @settings(max_examples=50, deadline=None)
+    def test_fast_equals_direct_equals_networkx(self, g, k):
+        fast = sorted(sorted(c.members) for c in k_clique_communities(g, k))
+        direct = sorted(sorted(c.members) for c in k_clique_communities_direct(g, k))
+        theirs = sorted(sorted(c) for c in nx.community.k_clique_communities(_as_nx(g), k))
+        assert fast == direct == theirs
+
+    @given(graphs(min_edges=1))
+    @settings(max_examples=50, deadline=None)
+    def test_nesting_theorem(self, g):
+        """Theorem 1 holds for arbitrary graphs."""
+        h = extract_hierarchy(g)
+        verify_nesting(h)  # raises on violation
+
+    @given(graphs(min_edges=1))
+    @settings(max_examples=40, deadline=None)
+    def test_tree_main_chain_is_nested(self, g):
+        h = extract_hierarchy(g)
+        tree = CommunityTree(h)
+        chain = tree.main_chain()
+        for parent, child in zip(chain, chain[1:]):
+            assert child.community.members <= parent.community.members
+
+    @given(graphs(min_edges=1), st.integers(min_value=2, max_value=5))
+    @settings(max_examples=50, deadline=None)
+    def test_community_size_floor(self, g, k):
+        """Every k-clique community has at least k members."""
+        for community in k_clique_communities(g, k):
+            assert community.size >= k
+
+    @given(graphs(min_edges=1), st.integers(min_value=2, max_value=5))
+    @settings(max_examples=50, deadline=None)
+    def test_communities_are_unions_of_k_cliques(self, g, k):
+        """Each member sits in a k-clique inside the community."""
+        for community in k_clique_communities(g, k):
+            members = set(community.members)
+            sub = g.subgraph(members)
+            covered = set()
+            for clique in maximal_cliques(sub, min_size=k):
+                covered |= clique
+            assert covered == members
+
+
+class TestCoreProperties:
+    @given(graphs())
+    @settings(max_examples=60, deadline=None)
+    def test_core_numbers_match_networkx(self, g):
+        assert core_numbers(g) == nx.core_number(_as_nx(g))
+
+
+class TestMetricProperties:
+    @given(graphs(min_edges=1), st.sets(st.integers(min_value=0, max_value=11), min_size=1))
+    @settings(max_examples=60, deadline=None)
+    def test_metric_bounds(self, g, members):
+        members = {m for m in members if m in g}
+        if not members:
+            return
+        assert 0.0 <= link_density(g, members) <= 1.0
+        assert 0.0 <= average_odf(g, members) <= 1.0
+
+    @given(graphs(min_edges=1))
+    @settings(max_examples=40, deadline=None)
+    def test_whole_graph_has_zero_odf(self, g):
+        assert average_odf(g, set(g.nodes())) == 0.0
+
+
+class TestUnionFindProperties:
+    @given(st.lists(st.tuples(st.integers(0, 20), st.integers(0, 20)), max_size=60))
+    @settings(max_examples=60, deadline=None)
+    def test_groups_partition_items(self, unions):
+        uf = UnionFind()
+        for a, b in unions:
+            uf.union(a, b)
+        groups = uf.groups()
+        seen = set()
+        for group in groups:
+            assert not (group & seen)
+            seen |= group
+        # Connectivity agrees with group membership.
+        for a, b in unions:
+            assert any(a in group and b in group for group in groups)

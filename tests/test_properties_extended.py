@@ -1,0 +1,169 @@
+"""Extended property-based tests for the newer subsystems."""
+
+import networkx as nx
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import extract_hierarchy, weighted_k_clique_communities
+from repro.core.serialize import hierarchy_from_dict, hierarchy_to_dict
+from repro.graph import Graph, WeightedGraph
+from repro.graph.nullmodel import double_edge_swap
+from repro.graph.stats import degree_assortativity, global_clustering
+from repro.compare import jaccard, match_covers, omega_index
+
+
+@st.composite
+def graphs(draw, max_nodes: int = 12, min_edges: int = 1):
+    # Enough nodes that min_edges distinct pairs exist.
+    min_nodes = 3
+    while min_nodes * (min_nodes - 1) // 2 < min_edges:
+        min_nodes += 1
+    n = draw(st.integers(min_value=min_nodes, max_value=max_nodes))
+    possible = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    edges = draw(
+        st.lists(st.sampled_from(possible), min_size=min_edges, max_size=len(possible), unique=True)
+    )
+    g = Graph()
+    g.add_nodes_from(range(n))
+    g.add_edges_from(edges)
+    return g
+
+
+@st.composite
+def weighted_graphs(draw, max_nodes: int = 10):
+    n = draw(st.integers(min_value=3, max_value=max_nodes))
+    possible = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    edges = draw(st.lists(st.sampled_from(possible), min_size=1, unique=True))
+    g = WeightedGraph()
+    g.add_nodes_from(range(n))
+    for u, v in edges:
+        g.add_edge(u, v, draw(st.floats(min_value=0.1, max_value=10.0)))
+    return g
+
+
+class TestSerializationProperties:
+    @given(graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_round_trip_preserves_everything(self, g):
+        hierarchy = extract_hierarchy(g)
+        loaded = hierarchy_from_dict(hierarchy_to_dict(hierarchy))
+        assert loaded.counts_by_k() == hierarchy.counts_by_k()
+        assert loaded.parent_labels == hierarchy.parent_labels
+        for k in hierarchy.orders:
+            assert [c.members for c in loaded[k]] == [c.members for c in hierarchy[k]]
+
+
+class TestWeightedCpmProperties:
+    @given(weighted_graphs(), st.integers(min_value=3, max_value=4))
+    @settings(max_examples=40, deadline=None)
+    def test_threshold_monotonicity(self, g, k):
+        """Raising I0 never adds members to the cover."""
+        low = weighted_k_clique_communities(g, k, 0.0)
+        high = weighted_k_clique_communities(g, k, 1.0)
+        low_nodes = set().union(*(c.members for c in low)) if len(low) else set()
+        high_nodes = set().union(*(c.members for c in high)) if len(high) else set()
+        assert high_nodes <= low_nodes
+
+    @given(weighted_graphs(), st.integers(min_value=3, max_value=4))
+    @settings(max_examples=40, deadline=None)
+    def test_zero_threshold_matches_unweighted(self, g, k):
+        from repro.core import k_clique_communities
+
+        weighted = weighted_k_clique_communities(g, k, 0.0)
+        unweighted = k_clique_communities(g, k)
+        assert sorted(sorted(c.members) for c in weighted) == sorted(
+            sorted(c.members) for c in unweighted
+        )
+
+
+class TestNullModelProperties:
+    @given(graphs(max_nodes=14, min_edges=4), st.integers(min_value=0, max_value=100))
+    @settings(max_examples=40, deadline=None)
+    def test_swaps_preserve_degree_sequence(self, g, swaps):
+        import random
+
+        before = g.degrees()
+        double_edge_swap(g, n_swaps=swaps, rng=random.Random(1))
+        assert g.degrees() == before
+
+    @given(graphs(max_nodes=14, min_edges=4))
+    @settings(max_examples=40, deadline=None)
+    def test_swaps_keep_graph_simple(self, g):
+        import random
+
+        n_before = g.number_of_edges
+        double_edge_swap(g, n_swaps=60, rng=random.Random(2))
+        assert g.number_of_edges == n_before
+        for u, v in g.edges():
+            assert u != v
+
+
+class TestStatsProperties:
+    @given(graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_clustering_and_assortativity_match_networkx(self, g):
+        G = nx.Graph(list(g.edges()))
+        G.add_nodes_from(g.nodes())
+        assert abs(global_clustering(g) - nx.transitivity(G)) < 1e-9
+        ours = degree_assortativity(g)
+        if g.number_of_edges >= 2 and ours != 0.0:
+            theirs = nx.degree_pearson_correlation_coefficient(G)
+            if theirs == theirs:  # NaN guard
+                assert abs(ours - theirs) < 1e-9
+
+
+class TestCompareProperties:
+    @given(
+        st.lists(st.sets(st.integers(0, 9), min_size=1), min_size=1, max_size=5),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_omega_self_identity(self, cover):
+        assert omega_index(cover, cover, range(10)) == 1.0
+
+    @given(
+        st.lists(st.sets(st.integers(0, 9), min_size=1), min_size=1, max_size=4),
+        st.lists(st.sets(st.integers(0, 9), min_size=1), min_size=1, max_size=4),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_match_covers_scores_are_jaccards(self, a, b):
+        result = match_covers(a, b)
+        for i, j, score in result.pairs:
+            assert abs(score - jaccard(a[i], b[j])) < 1e-12
+            assert score > 0.0
+
+
+class TestPlantedCliqueProperties:
+    """Planted structure must always be recovered — the CPM guarantee
+    the whole reproduction rests on."""
+
+    @given(
+        graphs(max_nodes=10),
+        st.integers(min_value=4, max_value=6),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_planted_clique_is_always_found(self, g, s):
+        from repro.core import k_clique_communities
+
+        # Plant a clique on fresh nodes, bridged by one edge.
+        planted = [("planted", i) for i in range(s)]
+        for i, u in enumerate(planted):
+            for v in planted[i + 1 :]:
+                g.add_edge(u, v)
+        g.add_edge(planted[0], next(iter(g.nodes())))
+        cover = k_clique_communities(g, s)
+        assert any(set(planted) <= set(c.members) for c in cover)
+
+    @given(graphs(max_nodes=10), st.integers(min_value=4, max_value=6))
+    @settings(max_examples=50, deadline=None)
+    def test_planted_clique_nested_at_every_lower_order(self, g, s):
+        from repro.core import extract_hierarchy
+
+        planted = [("planted", i) for i in range(s)]
+        for i, u in enumerate(planted):
+            for v in planted[i + 1 :]:
+                g.add_edge(u, v)
+        hierarchy = extract_hierarchy(g)
+        for k in range(2, s + 1):
+            assert any(
+                set(planted) <= set(c.members) for c in hierarchy[k]
+            ), f"planted {s}-clique missing at order {k}"

@@ -1,0 +1,109 @@
+"""Tests for the real-data parsers and the degree-preserving null model."""
+
+import random
+
+import pytest
+
+from repro.graph import Graph, degree_preserving_null, double_edge_swap, erdos_renyi
+from repro.routing import Relationship
+from repro.topology import parse_as_links, parse_as_relationships
+from repro.topology.realdata import RealDataError
+
+
+class TestAsLinksParser:
+    def test_direct_and_indirect(self):
+        g = parse_as_links(["D|1|2|mon1", "I|2|3|mon1"])
+        assert g.has_edge(1, 2) and g.has_edge(2, 3)
+
+    def test_indirect_can_be_excluded(self):
+        g = parse_as_links(["D|1|2|m", "I|2|3|m"], include_indirect=False)
+        assert g.has_edge(1, 2)
+        assert not g.has_edge(2, 3)
+
+    def test_moas_expansion(self):
+        g = parse_as_links(["D|174_3356|7018|m"])
+        assert g.has_edge(174, 7018)
+        assert g.has_edge(3356, 7018)
+        assert not g.has_edge(174, 3356)
+
+    def test_metadata_records_skipped(self):
+        g = parse_as_links(["T|stamp|stuff", "M|monitor|x", "D|1|2|m"])
+        assert g.number_of_edges == 1
+
+    def test_comments_and_blank_lines(self):
+        g = parse_as_links(["# header", "", "D|5|6|m"])
+        assert g.has_edge(5, 6)
+
+    def test_self_link_skipped(self):
+        g = parse_as_links(["D|7|7|m"])
+        assert g.number_of_edges == 0
+
+    def test_unknown_record_rejected(self):
+        with pytest.raises(RealDataError, match="unknown record"):
+            parse_as_links(["X|1|2|m"])
+
+    def test_bad_asn_rejected(self):
+        with pytest.raises(RealDataError, match="ASN field"):
+            parse_as_links(["D|abc|2|m"])
+
+
+class TestAsRelationshipsParser:
+    def test_provider_customer(self):
+        rel = parse_as_relationships(["701|7018|-1"])
+        assert rel.kind(7018, 701) is Relationship.PROVIDER
+
+    def test_peering_and_siblings(self):
+        rel = parse_as_relationships(["1|2|0", "3|4|2"])
+        assert rel.kind(1, 2) is Relationship.PEER
+        assert rel.kind(3, 4) is Relationship.PEER
+
+    def test_code_plus_one(self):
+        rel = parse_as_relationships(["10|20|1"])
+        assert rel.kind(10, 20) is Relationship.PROVIDER
+
+    def test_malformed_lines(self):
+        with pytest.raises(RealDataError):
+            parse_as_relationships(["1|2"])
+        with pytest.raises(RealDataError):
+            parse_as_relationships(["a|b|0"])
+        with pytest.raises(RealDataError):
+            parse_as_relationships(["1|2|9"])
+
+
+class TestNullModel:
+    def test_degrees_preserved(self):
+        g = erdos_renyi(60, 0.15, random.Random(1))
+        null = degree_preserving_null(g, rng=random.Random(2))
+        assert null.degrees() == g.degrees()
+        assert null.number_of_edges == g.number_of_edges
+
+    def test_structure_randomised(self):
+        g = erdos_renyi(60, 0.15, random.Random(3))
+        null = degree_preserving_null(g, rng=random.Random(4))
+        original = {frozenset(e) for e in g.edges()}
+        rewired = {frozenset(e) for e in null.edges()}
+        assert original != rewired
+        # A healthy chain replaces a large share of edges.
+        assert len(original & rewired) < 0.8 * len(original)
+
+    def test_swap_count_reported(self):
+        g = erdos_renyi(40, 0.2, random.Random(5))
+        performed = double_edge_swap(g, n_swaps=50, rng=random.Random(6))
+        assert 0 < performed <= 50
+
+    def test_no_self_loops_or_multiedges(self):
+        g = erdos_renyi(40, 0.2, random.Random(7))
+        double_edge_swap(g, n_swaps=200, rng=random.Random(8))
+        for u, v in g.edges():
+            assert u != v
+
+    def test_tiny_graph_no_swaps(self):
+        g = Graph([(1, 2)])
+        assert double_edge_swap(g, n_swaps=10, rng=random.Random(0)) == 0
+
+    def test_null_destroys_clique_structure(self, tiny_dataset):
+        """The headline: same degrees, no deep communities."""
+        from repro.core import max_clique_size
+
+        null = degree_preserving_null(tiny_dataset.graph, rng=random.Random(5))
+        assert max_clique_size(null) < max_clique_size(tiny_dataset.graph)

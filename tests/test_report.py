@@ -1,0 +1,100 @@
+"""Tests for the figure renderers and the paper-run driver."""
+
+import pytest
+
+from repro.report import ascii_scatter, ascii_table, format_number
+
+
+class TestFormatNumber:
+    def test_ints_with_separators(self):
+        assert format_number(35390) == "35,390"
+
+    def test_floats(self):
+        assert format_number(0.704) == "0.704"
+        assert format_number(3.14159) == "3.14"
+        assert format_number(0) == "0"
+        assert format_number(12345.6) == "12,346"
+
+
+class TestAsciiTable:
+    def test_alignment_and_title(self):
+        text = ascii_table(["a", "bb"], [[1, 22], [333, 4]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert len({len(l) for l in lines[1:]}) == 1  # aligned widths
+
+
+class TestAsciiScatter:
+    def test_renders_series_and_legend(self):
+        text = ascii_scatter(
+            {"main": [(2, 10), (3, 5)], "parallel": [(3, 3)]},
+            title="Fig",
+            width=30,
+            height=8,
+        )
+        assert text.startswith("Fig")
+        assert "*=main" in text and "o=parallel" in text
+        assert "k: 2 .. 3" in text
+
+    def test_log_scale_with_zero(self):
+        text = ascii_scatter({"s": [(1, 0), (2, 100)]}, log_y=True, width=20, height=5)
+        assert "log scale" in text
+
+    def test_empty_series(self):
+        assert "(no data)" in ascii_scatter({"s": []}, title="x")
+
+    def test_single_point(self):
+        text = ascii_scatter({"s": [(5, 5)]}, width=10, height=4)
+        assert "*" in text
+
+
+class TestPaperRun:
+    def test_tables_have_paper_shape(self, paper_run):
+        t1 = paper_run.table_2_1()
+        assert "on-IXP" in t1 and "Table 2.1" in t1
+        t2 = paper_run.table_2_2()
+        for column in ("National", "Continental", "Worldwide", "Unknown"):
+            assert column in t2
+
+    def test_figure_4_1(self, paper_run):
+        text = paper_run.figure_4_1()
+        assert "Figure 4.1" in text
+        assert "total communities:" in text
+        assert "unique orders:" in text
+
+    def test_figure_4_2_tree(self, paper_run):
+        text = paper_run.figure_4_2(max_children=3)
+        assert "Figure 4.2" in text
+        assert "k2id0" in text
+        assert "*" in text  # main communities marked
+
+    def test_figures_4_3_and_4_4(self, paper_run):
+        assert "Figure 4.3" in paper_run.figure_4_3()
+        assert "link density" in paper_run.figure_4_4a()
+        assert "average ODF" in paper_run.figure_4_4b()
+
+    def test_overlap_summary(self, paper_run):
+        text = paper_run.overlap_summary()
+        assert "mean frac vs main" in text
+        assert "zero-overlap exceptions:" in text
+
+    def test_ixp_share_summary(self, paper_run):
+        text = paper_run.ixp_share_summary()
+        assert "full-share" in text
+
+    def test_band_reports_mention_all_bands(self, paper_run):
+        text = paper_run.band_reports()
+        for band in ("CROWN", "TRUNK", "ROOT"):
+            assert band in text
+        assert "AMS-IX" in text
+
+    def test_full_report_collates_everything(self, paper_run):
+        text = paper_run.full_report()
+        for marker in ("Table 2.1", "Table 2.2", "Figure 4.1", "Figure 4.3",
+                       "Figure 4.4(a)", "Figure 4.4(b)", "CROWN", "ROOT"):
+            assert marker in text
+
+    def test_analyses_are_cached(self, paper_run):
+        assert paper_run.census is paper_run.census
+        assert paper_run.bands is paper_run.bands

@@ -1,0 +1,76 @@
+"""Unit tests for the measurement-robustness analysis."""
+
+import random
+
+import pytest
+
+from repro.analysis import IXPShareAnalysis, derive_bands
+from repro.analysis.robustness import community_recall, uniform_edge_sample
+from repro.graph import complete_graph
+from repro.topology import merge_observations, observe_all
+
+
+class TestUniformEdgeSample:
+    def test_keep_all(self):
+        g = complete_graph(6)
+        sampled = uniform_edge_sample(g, 1.0, random.Random(0))
+        assert sampled.number_of_edges == g.number_of_edges
+        assert sampled.number_of_nodes == g.number_of_nodes
+
+    def test_expected_rate(self):
+        g = complete_graph(40)  # 780 edges
+        sampled = uniform_edge_sample(g, 0.5, random.Random(1))
+        assert 0.4 * 780 < sampled.number_of_edges < 0.6 * 780
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            uniform_edge_sample(complete_graph(3), 0.0, random.Random(0))
+
+
+class TestCommunityRecall:
+    def test_identical_graphs_full_recall(self, tiny_dataset, tiny_context):
+        bands = derive_bands(IXPShareAnalysis(tiny_context), fallback=(6, 10))
+        report = community_recall(tiny_dataset.graph, tiny_dataset.graph, bands)
+        assert report.overall_recall() == 1.0
+        assert report.observed_max_k == report.reference_max_k
+        for band in report.per_band:
+            if band.n_reference_communities:
+                assert band.recall == 1.0
+
+    def test_observation_beats_uniform_loss_on_the_core(self, tiny_dataset, tiny_context):
+        """At equal edge coverage, core-peered observation preserves the
+        crown far better than uniform edge loss: collectors hosted at
+        carriers see the IXP meshes as first-hop adjacencies, whereas
+        random loss of any clique edge caps the reachable order."""
+        bands = derive_bands(IXPShareAnalysis(tiny_context), fallback=(6, 10))
+        observations = observe_all(tiny_dataset.graph, seed=4)
+        observed, _ = merge_observations(observations)
+        coverage = observed.number_of_edges / tiny_dataset.graph.number_of_edges
+        report = community_recall(tiny_dataset.graph, observed, bands, threshold=0.5)
+        crown = next(b for b in report.per_band if b.band == "crown")
+
+        sampled = uniform_edge_sample(tiny_dataset.graph, coverage, random.Random(3))
+        uniform_report = community_recall(tiny_dataset.graph, sampled, bands, threshold=0.5)
+        uniform_crown = next(b for b in uniform_report.per_band if b.band == "crown")
+
+        assert crown.recall > uniform_crown.recall
+        assert report.observed_max_k > uniform_report.observed_max_k
+        assert report.observed_max_k >= report.reference_max_k - 2
+
+    def test_uniform_sampling_destroys_cliques_first(self, tiny_dataset, tiny_context):
+        """Uniform edge loss hits exact cliques hardest — the contrast
+        with path-based observation."""
+        bands = derive_bands(IXPShareAnalysis(tiny_context), fallback=(6, 10))
+        sampled = uniform_edge_sample(tiny_dataset.graph, 0.7, random.Random(3))
+        report = community_recall(tiny_dataset.graph, sampled, bands, threshold=0.5)
+        crown = next(b for b in report.per_band if b.band == "crown")
+        assert crown.recall < 0.9
+        assert report.observed_max_k < report.reference_max_k
+
+    def test_missing_orders_score_zero(self, tiny_dataset, tiny_context):
+        bands = derive_bands(IXPShareAnalysis(tiny_context), fallback=(6, 10))
+        # Sample so aggressively that the deep orders vanish entirely.
+        sampled = uniform_edge_sample(tiny_dataset.graph, 0.3, random.Random(5))
+        report = community_recall(tiny_dataset.graph, sampled, bands)
+        deep = [k for k in report.per_k if k > report.observed_max_k]
+        assert all(report.per_k[k] == 0.0 for k in deep)

@@ -1,0 +1,113 @@
+"""Tests for policy-path observation and Gao relationship inference."""
+
+import pytest
+
+from repro.routing import (
+    Relationship,
+    RelationshipMap,
+    collect_policy_paths,
+    infer_from_paths,
+    infer_relationships,
+    score_inference,
+)
+from repro.graph import Graph
+
+
+@pytest.fixture(scope="module")
+def truth_pair(tiny_dataset):
+    return tiny_dataset.graph, infer_relationships(tiny_dataset)
+
+
+class TestPathCollection:
+    def test_paths_are_valley_free(self, truth_pair):
+        graph, relationships = truth_pair
+        collection = collect_policy_paths(
+            graph, relationships, n_collectors=8, n_destinations=30, seed=2
+        )
+        assert collection.n_paths > 100
+        for path in collection.paths:
+            assert relationships.is_valley_free(path)
+
+    def test_edges_subset_of_truth(self, truth_pair):
+        graph, relationships = truth_pair
+        collection = collect_policy_paths(
+            graph, relationships, n_collectors=8, n_destinations=30, seed=2
+        )
+        for edge in collection.edges():
+            u, v = tuple(edge)
+            assert graph.has_edge(u, v)
+
+    def test_collectors_see_short_paths(self, truth_pair):
+        """Degree-top collectors sit at the core: paths are short."""
+        graph, relationships = truth_pair
+        collection = collect_policy_paths(
+            graph, relationships, n_collectors=10, n_destinations=40, seed=3
+        )
+        assert 1.0 < collection.mean_length() < 4.0
+
+    def test_as_graph(self, truth_pair):
+        graph, relationships = truth_pair
+        collection = collect_policy_paths(
+            graph, relationships, n_collectors=5, n_destinations=20, seed=4
+        )
+        observed = collection.as_graph()
+        assert observed.number_of_edges == len(collection.edges())
+
+    def test_empty_collection(self):
+        from repro.routing.observation import PathCollection
+
+        empty = PathCollection()
+        assert empty.mean_length() == 0.0
+        assert empty.edges() == set()
+
+
+class TestGaoInference:
+    def test_single_path_votes(self):
+        """On c → p → t → p2, with t the summit, hops before t vote
+        uphill and hops after vote downhill."""
+        g = Graph([("c", "p"), ("p", "t"), ("t", "p2")])
+        # Degrees: t has 2, make it the summit by adding spokes.
+        for i in range(5):
+            g.add_edge("t", f"x{i}")
+        inference = infer_from_paths([("c", "p", "t", "p2")], g)
+        rel = inference.relationships
+        assert rel.kind("c", "p") is Relationship.PROVIDER
+        assert rel.kind("p", "t") is Relationship.PROVIDER
+        assert rel.kind("p2", "t") is Relationship.PROVIDER
+
+    def test_trivial_paths_skipped(self):
+        g = Graph([(1, 2)])
+        inference = infer_from_paths([(1,), (1, 2)], g)
+        assert inference.n_paths == 1
+
+    def test_transit_orientation_is_accurate(self, truth_pair):
+        """Gao's strength: c2p orientation from valley-free summits."""
+        graph, truth = truth_pair
+        collection = collect_policy_paths(
+            graph, truth, n_collectors=15, n_destinations=80, seed=1
+        )
+        inference = infer_from_paths(collection.paths, graph)
+        score = score_inference(inference.relationships, truth, collection.edges())
+        assert score.n_scored_edges > 300
+        # Transit direction errors are the hard failure; Gao gets them
+        # almost all right (peer detection is the known weakness).
+        assert score.transit_direction_errors < 0.05 * score.n_scored_edges
+        assert score.accuracy > 0.6
+
+    def test_peering_is_the_known_weakness(self, truth_pair):
+        graph, truth = truth_pair
+        collection = collect_policy_paths(
+            graph, truth, n_collectors=15, n_destinations=80, seed=1
+        )
+        inference = infer_from_paths(collection.paths, graph)
+        score = score_inference(inference.relationships, truth, collection.edges())
+        assert score.peer_confusions >= score.transit_direction_errors
+
+    def test_score_ignores_unannotated_edges(self):
+        inferred = RelationshipMap()
+        inferred.add_peering(1, 2)
+        truth = RelationshipMap()
+        truth.add_peering(1, 2)
+        score = score_inference(inferred, truth, [frozenset((1, 2)), frozenset((3, 4))])
+        assert score.n_scored_edges == 1
+        assert score.accuracy == 1.0

@@ -1,0 +1,43 @@
+"""Tests for the seed-sensitivity harness.
+
+Uses the tiny profile for speed; the benchmark runs the default
+profile across seeds.
+"""
+
+import pytest
+
+from repro.analysis.sensitivity import SeedRun, SensitivityReport, run_sensitivity
+from repro.topology import GeneratorConfig
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_sensitivity(seeds=[3, 7], config=GeneratorConfig.tiny())
+
+
+class TestSensitivity:
+    def test_one_run_per_seed(self, report):
+        assert report.n_seeds == 2
+        assert [run.seed for run in report.runs] == [3, 7]
+
+    def test_invariants_hold_across_seeds(self, report):
+        assert report.invariants_always_hold()
+
+    def test_max_k_fixed_by_construction(self, report):
+        # Tiny profile: AMS base 14 + ext = 15-clique apex.
+        assert report.max_k_values() == {15}
+
+    def test_crown_always_big_three(self, report):
+        assert report.crown_ixps_always_big_three()
+
+    def test_count_range_and_overlap_stats(self, report):
+        lo, hi = report.community_count_range()
+        assert 0 < lo <= hi
+        mean, stdev = report.overlap_mean_stats()
+        assert 0.0 < mean < 1.0
+        assert stdev >= 0.0
+
+    def test_band_boundary_spread_small(self, report):
+        root_spread, crown_spread = report.band_boundary_spread()
+        assert root_spread <= 2
+        assert crown_spread <= 2

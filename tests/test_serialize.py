@@ -1,0 +1,71 @@
+"""Unit tests for hierarchy serialisation."""
+
+import json
+
+import pytest
+
+from repro.core import (
+    CommunityCover,
+    CommunityHierarchy,
+    CommunityTree,
+    extract_hierarchy,
+    load_hierarchy,
+    save_hierarchy,
+)
+from repro.core.serialize import hierarchy_from_dict, hierarchy_to_dict
+from repro.graph import ring_of_cliques
+
+
+class TestRoundTrip:
+    def test_dict_round_trip(self):
+        hierarchy = extract_hierarchy(ring_of_cliques(3, 5))
+        loaded = hierarchy_from_dict(hierarchy_to_dict(hierarchy))
+        assert loaded.counts_by_k() == hierarchy.counts_by_k()
+        assert loaded.parent_labels == hierarchy.parent_labels
+        for k in hierarchy.orders:
+            assert [sorted(c.members) for c in loaded[k]] == [
+                sorted(c.members) for c in hierarchy[k]
+            ]
+
+    def test_file_round_trip(self, tmp_path):
+        hierarchy = extract_hierarchy(ring_of_cliques(4, 4))
+        path = tmp_path / "h.json"
+        save_hierarchy(hierarchy, path)
+        loaded = load_hierarchy(path)
+        assert loaded.total_communities == hierarchy.total_communities
+
+    def test_tree_rebuilds_from_loaded_hierarchy(self, tmp_path):
+        hierarchy = extract_hierarchy(ring_of_cliques(4, 5))
+        path = tmp_path / "h.json"
+        save_hierarchy(hierarchy, path)
+        tree = CommunityTree(load_hierarchy(path))
+        assert tree.apex.k == 5
+        assert len(tree.roots) == 1
+
+    def test_document_is_stable_json(self, tmp_path):
+        hierarchy = extract_hierarchy(ring_of_cliques(3, 4))
+        a = tmp_path / "a.json"
+        b = tmp_path / "b.json"
+        save_hierarchy(hierarchy, a)
+        save_hierarchy(hierarchy, b)
+        assert a.read_text() == b.read_text()
+        document = json.loads(a.read_text())
+        assert document["format"].startswith("repro.k-clique-hierarchy/")
+
+
+class TestValidation:
+    def test_unknown_format_rejected(self):
+        with pytest.raises(ValueError, match="format"):
+            hierarchy_from_dict({"format": "something-else", "covers": {}})
+
+    def test_non_serialisable_members_rejected(self):
+        cover = CommunityCover(2, [frozenset({(1, 2), (3, 4)})])
+        hierarchy = CommunityHierarchy({2: cover})
+        with pytest.raises(TypeError, match="int/str"):
+            hierarchy_to_dict(hierarchy)
+
+    def test_string_members_supported(self):
+        cover = CommunityCover(2, [frozenset({"a", "b"})])
+        hierarchy = CommunityHierarchy({2: cover})
+        loaded = hierarchy_from_dict(hierarchy_to_dict(hierarchy))
+        assert sorted(loaded[2][0].members) == ["a", "b"]

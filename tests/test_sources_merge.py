@@ -1,0 +1,113 @@
+"""Tests for measurement simulation and the merge/clean pipeline."""
+
+import random
+
+import pytest
+
+from repro.graph import is_connected
+from repro.topology import (
+    GeneratorConfig,
+    MeasurementSource,
+    MergePolicy,
+    default_sources,
+    generate_topology,
+    merge_observations,
+    observe_all,
+)
+
+
+@pytest.fixture(scope="module")
+def truth():
+    return generate_topology(GeneratorConfig.tiny(), seed=11).graph
+
+
+class TestObservation:
+    def test_observed_edges_are_mostly_real(self, truth):
+        source = MeasurementSource("test", n_vantage_points=5, destinations_per_vp=100)
+        obs = source.observe(truth, random.Random(0))
+        real = obs.edges - obs.spurious
+        assert real
+        for edge in real:
+            u, v = tuple(edge)
+            assert truth.has_edge(u, v)
+
+    def test_spurious_edges_absent_from_truth(self, truth):
+        source = MeasurementSource(
+            "noisy", n_vantage_points=8, destinations_per_vp=200, spurious_rate_per_mille=30
+        )
+        obs = source.observe(truth, random.Random(1))
+        assert obs.spurious
+        for edge in obs.spurious:
+            u, v = tuple(edge)
+            assert not truth.has_edge(u, v)
+
+    def test_more_vantage_points_see_more(self, truth):
+        small = MeasurementSource("s", 2, 50).observe(truth, random.Random(2))
+        big = MeasurementSource("b", 20, 200).observe(truth, random.Random(2))
+        assert big.n_edges > small.n_edges
+
+    def test_as_graph(self, truth):
+        obs = MeasurementSource("g", 3, 50).observe(truth, random.Random(3))
+        graph = obs.as_graph()
+        assert graph.number_of_edges == obs.n_edges
+
+    def test_observe_all_uses_three_default_sources(self, truth):
+        observations = observe_all(truth, seed=5)
+        assert len(observations) == 3
+        assert {o.source_name for o in observations} == {
+            s.name for s in default_sources()
+        }
+
+    def test_empty_truth(self):
+        from repro.graph import Graph
+
+        obs = MeasurementSource("e", 3, 10).observe(Graph(), random.Random(0))
+        assert obs.n_edges == 0
+
+
+class TestMerge:
+    def test_union_covers_each_source(self, truth):
+        observations = observe_all(truth, seed=5)
+        merged, report = merge_observations(
+            observations, MergePolicy(min_sources=1, drop_isolated_single_source=False,
+                                      keep_giant_component_only=False)
+        )
+        union = set()
+        for obs in observations:
+            union |= obs.edges
+        assert merged.number_of_edges == len(union) == report.merged_edges
+
+    def test_cleaning_removes_most_spurious_edges(self, truth):
+        observations = observe_all(truth, seed=5)
+        # Inflate noise on one source to give cleaning real work.
+        noisy = MeasurementSource(
+            "extra-noise", n_vantage_points=4, destinations_per_vp=150,
+            spurious_rate_per_mille=50,
+        ).observe(truth, random.Random(9))
+        observations.append(noisy)
+        merged, report = merge_observations(observations)
+        spurious = set()
+        for obs in observations:
+            spurious |= obs.spurious
+        surviving = sum(
+            1 for e in spurious if merged.has_edge(*tuple(e))
+        )
+        # The triangle test kills uncorroborated random edges.
+        assert surviving < len(spurious) * 0.2
+        assert report.dropped_uncorroborated > 0
+
+    def test_giant_component_kept(self, truth):
+        observations = observe_all(truth, seed=6)
+        merged, report = merge_observations(observations)
+        assert is_connected(merged)
+        assert report.final_nodes == merged.number_of_nodes
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(ValueError):
+            merge_observations([])
+
+    def test_report_bookkeeping(self, truth):
+        observations = observe_all(truth, seed=7)
+        _, report = merge_observations(observations)
+        assert set(report.edges_per_source) == {o.source_name for o in observations}
+        assert report.final_edges <= report.kept_after_cleaning <= report.merged_edges

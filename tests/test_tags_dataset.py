@@ -1,0 +1,81 @@
+"""Unit tests for tagging summaries (Tables 2.1 / 2.2) and the dataset
+bundle round trip."""
+
+import pytest
+
+from repro.graph import Graph
+from repro.topology import (
+    ASDataset,
+    GeoRegistry,
+    GeoTag,
+    IXP,
+    IXPRegistry,
+    summarize_tags,
+)
+
+
+@pytest.fixture()
+def small_bundle():
+    graph = Graph([(1, 2), (2, 3), (3, 4), (4, 1)])
+    graph.add_node(5)
+    ixps = IXPRegistry([IXP(name="VIX", country="AT", participants=frozenset({1, 2}))])
+    geo = GeoRegistry({1: ["AT"], 2: ["AT", "DE"], 3: ["AT", "US"]})
+    return ASDataset(graph=graph, ixps=ixps, geography=geo, as_names={1: "ANCHOR"})
+
+
+class TestSummarizeTags:
+    def test_table_counts(self, small_bundle):
+        summary = summarize_tags(
+            small_bundle.graph.nodes(), small_bundle.ixps, small_bundle.geography
+        )
+        assert summary.ixp.on_ixp == 2
+        assert summary.ixp.not_on_ixp == 3
+        assert summary.ixp.total == 5
+        assert summary.geo.national == 1
+        assert summary.geo.continental == 1
+        assert summary.geo.worldwide == 1
+        assert summary.geo.unknown == 2
+        assert summary.geo.total == 5
+
+    def test_geo_count_accessor(self, small_bundle):
+        summary = small_bundle.tag_summary()
+        assert summary.geo.count(GeoTag.NATIONAL) == 1
+        assert summary.geo.count(GeoTag.UNKNOWN) == 2
+
+    def test_on_ixp_fraction(self, small_bundle):
+        assert small_bundle.tag_summary().ixp.on_ixp_fraction == pytest.approx(0.4)
+
+    def test_only_topology_ases_counted(self, small_bundle):
+        # Register geo data for an AS absent from the topology.
+        small_bundle.geography.assign(99, ["IT"])
+        summary = small_bundle.tag_summary()
+        assert summary.geo.total == 5
+
+
+class TestDatasetBundle:
+    def test_properties(self, small_bundle):
+        assert small_bundle.n_ases == 5
+        assert small_bundle.n_links == 4
+
+    def test_name_of(self, small_bundle):
+        assert small_bundle.name_of(1) == "ANCHOR"
+        assert small_bundle.name_of(3) == "AS3"
+
+    def test_save_load_round_trip(self, small_bundle, tmp_path):
+        small_bundle.notes["seed"] = 7
+        small_bundle.save(tmp_path / "bundle")
+        loaded = ASDataset.load(tmp_path / "bundle")
+        assert loaded.n_links == small_bundle.n_links
+        assert loaded.ixps.names() == ["VIX"]
+        assert loaded.geography.countries(2) == {"AT", "DE"}
+        assert loaded.as_names == {1: "ANCHOR"}
+        assert loaded.notes["seed"] == 7
+        # Isolated node 5 has no edges, so it is not representable in
+        # an edge list; everything with links survives.
+        assert loaded.n_ases == 4
+
+    def test_load_without_meta(self, small_bundle, tmp_path):
+        small_bundle.save(tmp_path / "bundle")
+        (tmp_path / "bundle" / "meta.json").unlink()
+        loaded = ASDataset.load(tmp_path / "bundle")
+        assert loaded.as_names == {}

@@ -1,0 +1,156 @@
+"""Unit tests for the k-clique community tree and the nesting theorem."""
+
+import random
+
+import pytest
+
+from repro.core import (
+    CommunityCover,
+    CommunityHierarchy,
+    CommunityTree,
+    NestingViolation,
+    extract_hierarchy,
+    find_parent,
+    verify_nesting,
+)
+from repro.graph import erdos_renyi, overlapping_cliques, ring_of_cliques
+
+
+class TestNestingTheorem:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_holds_on_random_graphs(self, seed):
+        g = erdos_renyi(30, 0.35, random.Random(seed))
+        h = extract_hierarchy(g)
+        checked = verify_nesting(h)
+        expected = sum(len(h[k]) for k in h.orders if k > h.min_k)
+        assert checked == expected
+
+    def test_holds_on_clique_chain(self):
+        h = extract_hierarchy(overlapping_cliques([6, 6, 6], 5))
+        assert verify_nesting(h) == 4  # one community at each k in [3..6]
+
+    def test_violation_detected_on_forged_hierarchy(self):
+        covers = {
+            2: CommunityCover(2, [frozenset({1, 2, 3})]),
+            3: CommunityCover(3, [frozenset({7, 8, 9})]),  # not nested!
+        }
+        h = CommunityHierarchy(covers)
+        with pytest.raises(NestingViolation):
+            verify_nesting(h)
+
+    def test_provenance_violation_detected(self):
+        covers = {
+            2: CommunityCover(2, [frozenset({1, 2, 3}), frozenset({7, 8, 9})]),
+            3: CommunityCover(3, [frozenset({1, 2, 3})]),
+        }
+        # Forged provenance pointing at the wrong parent.
+        h = CommunityHierarchy(covers, parent_labels={"k3id0": "k2id1"})
+        with pytest.raises(NestingViolation):
+            verify_nesting(h)
+
+
+class TestFindParent:
+    def test_uses_provenance_when_present(self):
+        h = extract_hierarchy(ring_of_cliques(4, 5))
+        for k in (3, 4, 5):
+            for community in h[k]:
+                parent = find_parent(h, community)
+                assert parent.k == k - 1
+                assert community.members <= parent.members
+
+    def test_fallback_without_provenance(self):
+        covers = {
+            2: CommunityCover(2, [frozenset(range(10))]),
+            3: CommunityCover(3, [frozenset(range(5))]),
+        }
+        h = CommunityHierarchy(covers)
+        assert find_parent(h, h[3][0]).label == "k2id0"
+
+    def test_fallback_prefers_smallest_container(self):
+        covers = {
+            2: CommunityCover(2, [frozenset(range(10)), frozenset(range(6))]),
+            3: CommunityCover(3, [frozenset(range(4))]),
+        }
+        h = CommunityHierarchy(covers)
+        assert find_parent(h, h[3][0]).size == 6
+
+    def test_missing_level_raises(self):
+        covers = {3: CommunityCover(3, [frozenset(range(4))])}
+        h = CommunityHierarchy(covers)
+        with pytest.raises(KeyError):
+            find_parent(h, h[3][0])
+
+
+class TestTreeStructure:
+    @pytest.fixture(scope="class")
+    def tree(self):
+        return CommunityTree(extract_hierarchy(ring_of_cliques(4, 5)))
+
+    def test_single_root_on_connected_graph(self, tree):
+        assert len(tree.roots) == 1
+        assert tree.roots[0].k == 2
+
+    def test_node_count(self, tree):
+        # 1 + 4 + 4 + 4 communities at k = 2..5.
+        assert len(tree) == 13
+
+    def test_apex_is_max_order(self, tree):
+        assert tree.apex.k == 5
+
+    def test_main_chain_is_one_per_order(self, tree):
+        chain = tree.main_chain()
+        assert [n.k for n in chain] == [2, 3, 4, 5]
+        assert all(tree.is_main(n.community) for n in chain)
+
+    def test_main_community_lookup(self, tree):
+        assert tree.main_community(3).k == 3
+        with pytest.raises(KeyError):
+            tree.main_community(99)
+
+    def test_parallel_communities(self, tree):
+        # At each k in [3, 5]: 4 communities, 1 main, 3 parallel.
+        assert len(tree.parallel_communities(5)) == 3
+        assert len(tree.parallel_communities()) == 9
+
+    def test_parallel_branches_in_ring(self, tree):
+        branches = tree.parallel_branches(min_length=2)
+        # The three non-main cliques each form a k=3..5 nested chain.
+        assert len(branches) == 3
+        assert all(len(b) == 3 for b in branches)
+        assert all(b[0].k == 3 and b[-1].k == 5 for b in branches)
+
+    def test_node_lookup(self, tree):
+        node = tree.node(tree.apex.label)
+        assert node is tree.apex
+        with pytest.raises(KeyError):
+            tree.node("k99id0")
+
+    def test_ancestors_and_descendants(self, tree):
+        apex = tree.apex
+        ancestors = list(apex.ancestors())
+        assert [n.k for n in ancestors] == [4, 3, 2]
+        root = tree.roots[0]
+        assert len(list(root.descendants())) == 12
+
+
+class TestRendering:
+    @pytest.fixture(scope="class")
+    def tree(self):
+        return CommunityTree(extract_hierarchy(ring_of_cliques(3, 4)))
+
+    def test_dot_output(self, tree):
+        dot = tree.to_dot()
+        assert dot.startswith("digraph")
+        assert '"k2id0"' in dot
+        assert "style=filled" in dot
+        # One edge per non-root community.
+        assert dot.count("->") == len(tree) - len(tree.roots)
+
+    def test_ascii_output_marks_main(self, tree):
+        text = tree.to_ascii()
+        assert "* k2id0" in text
+        assert text.count("\n") + 1 == len(tree)
+
+    def test_ascii_truncation(self, tree):
+        text = tree.to_ascii(max_children=1)
+        assert "... " in text

@@ -1,0 +1,94 @@
+"""Tests for tree-shape metrics and the what-if counterfactuals."""
+
+import pytest
+
+from repro.analysis import tree_shape
+from repro.core import CommunityTree, LightweightParallelCPM, extract_hierarchy
+from repro.graph import ring_of_cliques
+from repro.topology import add_ixp, remove_ixp_fabric
+
+
+class TestTreeShapeOnOracle:
+    @pytest.fixture(scope="class")
+    def shape(self):
+        tree = CommunityTree(extract_hierarchy(ring_of_cliques(4, 5)))
+        return tree_shape(tree)
+
+    def test_counts(self, shape):
+        assert shape.n_nodes == 13
+        assert shape.n_main == 4
+        assert shape.n_parallel == 9
+
+    def test_branches(self, shape):
+        # Three parallel cliques, each a k=3..5 chain absorbed at k=2.
+        assert len(shape.branches) == 3
+        assert all(b.persistence == 3 for b in shape.branches)
+        assert shape.absorption_orders() == {2: 3}
+        assert shape.persistence_distribution() == {3: 3}
+
+    def test_branch_sizes(self, shape):
+        assert all(b.sizes == (5, 5, 5) for b in shape.branches)
+
+    def test_branching_factors(self, shape):
+        # Root has 4 children; other main nodes have 1; parallels 1,1,0.
+        assert shape.branching_factor_main == pytest.approx((4 + 1 + 1 + 0) / 4)
+        assert shape.branching_factor_parallel == pytest.approx(6 / 9)
+
+
+class TestTreeShapeOnDataset:
+    def test_paper_shape_statement(self, default_context):
+        """Ch 5: parallel branches have limited size and are rapidly
+        incorporated — mean persistence is a few orders, far below the
+        tree's depth."""
+        shape = tree_shape(default_context.tree)
+        assert shape.n_main == len(default_context.hierarchy.orders)
+        assert shape.mean_persistence() < 0.3 * default_context.hierarchy.max_k
+        assert shape.max_persistence() >= 5  # but deep branches exist (MSK)
+        assert shape.nodes_per_order[2] == 1
+
+
+class TestWhatIf:
+    def test_add_ixp_creates_local_structure(self, tiny_dataset):
+        before = LightweightParallelCPM(tiny_dataset.graph).run()
+        modified = add_ixp(tiny_dataset, name="NEW-IX", country="BG", n_members=8, seed=1)
+        after = LightweightParallelCPM(modified.graph).run()
+        members = set(modified.ixps["NEW-IX"].participants)
+        # A community of order n_members now contains the whole mesh...
+        assert any(members <= set(c.members) for c in after[8])
+        # ...where no 8-order community held those ASes before.
+        held_before = 8 in before and any(
+            members <= set(c.members) for c in before[8]
+        )
+        assert not held_before
+
+    def test_add_ixp_registers_participants(self, tiny_dataset):
+        modified = add_ixp(tiny_dataset, name="NEW-IX", country="BG", n_members=6, seed=2)
+        assert "NEW-IX" in modified.ixps
+        for asn in modified.ixps["NEW-IX"].participants:
+            assert "BG" in modified.geography.countries(asn)
+        # Original untouched.
+        assert "NEW-IX" not in tiny_dataset.ixps
+
+    def test_add_ixp_validation(self, tiny_dataset):
+        with pytest.raises(ValueError, match="already exists"):
+            add_ixp(tiny_dataset, name="VIX", country="AT", n_members=4)
+        empty_country = next(
+            c for c in ("AO", "FJ", "PA", "LU")
+            if len(tiny_dataset.geography.ases_in_country(c)) < 2
+        )
+        with pytest.raises(ValueError, match="fewer than two"):
+            add_ixp(tiny_dataset, name="X-IX", country=empty_country, n_members=4)
+
+    def test_remove_fabric_collapses_crown(self, tiny_dataset):
+        before = LightweightParallelCPM(tiny_dataset.graph).run()
+        stripped = remove_ixp_fabric(tiny_dataset, "AMS-IX")
+        after = LightweightParallelCPM(stripped.graph).run()
+        assert after.max_k < before.max_k
+        # Membership registry is untouched — the contract survives the outage.
+        assert stripped.ixps["AMS-IX"].participants == tiny_dataset.ixps["AMS-IX"].participants
+
+    def test_remove_small_fabric_spares_the_crown(self, tiny_dataset):
+        before = LightweightParallelCPM(tiny_dataset.graph).run()
+        stripped = remove_ixp_fabric(tiny_dataset, "VIX")
+        after = LightweightParallelCPM(stripped.graph).run()
+        assert after.max_k == before.max_k

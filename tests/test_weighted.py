@@ -1,0 +1,148 @@
+"""Unit tests for weighted graphs and weighted clique percolation."""
+
+import pytest
+
+from repro.core import intensity_sweep, k_clique_communities, weighted_k_clique_communities
+from repro.graph import GraphError, WeightedGraph
+
+
+def _weighted_clique(nodes, weight: float) -> list[tuple]:
+    nodes = list(nodes)
+    return [(u, v, weight) for i, u in enumerate(nodes) for v in nodes[i + 1 :]]
+
+
+class TestWeightedGraph:
+    def test_default_weight(self):
+        g = WeightedGraph()
+        g.add_edge(1, 2)
+        assert g.weight(1, 2) == 1.0
+
+    def test_explicit_weight_round_trip(self):
+        g = WeightedGraph([(1, 2, 3.5)])
+        assert g.weight(1, 2) == 3.5
+        assert g.weight(2, 1) == 3.5
+
+    def test_non_positive_weight_rejected(self):
+        g = WeightedGraph()
+        with pytest.raises(GraphError):
+            g.add_edge(1, 2, 0.0)
+        with pytest.raises(GraphError):
+            g.add_edge(1, 2, -1.0)
+
+    def test_missing_edge_weight_raises(self):
+        with pytest.raises(GraphError):
+            WeightedGraph().weight(1, 2)
+
+    def test_set_weight(self):
+        g = WeightedGraph([(1, 2, 1.0)])
+        g.set_weight(1, 2, 9.0)
+        assert g.weight(1, 2) == 9.0
+        with pytest.raises(GraphError):
+            g.set_weight(1, 3, 2.0)
+
+    def test_remove_edge_clears_weight(self):
+        g = WeightedGraph([(1, 2, 2.0)])
+        g.remove_edge(1, 2)
+        assert g.total_weight() == 0.0
+
+    def test_remove_node_clears_weights(self):
+        g = WeightedGraph([(1, 2, 2.0), (1, 3, 3.0), (2, 3, 4.0)])
+        g.remove_node(1)
+        assert g.total_weight() == 4.0
+
+    def test_strength(self):
+        g = WeightedGraph([(1, 2, 2.0), (1, 3, 3.0)])
+        assert g.strength(1) == 5.0
+        assert g.strength(2) == 2.0
+
+    def test_intensity_geometric_mean(self):
+        g = WeightedGraph([(1, 2, 1.0), (2, 3, 4.0), (1, 3, 2.0)])
+        assert g.intensity([1, 2, 3]) == pytest.approx(2.0)
+
+    def test_intensity_requires_clique(self):
+        g = WeightedGraph([(1, 2, 1.0), (2, 3, 1.0)])
+        with pytest.raises(GraphError):
+            g.intensity([1, 2, 3])
+
+    def test_intensity_degenerate(self):
+        g = WeightedGraph([(1, 2, 4.0)])
+        assert g.intensity([1]) == 0.0
+        assert g.intensity([1, 2]) == 4.0
+
+    def test_copy_preserves_weights(self):
+        g = WeightedGraph([(1, 2, 2.5)])
+        dup = g.copy()
+        assert dup.weight(1, 2) == 2.5
+        dup.set_weight(1, 2, 9.0)
+        assert g.weight(1, 2) == 2.5
+
+    def test_unweighted_algorithms_work(self):
+        """Every Graph algorithm runs on WeightedGraph unchanged."""
+        g = WeightedGraph(_weighted_clique(range(4), 2.0))
+        cover = k_clique_communities(g, 3)
+        assert len(cover) == 1
+
+
+class TestWeightedCPM:
+    @pytest.fixture()
+    def two_zone_graph(self):
+        """A heavy triangle zone chained to a light one."""
+        g = WeightedGraph(_weighted_clique(range(4), 2.0))
+        for u, v, w in _weighted_clique(range(3, 7), 0.1):
+            if not g.has_edge(u, v):
+                g.add_edge(u, v, w)
+        return g
+
+    def test_zero_threshold_recovers_unweighted(self, two_zone_graph):
+        weighted = weighted_k_clique_communities(two_zone_graph, 3, 0.0)
+        unweighted = k_clique_communities(two_zone_graph, 3)
+        assert sorted(sorted(c.members) for c in weighted) == sorted(
+            sorted(c.members) for c in unweighted
+        )
+
+    def test_threshold_drops_light_zone(self, two_zone_graph):
+        cover = weighted_k_clique_communities(two_zone_graph, 3, 1.0)
+        assert len(cover) == 1
+        assert set(cover[0].members) == set(range(4))
+
+    def test_threshold_kills_everything(self, two_zone_graph):
+        assert len(weighted_k_clique_communities(two_zone_graph, 3, 100.0)) == 0
+
+    def test_boundary_cliques_split_communities(self):
+        """Intensity filtering can split one unweighted community."""
+        g = WeightedGraph(_weighted_clique(range(3), 2.0))
+        for u, v, w in _weighted_clique(range(2, 5), 2.0):
+            if not g.has_edge(u, v):
+                g.add_edge(u, v, w)
+        # Bridge the zones through a light middle triangle.
+        g.add_edge(1, 3, 0.01)
+        unweighted = k_clique_communities(g, 3)
+        assert len(unweighted) == 1
+        weighted = weighted_k_clique_communities(g, 3, 1.0)
+        assert len(weighted) == 2
+
+    def test_validation(self, two_zone_graph):
+        with pytest.raises(ValueError):
+            weighted_k_clique_communities(two_zone_graph, 1)
+        with pytest.raises(ValueError):
+            weighted_k_clique_communities(two_zone_graph, 3, -0.5)
+
+    def test_intensity_sweep_monotone(self, two_zone_graph):
+        covers = intensity_sweep(two_zone_graph, 3, [0.0, 0.5, 1.0, 10.0])
+        member_counts = [
+            sum(c.size for c in cover) for cover in covers.values()
+        ]
+        assert member_counts == sorted(member_counts, reverse=True)
+        assert len(covers[10.0]) == 0
+
+    def test_intensity_sweep_matches_single_calls(self, two_zone_graph):
+        covers = intensity_sweep(two_zone_graph, 3, [0.0, 1.0])
+        for threshold, cover in covers.items():
+            single = weighted_k_clique_communities(two_zone_graph, 3, threshold)
+            assert sorted(sorted(c.members) for c in cover) == sorted(
+                sorted(c.members) for c in single
+            )
+
+    def test_sweep_validation(self, two_zone_graph):
+        with pytest.raises(ValueError):
+            intensity_sweep(two_zone_graph, 3, [-1.0])

@@ -1,0 +1,86 @@
+"""Unit tests for the z-P (Guimerà-Amaral) role analysis."""
+
+import pytest
+
+from repro.analysis.zp import ZPAnalysis, classify_role
+from repro.core import k_clique_communities
+from repro.graph import Graph, complete_graph, ring_of_cliques
+
+
+class TestClassifyRole:
+    def test_non_hub_regions(self):
+        assert classify_role(0.0, 0.0) == "R1 ultra-peripheral"
+        assert classify_role(0.0, 0.3) == "R2 peripheral"
+        assert classify_role(1.0, 0.7) == "R3 non-hub connector"
+        assert classify_role(1.0, 0.9) == "R4 non-hub kinless"
+
+    def test_hub_regions(self):
+        assert classify_role(3.0, 0.1) == "R5 provincial hub"
+        assert classify_role(3.0, 0.5) == "R6 connector hub"
+        assert classify_role(3.0, 0.9) == "R7 kinless hub"
+
+    def test_threshold_boundary(self):
+        assert classify_role(2.5, 0.0).startswith("R5")
+        assert classify_role(2.49, 0.0).startswith("R1")
+
+
+class TestZPAnalysis:
+    @pytest.fixture(scope="class")
+    def ring_analysis(self):
+        g = ring_of_cliques(4, 6)
+        cover = k_clique_communities(g, 6)
+        return g, ZPAnalysis(g, cover)
+
+    def test_every_member_gets_a_record(self, ring_analysis):
+        g, analysis = ring_analysis
+        assert len(analysis.records) == 24  # all clique members covered
+
+    def test_symmetric_clique_members_have_z_zero(self):
+        """In a pure clique all members have identical internal degree."""
+        g = complete_graph(6)
+        analysis = ZPAnalysis(g, k_clique_communities(g, 6))
+        assert all(r.z == 0.0 for r in analysis.records)
+        assert all(r.participation == 0.0 for r in analysis.records)
+
+    def test_bridge_nodes_have_higher_participation(self, ring_analysis):
+        g, analysis = ring_analysis
+        # Bridge nodes (0, 6, 12, 18) carry the inter-clique edges.
+        by_node = {r.node: r for r in analysis.records}
+        bridge_p = [by_node[n].participation for n in (0, 6, 12, 18)]
+        inner_p = [by_node[n].participation for n in (1, 7, 13, 19)]
+        assert min(bridge_p) > max(inner_p)
+
+    def test_role_counts_sum_to_records(self, ring_analysis):
+        _, analysis = ring_analysis
+        assert sum(analysis.role_counts().values()) == len(analysis.records)
+
+    def test_internal_hub_detected(self):
+        """A node with far higher within-community degree than its
+        peers scores a high z."""
+        g = Graph()
+        hub = 0
+        # Community: hub + 12 peripheral members; hub connects to all,
+        # peripherals form a sparse cycle (everyone in one 3-clique
+        # community through hub triangles).
+        for i in range(1, 13):
+            g.add_edge(hub, i)
+        for i in range(1, 13):
+            g.add_edge(i, 1 + (i % 12))
+        cover = k_clique_communities(g, 3)
+        analysis = ZPAnalysis(g, cover)
+        record = next(r for r in analysis.records if r.node == hub)
+        assert record.z > 2.5
+        assert record.role.endswith("hub")
+
+    def test_threshold_sensitivity_monotone(self, ring_analysis):
+        _, analysis = ring_analysis
+        sensitivity = analysis.threshold_sensitivity((1.0, 2.0, 3.0))
+        values = list(sensitivity.values())
+        assert values == sorted(values, reverse=True)
+
+    def test_works_on_dataset_cover(self, default_context):
+        cover = default_context.hierarchy[5]
+        analysis = ZPAnalysis(default_context.graph, cover)
+        assert analysis.records
+        for record in analysis.records:
+            assert 0.0 <= record.participation <= 1.0
