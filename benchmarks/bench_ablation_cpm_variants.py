@@ -12,8 +12,6 @@ Compares, at equal output:
 
 import random
 
-import pytest
-
 from repro.core.percolation import (
     CliqueOverlapIndex,
     k_clique_communities,

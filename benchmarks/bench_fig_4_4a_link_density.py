@@ -24,7 +24,10 @@ def test_figure_4_4a_link_density(benchmark, context, emit):
         [[k, round(v, 4)] for k, v in analysis.main_density_series()],
         title="Main-community link density (paper: low for k in [2,30], ~1 near the top)",
     )
-    footer = f"low-k parallel density stdev: {analysis.parallel_variability():.3f} (paper: 'very variable')"
+    footer = (
+        f"low-k parallel density stdev: {analysis.parallel_variability():.3f} "
+        "(paper: 'very variable')"
+    )
     emit("figure_4_4a", f"{chart}\n\n{table}\n{footer}")
 
     assert analysis.main_density_low_then_high()

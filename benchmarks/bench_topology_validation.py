@@ -22,7 +22,11 @@ def test_topology_validation(benchmark, dataset, emit):
     table = ascii_table(
         ["invariant", "measured", "published AS-level value"],
         [
-            ["nodes / edges", f"{summary.n_nodes} / {summary.n_edges}", "35,390 / 152,233 (Apr 2010)"],
+            [
+                "nodes / edges",
+                f"{summary.n_nodes} / {summary.n_edges}",
+                "35,390 / 152,233 (Apr 2010)",
+            ],
             ["mean degree", round(summary.mean_degree, 2), "~8.6"],
             ["max degree", summary.max_degree, "thousands (Tier-1s)"],
             ["power-law alpha (MLE)", round(summary.powerlaw_alpha, 2), "~2.1"],

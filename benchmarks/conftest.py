@@ -8,29 +8,56 @@ computation each table/figure needs.
 Each benchmark *prints and saves* the rows/series it regenerates —
 the textual equivalents of the paper's tables and figures land in
 ``benchmarks/output/<name>.txt``.
+
+Observability: the shared CPM run is instrumented with a session-wide
+:class:`repro.obs.Tracer` + :class:`repro.obs.MetricsRegistry`, and an
+autouse fixture times every benchmark test and writes one
+``benchmarks/output/BENCH_<test>.json`` :class:`repro.obs.RunManifest`
+per test (plus ``BENCH__session.json`` with the shared CPM spans at
+session end) — the JSON trajectory CI uploads as artifacts so every PR
+records its perf numbers.  Set ``REPRO_OBS_MEMORY=1`` to also sample
+allocation peaks (tracemalloc slows allocation-heavy code, so it is
+off by default to keep benchmark timings honest).
 """
 
 from __future__ import annotations
 
+import os
+import re
 from pathlib import Path
 
 import pytest
 
 from repro.analysis.context import AnalysisContext
+from repro.obs import MetricsRegistry, RunManifest, Tracer, graph_fingerprint
 from repro.report.paper import PaperRun
 from repro.topology.generator import GeneratorConfig, generate_topology
 
 OUTPUT_DIR = Path(__file__).parent / "output"
 
+_TRACE_MEMORY = bool(os.environ.get("REPRO_OBS_MEMORY"))
+_SESSION_TRACER = Tracer(memory=_TRACE_MEMORY)
+_SESSION_METRICS = MetricsRegistry()
+_SESSION_FINGERPRINT: dict = {}
+
+
+def _manifest_path(label: str) -> Path:
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    return OUTPUT_DIR / f"BENCH_{re.sub(r'[^A-Za-z0-9_.-]+', '_', label)}.json"
+
 
 @pytest.fixture(scope="session")
 def dataset():
-    return generate_topology(GeneratorConfig.default(), seed=42)
+    dataset = generate_topology(GeneratorConfig.default(), seed=42)
+    _SESSION_FINGERPRINT.update(graph_fingerprint(dataset.graph))
+    return dataset
 
 
 @pytest.fixture(scope="session")
 def context(dataset):
-    return AnalysisContext.from_dataset(dataset)
+    return AnalysisContext.from_dataset(
+        dataset, tracer=_SESSION_TRACER, metrics=_SESSION_METRICS
+    )
 
 
 @pytest.fixture(scope="session")
@@ -39,6 +66,35 @@ def paper_run(dataset, context):
     run.dataset = dataset
     run.context = context
     return run
+
+
+@pytest.fixture(autouse=True)
+def bench_manifest(request):
+    """Time each benchmark test and archive its manifest under output/.
+
+    The per-test manifest carries one span (the whole test: wall, CPU,
+    peak memory) plus the session dataset's fingerprint once known —
+    the accumulating ``BENCH_*.json`` perf trajectory.
+    """
+    tracer = Tracer(memory=_TRACE_MEMORY)
+    with tracer.span("bench", nodeid=request.node.nodeid):
+        yield
+    tracer.close()
+    manifest = RunManifest.collect(label=request.node.name, tracer=tracer)
+    manifest.fingerprint = dict(_SESSION_FINGERPRINT) or None
+    manifest.save(_manifest_path(request.node.name))
+
+
+def pytest_sessionfinish(session):
+    """Write the shared CPM run's spans/metrics as the session manifest."""
+    if not _SESSION_TRACER.records and not _SESSION_METRICS.to_dict()["counters"]:
+        return
+    manifest = RunManifest.collect(
+        label="session", tracer=_SESSION_TRACER, metrics=_SESSION_METRICS
+    )
+    manifest.fingerprint = dict(_SESSION_FINGERPRINT) or None
+    manifest.save(_manifest_path("_session"))
+    _SESSION_TRACER.close()
 
 
 @pytest.fixture(scope="session")

@@ -25,7 +25,6 @@ Quickstart::
 
 from .analysis import AnalysisContext
 from .compare import jaccard, match_covers, omega_index, recall_at
-from .evolution import EvolutionTracker, TopologyEvolution
 from .core import (
     Community,
     CommunityCover,
@@ -37,6 +36,7 @@ from .core import (
     maximal_cliques,
     verify_nesting,
 )
+from .evolution import EvolutionTracker, TopologyEvolution
 from .graph import Graph, read_edgelist, write_edgelist
 from .report import PaperRun
 from .routing import BGPSimulator, RelationshipMap, infer_relationships

@@ -26,16 +26,16 @@ from .percolation_threshold import (
     empirical_threshold,
     threshold_sweep,
 )
-from .sensitivity import SeedRun, SensitivityReport, run_sensitivity
 from .robustness import (
     BandRecall,
     RobustnessReport,
     community_recall,
     uniform_edge_sample,
 )
-from .zp import NodeRole, ZPAnalysis, ZPRecord, classify_role
+from .sensitivity import SeedRun, SensitivityReport, run_sensitivity
 from .sizes import SizeAnalysis, SizePoint
 from .tree_metrics import BranchRecord, TreeShape, tree_shape
+from .zp import NodeRole, ZPAnalysis, ZPRecord, classify_role
 
 __all__ = [
     "AnalysisContext",

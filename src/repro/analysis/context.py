@@ -11,9 +11,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..core.lightweight import CPMRunStats, LightweightParallelCPM
 from ..core.communities import Community, CommunityHierarchy
+from ..core.lightweight import CPMRunStats, LightweightParallelCPM
 from ..core.tree import CommunityTree
+from ..obs.metrics import MetricsRegistry
+from ..obs.tracing import Tracer
 from ..topology.dataset import ASDataset
 
 __all__ = ["AnalysisContext"]
@@ -36,14 +38,23 @@ class AnalysisContext:
         workers: int = 1,
         min_k: int = 2,
         max_k: int | None = None,
+        tracer: Tracer | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> "AnalysisContext":
-        """Run LP-CPM on the dataset and build the community tree."""
-        cpm = LightweightParallelCPM(dataset.graph, workers=workers)
+        """Run LP-CPM on the dataset and build the community tree.
+
+        ``tracer``/``metrics`` are threaded through the extraction and
+        the tree build, so one instrumented context captures the whole
+        pipeline (see ``docs/observability.md``).
+        """
+        cpm = LightweightParallelCPM(
+            dataset.graph, workers=workers, tracer=tracer, metrics=metrics
+        )
         hierarchy = cpm.run(min_k=min_k, max_k=max_k)
         return cls(
             dataset=dataset,
             hierarchy=hierarchy,
-            tree=CommunityTree(hierarchy),
+            tree=CommunityTree(hierarchy, tracer=tracer, metrics=metrics),
             cpm_stats=cpm.stats,
         )
 

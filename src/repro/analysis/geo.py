@@ -12,7 +12,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..core.communities import Community
 from ..topology.geography import Continent, GeoRegistry
 from .context import AnalysisContext
 
@@ -93,7 +92,9 @@ class GeoAnalysis:
                 )
             )
 
-    def country_contained(self, *, k_max: int | None = None, parallel_only: bool = False) -> list[CommunityGeo]:
+    def country_contained(
+        self, *, k_max: int | None = None, parallel_only: bool = False
+    ) -> list[CommunityGeo]:
         """Country-contained communities, optionally bounded / parallel-only.
 
         With ``k_max`` set to the root boundary this is the paper's

@@ -19,7 +19,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..core.communities import Community
 from .context import AnalysisContext
 
 __all__ = ["CommunityIXPShare", "IXPShareAnalysis"]

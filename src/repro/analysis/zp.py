@@ -151,7 +151,9 @@ class ZPAnalysis:
         """Records with z at or above the hub threshold."""
         return [r for r in self.records if r.z >= self.hub_z]
 
-    def threshold_sensitivity(self, hub_values: tuple[float, ...] = (2.0, 2.5, 3.0)) -> dict[float, int]:
+    def threshold_sensitivity(
+        self, hub_values: tuple[float, ...] = (2.0, 2.5, 3.0)
+    ) -> dict[float, int]:
         """Hub count as the z threshold moves — the paper's objection,
         quantified: role populations swing with an arbitrary knob."""
         return {

@@ -7,6 +7,12 @@ Commands:
   per-k census and community members;
 * ``tree`` — print the k-clique community tree (ASCII or DOT);
 * ``paper`` — regenerate every table and figure of the paper.
+
+Every CPM-running command accepts ``--trace PATH`` (JSONL span trace)
+and ``--metrics PATH`` (JSON :class:`repro.obs.RunManifest` with the
+graph fingerprint, per-phase wall/CPU/peak-memory and the core
+counters) — the observability artifacts described in
+``docs/observability.md``.
 """
 
 from __future__ import annotations
@@ -18,11 +24,60 @@ from pathlib import Path
 from .analysis.context import AnalysisContext
 from .core.lightweight import LightweightParallelCPM
 from .graph.io import read_edgelist
+from .obs import NULL_TRACER, MetricsRegistry, RunManifest, Tracer
 from .report.paper import PaperRun
 from .topology.dataset import ASDataset
 from .topology.generator import GeneratorConfig, generate_topology
 
 __all__ = ["main"]
+
+
+def _add_obs_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the shared --trace / --metrics observability flags."""
+    parser.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="write a JSONL span trace of the run here",
+    )
+    parser.add_argument(
+        "--metrics", default=None, metavar="PATH",
+        help="write a JSON run manifest (fingerprint, spans, metrics) here",
+    )
+
+
+def _make_observability(args: argparse.Namespace) -> tuple[Tracer, MetricsRegistry | None]:
+    """Tracer + registry for the run: real ones iff a flag asked for output."""
+    if getattr(args, "trace", None) or getattr(args, "metrics", None):
+        return Tracer(memory=True), MetricsRegistry()
+    return NULL_TRACER, None
+
+
+def _write_observability(
+    args: argparse.Namespace,
+    tracer: Tracer,
+    metrics: MetricsRegistry | None,
+    *,
+    graph=None,
+) -> None:
+    """Emit the trace/manifest files requested on the command line."""
+    if getattr(args, "trace", None):
+        tracer.write_jsonl(args.trace)
+        print(f"wrote trace ({len(tracer.records)} spans) to {args.trace}")
+    if getattr(args, "metrics", None):
+        config = {
+            key: value
+            for key, value in vars(args).items()
+            if key != "func" and isinstance(value, (str, int, float, bool, type(None)))
+        }
+        manifest = RunManifest.collect(
+            label=f"cli.{args.command}",
+            graph=graph,
+            config=config,
+            tracer=tracer,
+            metrics=metrics,
+        )
+        manifest.save(args.metrics)
+        print(f"wrote run manifest to {args.metrics}")
+    tracer.close()
 
 
 def _load_dataset(path: str) -> ASDataset:
@@ -59,7 +114,10 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 def _cmd_communities(args: argparse.Namespace) -> int:
     dataset = _load_dataset(args.dataset)
-    cpm = LightweightParallelCPM(dataset.graph, workers=args.workers)
+    tracer, metrics = _make_observability(args)
+    cpm = LightweightParallelCPM(
+        dataset.graph, workers=args.workers, tracer=tracer, metrics=metrics
+    )
     hierarchy = cpm.run(min_k=args.min_k, max_k=args.max_k)
     print(f"maximal cliques: {cpm.stats.n_cliques} (max size {cpm.stats.max_clique_size})")
     print(f"total communities: {hierarchy.total_communities}")
@@ -69,12 +127,16 @@ def _cmd_communities(args: argparse.Namespace) -> int:
             for community in hierarchy[k]:
                 members = ",".join(map(str, sorted(community.members)))
                 print(f"  {community.label} ({community.size}): {members}")
+    _write_observability(args, tracer, metrics, graph=dataset.graph)
     return 0
 
 
 def _cmd_tree(args: argparse.Namespace) -> int:
     dataset = _load_dataset(args.dataset)
-    context = AnalysisContext.from_dataset(dataset, workers=args.workers)
+    tracer, metrics = _make_observability(args)
+    context = AnalysisContext.from_dataset(
+        dataset, workers=args.workers, tracer=tracer, metrics=metrics
+    )
     if args.format == "dot":
         band_of = None
         if args.bands:
@@ -86,6 +148,7 @@ def _cmd_tree(args: argparse.Namespace) -> int:
         print(context.tree.to_dot(band_of=band_of))
     else:
         print(context.tree.to_ascii(max_children=args.max_children))
+    _write_observability(args, tracer, metrics, graph=dataset.graph)
     return 0
 
 
@@ -107,7 +170,8 @@ def _cmd_paper(args: argparse.Namespace) -> int:
         dataset = _load_dataset(args.dataset)
     else:
         dataset = generate_topology(seed=args.seed)
-    run = PaperRun(dataset, workers=args.workers)
+    tracer, metrics = _make_observability(args)
+    run = PaperRun(dataset, workers=args.workers, tracer=tracer, metrics=metrics)
     wrote_artifacts = False
     if args.html:
         from .report.html import render_html_report
@@ -123,6 +187,7 @@ def _cmd_paper(args: argparse.Namespace) -> int:
         wrote_artifacts = True
     if not wrote_artifacts:
         print(run.full_report())
+    _write_observability(args, tracer, metrics, graph=dataset.graph)
     return 0
 
 
@@ -188,13 +253,17 @@ def _cmd_export(args: argparse.Namespace) -> int:
     from .core.serialize import save_hierarchy
 
     dataset = _load_dataset(args.dataset)
-    cpm = LightweightParallelCPM(dataset.graph, workers=args.workers)
+    tracer, metrics = _make_observability(args)
+    cpm = LightweightParallelCPM(
+        dataset.graph, workers=args.workers, tracer=tracer, metrics=metrics
+    )
     hierarchy = cpm.run(min_k=args.min_k, max_k=args.max_k)
     save_hierarchy(hierarchy, args.out)
     print(
         f"wrote {hierarchy.total_communities} communities "
         f"(k in [{hierarchy.min_k}, {hierarchy.max_k}]) to {args.out}"
     )
+    _write_observability(args, tracer, metrics, graph=dataset.graph)
     return 0
 
 
@@ -202,7 +271,9 @@ def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser for every subcommand."""
     parser = argparse.ArgumentParser(
         prog="repro",
-        description="k-clique communities in the Internet AS-level topology (ICDCS 2011 reproduction)",
+        description=(
+            "k-clique communities in the Internet AS-level topology (ICDCS 2011 reproduction)"
+        ),
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -219,6 +290,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_com.add_argument("--max-k", type=int, default=None)
     p_com.add_argument("--workers", type=int, default=1)
     p_com.add_argument("--members", action="store_true", help="print community members")
+    _add_obs_arguments(p_com)
     p_com.set_defaults(func=_cmd_communities)
 
     p_tree = sub.add_parser("tree", help="print the k-clique community tree")
@@ -227,6 +299,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_tree.add_argument("--max-children", type=int, default=8)
     p_tree.add_argument("--workers", type=int, default=1)
     p_tree.add_argument("--bands", action="store_true", help="colour DOT layers by band")
+    _add_obs_arguments(p_tree)
     p_tree.set_defaults(func=_cmd_tree)
 
     p_gml = sub.add_parser("graphml", help="export topology + communities as GraphML")
@@ -242,6 +315,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_paper.add_argument("--workers", type=int, default=1)
     p_paper.add_argument("--html", default=None, help="write a standalone HTML report here")
     p_paper.add_argument("--csv-dir", default=None, help="write figure data as CSVs here")
+    _add_obs_arguments(p_paper)
     p_paper.set_defaults(func=_cmd_paper)
 
     p_stats = sub.add_parser("stats", help="structural statistics of a topology")
@@ -267,6 +341,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_export.add_argument("--min-k", type=int, default=2)
     p_export.add_argument("--max-k", type=int, default=None)
     p_export.add_argument("--workers", type=int, default=1)
+    _add_obs_arguments(p_export)
     p_export.set_defaults(func=_cmd_export)
     return parser
 

@@ -5,6 +5,7 @@ paper's evaluation.
 
 from .cliques import (
     CliqueCensus,
+    CliqueEnumerationStats,
     clique_size_census,
     k_cliques,
     max_clique_size,
@@ -45,6 +46,7 @@ __all__ = [
     "max_clique_size",
     "k_cliques",
     "CliqueCensus",
+    "CliqueEnumerationStats",
     "clique_size_census",
     "Community",
     "CommunityCover",

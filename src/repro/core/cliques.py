@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from collections import Counter
 from collections.abc import Hashable, Iterator
+from dataclasses import dataclass
 
 from ..graph.degeneracy import degeneracy_ordering
 from ..graph.undirected import Graph
@@ -31,14 +32,45 @@ __all__ = [
     "k_cliques",
     "clique_size_census",
     "CliqueCensus",
+    "CliqueEnumerationStats",
 ]
 
 
-def maximal_cliques(graph: Graph, *, min_size: int = 1) -> list[frozenset[Hashable]]:
+@dataclass
+class CliqueEnumerationStats:
+    """Work counters of one Bron–Kerbosch enumeration.
+
+    Collected only when a stats object is passed to
+    :func:`maximal_cliques` (the observability layer does this when a
+    run is traced), so the default enumeration path pays nothing beyond
+    one ``is not None`` check per recursive call.
+
+    * ``calls`` — recursive invocations of the Bron–Kerbosch kernel;
+    * ``branches`` — nodes actually branched on (``|P \\ N(pivot)|``
+      summed), the quantity Tomita pivoting minimises;
+    * ``pivot_candidates`` — candidates examined while choosing pivots
+      (``|P ∪ X|`` summed), the scan cost of the pivot rule;
+    * ``emitted`` — maximal cliques reported.
+    """
+
+    calls: int = 0
+    branches: int = 0
+    pivot_candidates: int = 0
+    emitted: int = 0
+
+
+def maximal_cliques(
+    graph: Graph,
+    *,
+    min_size: int = 1,
+    stats: CliqueEnumerationStats | None = None,
+) -> list[frozenset[Hashable]]:
     """All maximal cliques of ``graph`` with at least ``min_size`` nodes.
 
     Deterministic for a given graph construction order.  Isolated nodes
     are themselves maximal 1-cliques (filtered out when min_size > 1).
+    Pass a :class:`CliqueEnumerationStats` to count recursion and pivot
+    work (used by the observability layer).
     """
     if min_size < 1:
         raise ValueError(f"min_size must be >= 1, got {min_size}")
@@ -50,7 +82,9 @@ def maximal_cliques(graph: Graph, *, min_size: int = 1) -> list[frozenset[Hashab
         neighbors = graph.neighbors(node)
         later = {v for v in neighbors if rank[v] > rank[node]}
         earlier = {v for v in neighbors if rank[v] < rank[node]}
-        _bron_kerbosch_pivot(graph, {node}, later, earlier, min_size, emit)
+        _bron_kerbosch_pivot(graph, {node}, later, earlier, min_size, emit, stats)
+    if stats is not None:
+        stats.emitted = len(cliques)
     return cliques
 
 
@@ -61,12 +95,15 @@ def _bron_kerbosch_pivot(
     x: set[Hashable],
     min_size: int,
     emit,
+    stats: CliqueEnumerationStats | None = None,
 ) -> None:
     """Bron–Kerbosch with Tomita pivoting.
 
     ``r`` is the growing clique, ``p`` candidates, ``x`` excluded
     (already covered) nodes.  Emits frozensets of maximal cliques.
     """
+    if stats is not None:
+        stats.calls += 1
     if not p and not x:
         if len(r) >= min_size:
             emit(frozenset(r))
@@ -74,11 +111,16 @@ def _bron_kerbosch_pivot(
     if not p:
         return
     # Pivot: the node of P ∪ X with the most neighbors in P.
-    pivot = max(p | x, key=lambda u: len(graph.neighbors(u) & p))
-    for node in list(p - graph.neighbors(pivot)):
+    candidates = p | x
+    pivot = max(candidates, key=lambda u: len(graph.neighbors(u) & p))
+    branch = list(p - graph.neighbors(pivot))
+    if stats is not None:
+        stats.pivot_candidates += len(candidates)
+        stats.branches += len(branch)
+    for node in branch:
         neighbors = graph.neighbors(node)
         r.add(node)
-        _bron_kerbosch_pivot(graph, r, p & neighbors, x & neighbors, min_size, emit)
+        _bron_kerbosch_pivot(graph, r, p & neighbors, x & neighbors, min_size, emit, stats)
         r.remove(node)
         p.remove(node)
         x.add(node)

@@ -19,11 +19,18 @@ This implementation reproduces that architecture in Python:
    co-occurrence count across all nodes *is* its overlap).
 3. **Percolation phase** — orders k are distributed across workers;
    each runs an independent union-find over (eligible cliques,
-   thresholded overlaps).
+   thresholded overlaps), pre-filtered once per batch by the batch's
+   smallest threshold so low-overlap pairs are never rescanned.
 
 ``workers=1`` runs everything in-process (no pickling, fully
 deterministic); ``workers>1`` uses ``ProcessPoolExecutor``.  Results
 are identical by construction, which the test-suite asserts.
+
+Every phase is observable: pass a :class:`repro.obs.Tracer` and a
+:class:`repro.obs.MetricsRegistry` and the run emits nested spans
+(wall/CPU/peak-memory per phase) plus counters and histograms —
+including per-shard timings reported back from worker processes.  The
+defaults (no-op tracer, private registry) add no measurable overhead.
 """
 
 from __future__ import annotations
@@ -35,7 +42,9 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 
 from ..graph.undirected import Graph
-from .cliques import CliqueCensus, maximal_cliques
+from ..obs.metrics import MetricsRegistry
+from ..obs.tracing import NULL_TRACER, Tracer, max_rss_kib
+from .cliques import CliqueCensus, CliqueEnumerationStats, maximal_cliques
 from .communities import CommunityHierarchy
 from .percolation import CliqueOverlapIndex, build_hierarchy
 from .unionfind import UnionFind
@@ -49,7 +58,8 @@ class CPMRunStats:
 
     Mirrors the run statistics the paper reports in Section 3: the
     maximal clique count, the dominant size band, and per-phase wall
-    times.
+    times.  (Full per-phase CPU/memory detail lives in the tracer's
+    spans; this dataclass stays the cheap always-on summary.)
     """
 
     n_cliques: int = 0
@@ -63,34 +73,67 @@ class CPMRunStats:
 
     @property
     def total_seconds(self) -> float:
+        """Sum of the three phase wall times."""
         return self.enumerate_seconds + self.overlap_seconds + self.percolate_seconds
 
 
-def _count_pairs_shard(shard: list[list[int]]) -> Counter:
-    """Worker: co-occurrence counts over one shard of the inverted index."""
+def _count_pairs_shard(shard: list[list[int]]) -> tuple[Counter, dict]:
+    """Worker: co-occurrence counts over one shard of the inverted index.
+
+    Returns the pair counter plus a self-timed statistics dict — worker
+    processes cannot share the parent's tracer, so each shard reports
+    its own wall/CPU time, sizes and peak RSS back for aggregation.
+    """
+    t0, c0 = time.perf_counter(), time.process_time()
     counter: Counter[tuple[int, int]] = Counter()
+    incidences = 0
+    pair_updates = 0
     for cids in shard:
         n = len(cids)
+        incidences += n
+        pair_updates += n * (n - 1) // 2
         for a in range(n):
             ca = cids[a]
             for b in range(a + 1, n):
                 counter[(ca, cids[b])] += 1
-    return counter
+    stats = {
+        "nodes": len(shard),
+        "incidences": incidences,
+        "pair_updates": pair_updates,
+        "distinct_pairs": len(counter),
+        "wall_seconds": time.perf_counter() - t0,
+        "cpu_seconds": time.process_time() - c0,
+        "max_rss_kib": max_rss_kib(),
+    }
+    return counter, stats
 
 
 def _percolate_orders(
     orders: list[int],
     sizes: list[int],
     pairs: list[tuple[int, int, int]],
-) -> dict[int, list[list[int]]]:
+) -> tuple[dict[int, list[list[int]]], dict]:
     """Worker: percolate each order in ``orders`` independently.
 
     ``sizes`` is the clique-size list sorted descending; ``pairs`` is
-    the (i, j, overlap) list.  Returns, per order, groups of clique ids
-    (node materialisation happens in the parent, which owns the actual
-    clique sets — shipping only integer ids keeps the workers light).
+    the (i, j, overlap) list.  Pairs below the batch's smallest
+    threshold (``min(orders) - 1``) can never merge anything at any
+    order of the batch, so they are filtered out once up front instead
+    of being rescanned for every k; the skipped count is reported in
+    the statistics dict alongside the batch's self-timed wall/CPU time.
+
+    Returns, per order, groups of clique ids (node materialisation
+    happens in the parent, which owns the actual clique sets — shipping
+    only integer ids keeps the workers light), plus the statistics dict.
     """
+    t0, c0 = time.perf_counter(), time.process_time()
+    min_threshold = min(orders) - 1
+    if min_threshold > 1:
+        active = [p for p in pairs if p[2] >= min_threshold]
+    else:
+        active = pairs
     result: dict[int, list[list[int]]] = {}
+    merges = 0
     for k in orders:
         eligible = _prefix_count(sizes, k)
         if eligible == 0:
@@ -98,11 +141,22 @@ def _percolate_orders(
             continue
         uf = UnionFind(range(eligible))
         threshold = k - 1
-        for i, j, overlap in pairs:
+        for i, j, overlap in active:
             if overlap >= threshold and i < eligible and j < eligible:
                 uf.union(i, j)
-        result[k] = [sorted(group) for group in uf.groups()]
-    return result
+        groups = [sorted(group) for group in uf.groups()]
+        result[k] = groups
+        merges += eligible - len(groups)
+    stats = {
+        "orders": len(orders),
+        "pairs_in": len(pairs),
+        "skipped_pairs": len(pairs) - len(active),
+        "union_merges": merges,
+        "wall_seconds": time.perf_counter() - t0,
+        "cpu_seconds": time.process_time() - c0,
+        "max_rss_kib": max_rss_kib(),
+    }
+    return result, stats
 
 
 def _prefix_count(sorted_desc: Sequence[int], k: int) -> int:
@@ -120,6 +174,11 @@ def _prefix_count(sorted_desc: Sequence[int], k: int) -> int:
 class LightweightParallelCPM:
     """Extract the full k-clique community hierarchy of a graph.
 
+    ``tracer``/``metrics`` (both optional) switch on observability: the
+    run then emits ``cpm.run`` → ``cpm.enumerate`` / ``cpm.overlap`` /
+    ``cpm.percolate`` / ``cpm.hierarchy`` spans and populates the
+    metric names documented in ``docs/observability.md``.
+
     >>> from repro.graph import ring_of_cliques
     >>> cpm = LightweightParallelCPM(ring_of_cliques(3, 4))
     >>> hierarchy = cpm.run()
@@ -127,56 +186,111 @@ class LightweightParallelCPM:
     (3, 1)
     """
 
-    def __init__(self, graph: Graph, *, workers: int = 1) -> None:
+    def __init__(
+        self,
+        graph: Graph,
+        *,
+        workers: int = 1,
+        tracer: Tracer | None = None,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         self.graph = graph
         self.workers = workers
         self.stats = CPMRunStats(workers=workers)
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._observing = self.tracer.enabled or metrics is not None
 
     def run(self, *, min_k: int = 2, max_k: int | None = None) -> CommunityHierarchy:
         """Run all three phases and return the hierarchy over [min_k, max_k]."""
         if min_k < 2:
             raise ValueError(f"min_k must be >= 2, got {min_k}")
 
-        t0 = time.perf_counter()
-        cliques = sorted(maximal_cliques(self.graph, min_size=2), key=len, reverse=True)
-        t1 = time.perf_counter()
-        census = CliqueCensus(cliques)
-        self.stats.n_cliques = len(cliques)
-        self.stats.max_clique_size = census.max_size
-        self.stats.size_histogram = census.histogram
-        self.stats.enumerate_seconds = t1 - t0
-        top = census.max_size if max_k is None else min(max_k, census.max_size)
-        if top < min_k:
-            raise ValueError(f"graph has no clique of size >= {min_k}; nothing to extract")
+        with self.tracer.span("cpm.run", workers=self.workers, min_k=min_k, max_k=max_k):
+            t0 = time.perf_counter()
+            cliques = self._enumerate_phase()
+            t1 = time.perf_counter()
+            census = CliqueCensus(cliques)
+            self.stats.n_cliques = len(cliques)
+            self.stats.max_clique_size = census.max_size
+            self.stats.size_histogram = census.histogram
+            self.stats.enumerate_seconds = t1 - t0
+            self.metrics.set_gauge("cliques.max_size", census.max_size)
+            top = census.max_size if max_k is None else min(max_k, census.max_size)
+            if top < min_k:
+                raise ValueError(f"graph has no clique of size >= {min_k}; nothing to extract")
 
-        sizes = [len(c) for c in cliques]
-        overlaps = self._overlap_phase(cliques)
-        t2 = time.perf_counter()
-        self.stats.overlap_seconds = t2 - t1
-        self.stats.n_overlap_pairs = len(overlaps)
+            sizes = [len(c) for c in cliques]
+            overlaps = self._overlap_phase(cliques)
+            t2 = time.perf_counter()
+            self.stats.overlap_seconds = t2 - t1
+            self.stats.n_overlap_pairs = len(overlaps)
 
-        hierarchy = self._percolation_phase(cliques, sizes, overlaps, min_k, top)
-        self.stats.percolate_seconds = time.perf_counter() - t2
-        return hierarchy
+            hierarchy = self._percolation_phase(cliques, sizes, overlaps, min_k, top)
+            self.stats.percolate_seconds = time.perf_counter() - t2
+            return hierarchy
 
     # ------------------------------------------------------------------
     # Phases
     # ------------------------------------------------------------------
+    def _enumerate_phase(self) -> list[frozenset]:
+        with self.tracer.span("cpm.enumerate") as span:
+            enum_stats = CliqueEnumerationStats() if self._observing else None
+            cliques = sorted(
+                maximal_cliques(self.graph, min_size=2, stats=enum_stats),
+                key=len,
+                reverse=True,
+            )
+            span.set("n_cliques", len(cliques))
+            self.metrics.inc("cliques.enumerated", len(cliques))
+            if enum_stats is not None:
+                span.set("recursive_calls", enum_stats.calls)
+                self.metrics.inc("cliques.bk_calls", enum_stats.calls)
+                self.metrics.inc("cliques.bk_branches", enum_stats.branches)
+                self.metrics.inc("cliques.bk_pivot_candidates", enum_stats.pivot_candidates)
+        return cliques
+
     def _overlap_phase(self, cliques: list[frozenset]) -> dict[tuple[int, int], int]:
-        index: dict[object, list[int]] = {}
-        for cid, clique in enumerate(cliques):
-            for node in clique:
-                index.setdefault(node, []).append(cid)
-        shards = self._shard(list(index.values()), self.workers)
-        if self.workers == 1:
-            return dict(_count_pairs_shard(shards[0])) if shards else {}
-        total: Counter[tuple[int, int]] = Counter()
-        with ProcessPoolExecutor(max_workers=self.workers) as pool:
-            for partial in pool.map(_count_pairs_shard, shards):
-                total.update(partial)
-        return dict(total)
+        with self.tracer.span("cpm.overlap") as span:
+            t0 = time.perf_counter()
+            with self.tracer.span("cpm.overlap.index"):
+                index: dict[object, list[int]] = {}
+                for cid, clique in enumerate(cliques):
+                    for node in clique:
+                        index.setdefault(node, []).append(cid)
+            shards = self._shard(list(index.values()), self.workers)
+            span.set("shards", len(shards))
+            shard_reports: list[dict]
+            if self.workers == 1:
+                counts, shard_stats = _count_pairs_shard(shards[0])
+                total = dict(counts)
+                shard_reports = [shard_stats]
+            else:
+                merged: Counter[tuple[int, int]] = Counter()
+                shard_reports = []
+                with ProcessPoolExecutor(max_workers=self.workers) as pool:
+                    for partial, shard_stats in pool.map(_count_pairs_shard, shards):
+                        merged.update(partial)
+                        shard_reports.append(shard_stats)
+                total = dict(merged)
+            busy = 0.0
+            for shard_stats in shard_reports:
+                busy += shard_stats["wall_seconds"]
+                self.metrics.observe("overlap.shard_seconds", shard_stats["wall_seconds"])
+                self.metrics.observe("overlap.shard_nodes", shard_stats["nodes"])
+                self.metrics.observe("overlap.shard_incidences", shard_stats["incidences"])
+                self.metrics.inc("overlap.pair_updates", shard_stats["pair_updates"])
+                self.metrics.observe("worker.max_rss_kib", shard_stats["max_rss_kib"])
+            elapsed = time.perf_counter() - t0
+            if elapsed > 0:
+                self.metrics.set_gauge(
+                    "overlap.worker_utilisation", min(1.0, busy / (elapsed * self.workers))
+                )
+            self.metrics.inc("overlap.pairs", len(total))
+            span.set("pairs", len(total))
+            return total
 
     def _percolation_phase(
         self,
@@ -188,18 +302,42 @@ class LightweightParallelCPM:
     ) -> CommunityHierarchy:
         orders = list(range(min_k, max_k + 1))
         pairs = [(i, j, o) for (i, j), o in overlaps.items()]
-        if self.workers == 1:
-            grouped = _percolate_orders(orders, sizes, pairs)
-        else:
-            # Interleave orders across workers: low orders see more
-            # eligible cliques (more work), so round-robin balances load.
-            batches = [orders[w :: self.workers] for w in range(self.workers)]
-            batches = [b for b in batches if b]
-            grouped = {}
-            with ProcessPoolExecutor(max_workers=self.workers) as pool:
-                for part in pool.map(_percolate_orders, batches, [sizes] * len(batches), [pairs] * len(batches)):
-                    grouped.update(part)
-        return build_hierarchy(cliques, grouped)
+        with self.tracer.span("cpm.percolate", orders=len(orders), pairs=len(pairs)):
+            t0 = time.perf_counter()
+            if self.workers == 1:
+                grouped, batch_stats = _percolate_orders(orders, sizes, pairs)
+                batch_reports = [batch_stats]
+            else:
+                # Interleave orders across workers: low orders see more
+                # eligible cliques (more work), so round-robin balances load.
+                batches = [orders[w :: self.workers] for w in range(self.workers)]
+                batches = [b for b in batches if b]
+                grouped = {}
+                batch_reports = []
+                with ProcessPoolExecutor(max_workers=self.workers) as pool:
+                    results = pool.map(
+                        _percolate_orders, batches, [sizes] * len(batches), [pairs] * len(batches)
+                    )
+                    for part, batch_stats in results:
+                        grouped.update(part)
+                        batch_reports.append(batch_stats)
+            busy = 0.0
+            for batch_stats in batch_reports:
+                busy += batch_stats["wall_seconds"]
+                self.metrics.inc("percolate.skipped_pairs", batch_stats["skipped_pairs"])
+                self.metrics.inc("percolate.union_merges", batch_stats["union_merges"])
+                self.metrics.observe("percolate.batch_seconds", batch_stats["wall_seconds"])
+                self.metrics.observe("percolate.batch_orders", batch_stats["orders"])
+                self.metrics.observe("worker.max_rss_kib", batch_stats["max_rss_kib"])
+            elapsed = time.perf_counter() - t0
+            if elapsed > 0:
+                self.metrics.set_gauge(
+                    "percolate.worker_utilisation", min(1.0, busy / (elapsed * self.workers))
+                )
+        with self.tracer.span("cpm.hierarchy"):
+            return build_hierarchy(
+                cliques, grouped, tracer=self.tracer, metrics=self.metrics
+            )
 
     @staticmethod
     def _shard(items: list, n: int) -> list[list]:

@@ -36,6 +36,8 @@ from collections import Counter
 from collections.abc import Hashable, Sequence
 
 from ..graph.undirected import Graph
+from ..obs.metrics import MetricsRegistry
+from ..obs.tracing import NULL_TRACER, Tracer
 from .cliques import k_cliques, maximal_cliques
 from .communities import CommunityCover, CommunityHierarchy, member_sort_key
 from .unionfind import UnionFind
@@ -59,14 +61,34 @@ class CliqueOverlapIndex:
     this is the 'lightweight' idea of [11]).
     """
 
-    def __init__(self, cliques: Sequence[frozenset]) -> None:
+    def __init__(
+        self,
+        cliques: Sequence[frozenset],
+        *,
+        tracer: Tracer | None = None,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
         self.cliques: list[frozenset] = sorted(cliques, key=len, reverse=True)
         self.sizes: list[int] = [len(c) for c in self.cliques]
         self._overlaps: dict[tuple[int, int], int] | None = None
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
 
     @classmethod
-    def from_graph(cls, graph: Graph) -> "CliqueOverlapIndex":
-        return cls(maximal_cliques(graph, min_size=2))
+    def from_graph(
+        cls,
+        graph: Graph,
+        *,
+        tracer: Tracer | None = None,
+        metrics: MetricsRegistry | None = None,
+    ) -> "CliqueOverlapIndex":
+        """Enumerate the maximal cliques of ``graph`` and index them."""
+        tracer = tracer if tracer is not None else NULL_TRACER
+        with tracer.span("cpm.enumerate"):
+            cliques = maximal_cliques(graph, min_size=2)
+        index = cls(cliques, tracer=tracer, metrics=metrics)
+        index.metrics.inc("cliques.enumerated", len(cliques))
+        return index
 
     @property
     def max_clique_size(self) -> int:
@@ -88,13 +110,16 @@ class CliqueOverlapIndex:
         *is* their overlap, so one pass over the index suffices.
         """
         if self._overlaps is None:
-            counter: Counter[tuple[int, int]] = Counter()
-            for cids in self.node_index().values():
-                for a in range(len(cids)):
-                    ca = cids[a]
-                    for b in range(a + 1, len(cids)):
-                        counter[(ca, cids[b])] += 1
-            self._overlaps = dict(counter)
+            with self.tracer.span("cpm.overlap") as span:
+                counter: Counter[tuple[int, int]] = Counter()
+                for cids in self.node_index().values():
+                    for a in range(len(cids)):
+                        ca = cids[a]
+                        for b in range(a + 1, len(cids)):
+                            counter[(ca, cids[b])] += 1
+                self._overlaps = dict(counter)
+                span.set("pairs", len(self._overlaps))
+                self.metrics.inc("overlap.pairs", len(self._overlaps))
         return self._overlaps
 
     def percolate_groups(self, k: int) -> list[list[int]]:
@@ -111,11 +136,15 @@ class CliqueOverlapIndex:
         eligible_count = self._eligible_count(k)
         if eligible_count == 0:
             return []
-        uf = UnionFind(range(eligible_count))
-        for (i, j), overlap in self.overlaps().items():
-            if overlap >= k - 1 and i < eligible_count and j < eligible_count:
-                uf.union(i, j)
-        return [sorted(group) for group in uf.groups()]
+        overlaps = self.overlaps()
+        with self.tracer.span("cpm.percolate.order", k=k, eligible=eligible_count):
+            uf = UnionFind(range(eligible_count))
+            for (i, j), overlap in overlaps.items():
+                if overlap >= k - 1 and i < eligible_count and j < eligible_count:
+                    uf.union(i, j)
+            groups = [sorted(group) for group in uf.groups()]
+        self.metrics.inc("percolate.union_merges", eligible_count - len(groups))
+        return groups
 
     def percolate(self, k: int) -> list[frozenset]:
         """Member sets of every k-clique community, unsorted."""
@@ -151,6 +180,9 @@ def k_clique_communities(graph: Graph, k: int) -> CommunityCover:
 def build_hierarchy(
     cliques: Sequence[frozenset],
     groups_by_k: dict[int, list[list[int]]],
+    *,
+    tracer: Tracer | None = None,
+    metrics: MetricsRegistry | None = None,
 ) -> CommunityHierarchy:
     """Assemble a hierarchy (with exact parent links) from clique groups.
 
@@ -162,29 +194,36 @@ def build_hierarchy(
     construction of the paper's Theorem 1, and it is immune to the
     ambiguity of node-set containment between overlapping communities.
     """
+    tracer = tracer if tracer is not None else NULL_TRACER
     covers: dict[int, CommunityCover] = {}
     parent_labels: dict[str, str] = {}
     previous_membership: dict[int, str] = {}
-    for k in sorted(groups_by_k):
-        groups = groups_by_k[k]
-        member_sets = [
-            frozenset(node for cid in group for node in cliques[cid]) for group in groups
-        ]
-        # Rank groups exactly as CommunityCover will, so that group
-        # positions map onto community indices (sorted() is stable, so
-        # even duplicate member sets stay aligned).
-        ranked = sorted(range(len(groups)), key=lambda i: member_sort_key(member_sets[i]))
-        covers[k] = CommunityCover(k, member_sets)
-        membership: dict[int, str] = {}
-        for community_index, group_position in enumerate(ranked):
-            label = f"k{k}id{community_index}"
-            for cid in groups[group_position]:
-                membership[cid] = label
-            if previous_membership:
-                representative = groups[group_position][0]
-                parent_labels[label] = previous_membership[representative]
-        previous_membership = membership
-    return CommunityHierarchy(covers, parent_labels=parent_labels)
+    with tracer.span("hierarchy.build", orders=len(groups_by_k)) as span:
+        for k in sorted(groups_by_k):
+            groups = groups_by_k[k]
+            member_sets = [
+                frozenset(node for cid in group for node in cliques[cid]) for group in groups
+            ]
+            # Rank groups exactly as CommunityCover will, so that group
+            # positions map onto community indices (sorted() is stable, so
+            # even duplicate member sets stay aligned).
+            ranked = sorted(range(len(groups)), key=lambda i: member_sort_key(member_sets[i]))
+            covers[k] = CommunityCover(k, member_sets)
+            membership: dict[int, str] = {}
+            for community_index, group_position in enumerate(ranked):
+                label = f"k{k}id{community_index}"
+                for cid in groups[group_position]:
+                    membership[cid] = label
+                if previous_membership:
+                    representative = groups[group_position][0]
+                    parent_labels[label] = previous_membership[representative]
+            previous_membership = membership
+        hierarchy = CommunityHierarchy(covers, parent_labels=parent_labels)
+        span.set("communities", hierarchy.total_communities)
+    if metrics is not None:
+        metrics.inc("hierarchy.communities", hierarchy.total_communities)
+        metrics.set_gauge("hierarchy.max_order", hierarchy.max_k)
+    return hierarchy
 
 
 def extract_hierarchy(
@@ -193,6 +232,8 @@ def extract_hierarchy(
     min_k: int = 2,
     max_k: int | None = None,
     index: CliqueOverlapIndex | None = None,
+    tracer: Tracer | None = None,
+    metrics: MetricsRegistry | None = None,
 ) -> CommunityHierarchy:
     """All k-clique communities for every order in ``[min_k, max_k]``.
 
@@ -200,16 +241,18 @@ def extract_hierarchy(
     order with any community).  An existing :class:`CliqueOverlapIndex`
     may be supplied to share the enumeration/overlap work.  The result
     carries exact parent provenance (``hierarchy.parent_labels``).
+    ``tracer``/``metrics`` instrument the run like the parallel
+    extractor does (``docs/observability.md``).
     """
     if index is None:
-        index = CliqueOverlapIndex.from_graph(graph)
+        index = CliqueOverlapIndex.from_graph(graph, tracer=tracer, metrics=metrics)
     top = index.max_clique_size if max_k is None else min(max_k, index.max_clique_size)
     if min_k < 2:
         raise ValueError(f"min_k must be >= 2, got {min_k}")
     if top < min_k:
         raise ValueError(f"graph has no clique of size >= {min_k}; nothing to extract")
     groups_by_k = {k: index.percolate_groups(k) for k in range(min_k, top + 1)}
-    return build_hierarchy(index.cliques, groups_by_k)
+    return build_hierarchy(index.cliques, groups_by_k, tracer=tracer, metrics=metrics)
 
 
 def k_clique_communities_direct(graph: Graph, k: int) -> CommunityCover:

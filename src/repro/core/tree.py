@@ -23,6 +23,8 @@ from __future__ import annotations
 from collections.abc import Iterator
 from dataclasses import dataclass, field
 
+from ..obs.metrics import MetricsRegistry
+from ..obs.tracing import NULL_TRACER, Tracer
 from .communities import Community, CommunityHierarchy
 
 __all__ = ["CommunityTree", "TreeNode", "NestingViolation", "verify_nesting", "find_parent"]
@@ -52,7 +54,9 @@ def find_parent(hierarchy: CommunityHierarchy, community: Community) -> Communit
     """
     k = community.k
     if k - 1 not in hierarchy:
-        raise KeyError(f"hierarchy has no order {k - 1}; cannot resolve parent of {community.label}")
+        raise KeyError(
+            f"hierarchy has no order {k - 1}; cannot resolve parent of {community.label}"
+        )
     parent_label = hierarchy.parent_labels.get(community.label)
     if parent_label is not None:
         return hierarchy.find(parent_label)
@@ -136,23 +140,37 @@ class CommunityTree:
     object drawn in Figure 4.2.
     """
 
-    def __init__(self, hierarchy: CommunityHierarchy) -> None:
+    def __init__(
+        self,
+        hierarchy: CommunityHierarchy,
+        *,
+        tracer: Tracer | None = None,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        tracer = tracer if tracer is not None else NULL_TRACER
         self.hierarchy = hierarchy
         self._nodes: dict[str, TreeNode] = {}
         self.roots: list[TreeNode] = []
-        for k in hierarchy.orders:
-            for community in hierarchy[k]:
-                node = TreeNode(community)
-                self._nodes[community.label] = node
-                if k == hierarchy.min_k:
-                    self.roots.append(node)
-                else:
-                    parent_community = find_parent(hierarchy, community)
-                    parent = self._nodes[parent_community.label]
-                    node.parent = parent
-                    parent.children.append(node)
-        self._apex = self._find_apex()
-        self._main_labels = self._resolve_main_labels()
+        with tracer.span("tree.build") as span:
+            for k in hierarchy.orders:
+                for community in hierarchy[k]:
+                    node = TreeNode(community)
+                    self._nodes[community.label] = node
+                    if k == hierarchy.min_k:
+                        self.roots.append(node)
+                    else:
+                        parent_community = find_parent(hierarchy, community)
+                        parent = self._nodes[parent_community.label]
+                        node.parent = parent
+                        parent.children.append(node)
+            self._apex = self._find_apex()
+            self._main_labels = self._resolve_main_labels()
+            span.set("nodes", len(self._nodes))
+            span.set("roots", len(self.roots))
+        if metrics is not None:
+            metrics.inc("tree.nodes", len(self._nodes))
+            metrics.inc("tree.parallel", len(self._nodes) - len(self._main_labels))
+            metrics.set_gauge("tree.depth", hierarchy.max_k - hierarchy.min_k + 1)
 
     # ------------------------------------------------------------------
     # Structure queries
@@ -274,7 +292,8 @@ class CommunityTree:
                 else:
                     style = "filled" if fill else "solid"
                 lines.append(f'  "{node.label}" [style={style}{fill}];')
-            members = " ".join(f'"{node.label}";' for node in sorted(by_order[k], key=lambda n: n.label))
+            ranked = sorted(by_order[k], key=lambda n: n.label)
+            members = " ".join(f'"{node.label}";' for node in ranked)
             lines.append(f"  {{ rank=same; {members} }}")
         for node in self._nodes.values():
             if node.parent is not None:

@@ -42,7 +42,9 @@ def parse_edgelist(lines: Iterable[str], *, node_type: type = int) -> Graph:
         try:
             u, v = node_type(parts[0]), node_type(parts[1])
         except (TypeError, ValueError) as exc:
-            raise EdgeListError(f"line {lineno}: cannot parse {line!r} as {node_type.__name__}") from exc
+            raise EdgeListError(
+                f"line {lineno}: cannot parse {line!r} as {node_type.__name__}"
+            ) from exc
         if u == v:
             continue  # spurious self-link: skip, mirroring dataset cleaning
         graph.add_edge(u, v)

@@ -1,0 +1,43 @@
+"""Observability: tracing, metrics and run manifests for the LP-CPM pipeline.
+
+The paper's headline engineering feat is scale — 2.7M maximal cliques
+processed in 93 hours on 48 cores — and every optimisation claim since
+needs before/after numbers.  This package provides the three layers
+that make the enumerate → overlap → percolate → tree pipeline
+observable:
+
+* :mod:`repro.obs.tracing` — context-manager :class:`Span`\\ s with
+  nesting, wall time, CPU time and peak-memory sampling, collected by a
+  :class:`Tracer` and exportable as JSONL.  The default
+  :data:`NULL_TRACER` is a no-op with no measurable overhead, so
+  un-instrumented runs pay nothing.
+* :mod:`repro.obs.metrics` — a :class:`MetricsRegistry` of named
+  counters, gauges and histograms (cliques enumerated, overlap pairs,
+  union-find merges, shard sizes, worker utilisation) with JSON export
+  and cross-process merging.
+* :mod:`repro.obs.manifest` — a :class:`RunManifest` bundling the graph
+  fingerprint, run configuration, library versions and all spans and
+  metrics into one JSON artifact per run, the unit of the benchmark
+  trajectory under ``benchmarks/output/``.
+
+Schema and metric-name reference: ``docs/observability.md``.
+"""
+
+from .manifest import RunManifest, graph_fingerprint, library_versions
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .tracing import NULL_TRACER, NullTracer, Span, SpanRecord, Tracer
+
+__all__ = [
+    "Span",
+    "SpanRecord",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "RunManifest",
+    "graph_fingerprint",
+    "library_versions",
+]

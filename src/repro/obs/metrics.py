@@ -1,0 +1,203 @@
+"""Named counters, gauges and histograms for CPM runs.
+
+A :class:`MetricsRegistry` is a flat namespace of instruments:
+
+* :class:`Counter` — monotonically increasing totals (cliques
+  enumerated, overlap pair updates, union-find merges, skipped pairs);
+* :class:`Gauge` — last-value-wins observations (worker utilisation,
+  eligible cliques at the minimum order);
+* :class:`Histogram` — summary statistics over repeated observations
+  (per-shard wall times, shard sizes, per-order percolation work),
+  keeping count/sum/min/max rather than raw samples so a registry
+  stays O(instruments) regardless of run length.
+
+Registries are cheap plain-Python objects; worker processes report raw
+dicts back to the parent, which folds them in with :meth:`
+MetricsRegistry.merge`.  Canonical metric names are documented in
+``docs/observability.md``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+
+class Counter:
+    """A monotonically increasing integer total."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        """Add ``amount`` (must be >= 0) to the total."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease (got {amount})")
+        self.value += amount
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name}={self.value})"
+
+
+class Gauge:
+    """A last-value-wins observation."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        """Record the current value, replacing the previous one."""
+        self.value = value
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name}={self.value})"
+
+
+class Histogram:
+    """Streaming summary (count / sum / min / max) of observations."""
+
+    __slots__ = ("name", "count", "total", "min", "max")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min: float | None = None
+        self.max: float | None = None
+
+    def observe(self, value: float) -> None:
+        """Fold one observation into the summary."""
+        self.count += 1
+        self.total += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of the observations (0.0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def summary(self) -> dict:
+        """The summary as a plain dict (count, sum, min, max, mean)."""
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+        }
+
+    def __repr__(self) -> str:
+        return f"Histogram({self.name}, n={self.count}, mean={self.mean:.6g})"
+
+
+class MetricsRegistry:
+    """Get-or-create namespace of counters, gauges and histograms.
+
+    >>> metrics = MetricsRegistry()
+    >>> metrics.inc("cliques.enumerated", 3)
+    >>> metrics.observe("overlap.shard_seconds", 0.5)
+    >>> metrics.counter("cliques.enumerated").value
+    3
+    """
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # ------------------------------------------------------------------
+    # Instruments
+    # ------------------------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        """The counter named ``name``, created at 0 on first use."""
+        instrument = self._counters.get(name)
+        if instrument is None:
+            instrument = self._counters[name] = Counter(name)
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge named ``name``, created at 0.0 on first use."""
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            instrument = self._gauges[name] = Gauge(name)
+        return instrument
+
+    def histogram(self, name: str) -> Histogram:
+        """The histogram named ``name``, created empty on first use."""
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            instrument = self._histograms[name] = Histogram(name)
+        return instrument
+
+    # ------------------------------------------------------------------
+    # Convenience forms
+    # ------------------------------------------------------------------
+    def inc(self, name: str, amount: int = 1) -> None:
+        """Increment counter ``name`` by ``amount``."""
+        self.counter(name).inc(amount)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Set gauge ``name`` to ``value``."""
+        self.gauge(name).set(value)
+
+    def observe(self, name: str, value: float) -> None:
+        """Fold ``value`` into histogram ``name``."""
+        self.histogram(name).observe(value)
+
+    # ------------------------------------------------------------------
+    # Export / merge
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """All instruments as one JSON-serialisable dict."""
+        return {
+            "counters": {name: c.value for name, c in sorted(self._counters.items())},
+            "gauges": {name: g.value for name, g in sorted(self._gauges.items())},
+            "histograms": {name: h.summary() for name, h in sorted(self._histograms.items())},
+        }
+
+    def merge(self, payload: "MetricsRegistry | dict") -> None:
+        """Fold another registry (or its ``to_dict`` form) into this one.
+
+        Counters add, gauges take the incoming value, histogram
+        summaries combine exactly (count/sum add, min/max extremise) —
+        the operation used to aggregate worker-process reports.
+        """
+        data = payload.to_dict() if isinstance(payload, MetricsRegistry) else payload
+        for name, value in data.get("counters", {}).items():
+            self.counter(name).inc(value)
+        for name, value in data.get("gauges", {}).items():
+            self.gauge(name).set(value)
+        for name, summary in data.get("histograms", {}).items():
+            histogram = self.histogram(name)
+            histogram.count += summary.get("count", 0)
+            histogram.total += summary.get("sum", 0.0)
+            for bound, pick in (("min", min), ("max", max)):
+                incoming = summary.get(bound)
+                if incoming is not None:
+                    current = getattr(histogram, bound)
+                    setattr(
+                        histogram, bound,
+                        incoming if current is None else pick(current, incoming),
+                    )
+
+    def write_json(self, path) -> Path:
+        """Write :meth:`to_dict` as pretty-printed JSON; returns the path."""
+        target = Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(json.dumps(self.to_dict(), indent=2) + "\n", encoding="utf-8")
+        return target
+
+    def __repr__(self) -> str:
+        return (
+            f"MetricsRegistry(counters={len(self._counters)}, "
+            f"gauges={len(self._gauges)}, histograms={len(self._histograms)})"
+        )

@@ -1,0 +1,278 @@
+"""Nested spans over the CPM pipeline: wall time, CPU time, peak memory.
+
+A :class:`Tracer` hands out context-manager :class:`Span`\\ s.  Spans
+nest: entering a span while another is open records the parent link and
+depth, so a trace reconstructs the call tree of a run
+(``cpm.run`` → ``cpm.overlap`` → per-shard work, …).  Each closed span
+becomes an immutable :class:`SpanRecord` carrying:
+
+* wall-clock duration (``time.perf_counter``),
+* process CPU time (``time.process_time``),
+* peak traced allocation during the span (``tracemalloc``, opt-in via
+  ``Tracer(memory=True)`` because tracing allocations costs 2–4x on
+  allocation-heavy code — exactly the axis Baudin et al. (arXiv:
+  2110.01213) identify as the CPM bottleneck, so it must be measurable
+  but never always-on),
+* the process high-water RSS (``resource.getrusage``, 0 where the
+  platform lacks ``resource``),
+* free-form attributes set by the instrumented code.
+
+The default tracer everywhere in the library is :data:`NULL_TRACER`,
+whose ``span()`` returns one shared do-nothing handle — the hot path
+stays a dictionary lookup and a constant return, which the test-suite
+bounds (``tests/test_obs.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import tracemalloc
+from dataclasses import dataclass, field
+from pathlib import Path
+
+try:  # pragma: no cover - resource is POSIX-only
+    import resource
+except ImportError:  # pragma: no cover
+    resource = None  # type: ignore[assignment]
+
+__all__ = ["SpanRecord", "Span", "Tracer", "NullTracer", "NULL_TRACER"]
+
+
+def max_rss_kib() -> int:
+    """Process high-water resident set size in KiB (0 if unmeasurable).
+
+    Linux reports ``ru_maxrss`` in KiB; this is a monotone high-water
+    mark for the whole process, recorded on every span close so traces
+    show *when* the footprint grew even though it never shrinks.
+    """
+    if resource is None:
+        return 0
+    return int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One closed span — a single line of the JSONL trace."""
+
+    name: str
+    span_id: int
+    parent_id: int | None
+    depth: int
+    start_wall: float
+    wall_seconds: float
+    cpu_seconds: float
+    peak_alloc_bytes: int
+    max_rss_kib: int
+    attrs: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        """Plain-dict form of the record (JSON-serialisable)."""
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "depth": self.depth,
+            "start_wall": self.start_wall,
+            "wall_seconds": self.wall_seconds,
+            "cpu_seconds": self.cpu_seconds,
+            "peak_alloc_bytes": self.peak_alloc_bytes,
+            "max_rss_kib": self.max_rss_kib,
+            "attrs": dict(self.attrs),
+        }
+
+
+class Span:
+    """A live, open span; use as a context manager via ``Tracer.span``.
+
+    >>> tracer = Tracer()
+    >>> with tracer.span("phase", shards=4) as span:
+    ...     span.set("pairs", 123)
+    >>> tracer.records[0].attrs["pairs"]
+    123
+    """
+
+    __slots__ = ("_tracer", "name", "span_id", "parent_id", "depth", "attrs",
+                 "_t0", "_c0", "_mem_peak")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: dict) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.span_id = 0
+        self.parent_id: int | None = None
+        self.depth = 0
+        self.attrs = attrs
+        self._t0 = 0.0
+        self._c0 = 0.0
+        self._mem_peak = 0
+
+    def set(self, key: str, value) -> None:
+        """Attach (or overwrite) an attribute on the span."""
+        self.attrs[key] = value
+
+    def add(self, key: str, amount: int = 1) -> None:
+        """Increment a numeric attribute (creating it at 0)."""
+        self.attrs[key] = self.attrs.get(key, 0) + amount
+
+    def __enter__(self) -> "Span":
+        """Open the span: register with the tracer and start the clocks."""
+        self._tracer._open(self)
+        self._t0 = time.perf_counter()
+        self._c0 = time.process_time()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        """Close the span and hand the finished record to the tracer."""
+        wall = time.perf_counter() - self._t0
+        cpu = time.process_time() - self._c0
+        self._tracer._close(self, wall, cpu)
+
+
+class Tracer:
+    """Collects spans into an in-memory trace with optional memory sampling.
+
+    ``memory=True`` starts :mod:`tracemalloc` (if not already running)
+    and samples the allocation peak per span, folding child peaks into
+    their parents so a parent's peak is never below any child's.
+
+    The trace is exported with :meth:`write_jsonl` (one span per line)
+    or embedded in a :class:`repro.obs.manifest.RunManifest`.
+    """
+
+    #: Whether spans from this tracer record anything (False on NullTracer).
+    enabled = True
+
+    def __init__(self, *, memory: bool = False) -> None:
+        self.records: list[SpanRecord] = []
+        self.memory = memory
+        self._stack: list[Span] = []
+        self._next_id = 0
+        self._started_tracemalloc = False
+        if memory and not tracemalloc.is_tracing():
+            tracemalloc.start()
+            self._started_tracemalloc = True
+
+    def span(self, name: str, **attrs) -> Span:
+        """A new span named ``name``; use as ``with tracer.span(...)``."""
+        return Span(self, name, attrs)
+
+    def close(self) -> None:
+        """Stop tracemalloc if this tracer started it (idempotent)."""
+        if self._started_tracemalloc and tracemalloc.is_tracing():
+            tracemalloc.stop()
+            self._started_tracemalloc = False
+
+    # ------------------------------------------------------------------
+    # Span lifecycle (called by Span.__enter__/__exit__)
+    # ------------------------------------------------------------------
+    def _open(self, span: Span) -> None:
+        span.span_id = self._next_id
+        self._next_id += 1
+        if self._stack:
+            span.parent_id = self._stack[-1].span_id
+            span.depth = len(self._stack)
+        if self.memory:
+            self._fold_segment_peak()
+        span._mem_peak = 0
+        self._stack.append(span)
+
+    def _close(self, span: Span, wall: float, cpu: float) -> None:
+        if self._stack and self._stack[-1] is span:
+            self._stack.pop()
+        peak = span._mem_peak
+        if self.memory:
+            _, seg_peak = tracemalloc.get_traced_memory()
+            peak = max(peak, seg_peak)
+            tracemalloc.reset_peak()
+            if self._stack:
+                top = self._stack[-1]
+                top._mem_peak = max(top._mem_peak, peak)
+        self.records.append(
+            SpanRecord(
+                name=span.name,
+                span_id=span.span_id,
+                parent_id=span.parent_id,
+                depth=span.depth,
+                start_wall=span._t0,
+                wall_seconds=wall,
+                cpu_seconds=cpu,
+                peak_alloc_bytes=peak,
+                max_rss_kib=max_rss_kib(),
+                attrs=span.attrs,
+            )
+        )
+
+    def _fold_segment_peak(self) -> None:
+        """Credit the allocation peak since the last boundary to the open span.
+
+        Called at every span boundary so that ``tracemalloc.reset_peak``
+        in a child never erases the peak the parent had already reached.
+        """
+        _, peak = tracemalloc.get_traced_memory()
+        if self._stack:
+            top = self._stack[-1]
+            top._mem_peak = max(top._mem_peak, peak)
+        tracemalloc.reset_peak()
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def to_dicts(self) -> list[dict]:
+        """Every closed span as a plain dict, in closing order."""
+        return [record.to_dict() for record in self.records]
+
+    def find(self, name: str) -> list[SpanRecord]:
+        """All closed spans with the given name (empty list if none)."""
+        return [record for record in self.records if record.name == name]
+
+    def write_jsonl(self, path) -> Path:
+        """Write the trace as JSON Lines (one span per line); returns the path."""
+        target = Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        with target.open("w", encoding="utf-8") as handle:
+            for record in self.records:
+                handle.write(json.dumps(record.to_dict(), default=repr) + "\n")
+        return target
+
+
+class _NullSpan:
+    """The shared do-nothing span handle returned by :class:`NullTracer`."""
+
+    __slots__ = ()
+
+    def set(self, key: str, value) -> None:
+        """No-op."""
+
+    def add(self, key: str, amount: int = 1) -> None:
+        """No-op."""
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer(Tracer):
+    """A tracer that records nothing — the zero-overhead default.
+
+    ``span()`` returns one shared constant object whose enter/exit/set
+    are empty methods; no clocks are read, no records are kept, and
+    tracemalloc is never started.
+    """
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__(memory=False)
+
+    def span(self, name: str, **attrs) -> Span:
+        """The shared no-op span, regardless of arguments."""
+        return _NULL_SPAN  # type: ignore[return-value]
+
+
+#: Module-level no-op tracer shared by all un-instrumented runs.
+NULL_TRACER = NullTracer()

@@ -8,4 +8,19 @@ from .html import render_html_report
 from .paper import PaperRun
 from .svg import svg_scatter
 
-__all__ = ["PaperRun", "ascii_scatter", "ascii_table", "format_number", "render_html_report", "svg_scatter", "graphml_document", "write_graphml", "figure_csvs", "write_figure_csvs", "Atlas", "IXPProfile", "CountryProfile", "build_atlas"]
+__all__ = [
+    "PaperRun",
+    "ascii_scatter",
+    "ascii_table",
+    "format_number",
+    "render_html_report",
+    "svg_scatter",
+    "graphml_document",
+    "write_graphml",
+    "figure_csvs",
+    "write_figure_csvs",
+    "Atlas",
+    "IXPProfile",
+    "CountryProfile",
+    "build_atlas",
+]

@@ -76,7 +76,9 @@ def ascii_scatter(
     def ty(y: float) -> float:
         if not log_y:
             return y
-        return math.log10(y) if y > 0 else math.log10(max(min(v for v in all_y if v > 0), 1e-9)) - 0.5
+        if y > 0:
+            return math.log10(y)
+        return math.log10(max(min(v for v in all_y if v > 0), 1e-9)) - 0.5
 
     x_lo, x_hi = min(all_x), max(all_x)
     y_values = [ty(y) for y in all_y]

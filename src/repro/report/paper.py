@@ -36,9 +36,13 @@ __all__ = ["PaperRun"]
 class PaperRun:
     """All Chapter 2 and Chapter 4 artefacts for one dataset."""
 
-    def __init__(self, dataset: ASDataset, *, workers: int = 1) -> None:
+    def __init__(
+        self, dataset: ASDataset, *, workers: int = 1, tracer=None, metrics=None
+    ) -> None:
         self.dataset = dataset
-        self.context = AnalysisContext.from_dataset(dataset, workers=workers)
+        self.context = AnalysisContext.from_dataset(
+            dataset, workers=workers, tracer=tracer, metrics=metrics
+        )
 
     # ------------------------------------------------------------------
     # Lazy analyses
@@ -223,6 +227,7 @@ class PaperRun:
             f"  members in no IXP: {len(crown.non_ixp_members)}",
             f"  case study at k={crown.case_study_k}:",
         ]
+        par_share_min = trunk.parallel_max_share_min
         for label, ixp, fraction, full_share, is_main in crown.case_study:
             role = "main" if is_main else "parallel"
             lines.append(
@@ -235,7 +240,7 @@ class PaperRun:
             f"  any full-share IXP: {trunk.any_full_share}",
             f"  min on-IXP fraction: {trunk.min_on_ixp_fraction:.0%}",
             f"  parallel max-share fractions all >= "
-            f"{trunk.parallel_max_share_min if trunk.parallel_max_share_min is None else round(trunk.parallel_max_share_min, 2)}",
+            f"{par_share_min if par_share_min is None else round(par_share_min, 2)}",
             f"  mean member degree: {trunk.mean_member_degree:.1f}",
             f"  worldwide/continental member fraction: "
             f"{trunk.worldwide_or_continental_fraction:.0%}",

@@ -47,7 +47,10 @@ def svg_scatter(
     """Render named (x, y) series as a standalone ``<svg>`` element."""
     named = [(name, list(points)) for name, points in series.items() if points]
     if not named:
-        return f'<svg width="{_WIDTH}" height="{_HEIGHT}"><text x="20" y="40">{title}: no data</text></svg>'
+        return (
+            f'<svg width="{_WIDTH}" height="{_HEIGHT}">'
+            f'<text x="20" y="40">{title}: no data</text></svg>'
+        )
 
     all_x = [x for _, pts in named for x, _ in pts]
     all_y = [y for _, pts in named for _, y in pts]
@@ -79,7 +82,8 @@ def svg_scatter(
     parts = [
         f'<svg xmlns="http://www.w3.org/2000/svg" width="{_WIDTH}" height="{_HEIGHT}" '
         f'viewBox="0 0 {_WIDTH} {_HEIGHT}" font-family="sans-serif" font-size="12">',
-        f'<text x="{_WIDTH / 2}" y="18" text-anchor="middle" font-size="14" font-weight="bold">{title}</text>',
+        f'<text x="{_WIDTH / 2}" y="18" text-anchor="middle" font-size="14" '
+        f'font-weight="bold">{title}</text>',
         f'<rect x="{_MARGIN["left"]}" y="{_MARGIN["top"]}" width="{plot_w}" height="{plot_h}" '
         'fill="none" stroke="#888"/>',
     ]
@@ -90,7 +94,8 @@ def svg_scatter(
         parts.append(
             f'<line x1="{x:.1f}" y1="{_MARGIN["top"] + plot_h}" x2="{x:.1f}" '
             f'y2="{_MARGIN["top"] + plot_h + 5}" stroke="#888"/>'
-            f'<text x="{x:.1f}" y="{_MARGIN["top"] + plot_h + 18}" text-anchor="middle">{tick:g}</text>'
+            f'<text x="{x:.1f}" y="{_MARGIN["top"] + plot_h + 18}" '
+            f'text-anchor="middle">{tick:g}</text>'
         )
     if log_y:
         lo_exp = math.floor(y_lo)
@@ -125,7 +130,10 @@ def svg_scatter(
     for index, (name, points) in enumerate(named):
         color = _COLORS[index % len(_COLORS)]
         for x, y in points:
-            parts.append(f'<circle cx="{px(x):.1f}" cy="{py(y):.1f}" r="3" fill="{color}" fill-opacity="0.75"/>')
+            parts.append(
+                f'<circle cx="{px(x):.1f}" cy="{py(y):.1f}" r="3" '
+                f'fill="{color}" fill-opacity="0.75"/>'
+            )
         legend_x = _MARGIN["left"] + 10 + index * 130
         legend_y = _MARGIN["top"] + 12
         parts.append(

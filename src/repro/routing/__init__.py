@@ -3,9 +3,9 @@ routing, with path-inflation and traffic-locality analyses.
 """
 
 from .analysis import PathInflation, measure_locality, measure_path_inflation
+from .bgp import BGPSimulator, Route, RouteKind
 from .inference import GaoInference, InferenceScore, infer_from_paths, score_inference
 from .observation import PathCollection, collect_policy_paths
-from .bgp import BGPSimulator, Route, RouteKind
 from .relationships import Relationship, RelationshipMap, infer_relationships
 from .resilience import FailureImpact, simulate_as_failure
 

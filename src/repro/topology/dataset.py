@@ -76,7 +76,9 @@ class ASDataset:
             "as_roles": {str(k): v for k, v in self.as_roles.items()},
             "notes": self.notes,
         }
-        (path / "meta.json").write_text(json.dumps(meta, indent=2, sort_keys=True), encoding="utf-8")
+        (path / "meta.json").write_text(
+            json.dumps(meta, indent=2, sort_keys=True), encoding="utf-8"
+        )
 
     @classmethod
     def load(cls, directory: str | Path) -> "ASDataset":

@@ -284,7 +284,9 @@ class InternetTopologyGenerator:
     # ------------------------------------------------------------------
     # Low-level helpers
     # ------------------------------------------------------------------
-    def _new_as(self, role: str, *, countries: set[str] | None = None, name: str | None = None) -> int:
+    def _new_as(
+        self, role: str, *, countries: set[str] | None = None, name: str | None = None
+    ) -> int:
         asn = self._next_asn
         self._next_asn += 1
         self._graph.add_node(asn)
@@ -410,7 +412,8 @@ class InternetTopologyGenerator:
             for _ in range(cfg.scaled(cfg.large_periphery)):
                 roll = self._rng.random()
                 if roll < 0.70:
-                    countries = {country if self._rng.random() < 0.5 else self._rng.choice(_EU_COUNTRIES)}
+                    keep_home = self._rng.random() < 0.5
+                    countries = {country if keep_home else self._rng.choice(_EU_COUNTRIES)}
                 elif roll < 0.92:
                     countries = self._eu_countries(2)
                 else:

@@ -46,7 +46,8 @@ class TestCommunities:
         assert "k=3:" in out
 
     def test_members_flag(self, saved_dataset, capsys):
-        assert main(["communities", saved_dataset, "--min-k", "4", "--max-k", "4", "--members"]) == 0
+        args = ["communities", saved_dataset, "--min-k", "4", "--max-k", "4", "--members"]
+        assert main(args) == 0
         assert "k4id0" in capsys.readouterr().out
 
     def test_on_bare_edgelist(self, tmp_path, capsys):

@@ -5,8 +5,6 @@ the Chapter 4 analyses rely on must hold by construction, for both the
 tiny and the default profile.
 """
 
-import pytest
-
 from repro.core import max_clique_size
 from repro.graph import is_connected
 from repro.topology import GeneratorConfig, InternetTopologyGenerator, generate_topology

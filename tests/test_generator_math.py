@@ -105,7 +105,8 @@ class TestMediumArithmetic:
         assert any(not tree.is_main(c) for c in holders)
         # Merged at q+1: the main community contains the whole core.
         main = tree.main_community(q + 1)
-        core_ases = [a for a in core_members if dataset.as_roles.get(a) in ("pool_carrier", "medium_core")]
+        core_roles = ("pool_carrier", "medium_core")
+        core_ases = [a for a in core_members if dataset.as_roles.get(a) in core_roles]
         inside = sum(1 for a in core_ases if a in main.members)
         assert inside >= len(core_ases) - 1  # all but the skipped member
 

@@ -8,7 +8,8 @@ from repro.topology import COUNTRY_CONTINENT, Continent, GeoRegistry, GeoTag, co
 class TestCountryTable:
     def test_paper_ixp_countries_present(self):
         # Every country hosting an IXP named in Sections 4.1-4.3.
-        for code in ("NL", "DE", "GB", "RU", "NZ", "US", "SK", "AU", "IN", "BR", "CZ", "CH", "IT", "AT"):
+        codes = ("NL", "DE", "GB", "RU", "NZ", "US", "SK", "AU", "IN", "BR", "CZ", "CH", "IT", "AT")
+        for code in codes:
             assert code in COUNTRY_CONTINENT
 
     def test_continent_of(self):

@@ -1,0 +1,342 @@
+"""Tests for the observability subsystem (tracing, metrics, manifests).
+
+Covers the contract the rest of the pipeline relies on: the no-op
+tracer really is free, spans nest, manifests survive a JSON round
+trip, the instrumented LP-CPM run is oblivious to worker count (same
+hierarchy, complete trace either way), and the percolation prefilter
+drops exactly the pairs that cannot merge anything.
+"""
+
+import json
+import time
+
+import pytest
+
+from repro.cli import main
+from repro.core.lightweight import LightweightParallelCPM, _percolate_orders
+from repro.obs import (
+    NULL_TRACER,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullTracer,
+    RunManifest,
+    Tracer,
+    graph_fingerprint,
+)
+
+
+@pytest.fixture(scope="module")
+def saved_dataset(tmp_path_factory, tiny_dataset):
+    path = tmp_path_factory.mktemp("obs-data") / "bundle"
+    tiny_dataset.save(path)
+    return str(path)
+
+
+def _hierarchy_signature(hierarchy):
+    return {
+        k: sorted(sorted(c.members) for c in cover)
+        for k, cover in hierarchy.items()
+    }
+
+
+class TestNullTracer:
+    def test_span_is_singleton_noop(self):
+        a = NULL_TRACER.span("anything", attr=1)
+        b = NULL_TRACER.span("else")
+        assert a is b
+        with a as span:
+            span.set("x", 1)
+            span.add("y")
+        assert NULL_TRACER.records == []
+        assert not NULL_TRACER.enabled
+
+    def test_fresh_instance_also_noop(self):
+        tracer = NullTracer()
+        with tracer.span("phase"):
+            pass
+        assert tracer.records == []
+
+    def test_no_measurable_overhead(self):
+        """10⁵ no-op spans must cost ~nothing (well under a second)."""
+        n = 100_000
+        start = time.perf_counter()
+        for _ in range(n):
+            with NULL_TRACER.span("hot"):
+                pass
+        elapsed = time.perf_counter() - start
+        # A real tracer does ~1-2 µs of bookkeeping per span; the no-op
+        # path is an order of magnitude cheaper.  The bound is generous
+        # so a loaded CI machine cannot flake it.
+        assert elapsed < 2.0
+
+
+class TestTracer:
+    def test_spans_nest(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner.a"):
+                pass
+            with tracer.span("inner.b") as b:
+                b.add("count", 3)
+            outer.set("phases", 2)
+        records = {r.name: r for r in tracer.records}
+        assert set(records) == {"outer", "inner.a", "inner.b"}
+        outer_rec = records["outer"]
+        assert outer_rec.parent_id is None
+        assert outer_rec.depth == 0
+        for name in ("inner.a", "inner.b"):
+            assert records[name].parent_id == outer_rec.span_id
+            assert records[name].depth == 1
+        # Children close before the parent, and the parent's wall time
+        # covers both children.
+        assert tracer.records[-1].name == "outer"
+        child_wall = records["inner.a"].wall_seconds + records["inner.b"].wall_seconds
+        assert outer_rec.wall_seconds >= child_wall
+        assert outer_rec.attrs["phases"] == 2
+        assert records["inner.b"].attrs["count"] == 3
+
+    def test_memory_peaks_fold_into_parent(self):
+        tracer = Tracer(memory=True)
+        with tracer.span("parent"):
+            with tracer.span("child"):
+                blob = [0] * 200_000  # ~1.6 MB of list payload
+                del blob
+        tracer.close()
+        records = {r.name: r for r in tracer.records}
+        assert records["child"].peak_alloc_bytes > 1_000_000
+        # The child's peak happened while the parent was open too.
+        assert records["parent"].peak_alloc_bytes >= records["child"].peak_alloc_bytes
+
+    def test_write_jsonl(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("a", k=5):
+            pass
+        out = tracer.write_jsonl(tmp_path / "trace.jsonl")
+        lines = out.read_text().splitlines()
+        assert len(lines) == 1
+        record = json.loads(lines[0])
+        assert record["name"] == "a"
+        assert record["attrs"] == {"k": 5}
+        assert record["wall_seconds"] >= 0
+
+    def test_find(self):
+        tracer = Tracer()
+        with tracer.span("x"):
+            pass
+        with tracer.span("x"):
+            pass
+        assert len(tracer.find("x")) == 2
+        assert tracer.find("missing") == []
+
+
+class TestMetrics:
+    def test_counter_gauge_histogram(self):
+        registry = MetricsRegistry()
+        registry.inc("c", 2)
+        registry.inc("c")
+        registry.set_gauge("g", 7.5)
+        registry.observe("h", 1.0)
+        registry.observe("h", 3.0)
+        payload = registry.to_dict()
+        assert payload["counters"]["c"] == 3
+        assert payload["gauges"]["g"] == 7.5
+        hist = payload["histograms"]["h"]
+        assert hist["count"] == 2
+        assert hist["min"] == 1.0
+        assert hist["max"] == 3.0
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter("c").inc(-1)
+
+    def test_get_or_create_is_stable(self):
+        registry = MetricsRegistry()
+        assert registry.counter("c") is registry.counter("c")
+        assert registry.gauge("g") is registry.gauge("g")
+        assert registry.histogram("h") is registry.histogram("h")
+
+    def test_merge(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.inc("c", 1)
+        b.inc("c", 2)
+        a.set_gauge("g", 1.0)
+        b.set_gauge("g", 9.0)
+        a.observe("h", 5.0)
+        b.observe("h", 1.0)
+        a.merge(b)
+        merged = a.to_dict()
+        assert merged["counters"]["c"] == 3
+        assert merged["gauges"]["g"] == 9.0
+        assert merged["histograms"]["h"]["count"] == 2
+        assert merged["histograms"]["h"]["min"] == 1.0
+
+    def test_repr_smoke(self):
+        assert "c" in repr(Counter("c"))
+        assert "g" in repr(Gauge("g"))
+        assert "h" in repr(Histogram("h"))
+
+    def test_write_json(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.inc("done")
+        out = registry.write_json(tmp_path / "metrics.json")
+        assert json.loads(out.read_text())["counters"]["done"] == 1
+
+
+class TestRunManifest:
+    def test_round_trip(self, tmp_path, ring_graph):
+        tracer = Tracer()
+        with tracer.span("cpm.run"):
+            with tracer.span("cpm.enumerate"):
+                pass
+        registry = MetricsRegistry()
+        registry.inc("cliques.enumerated", 4)
+        manifest = RunManifest.collect(
+            label="test",
+            graph=ring_graph,
+            config={"workers": 2, "max_k": 6},
+            tracer=tracer,
+            metrics=registry,
+        )
+        path = manifest.save(tmp_path / "manifest.json")
+        loaded = RunManifest.load(path)
+        assert loaded.to_dict() == manifest.to_dict()
+        assert loaded.label == "test"
+        assert loaded.config["workers"] == 2
+        assert loaded.fingerprint == graph_fingerprint(ring_graph)
+        assert loaded.metrics["counters"]["cliques.enumerated"] == 4
+        assert loaded.span("cpm.enumerate")["name"] == "cpm.enumerate"
+        names = [name for name, _, _, _ in loaded.phase_table()]
+        assert names == ["cpm.enumerate"]
+
+    def test_fingerprint_is_order_independent(self, ring_graph):
+        fp = graph_fingerprint(ring_graph)
+        assert fp["nodes"] == 20
+        assert fp["edges"] == 44
+        again = graph_fingerprint(ring_graph)
+        assert fp == again
+
+
+class TestInstrumentedRun:
+    EXPECTED_SPANS = {
+        "cpm.run",
+        "cpm.enumerate",
+        "cpm.overlap",
+        "cpm.overlap.index",
+        "cpm.percolate",
+        "cpm.hierarchy",
+        "hierarchy.build",
+    }
+
+    def _run(self, graph, workers):
+        tracer = Tracer()
+        metrics = MetricsRegistry()
+        cpm = LightweightParallelCPM(graph, workers=workers, tracer=tracer, metrics=metrics)
+        hierarchy = cpm.run(max_k=6)
+        tracer.close()
+        return hierarchy, tracer, metrics
+
+    def test_worker_count_is_invisible(self, ring_graph):
+        h1, t1, m1 = self._run(ring_graph, 1)
+        h2, t2, m2 = self._run(ring_graph, 2)
+        assert _hierarchy_signature(h1) == _hierarchy_signature(h2)
+        assert h1.parent_labels == h2.parent_labels
+        for tracer in (t1, t2):
+            assert self.EXPECTED_SPANS <= {r.name for r in tracer.records}
+        for metrics in (m1, m2):
+            counters = metrics.to_dict()["counters"]
+            # 4 pentagons + 4 connecting-edge cliques.
+            assert counters["cliques.enumerated"] == 8
+            assert counters["overlap.pairs"] == 12
+            assert counters["hierarchy.communities"] > 0
+
+    def test_default_run_is_unobserved(self, ring_graph):
+        cpm = LightweightParallelCPM(ring_graph)
+        assert cpm.tracer is NULL_TRACER
+        hierarchy = cpm.run(max_k=6)
+        assert len(hierarchy[5]) == 4
+
+
+class TestPercolatePrefilter:
+    def test_matches_unfiltered_reference(self):
+        # 6 cliques, overlaps spanning 1..4 so several thresholds bite.
+        sizes = [6, 6, 5, 5, 4, 4]
+        pairs = [
+            (0, 1, 4),
+            (0, 2, 3),
+            (1, 2, 2),
+            (2, 3, 2),
+            (3, 4, 1),
+            (4, 5, 1),
+        ]
+
+        def reference(order):
+            # Direct per-order union-find over all pairs, no prefilter.
+            parent = list(range(len(sizes)))
+
+            def find(x):
+                while parent[x] != x:
+                    parent[x] = parent[parent[x]]
+                    x = parent[x]
+                return x
+
+            members = [i for i, s in enumerate(sizes) if s >= order]
+            alive = set(members)
+            for i, j, ov in pairs:
+                if ov >= order - 1 and i in alive and j in alive:
+                    parent[find(i)] = find(j)
+            groups = {}
+            for i in members:
+                groups.setdefault(find(i), []).append(i)
+            return sorted(sorted(g) for g in groups.values())
+
+        result, stats = _percolate_orders([3, 4, 5], sizes, pairs)
+        for order in (3, 4, 5):
+            assert sorted(sorted(g) for g in result[order]) == reference(order)
+        # min(orders) - 1 == 2, so the two overlap-1 pairs are dropped.
+        assert stats["skipped_pairs"] == 2
+        assert stats["pairs_in"] == len(pairs)
+
+    def test_low_order_batch_skips_nothing(self):
+        sizes = [3, 3]
+        pairs = [(0, 1, 1)]
+        result, stats = _percolate_orders([2], sizes, pairs)
+        assert stats["skipped_pairs"] == 0
+        assert result[2] == [[0, 1]]
+
+
+class TestCLIObservability:
+    def test_trace_and_metrics_flags(self, tmp_path, saved_dataset, capsys):
+        trace = tmp_path / "trace.jsonl"
+        manifest_path = tmp_path / "manifest.json"
+        code = main(
+            [
+                "communities",
+                saved_dataset,
+                "--max-k",
+                "5",
+                "--trace",
+                str(trace),
+                "--metrics",
+                str(manifest_path),
+            ]
+        )
+        capsys.readouterr()
+        assert code == 0
+        span_names = {json.loads(line)["name"] for line in trace.read_text().splitlines()}
+        assert "cpm.run" in span_names
+        assert "cpm.enumerate" in span_names
+        manifest = RunManifest.load(manifest_path)
+        assert manifest.label == "cli.communities"
+        assert manifest.fingerprint is not None
+        assert manifest.metrics["counters"]["cliques.enumerated"] > 0
+        phases = manifest.phase_table()
+        assert phases, "expected depth-1 phase spans in the manifest"
+
+    def test_metrics_flag_alone(self, tmp_path, saved_dataset, capsys):
+        manifest_path = tmp_path / "manifest.json"
+        assert main(["tree", saved_dataset, "--metrics", str(manifest_path)]) == 0
+        capsys.readouterr()
+        manifest = RunManifest.load(manifest_path)
+        assert manifest.metrics["counters"]["tree.nodes"] > 0

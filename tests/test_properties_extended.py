@@ -4,12 +4,12 @@ import networkx as nx
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.compare import jaccard, match_covers, omega_index
 from repro.core import extract_hierarchy, weighted_k_clique_communities
 from repro.core.serialize import hierarchy_from_dict, hierarchy_to_dict
 from repro.graph import Graph, WeightedGraph
 from repro.graph.nullmodel import double_edge_swap
 from repro.graph.stats import degree_assortativity, global_clustering
-from repro.compare import jaccard, match_covers, omega_index
 
 
 @st.composite

@@ -1,7 +1,5 @@
 """Tests for the figure renderers and the paper-run driver."""
 
-import pytest
-
 from repro.report import ascii_scatter, ascii_table, format_number
 
 

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.graph import Graph
 from repro.routing import (
     Relationship,
     RelationshipMap,
@@ -10,7 +11,6 @@ from repro.routing import (
     infer_relationships,
     score_inference,
 )
-from repro.graph import Graph
 
 
 @pytest.fixture(scope="module")

@@ -6,7 +6,7 @@ profile across seeds.
 
 import pytest
 
-from repro.analysis.sensitivity import SeedRun, SensitivityReport, run_sensitivity
+from repro.analysis.sensitivity import run_sensitivity
 from repro.topology import GeneratorConfig
 
 

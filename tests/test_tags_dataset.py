@@ -5,10 +5,10 @@ import pytest
 
 from repro.graph import Graph
 from repro.topology import (
+    IXP,
     ASDataset,
     GeoRegistry,
     GeoTag,
-    IXP,
     IXPRegistry,
     summarize_tags,
 )
