@@ -12,19 +12,22 @@ from repro.report.figures import ascii_table
 from repro.topology.generator import GeneratorConfig, generate_topology
 
 
-def _run_at_scale(scale: float):
+def _run_at_scale(scale: float, kernel: str):
     dataset = generate_topology(GeneratorConfig(scale=scale), seed=42)
-    cpm = LightweightParallelCPM(dataset.graph)
+    cpm = LightweightParallelCPM(dataset.graph, kernel=kernel)
     hierarchy = cpm.run()
     return dataset, cpm.stats, hierarchy
 
 
-def test_cpm_scaling_sweep(benchmark, emit):
+def test_cpm_scaling_sweep(benchmark, emit, bench_record, bench_kernel):
     rows = []
     results = {}
     for scale in (0.25, 0.5, 1.0):
-        dataset, stats, hierarchy = _run_at_scale(scale)
+        dataset, stats, hierarchy = _run_at_scale(scale, bench_kernel)
         results[scale] = (dataset, stats, hierarchy)
+        # Per-scale CPM wall time, persisted in the manifest config so
+        # check_bench_regression.py can gate on it commit-to-commit.
+        bench_record[f"cpm_seconds_scale_{scale}"] = round(stats.total_seconds, 4)
         rows.append(
             [
                 scale,
@@ -37,7 +40,7 @@ def test_cpm_scaling_sweep(benchmark, emit):
             ]
         )
     # The timed target: the reference scale.
-    benchmark(lambda: LightweightParallelCPM(results[1.0][0].graph).run())
+    benchmark(lambda: LightweightParallelCPM(results[1.0][0].graph, kernel=bench_kernel).run())
 
     table = ascii_table(
         ["scale", "ASes", "links", "maximal cliques", "CPM seconds", "max k", "communities"],

@@ -16,8 +16,9 @@ autouse fixture times every benchmark test and writes one
 per test (plus ``BENCH__session.json`` with the shared CPM spans at
 session end) — the JSON trajectory CI uploads as artifacts so every PR
 records its perf numbers.  Set ``REPRO_OBS_MEMORY=1`` to also sample
-allocation peaks (tracemalloc slows allocation-heavy code, so it is
-off by default to keep benchmark timings honest).
+allocation peaks (tracemalloc slows allocation-heavy code — the bitset
+kernel most of all — so it is off by default *and in CI* to keep the
+timings that ``check_bench_regression.py`` gates on honest).
 """
 
 from __future__ import annotations
@@ -36,6 +37,9 @@ from repro.topology.generator import GeneratorConfig, generate_topology
 OUTPUT_DIR = Path(__file__).parent / "output"
 
 _TRACE_MEMORY = bool(os.environ.get("REPRO_OBS_MEMORY"))
+# Which CPM kernel the benchmarks exercise; recorded in every manifest
+# so the perf trajectory stays attributable across kernel changes.
+_KERNEL = os.environ.get("REPRO_BENCH_KERNEL", "bitset")
 _SESSION_TRACER = Tracer(memory=_TRACE_MEMORY)
 _SESSION_METRICS = MetricsRegistry()
 _SESSION_FINGERPRINT: dict = {}
@@ -56,8 +60,14 @@ def dataset():
 @pytest.fixture(scope="session")
 def context(dataset):
     return AnalysisContext.from_dataset(
-        dataset, tracer=_SESSION_TRACER, metrics=_SESSION_METRICS
+        dataset, kernel=_KERNEL, tracer=_SESSION_TRACER, metrics=_SESSION_METRICS
     )
+
+
+@pytest.fixture(scope="session")
+def bench_kernel() -> str:
+    """The CPM kernel under benchmark (``REPRO_BENCH_KERNEL``, default bitset)."""
+    return _KERNEL
 
 
 @pytest.fixture(scope="session")
@@ -68,19 +78,35 @@ def paper_run(dataset, context):
     return run
 
 
+@pytest.fixture()
+def bench_record(request):
+    """Mutable mapping of scalar results a benchmark wants persisted.
+
+    Whatever a test stores here (e.g. per-scale CPM seconds) lands in
+    its ``BENCH_<test>.json`` manifest's config — the numbers
+    ``check_bench_regression.py`` compares across commits.
+    """
+    record: dict = {}
+    request.node._bench_record = record
+    return record
+
+
 @pytest.fixture(autouse=True)
 def bench_manifest(request):
     """Time each benchmark test and archive its manifest under output/.
 
     The per-test manifest carries one span (the whole test: wall, CPU,
-    peak memory) plus the session dataset's fingerprint once known —
-    the accumulating ``BENCH_*.json`` perf trajectory.
+    peak memory), the kernel variant, any ``bench_record`` scalars, and
+    the session dataset's fingerprint once known — the accumulating
+    ``BENCH_*.json`` perf trajectory.
     """
     tracer = Tracer(memory=_TRACE_MEMORY)
     with tracer.span("bench", nodeid=request.node.nodeid):
         yield
     tracer.close()
-    manifest = RunManifest.collect(label=request.node.name, tracer=tracer)
+    config = {"kernel": _KERNEL}
+    config.update(getattr(request.node, "_bench_record", {}))
+    manifest = RunManifest.collect(label=request.node.name, config=config, tracer=tracer)
     manifest.fingerprint = dict(_SESSION_FINGERPRINT) or None
     manifest.save(_manifest_path(request.node.name))
 
@@ -90,7 +116,10 @@ def pytest_sessionfinish(session):
     if not _SESSION_TRACER.records and not _SESSION_METRICS.to_dict()["counters"]:
         return
     manifest = RunManifest.collect(
-        label="session", tracer=_SESSION_TRACER, metrics=_SESSION_METRICS
+        label="session",
+        config={"kernel": _KERNEL},
+        tracer=_SESSION_TRACER,
+        metrics=_SESSION_METRICS,
     )
     manifest.fingerprint = dict(_SESSION_FINGERPRINT) or None
     manifest.save(_manifest_path("_session"))

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..core.cache import CliqueCache
 from ..core.communities import Community, CommunityHierarchy
 from ..core.lightweight import CPMRunStats, LightweightParallelCPM
 from ..core.tree import CommunityTree
@@ -36,6 +37,8 @@ class AnalysisContext:
         dataset: ASDataset,
         *,
         workers: int = 1,
+        kernel: str = "bitset",
+        cache: CliqueCache | None = None,
         min_k: int = 2,
         max_k: int | None = None,
         tracer: Tracer | None = None,
@@ -43,12 +46,19 @@ class AnalysisContext:
     ) -> "AnalysisContext":
         """Run LP-CPM on the dataset and build the community tree.
 
+        ``kernel``/``cache`` select the CPM kernel variant and an
+        optional on-disk clique cache (see ``docs/performance.md``).
         ``tracer``/``metrics`` are threaded through the extraction and
         the tree build, so one instrumented context captures the whole
         pipeline (see ``docs/observability.md``).
         """
         cpm = LightweightParallelCPM(
-            dataset.graph, workers=workers, tracer=tracer, metrics=metrics
+            dataset.graph,
+            workers=workers,
+            kernel=kernel,
+            cache=cache,
+            tracer=tracer,
+            metrics=metrics,
         )
         hierarchy = cpm.run(min_k=min_k, max_k=max_k)
         return cls(

@@ -12,7 +12,9 @@ Every CPM-running command accepts ``--trace PATH`` (JSONL span trace)
 and ``--metrics PATH`` (JSON :class:`repro.obs.RunManifest` with the
 graph fingerprint, per-phase wall/CPU/peak-memory and the core
 counters) — the observability artifacts described in
-``docs/observability.md``.
+``docs/observability.md`` — plus ``--kernel {bitset,set}`` to pick the
+CPM kernel and ``--cache/--no-cache`` to reuse clique/overlap results
+across runs (``docs/performance.md``).
 """
 
 from __future__ import annotations
@@ -22,7 +24,8 @@ import sys
 from pathlib import Path
 
 from .analysis.context import AnalysisContext
-from .core.lightweight import LightweightParallelCPM
+from .core.cache import CliqueCache
+from .core.lightweight import KERNELS, LightweightParallelCPM
 from .graph.io import read_edgelist
 from .obs import NULL_TRACER, MetricsRegistry, RunManifest, Tracer
 from .report.paper import PaperRun
@@ -42,6 +45,26 @@ def _add_obs_arguments(parser: argparse.ArgumentParser) -> None:
         "--metrics", default=None, metavar="PATH",
         help="write a JSON run manifest (fingerprint, spans, metrics) here",
     )
+
+
+def _add_cpm_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the shared CPM kernel/cache selection flags."""
+    parser.add_argument(
+        "--kernel", choices=list(KERNELS), default="bitset",
+        help="CPM kernel: the integer fast path (default) or the set-based reference",
+    )
+    parser.add_argument(
+        "--cache", action=argparse.BooleanOptionalAction, default=False,
+        help=(
+            "reuse/store clique+overlap results on disk, keyed by the graph "
+            "fingerprint ($REPRO_CACHE_DIR or ~/.cache/repro); --no-cache disables"
+        ),
+    )
+
+
+def _make_cache(args: argparse.Namespace) -> CliqueCache | None:
+    """The on-disk clique cache, iff ``--cache`` was requested."""
+    return CliqueCache() if getattr(args, "cache", False) else None
 
 
 def _make_observability(args: argparse.Namespace) -> tuple[Tracer, MetricsRegistry | None]:
@@ -116,9 +139,16 @@ def _cmd_communities(args: argparse.Namespace) -> int:
     dataset = _load_dataset(args.dataset)
     tracer, metrics = _make_observability(args)
     cpm = LightweightParallelCPM(
-        dataset.graph, workers=args.workers, tracer=tracer, metrics=metrics
+        dataset.graph,
+        workers=args.workers,
+        kernel=args.kernel,
+        cache=_make_cache(args),
+        tracer=tracer,
+        metrics=metrics,
     )
     hierarchy = cpm.run(min_k=args.min_k, max_k=args.max_k)
+    if cpm.stats.cache_hit:
+        print("clique cache: hit (enumeration + overlap skipped)")
     print(f"maximal cliques: {cpm.stats.n_cliques} (max size {cpm.stats.max_clique_size})")
     print(f"total communities: {hierarchy.total_communities}")
     for k in hierarchy.orders:
@@ -135,7 +165,12 @@ def _cmd_tree(args: argparse.Namespace) -> int:
     dataset = _load_dataset(args.dataset)
     tracer, metrics = _make_observability(args)
     context = AnalysisContext.from_dataset(
-        dataset, workers=args.workers, tracer=tracer, metrics=metrics
+        dataset,
+        workers=args.workers,
+        kernel=args.kernel,
+        cache=_make_cache(args),
+        tracer=tracer,
+        metrics=metrics,
     )
     if args.format == "dot":
         band_of = None
@@ -171,7 +206,14 @@ def _cmd_paper(args: argparse.Namespace) -> int:
     else:
         dataset = generate_topology(seed=args.seed)
     tracer, metrics = _make_observability(args)
-    run = PaperRun(dataset, workers=args.workers, tracer=tracer, metrics=metrics)
+    run = PaperRun(
+        dataset,
+        workers=args.workers,
+        kernel=args.kernel,
+        cache=_make_cache(args),
+        tracer=tracer,
+        metrics=metrics,
+    )
     wrote_artifacts = False
     if args.html:
         from .report.html import render_html_report
@@ -255,7 +297,12 @@ def _cmd_export(args: argparse.Namespace) -> int:
     dataset = _load_dataset(args.dataset)
     tracer, metrics = _make_observability(args)
     cpm = LightweightParallelCPM(
-        dataset.graph, workers=args.workers, tracer=tracer, metrics=metrics
+        dataset.graph,
+        workers=args.workers,
+        kernel=args.kernel,
+        cache=_make_cache(args),
+        tracer=tracer,
+        metrics=metrics,
     )
     hierarchy = cpm.run(min_k=args.min_k, max_k=args.max_k)
     save_hierarchy(hierarchy, args.out)
@@ -290,6 +337,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_com.add_argument("--max-k", type=int, default=None)
     p_com.add_argument("--workers", type=int, default=1)
     p_com.add_argument("--members", action="store_true", help="print community members")
+    _add_cpm_arguments(p_com)
     _add_obs_arguments(p_com)
     p_com.set_defaults(func=_cmd_communities)
 
@@ -299,6 +347,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_tree.add_argument("--max-children", type=int, default=8)
     p_tree.add_argument("--workers", type=int, default=1)
     p_tree.add_argument("--bands", action="store_true", help="colour DOT layers by band")
+    _add_cpm_arguments(p_tree)
     _add_obs_arguments(p_tree)
     p_tree.set_defaults(func=_cmd_tree)
 
@@ -315,6 +364,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_paper.add_argument("--workers", type=int, default=1)
     p_paper.add_argument("--html", default=None, help="write a standalone HTML report here")
     p_paper.add_argument("--csv-dir", default=None, help="write figure data as CSVs here")
+    _add_cpm_arguments(p_paper)
     _add_obs_arguments(p_paper)
     p_paper.set_defaults(func=_cmd_paper)
 
@@ -341,6 +391,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_export.add_argument("--min-k", type=int, default=2)
     p_export.add_argument("--max-k", type=int, default=None)
     p_export.add_argument("--workers", type=int, default=1)
+    _add_cpm_arguments(p_export)
     _add_obs_arguments(p_export)
     p_export.set_defaults(func=_cmd_export)
     return parser

@@ -3,6 +3,7 @@ model, the k-clique community tree and the structural metrics of the
 paper's evaluation.
 """
 
+from .cache import CACHE_SCHEMA_VERSION, CliqueCache, default_cache_dir
 from .cliques import (
     CliqueCensus,
     CliqueEnumerationStats,
@@ -10,10 +11,12 @@ from .cliques import (
     k_cliques,
     max_clique_size,
     maximal_cliques,
+    maximal_cliques_bitset,
 )
 from .communities import Community, CommunityCover, CommunityHierarchy
 from .filtering import communities_of_node, filter_communities, restrict_orders
-from .lightweight import CPMRunStats, LightweightParallelCPM
+from .lightweight import KERNELS, CPMRunStats, LightweightParallelCPM
+from .overlap import OverlapWire
 from .metrics import (
     CommunityMetrics,
     average_odf,
@@ -38,11 +41,12 @@ from .serialize import (
     save_hierarchy,
 )
 from .tree import CommunityTree, NestingViolation, TreeNode, find_parent, verify_nesting
-from .unionfind import UnionFind
+from .unionfind import IntUnionFind, UnionFind
 from .weighted import intensity_sweep, weighted_k_clique_communities
 
 __all__ = [
     "maximal_cliques",
+    "maximal_cliques_bitset",
     "max_clique_size",
     "k_cliques",
     "CliqueCensus",
@@ -58,6 +62,11 @@ __all__ = [
     "build_hierarchy",
     "LightweightParallelCPM",
     "CPMRunStats",
+    "KERNELS",
+    "OverlapWire",
+    "CliqueCache",
+    "CACHE_SCHEMA_VERSION",
+    "default_cache_dir",
     "CommunityTree",
     "TreeNode",
     "NestingViolation",
@@ -72,6 +81,7 @@ __all__ = [
     "CommunityMetrics",
     "community_metrics",
     "UnionFind",
+    "IntUnionFind",
     "hierarchy_to_dict",
     "hierarchy_from_dict",
     "save_hierarchy",

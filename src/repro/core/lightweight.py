@@ -8,23 +8,43 @@ all-pairs clique overlap matrix; the 'parallel' idea is that both the
 overlap computation and the per-order percolation decompose into
 independent shards.
 
-This implementation reproduces that architecture in Python:
+This implementation reproduces that architecture with two kernels:
 
-1. **Enumerate** maximal cliques (Bron–Kerbosch, sequential — the
-   enumeration itself is a negligible share of CPM runtime on AS-like
-   graphs compared to the overlap phase).
+* ``kernel="bitset"`` (default) — the integer fast path.  The graph is
+  snapshotted into a :class:`~repro.graph.csr.CSRGraph` (dense ids in
+  degeneracy order), cliques come from the bitset Bron–Kerbosch, the
+  overlap phase counts only cliques of size >= 3 (2-cliques cannot
+  overlap anything by 2+ nodes) via C-speed ``Counter.update``, order-2
+  connectivity is recovered by chaining each node's clique list, and
+  percolation is one *incremental* :class:`~.unionfind.IntUnionFind`
+  sweep per worker over pair buckets keyed by activation order (see
+  :mod:`.overlap`).  Workers receive one packed ``bytes`` buffer via
+  the pool initializer instead of a per-batch re-pickle.
+* ``kernel="set"`` — the original set-based pipeline, kept as the
+  tested reference oracle: per-order independent union-find over the
+  full (i, j, overlap) list.  Both kernels produce bit-identical
+  hierarchies (same covers, same parent labels), which
+  ``tests/test_kernels_equivalence.py`` asserts.
+
+Phases (either kernel):
+
+1. **Enumerate** maximal cliques (Bron–Kerbosch, sequential).
 2. **Overlap phase** — the inverted node→cliques index is sharded
    across workers; each worker counts clique-pair co-occurrences over
    its shard of nodes, and shard counters are summed (a pair's total
    co-occurrence count across all nodes *is* its overlap).
 3. **Percolation phase** — orders k are distributed across workers;
-   each runs an independent union-find over (eligible cliques,
-   thresholded overlaps), pre-filtered once per batch by the batch's
-   smallest threshold so low-overlap pairs are never rescanned.
+   union-find per order (set kernel) or one incremental descending
+   sweep (bitset kernel).
 
 ``workers=1`` runs everything in-process (no pickling, fully
 deterministic); ``workers>1`` uses ``ProcessPoolExecutor``.  Results
 are identical by construction, which the test-suite asserts.
+
+Passing a :class:`~.cache.CliqueCache` memoises the enumerate +
+overlap phases on disk, keyed by the graph fingerprint: a second run
+over the same graph goes straight to percolation (``cache.hits`` in
+the metrics, ``cache="hit"`` on the ``cpm.run`` span).
 
 Every phase is observable: pass a :class:`repro.obs.Tracer` and a
 :class:`repro.obs.MetricsRegistry` and the run emits nested spans
@@ -36,20 +56,41 @@ defaults (no-op tracer, private registry) add no measurable overhead.
 from __future__ import annotations
 
 import time
+from array import array
 from collections import Counter
 from collections.abc import Sequence
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 
+from ..graph.csr import CSRGraph
 from ..graph.undirected import Graph
+from ..obs.manifest import graph_fingerprint
 from ..obs.metrics import MetricsRegistry
 from ..obs.tracing import NULL_TRACER, Tracer, max_rss_kib
-from .cliques import CliqueCensus, CliqueEnumerationStats, maximal_cliques
+from .cache import CliqueCache
+from .cliques import (
+    CliqueCensus,
+    CliqueEnumerationStats,
+    maximal_cliques,
+    maximal_cliques_bitset,
+)
 from .communities import CommunityHierarchy
+from .overlap import (
+    OverlapWire,
+    build_node_index,
+    bucketize,
+    chain_pairs,
+    count_overlaps_shard,
+    pack_triples,
+    truncate_index,
+    unpack_triples,
+)
 from .percolation import CliqueOverlapIndex, build_hierarchy
-from .unionfind import UnionFind
+from .unionfind import IntUnionFind, UnionFind
 
-__all__ = ["LightweightParallelCPM", "CPMRunStats"]
+__all__ = ["LightweightParallelCPM", "CPMRunStats", "KERNELS"]
+
+KERNELS = ("bitset", "set")
 
 
 @dataclass
@@ -69,6 +110,8 @@ class CPMRunStats:
     overlap_seconds: float = 0.0
     percolate_seconds: float = 0.0
     workers: int = 1
+    kernel: str = "bitset"
+    cache_hit: bool = False
     size_histogram: dict[int, int] = field(default_factory=dict)
 
     @property
@@ -159,6 +202,91 @@ def _percolate_orders(
     return result, stats
 
 
+def _percolate_orders_packed(
+    orders: list[int],
+    eligibles: list[int],
+    wire: OverlapWire,
+) -> tuple[dict[int, list[list[int]]], dict]:
+    """Worker: one incremental union-find sweep over a packed wire.
+
+    ``orders`` must be strictly descending (``eligibles`` aligned, each
+    the count of cliques of size >= that order).  A pair bucketed at
+    activation order ``k_act`` is usable at every k <= k_act, so one
+    :class:`IntUnionFind` serves the whole batch: walking orders
+    downward, each bucket with ``k_act >= k`` is merged exactly once
+    and groups are snapshotted over the eligible prefix.  At k = 2 the
+    chain buffer is folded in (order-2 connectivity over *all* cliques,
+    including the 2-cliques the counting phase excludes).
+
+    Unions only ever touch cliques eligible at the current order: a
+    bucket applied at k has ``sizes[j] >= k_act >= k`` for both ids, so
+    prefix snapshots see exactly the components the per-order reference
+    builds.
+    """
+    t0, c0 = time.perf_counter(), time.process_time()
+    uf = IntUnionFind(wire.n_cliques)
+    shift = wire.shift
+    bucket_orders = sorted(wire.buckets, reverse=True)
+    bi = 0
+    n_buckets = len(bucket_orders)
+    applied = 0
+    merges = 0
+    result: dict[int, list[list[int]]] = {}
+    for idx, k in enumerate(orders):
+        while bi < n_buckets and bucket_orders[bi] >= k:
+            buf = array("q")
+            buf.frombytes(wire.buckets[bucket_orders[bi]])
+            applied += len(buf)
+            merges += uf.union_packed(buf, shift)
+            bi += 1
+        if k == 2 and wire.chains:
+            buf = array("q")
+            buf.frombytes(wire.chains)
+            applied += len(buf)
+            merges += uf.union_packed(buf, shift)
+        eligible = eligibles[idx]
+        result[k] = [] if eligible == 0 else uf.groups(eligible)
+    pairs_in = wire.n_pairs + wire.n_chain_pairs
+    stats = {
+        "orders": len(orders),
+        "pairs_in": pairs_in,
+        "skipped_pairs": max(0, pairs_in - applied),
+        "union_merges": merges,
+        "wall_seconds": time.perf_counter() - t0,
+        "cpu_seconds": time.process_time() - c0,
+        "max_rss_kib": max_rss_kib(),
+    }
+    return result, stats
+
+
+# Shared payload installed once per worker process by the pool
+# initializer — the fix for the old O(workers x pairs) fan-out, where
+# every percolation batch re-pickled the full overlap list.
+_POOL_SHARED: dict = {}
+
+
+def _init_pool_shared(payload: dict) -> None:
+    global _POOL_SHARED
+    _POOL_SHARED = payload
+
+
+def _percolate_batch_set(orders: list[int]) -> tuple[dict[int, list[list[int]]], dict]:
+    """Worker: set-kernel batch against the process-shared triples."""
+    shared = _POOL_SHARED
+    pairs = shared.get("pairs")
+    if pairs is None:
+        pairs = shared["pairs"] = unpack_triples(shared["triples"])
+    return _percolate_orders(orders, shared["sizes"], pairs)
+
+
+def _percolate_batch_packed(
+    task: tuple[list[int], list[int]],
+) -> tuple[dict[int, list[list[int]]], dict]:
+    """Worker: bitset-kernel batch against the process-shared wire."""
+    orders, eligibles = task
+    return _percolate_orders_packed(orders, eligibles, _POOL_SHARED["wire"])
+
+
 def _prefix_count(sorted_desc: Sequence[int], k: int) -> int:
     """How many leading entries of a descending sequence are >= k."""
     lo, hi = 0, len(sorted_desc)
@@ -174,6 +302,10 @@ def _prefix_count(sorted_desc: Sequence[int], k: int) -> int:
 class LightweightParallelCPM:
     """Extract the full k-clique community hierarchy of a graph.
 
+    ``kernel`` selects the integer fast path (``"bitset"``, default) or
+    the set-based reference (``"set"``); both produce identical
+    hierarchies.  ``cache`` (a :class:`~.cache.CliqueCache`) memoises
+    enumeration + overlap on disk keyed by the graph fingerprint.
     ``tracer``/``metrics`` (both optional) switch on observability: the
     run then emits ``cpm.run`` → ``cpm.enumerate`` / ``cpm.overlap`` /
     ``cpm.percolate`` / ``cpm.hierarchy`` spans and populates the
@@ -191,14 +323,20 @@ class LightweightParallelCPM:
         graph: Graph,
         *,
         workers: int = 1,
+        kernel: str = "bitset",
+        cache: CliqueCache | None = None,
         tracer: Tracer | None = None,
         metrics: MetricsRegistry | None = None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
+        if kernel not in KERNELS:
+            raise ValueError(f"kernel must be one of {KERNELS}, got {kernel!r}")
         self.graph = graph
         self.workers = workers
-        self.stats = CPMRunStats(workers=workers)
+        self.kernel = kernel
+        self.cache = cache
+        self.stats = CPMRunStats(workers=workers, kernel=kernel)
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._observing = self.tracer.enabled or metrics is not None
@@ -208,33 +346,225 @@ class LightweightParallelCPM:
         if min_k < 2:
             raise ValueError(f"min_k must be >= 2, got {min_k}")
 
-        with self.tracer.span("cpm.run", workers=self.workers, min_k=min_k, max_k=max_k):
+        with self.tracer.span(
+            "cpm.run", workers=self.workers, min_k=min_k, max_k=max_k, kernel=self.kernel
+        ) as run_span:
+            checksum, payload = self._cache_lookup()
+            if payload is not None:
+                run_span.set("cache", "hit")
+            elif self.cache is not None:
+                run_span.set("cache", "miss")
+            if self.kernel == "bitset":
+                return self._run_bitset(min_k, max_k, checksum, payload)
+            return self._run_set(min_k, max_k, checksum, payload)
+
+    # ------------------------------------------------------------------
+    # Cache
+    # ------------------------------------------------------------------
+    def _cache_lookup(self) -> tuple[str | None, dict | None]:
+        """Probe the cache; returns (graph checksum, payload or None)."""
+        if self.cache is None:
+            return None, None
+        checksum = graph_fingerprint(self.graph)["checksum"]
+        payload = self.cache.load(checksum, self.kernel)
+        if payload is None:
+            self.metrics.inc("cache.misses")
+        else:
+            self.metrics.inc("cache.hits")
+            self.stats.cache_hit = True
+        return checksum, payload
+
+    def _cache_store(self, checksum: str | None, payload: dict) -> None:
+        if self.cache is None or checksum is None:
+            return
+        self.cache.store(checksum, self.kernel, payload)
+        self.metrics.inc("cache.writes")
+
+    # ------------------------------------------------------------------
+    # Bitset kernel (integer fast path)
+    # ------------------------------------------------------------------
+    def _run_bitset(
+        self,
+        min_k: int,
+        max_k: int | None,
+        checksum: str | None,
+        payload: dict | None,
+    ) -> CommunityHierarchy:
+        t0 = time.perf_counter()
+        dense: list[tuple[int, ...]] | None = None
+        n_nodes = 0
+        if payload is not None:
+            cliques = payload["cliques"]
+            wire: OverlapWire | None = payload["wire"]
+            n_counted = payload["counted_pairs"]
+        else:
+            dense, cliques, n_nodes = self._enumerate_phase_bitset()
+            wire = None
+            n_counted = 0
+        t1 = time.perf_counter()
+
+        census = CliqueCensus(cliques)
+        self.stats.n_cliques = len(cliques)
+        self.stats.max_clique_size = census.max_size
+        self.stats.size_histogram = census.histogram
+        self.stats.enumerate_seconds = t1 - t0
+        self.metrics.set_gauge("cliques.max_size", census.max_size)
+        top = census.max_size if max_k is None else min(max_k, census.max_size)
+        if top < min_k:
+            raise ValueError(f"graph has no clique of size >= {min_k}; nothing to extract")
+
+        sizes = [len(c) for c in cliques]
+        if wire is None:
+            wire, n_counted = self._overlap_phase_bitset(dense, sizes, n_nodes)
+            self._cache_store(
+                checksum, {"cliques": cliques, "wire": wire, "counted_pairs": n_counted}
+            )
+        t2 = time.perf_counter()
+        self.stats.overlap_seconds = t2 - t1
+        self.stats.n_overlap_pairs = n_counted
+
+        hierarchy = self._percolation_phase_packed(cliques, sizes, wire, min_k, top)
+        self.stats.percolate_seconds = time.perf_counter() - t2
+        return hierarchy
+
+    def _enumerate_phase_bitset(self) -> tuple[list[tuple[int, ...]], list[tuple], int]:
+        """Enumerate via the bitset kernel; returns (dense, labelled, n_nodes)."""
+        with self.tracer.span("cpm.enumerate") as span:
+            enum_stats = CliqueEnumerationStats() if self._observing else None
+            csr = CSRGraph.from_graph(self.graph)
+            dense = maximal_cliques_bitset(csr, min_size=2, stats=enum_stats)
+            dense.sort(key=len, reverse=True)
+            to_label = csr.labels.__getitem__
+            cliques = [tuple(map(to_label, clique)) for clique in dense]
+            span.set("n_cliques", len(cliques))
+            span.set("kernel", "bitset")
+            self.metrics.inc("cliques.enumerated", len(cliques))
+            if enum_stats is not None:
+                span.set("recursive_calls", enum_stats.calls)
+                self.metrics.inc("cliques.bk_calls", enum_stats.calls)
+                self.metrics.inc("cliques.bk_branches", enum_stats.branches)
+                self.metrics.inc("cliques.bk_pivot_candidates", enum_stats.pivot_candidates)
+        return dense, cliques, csr.n
+
+    def _overlap_phase_bitset(
+        self,
+        dense: list[tuple[int, ...]],
+        sizes: list[int],
+        n_nodes: int,
+    ) -> tuple[OverlapWire, int]:
+        """Count overlaps among size>=3 cliques and pack the wire."""
+        with self.tracer.span("cpm.overlap") as span:
             t0 = time.perf_counter()
-            cliques = self._enumerate_phase()
-            t1 = time.perf_counter()
-            census = CliqueCensus(cliques)
-            self.stats.n_cliques = len(cliques)
-            self.stats.max_clique_size = census.max_size
-            self.stats.size_histogram = census.histogram
-            self.stats.enumerate_seconds = t1 - t0
-            self.metrics.set_gauge("cliques.max_size", census.max_size)
-            top = census.max_size if max_k is None else min(max_k, census.max_size)
-            if top < min_k:
-                raise ValueError(f"graph has no clique of size >= {min_k}; nothing to extract")
+            with self.tracer.span("cpm.overlap.index"):
+                index = build_node_index(dense, n_nodes)
+                counting = truncate_index(index, _prefix_count(sizes, 3))
+            shards = self._shard(counting, self.workers)
+            span.set("shards", len(shards))
+            if self.workers == 1 or len(shards) == 1:
+                counts, shard_stats = count_overlaps_shard(shards[0])
+                shard_reports = [shard_stats]
+            else:
+                counts = Counter()
+                shard_reports = []
+                with ProcessPoolExecutor(max_workers=self.workers) as pool:
+                    for partial, shard_stats in pool.map(count_overlaps_shard, shards):
+                        counts.update(partial)
+                        shard_reports.append(shard_stats)
+            self._aggregate_shard_reports(shard_reports, time.perf_counter() - t0)
 
-            sizes = [len(c) for c in cliques]
+            n_cliques = len(sizes)
+            shift = max(1, n_cliques.bit_length())
+            buckets = bucketize(counts, sizes, shift)
+            chains = chain_pairs(index, shift)
+            wire = OverlapWire(
+                n_cliques=n_cliques,
+                shift=shift,
+                n_pairs=sum(len(b) for b in buckets.values()),
+                n_chain_pairs=len(chains),
+                buckets={k: arr.tobytes() for k, arr in buckets.items()},
+                chains=chains.tobytes(),
+            )
+            self.metrics.inc("overlap.pairs", len(counts))
+            self.metrics.inc("overlap.chain_pairs", len(chains))
+            span.set("pairs", len(counts))
+            span.set("chain_pairs", len(chains))
+            span.set("bucketed_pairs", wire.n_pairs)
+            return wire, len(counts)
+
+    def _percolation_phase_packed(
+        self,
+        cliques: list,
+        sizes: list[int],
+        wire: OverlapWire,
+        min_k: int,
+        max_k: int,
+    ) -> CommunityHierarchy:
+        orders = list(range(max_k, min_k - 1, -1))  # descending: incremental sweep
+        with self.tracer.span("cpm.percolate", orders=len(orders), pairs=wire.n_pairs):
+            t0 = time.perf_counter()
+            if self.workers == 1:
+                eligibles = [_prefix_count(sizes, k) for k in orders]
+                grouped, batch_stats = _percolate_orders_packed(orders, eligibles, wire)
+                batch_reports = [batch_stats]
+                self.metrics.inc("overlap.bytes_shipped", 0)
+            else:
+                # Interleave orders across workers: low orders see more
+                # eligible cliques (more work), so round-robin balances load.
+                batches = [orders[w :: self.workers] for w in range(self.workers)]
+                batches = [b for b in batches if b]
+                tasks = [(b, [_prefix_count(sizes, k) for k in b]) for b in batches]
+                grouped = {}
+                batch_reports = []
+                with ProcessPoolExecutor(
+                    max_workers=self.workers,
+                    initializer=_init_pool_shared,
+                    initargs=({"wire": wire},),
+                ) as pool:
+                    for part, batch_stats in pool.map(_percolate_batch_packed, tasks):
+                        grouped.update(part)
+                        batch_reports.append(batch_stats)
+                self.metrics.inc("overlap.bytes_shipped", wire.n_bytes)
+            self._aggregate_batch_reports(batch_reports, time.perf_counter() - t0)
+        with self.tracer.span("cpm.hierarchy"):
+            return build_hierarchy(cliques, grouped, tracer=self.tracer, metrics=self.metrics)
+
+    # ------------------------------------------------------------------
+    # Set kernel (reference)
+    # ------------------------------------------------------------------
+    def _run_set(
+        self,
+        min_k: int,
+        max_k: int | None,
+        checksum: str | None,
+        payload: dict | None,
+    ) -> CommunityHierarchy:
+        t0 = time.perf_counter()
+        cliques = payload["cliques"] if payload is not None else self._enumerate_phase()
+        t1 = time.perf_counter()
+        census = CliqueCensus(cliques)
+        self.stats.n_cliques = len(cliques)
+        self.stats.max_clique_size = census.max_size
+        self.stats.size_histogram = census.histogram
+        self.stats.enumerate_seconds = t1 - t0
+        self.metrics.set_gauge("cliques.max_size", census.max_size)
+        top = census.max_size if max_k is None else min(max_k, census.max_size)
+        if top < min_k:
+            raise ValueError(f"graph has no clique of size >= {min_k}; nothing to extract")
+
+        sizes = [len(c) for c in cliques]
+        if payload is not None:
+            overlaps = payload["overlaps"]
+        else:
             overlaps = self._overlap_phase(cliques)
-            t2 = time.perf_counter()
-            self.stats.overlap_seconds = t2 - t1
-            self.stats.n_overlap_pairs = len(overlaps)
+            self._cache_store(checksum, {"cliques": cliques, "overlaps": overlaps})
+        t2 = time.perf_counter()
+        self.stats.overlap_seconds = t2 - t1
+        self.stats.n_overlap_pairs = len(overlaps)
 
-            hierarchy = self._percolation_phase(cliques, sizes, overlaps, min_k, top)
-            self.stats.percolate_seconds = time.perf_counter() - t2
-            return hierarchy
+        hierarchy = self._percolation_phase(cliques, sizes, overlaps, min_k, top)
+        self.stats.percolate_seconds = time.perf_counter() - t2
+        return hierarchy
 
-    # ------------------------------------------------------------------
-    # Phases
-    # ------------------------------------------------------------------
     def _enumerate_phase(self) -> list[frozenset]:
         with self.tracer.span("cpm.enumerate") as span:
             enum_stats = CliqueEnumerationStats() if self._observing else None
@@ -244,6 +574,7 @@ class LightweightParallelCPM:
                 reverse=True,
             )
             span.set("n_cliques", len(cliques))
+            span.set("kernel", "set")
             self.metrics.inc("cliques.enumerated", len(cliques))
             if enum_stats is not None:
                 span.set("recursive_calls", enum_stats.calls)
@@ -275,19 +606,7 @@ class LightweightParallelCPM:
                         merged.update(partial)
                         shard_reports.append(shard_stats)
                 total = dict(merged)
-            busy = 0.0
-            for shard_stats in shard_reports:
-                busy += shard_stats["wall_seconds"]
-                self.metrics.observe("overlap.shard_seconds", shard_stats["wall_seconds"])
-                self.metrics.observe("overlap.shard_nodes", shard_stats["nodes"])
-                self.metrics.observe("overlap.shard_incidences", shard_stats["incidences"])
-                self.metrics.inc("overlap.pair_updates", shard_stats["pair_updates"])
-                self.metrics.observe("worker.max_rss_kib", shard_stats["max_rss_kib"])
-            elapsed = time.perf_counter() - t0
-            if elapsed > 0:
-                self.metrics.set_gauge(
-                    "overlap.worker_utilisation", min(1.0, busy / (elapsed * self.workers))
-                )
+            self._aggregate_shard_reports(shard_reports, time.perf_counter() - t0)
             self.metrics.inc("overlap.pairs", len(total))
             span.set("pairs", len(total))
             return total
@@ -307,36 +626,60 @@ class LightweightParallelCPM:
             if self.workers == 1:
                 grouped, batch_stats = _percolate_orders(orders, sizes, pairs)
                 batch_reports = [batch_stats]
+                self.metrics.inc("overlap.bytes_shipped", 0)
             else:
                 # Interleave orders across workers: low orders see more
                 # eligible cliques (more work), so round-robin balances load.
                 batches = [orders[w :: self.workers] for w in range(self.workers)]
                 batches = [b for b in batches if b]
+                # Pack the triples once and install them per worker process
+                # via the pool initializer — the old path re-pickled the
+                # whole pair list for every batch (O(workers x pairs)).
+                blob = pack_triples(pairs).tobytes()
                 grouped = {}
                 batch_reports = []
-                with ProcessPoolExecutor(max_workers=self.workers) as pool:
-                    results = pool.map(
-                        _percolate_orders, batches, [sizes] * len(batches), [pairs] * len(batches)
-                    )
-                    for part, batch_stats in results:
+                with ProcessPoolExecutor(
+                    max_workers=self.workers,
+                    initializer=_init_pool_shared,
+                    initargs=({"sizes": sizes, "triples": blob},),
+                ) as pool:
+                    for part, batch_stats in pool.map(_percolate_batch_set, batches):
                         grouped.update(part)
                         batch_reports.append(batch_stats)
-            busy = 0.0
-            for batch_stats in batch_reports:
-                busy += batch_stats["wall_seconds"]
-                self.metrics.inc("percolate.skipped_pairs", batch_stats["skipped_pairs"])
-                self.metrics.inc("percolate.union_merges", batch_stats["union_merges"])
-                self.metrics.observe("percolate.batch_seconds", batch_stats["wall_seconds"])
-                self.metrics.observe("percolate.batch_orders", batch_stats["orders"])
-                self.metrics.observe("worker.max_rss_kib", batch_stats["max_rss_kib"])
-            elapsed = time.perf_counter() - t0
-            if elapsed > 0:
-                self.metrics.set_gauge(
-                    "percolate.worker_utilisation", min(1.0, busy / (elapsed * self.workers))
-                )
+                self.metrics.inc("overlap.bytes_shipped", len(blob))
+            self._aggregate_batch_reports(batch_reports, time.perf_counter() - t0)
         with self.tracer.span("cpm.hierarchy"):
-            return build_hierarchy(
-                cliques, grouped, tracer=self.tracer, metrics=self.metrics
+            return build_hierarchy(cliques, grouped, tracer=self.tracer, metrics=self.metrics)
+
+    # ------------------------------------------------------------------
+    # Shared plumbing
+    # ------------------------------------------------------------------
+    def _aggregate_shard_reports(self, shard_reports: list[dict], elapsed: float) -> None:
+        busy = 0.0
+        for shard_stats in shard_reports:
+            busy += shard_stats["wall_seconds"]
+            self.metrics.observe("overlap.shard_seconds", shard_stats["wall_seconds"])
+            self.metrics.observe("overlap.shard_nodes", shard_stats["nodes"])
+            self.metrics.observe("overlap.shard_incidences", shard_stats["incidences"])
+            self.metrics.inc("overlap.pair_updates", shard_stats["pair_updates"])
+            self.metrics.observe("worker.max_rss_kib", shard_stats["max_rss_kib"])
+        if elapsed > 0:
+            self.metrics.set_gauge(
+                "overlap.worker_utilisation", min(1.0, busy / (elapsed * self.workers))
+            )
+
+    def _aggregate_batch_reports(self, batch_reports: list[dict], elapsed: float) -> None:
+        busy = 0.0
+        for batch_stats in batch_reports:
+            busy += batch_stats["wall_seconds"]
+            self.metrics.inc("percolate.skipped_pairs", batch_stats["skipped_pairs"])
+            self.metrics.inc("percolate.union_merges", batch_stats["union_merges"])
+            self.metrics.observe("percolate.batch_seconds", batch_stats["wall_seconds"])
+            self.metrics.observe("percolate.batch_orders", batch_stats["orders"])
+            self.metrics.observe("worker.max_rss_kib", batch_stats["max_rss_kib"])
+        if elapsed > 0:
+            self.metrics.set_gauge(
+                "percolate.worker_utilisation", min(1.0, busy / (elapsed * self.workers))
             )
 
     @staticmethod

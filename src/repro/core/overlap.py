@@ -1,0 +1,204 @@
+"""Overlap counting and packed percolation buffers (integer fast path).
+
+The overlap phase dominates LP-CPM runtime (the paper's Section 3
+profile and ours agree), so the fast kernel restructures it around
+three observations:
+
+* **Truncated counting.**  Maximal cliques cannot nest, so a 2-clique
+  shares at most one node with any other clique — its pairs never
+  reach overlap 2 and can never merge anything at order k >= 3.
+  Counting is therefore restricted to cliques of size >= 3, which on
+  AS-like graphs removes the long tail of edge-cliques from the
+  quadratic co-occurrence loop.
+* **Chain unions for k = 2.**  At order 2 the threshold is overlap
+  >= 1, i.e. "shares a node": connectivity is unchanged if, instead of
+  all pairs, we union only *consecutive* clique ids in each node's
+  inverted-index list.  That covers every clique (including the
+  2-cliques excluded from counting) with a linear number of unions.
+* **Activation orders.**  A counted pair (i, j, o) with j > i (so
+  ``sizes[j] <= sizes[i]``) participates exactly at orders
+  ``k <= k_act = min(sizes[j], o + 1)``.  Bucketing pairs by ``k_act``
+  lets one union-find sweep orders descending, applying each pair once
+  (see ``_percolate_orders_packed`` in :mod:`.lightweight`).
+
+Pairs are packed as ``(i << shift) | j`` words in ``array('q')``
+buffers whose ``bytes`` form ships to worker processes (and into the
+on-disk cache) as flat memory instead of a per-batch re-pickle of a
+list of tuples.  :class:`OverlapWire` is that shippable bundle.
+"""
+
+from __future__ import annotations
+
+import time
+from array import array
+from bisect import bisect_left
+from collections import Counter
+from dataclasses import dataclass, field
+from itertools import combinations
+
+from ..obs.tracing import max_rss_kib
+
+__all__ = [
+    "OverlapWire",
+    "build_node_index",
+    "count_overlaps_shard",
+    "chain_pairs",
+    "bucketize",
+    "pack_triples",
+    "unpack_triples",
+]
+
+
+@dataclass
+class OverlapWire:
+    """The overlap phase's output, packed for shipping and caching.
+
+    Every buffer is ``bytes`` (an ``array('q')``'s raw memory), so
+    pickling the wire for a worker process — or writing it into the
+    clique cache — is a memcpy, not a per-element traversal.
+
+    * ``buckets`` maps an activation order ``k_act`` to the packed
+      pairs that first become usable at that order;
+    * ``chains`` holds the consecutive-id pairs that reproduce order-2
+      connectivity (empty when the run's ``min_k > 2``);
+    * ``shift`` is the pair-packing shift (``word = (i << shift) | j``).
+    """
+
+    n_cliques: int
+    shift: int
+    n_pairs: int
+    n_chain_pairs: int
+    buckets: dict[int, bytes] = field(default_factory=dict)
+    chains: bytes = b""
+
+    @property
+    def n_bytes(self) -> int:
+        """Total payload size (what one worker receives)."""
+        return len(self.chains) + sum(len(b) for b in self.buckets.values())
+
+
+def build_node_index(cliques: list[tuple[int, ...]], n_nodes: int) -> list[list[int]]:
+    """Inverted node -> clique-id index over dense-id cliques.
+
+    ``cliques`` must be sorted by size descending (the pipeline's
+    invariant), so each node's list comes out in ascending clique-id
+    order — which both the truncation slice and the chain unions rely
+    on.
+    """
+    index: list[list[int]] = [[] for _ in range(n_nodes)]
+    for cid, clique in enumerate(cliques):
+        for v in clique:
+            index[v].append(cid)
+    return index
+
+
+def count_overlaps_shard(shard: list[list[int]]) -> tuple[Counter, dict]:
+    """Worker: co-occurrence counts over one shard of the inverted index.
+
+    Each list in ``shard`` is one node's clique ids, already truncated
+    to counting-eligible cliques (size >= 3).  ``Counter.update`` over
+    ``itertools.combinations`` keeps the quadratic inner loop in C.
+    Returns the pair counter plus a self-timed statistics dict shaped
+    like the set kernel's, so the parent aggregates both identically.
+    """
+    t0, c0 = time.perf_counter(), time.process_time()
+    counter: Counter[tuple[int, int]] = Counter()
+    update = counter.update
+    incidences = 0
+    pair_updates = 0
+    for cids in shard:
+        n = len(cids)
+        incidences += n
+        pair_updates += n * (n - 1) // 2
+        update(combinations(cids, 2))
+    stats = {
+        "nodes": len(shard),
+        "incidences": incidences,
+        "pair_updates": pair_updates,
+        "distinct_pairs": len(counter),
+        "wall_seconds": time.perf_counter() - t0,
+        "cpu_seconds": time.process_time() - c0,
+        "max_rss_kib": max_rss_kib(),
+    }
+    return counter, stats
+
+
+def truncate_index(index: list[list[int]], n_counting: int) -> list[list[int]]:
+    """Per-node id lists restricted to the counting-eligible prefix.
+
+    ``n_counting`` is the number of cliques of size >= 3 (a prefix of
+    the size-descending clique list).  Lists are ascending, so the
+    restriction is one bisect per node; nodes left with fewer than two
+    eligible cliques contribute no pairs and are dropped.
+    """
+    out: list[list[int]] = []
+    for cids in index:
+        cut = bisect_left(cids, n_counting)
+        if cut >= 2:
+            out.append(cids if cut == len(cids) else cids[:cut])
+    return out
+
+
+def chain_pairs(index: list[list[int]], shift: int) -> array:
+    """Packed consecutive-id pairs reproducing order-2 connectivity.
+
+    Unioning ``(cids[t], cids[t+1])`` for every node chains together
+    all cliques sharing that node — exactly the overlap >= 1 relation
+    percolation needs at k = 2, in O(incidences) pairs instead of
+    O(incidences^2) co-occurrences.
+    """
+    out = array("q")
+    append = out.append
+    for cids in index:
+        prev = -1
+        for cid in cids:
+            if prev >= 0:
+                append((prev << shift) | cid)
+            prev = cid
+    return out
+
+
+def bucketize(
+    counts: Counter, sizes: list[int], shift: int
+) -> dict[int, array]:
+    """Group counted pairs by activation order, packed.
+
+    A pair's activation order is ``k_act = min(sizes[j], o + 1)`` (with
+    j > i and sizes descending, ``sizes[j]`` is the smaller clique):
+    the largest k at which both cliques are eligible and the overlap
+    meets the k - 1 threshold.  Overlap-1 pairs are dropped entirely —
+    they only matter at k = 2, where the chain pairs already cover
+    them.
+    """
+    buckets: dict[int, array] = {}
+    get = buckets.get
+    for (i, j), o in counts.items():
+        if o <= 1:
+            continue
+        sj = sizes[j]
+        k_act = sj if sj < o + 1 else o + 1
+        arr = get(k_act)
+        if arr is None:
+            arr = buckets[k_act] = array("q")
+        arr.append((i << shift) | j)
+    return buckets
+
+
+def pack_triples(pairs: list[tuple[int, int, int]]) -> array:
+    """Flatten (i, j, overlap) triples into a stride-3 ``array('q')``.
+
+    The set kernel's percolation pairs, in shippable form: the bytes of
+    this array replace the old per-batch re-pickle of the whole list of
+    tuples (the O(workers x pairs) fan-out this PR removes).
+    """
+    out = array("q")
+    for triple in pairs:
+        out.extend(triple)
+    return out
+
+
+def unpack_triples(blob: bytes) -> list[tuple[int, int, int]]:
+    """Rebuild the (i, j, overlap) list from a stride-3 buffer."""
+    arr = array("q")
+    arr.frombytes(blob)
+    return list(zip(arr[0::3], arr[1::3], arr[2::3]))

@@ -9,6 +9,7 @@ from .components import (
     largest_connected_component,
     node_component,
 )
+from .csr import CSRGraph
 from .degeneracy import core_numbers, degeneracy, degeneracy_ordering, k_core
 from .generators import (
     barabasi_albert,
@@ -41,6 +42,7 @@ __all__ = [
     "Graph",
     "GraphError",
     "WeightedGraph",
+    "CSRGraph",
     "bfs_order",
     "connected_components",
     "is_connected",

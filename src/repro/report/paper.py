@@ -37,11 +37,18 @@ class PaperRun:
     """All Chapter 2 and Chapter 4 artefacts for one dataset."""
 
     def __init__(
-        self, dataset: ASDataset, *, workers: int = 1, tracer=None, metrics=None
+        self,
+        dataset: ASDataset,
+        *,
+        workers: int = 1,
+        kernel: str = "bitset",
+        cache=None,
+        tracer=None,
+        metrics=None,
     ) -> None:
         self.dataset = dataset
         self.context = AnalysisContext.from_dataset(
-            dataset, workers=workers, tracer=tracer, metrics=metrics
+            dataset, workers=workers, kernel=kernel, cache=cache, tracer=tracer, metrics=metrics
         )
 
     # ------------------------------------------------------------------

@@ -133,3 +133,33 @@ class TestCliqueCensus:
         census = CliqueCensus([frozenset(range(s)) for s in (3, 3, 3, 7)])
         lo, hi = census.dominant_band(2)
         assert (lo, hi) == (2, 3)
+
+    def test_dominant_band_tie_keeps_lowest_window(self):
+        # Sizes 2 and 5 each hold 3 cliques; every width-1 window covering
+        # either ties at 3, and the tie must resolve to the lower window.
+        census = CliqueCensus(
+            [frozenset(range(s)) for s in (2, 2, 2, 5, 5, 5)]
+        )
+        assert census.dominant_band(1) == (2, 2)
+        # Width 4: [2, 5] covers all six cliques; the shifted [1, 4] and
+        # [3, 6] windows cover only three, so no tie here.
+        assert census.dominant_band(4) == (2, 5)
+
+    def test_dominant_band_matches_bruteforce(self):
+        # The sliding-window rewrite must agree with the direct scan on
+        # an irregular histogram, for every width.
+        sizes = [2, 2, 3, 5, 5, 5, 6, 9, 9, 12]
+        census = CliqueCensus([frozenset(range(s)) for s in sizes])
+        hist = census.histogram
+        for width in range(1, 14):
+            best = max(
+                (sum(hist.get(s, 0) for s in range(lo, lo + width)), -lo)
+                for lo in range(1, census.max_size + 1)
+            )
+            lo = -best[1]
+            assert census.dominant_band(width) == (lo, lo + width - 1)
+
+    def test_dominant_band_rejects_bad_width(self):
+        census = CliqueCensus([frozenset(range(3))])
+        with pytest.raises(ValueError):
+            census.dominant_band(0)

@@ -1,0 +1,134 @@
+"""Cross-kernel equivalence: the integer fast path vs the references.
+
+The acceptance gate of the fast path: on every test graph, the bitset
+kernel must produce *exactly* what the set-based reference produces —
+the same maximal cliques, the same k range, the same member sets per
+order, and the same parent labels — under both ``workers=1`` and
+``workers=4``.  Both are also checked against the executable
+specification (``k_cliques`` percolated directly), and the array-backed
+union-find against the dict-backed one, group for group.
+"""
+
+import random
+
+import pytest
+
+from repro.core import IntUnionFind, UnionFind
+from repro.core.cliques import maximal_cliques, maximal_cliques_bitset
+from repro.core.lightweight import LightweightParallelCPM
+from repro.core.percolation import extract_hierarchy, k_clique_communities_direct
+from repro.graph import CSRGraph, ring_of_cliques
+
+from .conftest import random_graph
+
+GRAPHS = {
+    "ring-4x5": lambda: ring_of_cliques(4, 5),
+    "ring-6x4": lambda: ring_of_cliques(6, 4),
+    "gnp-sparse": lambda: random_graph(60, 0.15, seed=11),
+    "gnp-medium": lambda: random_graph(50, 0.3, seed=23),
+    "gnp-dense": lambda: random_graph(35, 0.5, seed=5),
+}
+
+
+def _signature(hierarchy):
+    return {
+        k: sorted(sorted(map(repr, c.members)) for c in cover)
+        for k, cover in hierarchy.items()
+    }
+
+
+def _cover_signature(cover):
+    return sorted(sorted(map(repr, c.members)) for c in cover)
+
+
+@pytest.fixture(params=sorted(GRAPHS), ids=sorted(GRAPHS))
+def graph(request):
+    return GRAPHS[request.param]()
+
+
+class TestCliqueEnumeration:
+    def test_bitset_enumerates_the_same_cliques(self, graph):
+        """Same maximal cliques (as label sets) from both kernels."""
+        reference = {c for c in maximal_cliques(graph, min_size=2)}
+        csr = CSRGraph.from_graph(graph)
+        dense = maximal_cliques_bitset(csr, min_size=2)
+        fast = {frozenset(csr.to_labels(clique)) for clique in dense}
+        assert fast == reference
+
+    def test_min_size_filter_agrees(self, graph):
+        csr = CSRGraph.from_graph(graph)
+        for min_size in (1, 3, 4):
+            reference = {c for c in maximal_cliques(graph, min_size=min_size)}
+            fast = {
+                frozenset(csr.to_labels(clique))
+                for clique in maximal_cliques_bitset(csr, min_size=min_size)
+            }
+            assert fast == reference
+
+    def test_dense_ids_are_valid_and_distinct(self, graph):
+        csr = CSRGraph.from_graph(graph)
+        for clique in maximal_cliques_bitset(csr):
+            assert len(set(clique)) == len(clique)
+            assert all(0 <= v < csr.n for v in clique)
+
+
+class TestHierarchyEquivalence:
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_bitset_matches_set_kernel(self, graph, workers):
+        fast = LightweightParallelCPM(graph, kernel="bitset", workers=workers).run()
+        reference = LightweightParallelCPM(graph, kernel="set", workers=workers).run()
+        assert sorted(fast.orders) == sorted(reference.orders)
+        assert _signature(fast) == _signature(reference)
+        assert fast.parent_labels == reference.parent_labels
+
+    def test_bitset_matches_sequential_oracle(self, graph):
+        fast = LightweightParallelCPM(graph, kernel="bitset").run()
+        oracle = extract_hierarchy(graph)
+        assert _signature(fast) == _signature(oracle)
+        assert fast.parent_labels == oracle.parent_labels
+
+    def test_workers_do_not_change_the_fast_path(self, graph):
+        h1 = LightweightParallelCPM(graph, kernel="bitset", workers=1).run()
+        h4 = LightweightParallelCPM(graph, kernel="bitset", workers=4).run()
+        assert _signature(h1) == _signature(h4)
+        assert h1.parent_labels == h4.parent_labels
+
+    def test_capped_k_range_agrees(self, graph):
+        fast = LightweightParallelCPM(graph, kernel="bitset").run(min_k=3, max_k=4)
+        reference = LightweightParallelCPM(graph, kernel="set").run(min_k=3, max_k=4)
+        assert sorted(fast.orders) == sorted(reference.orders)
+        assert _signature(fast) == _signature(reference)
+
+
+class TestDefinitionOracle:
+    """Both kernels against the literal k-clique percolation definition."""
+
+    @pytest.mark.parametrize(
+        "name", ["ring-6x4", "gnp-medium", "gnp-dense"]
+    )
+    @pytest.mark.parametrize("kernel", ["bitset", "set"])
+    def test_covers_match_direct_percolation(self, name, kernel):
+        graph = GRAPHS[name]()
+        hierarchy = LightweightParallelCPM(graph, kernel=kernel).run()
+        for k in (3, 4):
+            direct = k_clique_communities_direct(graph, k)
+            assert _cover_signature(hierarchy[k]) == _cover_signature(direct)
+
+
+class TestUnionFindEquivalence:
+    """IntUnionFind vs UnionFind over clique-percolation-shaped input."""
+
+    def test_group_for_group_on_overlap_streams(self):
+        rng = random.Random(4242)
+        for _ in range(10):
+            n = rng.randrange(2, 80)
+            pairs = [
+                tuple(sorted(rng.sample(range(n), 2)))
+                for _ in range(rng.randrange(3 * n))
+            ]
+            fast = IntUnionFind(n)
+            reference = UnionFind(range(n))
+            for i, j in pairs:
+                fast.union(i, j)
+                reference.union(i, j)
+            assert fast.groups() == [sorted(g) for g in reference.groups()]

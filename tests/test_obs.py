@@ -229,17 +229,20 @@ class TestInstrumentedRun:
         "hierarchy.build",
     }
 
-    def _run(self, graph, workers):
+    def _run(self, graph, workers, kernel="bitset"):
         tracer = Tracer()
         metrics = MetricsRegistry()
-        cpm = LightweightParallelCPM(graph, workers=workers, tracer=tracer, metrics=metrics)
+        cpm = LightweightParallelCPM(
+            graph, workers=workers, kernel=kernel, tracer=tracer, metrics=metrics
+        )
         hierarchy = cpm.run(max_k=6)
         tracer.close()
         return hierarchy, tracer, metrics
 
-    def test_worker_count_is_invisible(self, ring_graph):
-        h1, t1, m1 = self._run(ring_graph, 1)
-        h2, t2, m2 = self._run(ring_graph, 2)
+    @pytest.mark.parametrize("kernel", ["bitset", "set"])
+    def test_worker_count_is_invisible(self, ring_graph, kernel):
+        h1, t1, m1 = self._run(ring_graph, 1, kernel)
+        h2, t2, m2 = self._run(ring_graph, 2, kernel)
         assert _hierarchy_signature(h1) == _hierarchy_signature(h2)
         assert h1.parent_labels == h2.parent_labels
         for tracer in (t1, t2):
@@ -248,8 +251,29 @@ class TestInstrumentedRun:
             counters = metrics.to_dict()["counters"]
             # 4 pentagons + 4 connecting-edge cliques.
             assert counters["cliques.enumerated"] == 8
-            assert counters["overlap.pairs"] == 12
+            if kernel == "set":
+                # Every clique pair sharing a node is counted.
+                assert counters["overlap.pairs"] == 12
+            else:
+                # The pentagons share no nodes with each other, so all 12
+                # co-occurring pairs involve a 2-clique connector — excluded
+                # from truncated counting; order-2 connectivity is carried
+                # by the chain pairs instead (docs/performance.md).
+                assert counters["overlap.pairs"] == 0
+                assert counters["overlap.chain_pairs"] == 8
             assert counters["hierarchy.communities"] > 0
+
+    def test_kernels_emit_identical_hierarchies(self, ring_graph):
+        hb, _, _ = self._run(ring_graph, 1, "bitset")
+        hs, _, _ = self._run(ring_graph, 1, "set")
+        assert _hierarchy_signature(hb) == _hierarchy_signature(hs)
+        assert hb.parent_labels == hs.parent_labels
+
+    def test_run_span_records_kernel(self, ring_graph):
+        for kernel in ("bitset", "set"):
+            _, tracer, _ = self._run(ring_graph, 1, kernel)
+            run_record = next(r for r in tracer.records if r.name == "cpm.run")
+            assert run_record.attrs["kernel"] == kernel
 
     def test_default_run_is_unobserved(self, ring_graph):
         cpm = LightweightParallelCPM(ring_graph)
