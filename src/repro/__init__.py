@@ -17,13 +17,20 @@ The package implements, from scratch:
 
 Quickstart::
 
-    from repro import generate_topology, PaperRun
+    from repro import generate_topology, run_cpm, PaperRun
     dataset = generate_topology(seed=42)
+    result = run_cpm(dataset.graph, k_range=(2, None))   # stable facade
     run = PaperRun(dataset)
     print(run.figure_4_1())
+
+:mod:`repro.api` (``run_cpm``/``CPMResult``/``save_result``/
+``load_result``) is the supported programmatic surface; see
+``docs/robustness.md`` for its checkpoint/resume and fault-tolerance
+options.
 """
 
 from .analysis import AnalysisContext
+from .api import CPMResult, load_result, run_cpm, save_result
 from .compare import jaccard, match_covers, omega_index, recall_at
 from .core import (
     Community,
@@ -52,6 +59,10 @@ __all__ = [
     "k_clique_communities",
     "extract_hierarchy",
     "LightweightParallelCPM",
+    "run_cpm",
+    "CPMResult",
+    "save_result",
+    "load_result",
     "Community",
     "CommunityCover",
     "CommunityHierarchy",

@@ -13,10 +13,11 @@ from dataclasses import dataclass
 
 from ..core.cache import CliqueCache
 from ..core.communities import Community, CommunityHierarchy
-from ..core.lightweight import CPMRunStats, LightweightParallelCPM
+from ..core.lightweight import CPMRunStats
 from ..core.tree import CommunityTree
 from ..obs.metrics import MetricsRegistry
 from ..obs.tracing import Tracer
+from ..runner import CheckpointStore, FaultPlan, RunnerConfig
 from ..topology.dataset import ASDataset
 
 __all__ = ["AnalysisContext"]
@@ -39,6 +40,10 @@ class AnalysisContext:
         workers: int = 1,
         kernel: str = "bitset",
         cache: CliqueCache | None = None,
+        checkpoint: CheckpointStore | None = None,
+        resume: bool = False,
+        runner: RunnerConfig | None = None,
+        fault_plan: FaultPlan | None = None,
         min_k: int = 2,
         max_k: int | None = None,
         tracer: Tracer | None = None,
@@ -46,26 +51,36 @@ class AnalysisContext:
     ) -> "AnalysisContext":
         """Run LP-CPM on the dataset and build the community tree.
 
-        ``kernel``/``cache`` select the CPM kernel variant and an
-        optional on-disk clique cache (see ``docs/performance.md``).
-        ``tracer``/``metrics`` are threaded through the extraction and
-        the tree build, so one instrumented context captures the whole
-        pipeline (see ``docs/observability.md``).
+        Extraction goes through :func:`repro.api.run_cpm`, so every
+        facade option is available here: ``kernel``/``cache`` select
+        the CPM kernel and an optional on-disk clique cache
+        (``docs/performance.md``); ``checkpoint``/``resume``/
+        ``runner``/``fault_plan`` enable the resilient-runner features
+        (``docs/robustness.md``).  ``tracer``/``metrics`` are threaded
+        through the extraction and the tree build, so one instrumented
+        context captures the whole pipeline
+        (``docs/observability.md``).
         """
-        cpm = LightweightParallelCPM(
+        from ..api import run_cpm
+
+        result = run_cpm(
             dataset.graph,
+            k_range=(min_k, max_k),
             workers=workers,
             kernel=kernel,
             cache=cache,
+            checkpoint=checkpoint,
+            resume=resume,
+            runner=runner,
+            fault_plan=fault_plan,
             tracer=tracer,
             metrics=metrics,
         )
-        hierarchy = cpm.run(min_k=min_k, max_k=max_k)
         return cls(
             dataset=dataset,
-            hierarchy=hierarchy,
-            tree=CommunityTree(hierarchy, tracer=tracer, metrics=metrics),
-            cpm_stats=cpm.stats,
+            hierarchy=result.hierarchy,
+            tree=CommunityTree(result.hierarchy, tracer=tracer, metrics=metrics),
+            cpm_stats=result.stats,
         )
 
     def is_main(self, community: Community) -> bool:

@@ -1,0 +1,213 @@
+"""Stable programmatic facade for the LP-CPM pipeline.
+
+Everything a caller needs for "graph in, communities out" lives behind
+one function::
+
+    from repro import run_cpm
+
+    result = run_cpm(graph, k_range=(2, None), workers=4, kernel="bitset")
+    result.hierarchy[4]          # the k=4 community cover
+    result.stats.total_seconds   # phase timings
+    save_result(result, "communities.json")
+
+:func:`run_cpm` is the supported entry point — the CLI subcommands
+(``communities``, ``tree``, ``export``, ``evolve``), the analysis
+context and the evolution tracker all route through it — so resilience
+features (on-disk caching, phase checkpoints with ``resume=True``,
+supervised worker pools, fault injection) arrive uniformly everywhere.
+Constructor internals (:class:`~repro.core.lightweight
+.LightweightParallelCPM` and friends) remain importable but are not a
+stability surface; prefer this module.
+
+Convenience coercions: ``cache=True`` builds the default on-disk
+:class:`~repro.core.cache.CliqueCache`; ``checkpoint`` accepts a
+directory path and wraps it in a
+:class:`~repro.runner.checkpoint.CheckpointStore`.
+
+Results round-trip through :func:`save_result` / :func:`load_result`
+as the same JSON document ``repro.core.serialize`` writes (plus an
+embedded run-statistics block), so files saved here load with the
+legacy :func:`~repro.core.serialize.load_hierarchy` and vice versa.
+"""
+
+from __future__ import annotations
+
+import json
+import warnings
+from dataclasses import asdict, dataclass, field
+from os import PathLike
+from pathlib import Path
+
+from .core.cache import CliqueCache
+from .core.communities import CommunityCover, CommunityHierarchy
+from .core.lightweight import KERNELS, CPMRunStats, LightweightParallelCPM
+from .core.serialize import hierarchy_from_dict, hierarchy_to_dict
+from .graph.undirected import Graph
+from .obs.metrics import MetricsRegistry
+from .obs.tracing import Tracer
+from .runner import CheckpointStore, FaultPlan, RunnerConfig
+
+__all__ = ["CPMResult", "run_cpm", "save_result", "load_result"]
+
+#: Pre-facade keyword spellings still accepted (with a
+#: DeprecationWarning) so existing call sites keep working.
+_DEPRECATED_KWARGS = {
+    "min_k": "k_range=(min_k, ...)",
+    "max_k": "k_range=(..., max_k)",
+    "n_workers": "workers",
+    "use_cache": "cache",
+}
+
+
+@dataclass
+class CPMResult:
+    """What one :func:`run_cpm` call produced.
+
+    ``hierarchy`` is the full per-order community structure;
+    ``stats`` the always-on run summary (clique census, phase wall
+    times, cache/resume/degradation flags).  Indexing the result
+    delegates to the hierarchy: ``result[4]`` is the k=4 cover.
+    """
+
+    hierarchy: CommunityHierarchy
+    stats: CPMRunStats = field(default_factory=CPMRunStats)
+
+    def __getitem__(self, k: int) -> CommunityCover:
+        """The community cover at order ``k`` (delegates to hierarchy)."""
+        return self.hierarchy[k]
+
+    def __contains__(self, k: int) -> bool:
+        return k in self.hierarchy
+
+    @property
+    def orders(self) -> list[int]:
+        """The extracted orders, ascending (delegates to hierarchy)."""
+        return self.hierarchy.orders
+
+    @property
+    def degraded(self) -> bool:
+        """True iff any batch had to fall back to serial execution."""
+        return self.stats.degraded
+
+
+def _coerce_cache(cache: CliqueCache | bool | str | PathLike | None) -> CliqueCache | None:
+    if cache is None or cache is False:
+        return None
+    if cache is True:
+        return CliqueCache()
+    if isinstance(cache, (str, PathLike)):
+        return CliqueCache(cache)
+    return cache
+
+
+def _coerce_checkpoint(
+    checkpoint: CheckpointStore | str | PathLike | None,
+) -> CheckpointStore | None:
+    if checkpoint is None or isinstance(checkpoint, CheckpointStore):
+        return checkpoint
+    return CheckpointStore(checkpoint)
+
+
+def _apply_deprecated(kwargs: dict, k_range, workers, cache):
+    """Translate pre-facade keyword spellings, warning once per name."""
+    min_k, max_k = k_range if isinstance(k_range, tuple) else (k_range, k_range)
+    for name in list(kwargs):
+        if name not in _DEPRECATED_KWARGS:
+            raise TypeError(f"run_cpm() got an unexpected keyword argument {name!r}")
+        warnings.warn(
+            f"run_cpm(..., {name}=...) is deprecated; use {_DEPRECATED_KWARGS[name]}",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+    if "min_k" in kwargs:
+        min_k = kwargs["min_k"]
+    if "max_k" in kwargs:
+        max_k = kwargs["max_k"]
+    if "n_workers" in kwargs:
+        workers = kwargs["n_workers"]
+    if "use_cache" in kwargs:
+        cache = kwargs["use_cache"]
+    return min_k, max_k, workers, cache
+
+
+def run_cpm(
+    graph: Graph,
+    *,
+    k_range: tuple[int, int | None] | int = (2, None),
+    kernel: str = "bitset",
+    workers: int = 1,
+    cache: CliqueCache | bool | str | PathLike | None = None,
+    checkpoint: CheckpointStore | str | PathLike | None = None,
+    resume: bool = False,
+    runner: RunnerConfig | None = None,
+    fault_plan: FaultPlan | None = None,
+    tracer: Tracer | None = None,
+    metrics: MetricsRegistry | None = None,
+    **deprecated,
+) -> CPMResult:
+    """Extract the k-clique community hierarchy of ``graph``.
+
+    ``k_range`` is ``(min_k, max_k)`` with ``max_k=None`` meaning "up
+    to the largest clique" (a bare int extracts that single order).
+    ``kernel`` is one of ``repro.core.lightweight.KERNELS``; ``cache``
+    memoises enumeration + overlap on disk; ``checkpoint`` (+
+    ``resume=True``) persists phase outputs so an interrupted run
+    restarts from the last completed phase; ``runner`` tunes the worker
+    supervision policy and ``fault_plan`` injects deterministic faults
+    (see ``docs/robustness.md``).  Returns a :class:`CPMResult`.
+    """
+    min_k, max_k, workers, cache = _apply_deprecated(deprecated, k_range, workers, cache)
+    if kernel not in KERNELS:
+        raise ValueError(f"kernel must be one of {KERNELS}, got {kernel!r}")
+    cpm = LightweightParallelCPM(
+        graph,
+        workers=workers,
+        kernel=kernel,
+        cache=_coerce_cache(cache),
+        checkpoint=_coerce_checkpoint(checkpoint),
+        resume=resume,
+        runner=runner,
+        fault_plan=fault_plan,
+        tracer=tracer,
+        metrics=metrics,
+    )
+    hierarchy = cpm.run(min_k=min_k, max_k=max_k)
+    return CPMResult(hierarchy=hierarchy, stats=cpm.stats)
+
+
+# ----------------------------------------------------------------------
+# Result persistence
+# ----------------------------------------------------------------------
+def save_result(result: CPMResult, path: str | PathLike) -> None:
+    """Write a result as JSON: the hierarchy document plus a stats block.
+
+    The file is a superset of :func:`repro.core.serialize
+    .save_hierarchy` output, so it also loads with plain
+    :func:`~repro.core.serialize.load_hierarchy` (which ignores the
+    extra ``stats`` key).
+    """
+    stats = asdict(result.stats)
+    stats["resumed_phases"] = list(stats["resumed_phases"])
+    stats["size_histogram"] = {str(k): v for k, v in stats["size_histogram"].items()}
+    document = {**hierarchy_to_dict(result.hierarchy), "stats": stats}
+    Path(path).write_text(
+        json.dumps(document, indent=1, sort_keys=True), encoding="utf-8"
+    )
+
+
+def load_result(path: str | PathLike) -> CPMResult:
+    """Read a :func:`save_result` file (or a bare hierarchy file) back.
+
+    A file written by the legacy ``save_hierarchy`` has no stats block;
+    it loads with default (all-zero) statistics.
+    """
+    document = json.loads(Path(path).read_text(encoding="utf-8"))
+    hierarchy = hierarchy_from_dict(document)
+    raw = dict(document.get("stats") or {})
+    known = {f for f in CPMRunStats.__dataclass_fields__}
+    raw = {k: v for k, v in raw.items() if k in known}
+    if "resumed_phases" in raw:
+        raw["resumed_phases"] = tuple(raw["resumed_phases"])
+    if "size_histogram" in raw:
+        raw["size_histogram"] = {int(k): v for k, v in raw["size_histogram"].items()}
+    return CPMResult(hierarchy=hierarchy, stats=CPMRunStats(**raw))

@@ -14,7 +14,11 @@ graph fingerprint, per-phase wall/CPU/peak-memory and the core
 counters) — the observability artifacts described in
 ``docs/observability.md`` — plus ``--kernel {bitset,set}`` to pick the
 CPM kernel and ``--cache/--no-cache`` to reuse clique/overlap results
-across runs (``docs/performance.md``).
+across runs (``docs/performance.md``).  ``--checkpoint-dir DIR`` (with
+``--resume`` on the restart) makes interrupted runs resumable, and
+``--batch-timeout``/``--max-retries`` tune the worker supervision
+policy (``docs/robustness.md``).  CPM execution routes through the
+:mod:`repro.api` facade.
 """
 
 from __future__ import annotations
@@ -24,11 +28,13 @@ import sys
 from pathlib import Path
 
 from .analysis.context import AnalysisContext
+from .api import run_cpm, save_result
 from .core.cache import CliqueCache
-from .core.lightweight import KERNELS, LightweightParallelCPM
+from .core.lightweight import KERNELS
 from .graph.io import read_edgelist
 from .obs import NULL_TRACER, MetricsRegistry, RunManifest, Tracer
 from .report.paper import PaperRun
+from .runner import CheckpointStore, RunnerConfig
 from .topology.dataset import ASDataset
 from .topology.generator import GeneratorConfig, generate_topology
 
@@ -60,11 +66,48 @@ def _add_cpm_arguments(parser: argparse.ArgumentParser) -> None:
             "fingerprint ($REPRO_CACHE_DIR or ~/.cache/repro); --no-cache disables"
         ),
     )
+    parser.add_argument(
+        "--checkpoint-dir", default=None, metavar="DIR",
+        help="persist each phase's output here so an interrupted run can be resumed",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="resume from the phases already completed in --checkpoint-dir",
+    )
+    parser.add_argument(
+        "--batch-timeout", type=float, default=None, metavar="SECONDS",
+        help="declare a worker batch stalled after this many seconds (workers > 1)",
+    )
+    parser.add_argument(
+        "--max-retries", type=int, default=None, metavar="N",
+        help="retries per failed worker batch before degrading to serial execution",
+    )
 
 
 def _make_cache(args: argparse.Namespace) -> CliqueCache | None:
     """The on-disk clique cache, iff ``--cache`` was requested."""
     return CliqueCache() if getattr(args, "cache", False) else None
+
+
+def _make_runner(args: argparse.Namespace) -> dict:
+    """The facade kwargs carrying the resilient-runner CLI flags."""
+    if getattr(args, "resume", False) and not getattr(args, "checkpoint_dir", None):
+        raise ValueError("--resume requires --checkpoint-dir")
+    checkpoint_dir = getattr(args, "checkpoint_dir", None)
+    runner = None
+    timeout = getattr(args, "batch_timeout", None)
+    retries = getattr(args, "max_retries", None)
+    if timeout is not None or retries is not None:
+        defaults = RunnerConfig()
+        runner = RunnerConfig(
+            batch_timeout=timeout,
+            max_retries=defaults.max_retries if retries is None else retries,
+        )
+    return {
+        "checkpoint": CheckpointStore(checkpoint_dir) if checkpoint_dir else None,
+        "resume": getattr(args, "resume", False),
+        "runner": runner,
+    }
 
 
 def _make_observability(args: argparse.Namespace) -> tuple[Tracer, MetricsRegistry | None]:
@@ -105,6 +148,8 @@ def _write_observability(
 
 def _load_dataset(path: str) -> ASDataset:
     target = Path(path)
+    if not target.exists():
+        raise FileNotFoundError(f"dataset path does not exist: {target}")
     if target.is_dir():
         return ASDataset.load(target)
     # Bare edge list: wrap it with empty side datasets.
@@ -136,20 +181,27 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 
 def _cmd_communities(args: argparse.Namespace) -> int:
+    runner_kwargs = _make_runner(args)
     dataset = _load_dataset(args.dataset)
     tracer, metrics = _make_observability(args)
-    cpm = LightweightParallelCPM(
+    result = run_cpm(
         dataset.graph,
+        k_range=(args.min_k, args.max_k),
         workers=args.workers,
         kernel=args.kernel,
         cache=_make_cache(args),
         tracer=tracer,
         metrics=metrics,
+        **runner_kwargs,
     )
-    hierarchy = cpm.run(min_k=args.min_k, max_k=args.max_k)
-    if cpm.stats.cache_hit:
+    hierarchy = result.hierarchy
+    if result.stats.cache_hit:
         print("clique cache: hit (enumeration + overlap skipped)")
-    print(f"maximal cliques: {cpm.stats.n_cliques} (max size {cpm.stats.max_clique_size})")
+    if result.stats.resumed_phases:
+        print(f"resumed from checkpoint: {', '.join(result.stats.resumed_phases)}")
+    if result.degraded:
+        print("warning: run degraded to serial execution for some batches")
+    print(f"maximal cliques: {result.stats.n_cliques} (max size {result.stats.max_clique_size})")
     print(f"total communities: {hierarchy.total_communities}")
     for k in hierarchy.orders:
         print(f"k={k}: {len(hierarchy[k])} communities")
@@ -162,6 +214,7 @@ def _cmd_communities(args: argparse.Namespace) -> int:
 
 
 def _cmd_tree(args: argparse.Namespace) -> int:
+    runner_kwargs = _make_runner(args)
     dataset = _load_dataset(args.dataset)
     tracer, metrics = _make_observability(args)
     context = AnalysisContext.from_dataset(
@@ -171,6 +224,7 @@ def _cmd_tree(args: argparse.Namespace) -> int:
         cache=_make_cache(args),
         tracer=tracer,
         metrics=metrics,
+        **runner_kwargs,
     )
     if args.format == "dot":
         band_of = None
@@ -213,6 +267,7 @@ def _cmd_paper(args: argparse.Namespace) -> int:
         cache=_make_cache(args),
         tracer=tracer,
         metrics=metrics,
+        **_make_runner(args),
     )
     wrote_artifacts = False
     if args.html:
@@ -292,20 +347,21 @@ def _cmd_atlas(args: argparse.Namespace) -> int:
 
 
 def _cmd_export(args: argparse.Namespace) -> int:
-    from .core.serialize import save_hierarchy
-
+    runner_kwargs = _make_runner(args)
     dataset = _load_dataset(args.dataset)
     tracer, metrics = _make_observability(args)
-    cpm = LightweightParallelCPM(
+    result = run_cpm(
         dataset.graph,
+        k_range=(args.min_k, args.max_k),
         workers=args.workers,
         kernel=args.kernel,
         cache=_make_cache(args),
         tracer=tracer,
         metrics=metrics,
+        **runner_kwargs,
     )
-    hierarchy = cpm.run(min_k=args.min_k, max_k=args.max_k)
-    save_hierarchy(hierarchy, args.out)
+    save_result(result, args.out)
+    hierarchy = result.hierarchy
     print(
         f"wrote {hierarchy.total_communities} communities "
         f"(k in [{hierarchy.min_k}, {hierarchy.max_k}]) to {args.out}"

@@ -26,11 +26,48 @@ import tempfile
 from pathlib import Path
 from typing import Any
 
-__all__ = ["CliqueCache", "CACHE_SCHEMA_VERSION", "default_cache_dir"]
+__all__ = [
+    "CliqueCache",
+    "CACHE_SCHEMA_VERSION",
+    "default_cache_dir",
+    "atomic_pickle_dump",
+    "atomic_bytes_dump",
+]
 
 CACHE_SCHEMA_VERSION = 1
 
 _ENV_VAR = "REPRO_CACHE_DIR"
+
+
+def atomic_bytes_dump(path: Path, data: bytes) -> Path:
+    """Write ``data`` to ``path`` atomically (same-dir temp + rename).
+
+    The write-then-``os.replace`` dance shared by the clique cache and
+    the checkpoint store (:mod:`repro.runner.checkpoint`): a crash mid-
+    write can never leave a torn file at ``path``, and concurrent
+    writers race benignly (last rename wins).
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=path.name, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            fh.write(data)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def atomic_pickle_dump(path: Path, payload: Any) -> Path:
+    """Atomically pickle ``payload`` to ``path`` (highest protocol)."""
+    return atomic_bytes_dump(
+        path, pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    )
 
 
 def default_cache_dir() -> Path:
@@ -75,17 +112,4 @@ class CliqueCache:
 
     def store(self, checksum: str, kernel: str, payload: Any) -> Path:
         """Atomically persist ``payload`` for this graph + kernel."""
-        path = self.path_for(checksum, kernel)
-        self.root.mkdir(parents=True, exist_ok=True)
-        fd, tmp = tempfile.mkstemp(dir=self.root, prefix=path.name, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "wb") as fh:
-                pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
-            os.replace(tmp, path)
-        except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
-        return path
+        return atomic_pickle_dump(self.path_for(checksum, kernel), payload)

@@ -46,6 +46,21 @@ overlap phases on disk, keyed by the graph fingerprint: a second run
 over the same graph goes straight to percolation (``cache.hits`` in
 the metrics, ``cache="hit"`` on the ``cpm.run`` span).
 
+Fault tolerance (:mod:`repro.runner`): passing a
+:class:`~repro.runner.checkpoint.CheckpointStore` persists each
+phase's output as it completes (and, during percolation, the
+accumulated per-order groups), so a run interrupted by a crash —
+of a worker or of the driver — restarts with ``resume=True`` from the
+last completed phase and produces a hierarchy identical to an
+uninterrupted run.  With ``workers > 1`` the process pools run under a
+:class:`~repro.runner.supervise.PoolSupervisor`: per-round timeouts,
+bounded exponential-backoff retry, pool resurrection after worker
+death, and graceful degradation to serial in-driver execution when a
+batch fails permanently (``runner.degraded`` gauge).  A
+:class:`~repro.runner.faults.FaultPlan` (or ``$REPRO_FAULT_PLAN``)
+injects deterministic worker/driver faults so those paths stay
+testable; see ``docs/robustness.md``.
+
 Every phase is observable: pass a :class:`repro.obs.Tracer` and a
 :class:`repro.obs.MetricsRegistry` and the run emits nested spans
 (wall/CPU/peak-memory per phase) plus counters and histograms —
@@ -59,7 +74,6 @@ import time
 from array import array
 from collections import Counter
 from collections.abc import Sequence
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 
 from ..graph.csr import CSRGraph
@@ -67,6 +81,9 @@ from ..graph.undirected import Graph
 from ..obs.manifest import graph_fingerprint
 from ..obs.metrics import MetricsRegistry
 from ..obs.tracing import NULL_TRACER, Tracer, max_rss_kib
+from ..runner.checkpoint import CheckpointStore
+from ..runner.faults import FaultPlan
+from ..runner.supervise import PoolSupervisor, RunnerConfig
 from .cache import CliqueCache
 from .cliques import (
     CliqueCensus,
@@ -113,6 +130,11 @@ class CPMRunStats:
     kernel: str = "bitset"
     cache_hit: bool = False
     size_histogram: dict[int, int] = field(default_factory=dict)
+    #: Phases loaded from a checkpoint instead of recomputed.
+    resumed_phases: tuple[str, ...] = ()
+    #: True iff any batch exhausted its retries and ran via the serial
+    #: fallback (see repro.runner.supervise).
+    degraded: bool = False
 
     @property
     def total_seconds(self) -> float:
@@ -325,6 +347,10 @@ class LightweightParallelCPM:
         workers: int = 1,
         kernel: str = "bitset",
         cache: CliqueCache | None = None,
+        checkpoint: CheckpointStore | None = None,
+        resume: bool = False,
+        runner: RunnerConfig | None = None,
+        fault_plan: FaultPlan | None = None,
         tracer: Tracer | None = None,
         metrics: MetricsRegistry | None = None,
     ) -> None:
@@ -336,6 +362,10 @@ class LightweightParallelCPM:
         self.workers = workers
         self.kernel = kernel
         self.cache = cache
+        self.checkpoint = checkpoint
+        self.resume = resume
+        self.runner_config = runner if runner is not None else RunnerConfig()
+        self.fault_plan = fault_plan if fault_plan is not None else FaultPlan.from_env()
         self.stats = CPMRunStats(workers=workers, kernel=kernel)
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.metrics = metrics if metrics is not None else MetricsRegistry()
@@ -349,30 +379,81 @@ class LightweightParallelCPM:
         with self.tracer.span(
             "cpm.run", workers=self.workers, min_k=min_k, max_k=max_k, kernel=self.kernel
         ) as run_span:
-            checksum, payload = self._cache_lookup()
+            checksum = self._graph_checksum()
+            payload = self._cache_lookup(checksum)
             if payload is not None:
                 run_span.set("cache", "hit")
             elif self.cache is not None:
                 run_span.set("cache", "miss")
+            ckpt = self._open_checkpoint(checksum)
+            if ckpt is not None:
+                run_span.set("checkpoint", str(ckpt.root))
+                run_span.set("resume", self.resume)
             if self.kernel == "bitset":
-                return self._run_bitset(min_k, max_k, checksum, payload)
-            return self._run_set(min_k, max_k, checksum, payload)
+                hierarchy = self._run_bitset(min_k, max_k, checksum, payload, ckpt)
+            else:
+                hierarchy = self._run_set(min_k, max_k, checksum, payload, ckpt)
+            if self.stats.resumed_phases:
+                run_span.set("resumed_phases", list(self.stats.resumed_phases))
+            if self.stats.degraded:
+                run_span.set("degraded", 1)
+            return hierarchy
 
     # ------------------------------------------------------------------
-    # Cache
+    # Cache / checkpoint plumbing
     # ------------------------------------------------------------------
-    def _cache_lookup(self) -> tuple[str | None, dict | None]:
-        """Probe the cache; returns (graph checksum, payload or None)."""
+    def _graph_checksum(self) -> str | None:
+        """The graph fingerprint checksum, iff a cache/checkpoint needs it."""
+        if self.cache is None and self.checkpoint is None:
+            return None
+        return graph_fingerprint(self.graph)["checksum"]
+
+    def _cache_lookup(self, checksum: str | None) -> dict | None:
+        """Probe the cache; returns the stored payload or None."""
         if self.cache is None:
-            return None, None
-        checksum = graph_fingerprint(self.graph)["checksum"]
+            return None
         payload = self.cache.load(checksum, self.kernel)
         if payload is None:
             self.metrics.inc("cache.misses")
         else:
             self.metrics.inc("cache.hits")
             self.stats.cache_hit = True
-        return checksum, payload
+        return payload
+
+    def _open_checkpoint(self, checksum: str | None) -> CheckpointStore | None:
+        """Bind the checkpoint store to this run (validating on resume)."""
+        if self.checkpoint is None:
+            return None
+        self.checkpoint.open(checksum=checksum, kernel=self.kernel, resume=self.resume)
+        return self.checkpoint
+
+    def _load_checkpoint_phase(self, ckpt: CheckpointStore | None, phase: str):
+        """A resumable phase payload, or None (not resuming / not stored)."""
+        if ckpt is None or not self.resume:
+            return None
+        return ckpt.load_phase(phase)
+
+    def _mark_resumed(self, phase: str) -> None:
+        self.stats.resumed_phases = self.stats.resumed_phases + (phase,)
+        self.metrics.inc("runner.resumed_phases")
+
+    def _boundary(self, phase: str) -> None:
+        """Driver-level fault hook, fired after a phase's checkpoint write."""
+        if self.fault_plan is not None:
+            self.fault_plan.fire_boundary(phase)
+
+    def _supervisor(self, phase: str, initializer=None, initargs=()) -> PoolSupervisor:
+        """A supervised pool for one phase's parallel dispatch."""
+        return PoolSupervisor(
+            workers=self.workers,
+            phase=phase,
+            config=self.runner_config,
+            fault_plan=self.fault_plan,
+            initializer=initializer,
+            initargs=initargs,
+            tracer=self.tracer,
+            metrics=self.metrics,
+        )
 
     def _cache_store(self, checksum: str | None, payload: dict) -> None:
         if self.cache is None or checksum is None:
@@ -389,6 +470,7 @@ class LightweightParallelCPM:
         max_k: int | None,
         checksum: str | None,
         payload: dict | None,
+        ckpt: CheckpointStore | None = None,
     ) -> CommunityHierarchy:
         t0 = time.perf_counter()
         dense: list[tuple[int, ...]] | None = None
@@ -398,9 +480,22 @@ class LightweightParallelCPM:
             wire: OverlapWire | None = payload["wire"]
             n_counted = payload["counted_pairs"]
         else:
-            dense, cliques, n_nodes = self._enumerate_phase_bitset()
             wire = None
             n_counted = 0
+            enum_ck = self._load_checkpoint_phase(ckpt, "enumerate")
+            if enum_ck is not None:
+                dense = enum_ck["dense"]
+                cliques = enum_ck["cliques"]
+                n_nodes = enum_ck["n_nodes"]
+                self._mark_resumed("enumerate")
+            else:
+                dense, cliques, n_nodes = self._enumerate_phase_bitset()
+                if ckpt is not None:
+                    ckpt.store_phase(
+                        "enumerate",
+                        {"dense": dense, "cliques": cliques, "n_nodes": n_nodes},
+                    )
+        self._boundary("enumerate")
         t1 = time.perf_counter()
 
         census = CliqueCensus(cliques)
@@ -415,15 +510,34 @@ class LightweightParallelCPM:
 
         sizes = [len(c) for c in cliques]
         if wire is None:
-            wire, n_counted = self._overlap_phase_bitset(dense, sizes, n_nodes)
-            self._cache_store(
-                checksum, {"cliques": cliques, "wire": wire, "counted_pairs": n_counted}
-            )
+            over_ck = self._load_checkpoint_phase(ckpt, "overlap")
+            if (
+                over_ck is not None
+                and over_ck.get("wire_checksum") == over_ck["wire"].checksum()
+            ):
+                wire = over_ck["wire"]
+                n_counted = over_ck["counted_pairs"]
+                self._mark_resumed("overlap")
+            else:
+                wire, n_counted = self._overlap_phase_bitset(dense, sizes, n_nodes)
+                self._cache_store(
+                    checksum, {"cliques": cliques, "wire": wire, "counted_pairs": n_counted}
+                )
+                if ckpt is not None:
+                    ckpt.store_phase(
+                        "overlap",
+                        {
+                            "wire": wire,
+                            "counted_pairs": n_counted,
+                            "wire_checksum": wire.checksum(),
+                        },
+                    )
+        self._boundary("overlap")
         t2 = time.perf_counter()
         self.stats.overlap_seconds = t2 - t1
         self.stats.n_overlap_pairs = n_counted
 
-        hierarchy = self._percolation_phase_packed(cliques, sizes, wire, min_k, top)
+        hierarchy = self._percolation_phase_packed(cliques, sizes, wire, min_k, top, ckpt)
         self.stats.percolate_seconds = time.perf_counter() - t2
         return hierarchy
 
@@ -466,10 +580,13 @@ class LightweightParallelCPM:
             else:
                 counts = Counter()
                 shard_reports = []
-                with ProcessPoolExecutor(max_workers=self.workers) as pool:
-                    for partial, shard_stats in pool.map(count_overlaps_shard, shards):
-                        counts.update(partial)
-                        shard_reports.append(shard_stats)
+                supervisor = self._supervisor("overlap")
+                for partial, shard_stats in supervisor.run(
+                    count_overlaps_shard, shards, fallback=count_overlaps_shard
+                ):
+                    counts.update(partial)
+                    shard_reports.append(shard_stats)
+                self.stats.degraded = self.stats.degraded or supervisor.degraded
             self._aggregate_shard_reports(shard_reports, time.perf_counter() - t0)
 
             n_cliques = len(sizes)
@@ -498,35 +615,77 @@ class LightweightParallelCPM:
         wire: OverlapWire,
         min_k: int,
         max_k: int,
+        ckpt: CheckpointStore | None = None,
     ) -> CommunityHierarchy:
         orders = list(range(max_k, min_k - 1, -1))  # descending: incremental sweep
+        grouped, todo = self._percolation_resume_state(orders, min_k, max_k, ckpt)
         with self.tracer.span("cpm.percolate", orders=len(orders), pairs=wire.n_pairs):
             t0 = time.perf_counter()
-            if self.workers == 1:
-                eligibles = [_prefix_count(sizes, k) for k in orders]
-                grouped, batch_stats = _percolate_orders_packed(orders, eligibles, wire)
-                batch_reports = [batch_stats]
+            batch_reports: list[dict] = []
+
+            def absorb(index: int, part_and_stats: tuple) -> None:
+                part, batch_stats = part_and_stats
+                grouped.update(part)
+                batch_reports.append(batch_stats)
+                if ckpt is not None:
+                    ckpt.store_phase("percolate", grouped)
+
+            if not todo:
+                self.metrics.inc("overlap.bytes_shipped", 0)
+            elif self.workers == 1:
+                for chunk in self._serial_chunks(todo, ckpt):
+                    eligibles = [_prefix_count(sizes, k) for k in chunk]
+                    absorb(0, _percolate_orders_packed(chunk, eligibles, wire))
                 self.metrics.inc("overlap.bytes_shipped", 0)
             else:
                 # Interleave orders across workers: low orders see more
                 # eligible cliques (more work), so round-robin balances load.
-                batches = [orders[w :: self.workers] for w in range(self.workers)]
+                batches = [todo[w :: self.workers] for w in range(self.workers)]
                 batches = [b for b in batches if b]
                 tasks = [(b, [_prefix_count(sizes, k) for k in b]) for b in batches]
-                grouped = {}
-                batch_reports = []
-                with ProcessPoolExecutor(
-                    max_workers=self.workers,
-                    initializer=_init_pool_shared,
-                    initargs=({"wire": wire},),
-                ) as pool:
-                    for part, batch_stats in pool.map(_percolate_batch_packed, tasks):
-                        grouped.update(part)
-                        batch_reports.append(batch_stats)
+                supervisor = self._supervisor(
+                    "percolate", initializer=_init_pool_shared, initargs=({"wire": wire},)
+                )
+                supervisor.run(
+                    _percolate_batch_packed,
+                    tasks,
+                    fallback=lambda task: _percolate_orders_packed(task[0], task[1], wire),
+                    on_result=absorb,
+                )
+                self.stats.degraded = self.stats.degraded or supervisor.degraded
                 self.metrics.inc("overlap.bytes_shipped", wire.n_bytes)
             self._aggregate_batch_reports(batch_reports, time.perf_counter() - t0)
+        self._boundary("percolate")
         with self.tracer.span("cpm.hierarchy"):
             return build_hierarchy(cliques, grouped, tracer=self.tracer, metrics=self.metrics)
+
+    def _percolation_resume_state(
+        self,
+        orders: list[int],
+        min_k: int,
+        max_k: int,
+        ckpt: CheckpointStore | None,
+    ) -> tuple[dict[int, list[list[int]]], list[int]]:
+        """Split orders into (already-checkpointed groups, orders still to run)."""
+        grouped: dict[int, list[list[int]]] = {}
+        if ckpt is not None and self.resume:
+            prior = ckpt.load_phase("percolate") or {}
+            grouped = {k: v for k, v in prior.items() if min_k <= k <= max_k}
+            if grouped:
+                self._mark_resumed("percolate")
+                self.metrics.inc("runner.resumed_orders", len(grouped))
+        todo = [k for k in orders if k not in grouped]
+        return grouped, todo
+
+    def _serial_chunks(self, todo: list[int], ckpt: CheckpointStore | None) -> list[list[int]]:
+        """Order chunks for the serial path: one big chunk, or a few when
+        checkpointing (progress is persisted per chunk, at the cost of
+        re-scanning the pair buckets once per extra chunk)."""
+        if ckpt is None or len(todo) <= 1:
+            return [todo]
+        n_chunks = min(4, len(todo))
+        size = -(-len(todo) // n_chunks)
+        return [todo[i : i + size] for i in range(0, len(todo), size)]
 
     # ------------------------------------------------------------------
     # Set kernel (reference)
@@ -537,9 +696,21 @@ class LightweightParallelCPM:
         max_k: int | None,
         checksum: str | None,
         payload: dict | None,
+        ckpt: CheckpointStore | None = None,
     ) -> CommunityHierarchy:
         t0 = time.perf_counter()
-        cliques = payload["cliques"] if payload is not None else self._enumerate_phase()
+        if payload is not None:
+            cliques = payload["cliques"]
+        else:
+            enum_ck = self._load_checkpoint_phase(ckpt, "enumerate")
+            if enum_ck is not None:
+                cliques = enum_ck["cliques"]
+                self._mark_resumed("enumerate")
+            else:
+                cliques = self._enumerate_phase()
+                if ckpt is not None:
+                    ckpt.store_phase("enumerate", {"cliques": cliques})
+        self._boundary("enumerate")
         t1 = time.perf_counter()
         census = CliqueCensus(cliques)
         self.stats.n_cliques = len(cliques)
@@ -555,13 +726,21 @@ class LightweightParallelCPM:
         if payload is not None:
             overlaps = payload["overlaps"]
         else:
-            overlaps = self._overlap_phase(cliques)
-            self._cache_store(checksum, {"cliques": cliques, "overlaps": overlaps})
+            over_ck = self._load_checkpoint_phase(ckpt, "overlap")
+            if over_ck is not None:
+                overlaps = over_ck["overlaps"]
+                self._mark_resumed("overlap")
+            else:
+                overlaps = self._overlap_phase(cliques)
+                self._cache_store(checksum, {"cliques": cliques, "overlaps": overlaps})
+                if ckpt is not None:
+                    ckpt.store_phase("overlap", {"overlaps": overlaps})
+        self._boundary("overlap")
         t2 = time.perf_counter()
         self.stats.overlap_seconds = t2 - t1
         self.stats.n_overlap_pairs = len(overlaps)
 
-        hierarchy = self._percolation_phase(cliques, sizes, overlaps, min_k, top)
+        hierarchy = self._percolation_phase(cliques, sizes, overlaps, min_k, top, ckpt)
         self.stats.percolate_seconds = time.perf_counter() - t2
         return hierarchy
 
@@ -594,17 +773,20 @@ class LightweightParallelCPM:
             shards = self._shard(list(index.values()), self.workers)
             span.set("shards", len(shards))
             shard_reports: list[dict]
-            if self.workers == 1:
+            if self.workers == 1 or len(shards) == 1:
                 counts, shard_stats = _count_pairs_shard(shards[0])
                 total = dict(counts)
                 shard_reports = [shard_stats]
             else:
                 merged: Counter[tuple[int, int]] = Counter()
                 shard_reports = []
-                with ProcessPoolExecutor(max_workers=self.workers) as pool:
-                    for partial, shard_stats in pool.map(_count_pairs_shard, shards):
-                        merged.update(partial)
-                        shard_reports.append(shard_stats)
+                supervisor = self._supervisor("overlap")
+                for partial, shard_stats in supervisor.run(
+                    _count_pairs_shard, shards, fallback=_count_pairs_shard
+                ):
+                    merged.update(partial)
+                    shard_reports.append(shard_stats)
+                self.stats.degraded = self.stats.degraded or supervisor.degraded
                 total = dict(merged)
             self._aggregate_shard_reports(shard_reports, time.perf_counter() - t0)
             self.metrics.inc("overlap.pairs", len(total))
@@ -618,36 +800,52 @@ class LightweightParallelCPM:
         overlaps: dict[tuple[int, int], int],
         min_k: int,
         max_k: int,
+        ckpt: CheckpointStore | None = None,
     ) -> CommunityHierarchy:
         orders = list(range(min_k, max_k + 1))
         pairs = [(i, j, o) for (i, j), o in overlaps.items()]
+        grouped, todo = self._percolation_resume_state(orders, min_k, max_k, ckpt)
         with self.tracer.span("cpm.percolate", orders=len(orders), pairs=len(pairs)):
             t0 = time.perf_counter()
-            if self.workers == 1:
-                grouped, batch_stats = _percolate_orders(orders, sizes, pairs)
-                batch_reports = [batch_stats]
+            batch_reports: list[dict] = []
+
+            def absorb(index: int, part_and_stats: tuple) -> None:
+                part, batch_stats = part_and_stats
+                grouped.update(part)
+                batch_reports.append(batch_stats)
+                if ckpt is not None:
+                    ckpt.store_phase("percolate", grouped)
+
+            if not todo:
+                self.metrics.inc("overlap.bytes_shipped", 0)
+            elif self.workers == 1:
+                for chunk in self._serial_chunks(todo, ckpt):
+                    absorb(0, _percolate_orders(chunk, sizes, pairs))
                 self.metrics.inc("overlap.bytes_shipped", 0)
             else:
                 # Interleave orders across workers: low orders see more
                 # eligible cliques (more work), so round-robin balances load.
-                batches = [orders[w :: self.workers] for w in range(self.workers)]
+                batches = [todo[w :: self.workers] for w in range(self.workers)]
                 batches = [b for b in batches if b]
                 # Pack the triples once and install them per worker process
                 # via the pool initializer — the old path re-pickled the
                 # whole pair list for every batch (O(workers x pairs)).
                 blob = pack_triples(pairs).tobytes()
-                grouped = {}
-                batch_reports = []
-                with ProcessPoolExecutor(
-                    max_workers=self.workers,
+                supervisor = self._supervisor(
+                    "percolate",
                     initializer=_init_pool_shared,
                     initargs=({"sizes": sizes, "triples": blob},),
-                ) as pool:
-                    for part, batch_stats in pool.map(_percolate_batch_set, batches):
-                        grouped.update(part)
-                        batch_reports.append(batch_stats)
+                )
+                supervisor.run(
+                    _percolate_batch_set,
+                    batches,
+                    fallback=lambda orders: _percolate_orders(orders, sizes, pairs),
+                    on_result=absorb,
+                )
+                self.stats.degraded = self.stats.degraded or supervisor.degraded
                 self.metrics.inc("overlap.bytes_shipped", len(blob))
             self._aggregate_batch_reports(batch_reports, time.perf_counter() - t0)
+        self._boundary("percolate")
         with self.tracer.span("cpm.hierarchy"):
             return build_hierarchy(cliques, grouped, tracer=self.tracer, metrics=self.metrics)
 

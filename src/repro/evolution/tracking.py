@@ -23,7 +23,6 @@ from dataclasses import dataclass, field
 from enum import Enum
 
 from ..compare.covers import jaccard, match_covers
-from ..core.lightweight import LightweightParallelCPM
 from ..graph.undirected import Graph
 
 __all__ = ["EventKind", "CommunityEvent", "CommunityTimeline", "EvolutionTracker"]
@@ -101,13 +100,15 @@ class EvolutionTracker:
         self._track()
 
     def _extract(self, graph: Graph) -> list[set]:
+        from ..api import run_cpm
+
         try:
-            hierarchy = LightweightParallelCPM(graph).run(min_k=self.k, max_k=self.k)
+            result = run_cpm(graph, k_range=(self.k, self.k))
         except ValueError:  # snapshot too small to hold any k-clique
             return []
-        if self.k not in hierarchy:
+        if self.k not in result:
             return []
-        return [set(c.members) for c in hierarchy[self.k]]
+        return [set(c.members) for c in result[self.k]]
 
     # ------------------------------------------------------------------
     # Tracking

@@ -14,7 +14,10 @@ A :class:`MetricsRegistry` is a flat namespace of instruments:
 Registries are cheap plain-Python objects; worker processes report raw
 dicts back to the parent, which folds them in with :meth:`
 MetricsRegistry.merge`.  Canonical metric names are documented in
-``docs/observability.md``.
+``docs/observability.md``; the resilient runner adds its own
+``runner.*`` family (retries, pool restarts, timeouts, fallback
+batches, resumed phases, and the ``runner.degraded`` gauge — see
+``docs/robustness.md``).
 """
 
 from __future__ import annotations

@@ -43,12 +43,25 @@ class PaperRun:
         workers: int = 1,
         kernel: str = "bitset",
         cache=None,
+        checkpoint=None,
+        resume: bool = False,
+        runner=None,
+        fault_plan=None,
         tracer=None,
         metrics=None,
     ) -> None:
         self.dataset = dataset
         self.context = AnalysisContext.from_dataset(
-            dataset, workers=workers, kernel=kernel, cache=cache, tracer=tracer, metrics=metrics
+            dataset,
+            workers=workers,
+            kernel=kernel,
+            cache=cache,
+            checkpoint=checkpoint,
+            resume=resume,
+            runner=runner,
+            fault_plan=fault_plan,
+            tracer=tracer,
+            metrics=metrics,
         )
 
     # ------------------------------------------------------------------

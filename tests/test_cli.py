@@ -139,6 +139,70 @@ class TestErrorHandling:
         assert "error:" in capsys.readouterr().err
 
 
+class TestCheckpointFlags:
+    def test_communities_with_checkpoint_dir(self, saved_dataset, tmp_path, capsys):
+        ckpt = tmp_path / "ckpt"
+        args = ["communities", saved_dataset, "--max-k", "4", "--checkpoint-dir", str(ckpt)]
+        assert main(args) == 0
+        assert (ckpt / "percolate.pickle").exists()
+        assert (ckpt / "META.json").exists()
+
+    def test_resume_from_checkpoint(self, saved_dataset, tmp_path, capsys):
+        ckpt = tmp_path / "ckpt"
+        base = ["communities", saved_dataset, "--max-k", "4", "--checkpoint-dir", str(ckpt)]
+        assert main(base) == 0
+        first = capsys.readouterr().out
+        assert main(base + ["--resume"]) == 0
+        second = capsys.readouterr().out
+        assert "resumed from checkpoint:" in second
+        # Community output identical to the uninterrupted run.
+        assert first.splitlines()[-1] == second.splitlines()[-1]
+
+    def test_resume_requires_checkpoint_dir(self, saved_dataset, capsys):
+        assert main(["communities", saved_dataset, "--resume"]) == 2
+        assert "--checkpoint-dir" in capsys.readouterr().err
+
+    def test_resume_with_mismatched_checkpoint_is_clean_error(
+        self, saved_dataset, tmp_path, capsys
+    ):
+        ckpt = tmp_path / "ckpt"
+        base = ["communities", saved_dataset, "--max-k", "4", "--checkpoint-dir", str(ckpt)]
+        assert main(base) == 0
+        capsys.readouterr()
+        # Same directory, different kernel: META no longer matches.
+        assert main(base + ["--resume", "--kernel", "set"]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "refusing to resume" in err
+
+    def test_resume_with_corrupt_meta_is_clean_error(self, saved_dataset, tmp_path, capsys):
+        ckpt = tmp_path / "ckpt"
+        base = ["communities", saved_dataset, "--max-k", "4", "--checkpoint-dir", str(ckpt)]
+        assert main(base) == 0
+        (ckpt / "META.json").write_text("{torn", encoding="utf-8")
+        capsys.readouterr()
+        assert main(base + ["--resume"]) == 2
+        assert "unreadable" in capsys.readouterr().err
+
+    def test_export_with_checkpoint_and_stats_block(self, saved_dataset, tmp_path, capsys):
+        out_path = tmp_path / "result.json"
+        ckpt = tmp_path / "ckpt"
+        args = ["export", saved_dataset, str(out_path), "--max-k", "4",
+                "--checkpoint-dir", str(ckpt)]
+        assert main(args) == 0
+        from repro.api import load_result
+
+        result = load_result(out_path)
+        assert result.stats.n_cliques > 0
+        assert result.hierarchy.max_k == 4
+
+    def test_runner_policy_flags_parse(self, saved_dataset, capsys):
+        args = ["communities", saved_dataset, "--max-k", "4",
+                "--batch-timeout", "30", "--max-retries", "1"]
+        assert main(args) == 0
+        assert "total communities:" in capsys.readouterr().out
+
+
 class TestAtlasCommand:
     def test_atlas_renders(self, saved_dataset, capsys):
         assert main(["atlas", saved_dataset, "--top", "5"]) == 0

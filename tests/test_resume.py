@@ -1,0 +1,130 @@
+"""Resume semantics: interrupted runs finish byte-identical to clean ones.
+
+The tentpole guarantee of the resilient runner: for every phase at
+which a run can die, restarting with ``resume=True`` from the same
+checkpoint directory produces a hierarchy *byte-identical* (same
+serialised document) to an uninterrupted run — on both kernels.
+Interruptions are injected deterministically with ``driver:after=
+<phase>:raise`` fault rules, so each test dies exactly once at a known
+boundary.
+"""
+
+import pickle
+
+import pytest
+
+from repro.core.lightweight import KERNELS, LightweightParallelCPM
+from repro.core.serialize import hierarchy_to_dict
+from repro.graph import ring_of_cliques
+from repro.runner import CheckpointStore, FaultPlan, InjectedFault
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return ring_of_cliques(6, 6)
+
+
+@pytest.fixture(scope="module")
+def baselines(graph):
+    """Uninterrupted-run documents, one per kernel."""
+    return {
+        kernel: hierarchy_to_dict(LightweightParallelCPM(graph, kernel=kernel).run())
+        for kernel in KERNELS
+    }
+
+
+def _interrupt_then_resume(graph, kernel, tmp_path, phase, workers=1):
+    """Kill a run after ``phase``, then resume it; returns (doc, stats)."""
+    store = CheckpointStore(tmp_path / "ckpt")
+    plan = FaultPlan.parse(f"driver:after={phase}:raise")
+    interrupted = LightweightParallelCPM(
+        graph, kernel=kernel, workers=workers, checkpoint=store, fault_plan=plan
+    )
+    with pytest.raises(InjectedFault):
+        interrupted.run()
+    resumed = LightweightParallelCPM(
+        graph, kernel=kernel, workers=workers, checkpoint=store, resume=True
+    )
+    return hierarchy_to_dict(resumed.run()), resumed.stats
+
+
+@pytest.mark.parametrize("kernel", KERNELS)
+@pytest.mark.parametrize("phase", ["enumerate", "overlap", "percolate"])
+class TestResumeIdentity:
+    def test_resume_is_byte_identical(self, graph, baselines, tmp_path, kernel, phase):
+        document, stats = _interrupt_then_resume(graph, kernel, tmp_path, phase)
+        assert document == baselines[kernel]
+        assert phase in stats.resumed_phases
+
+    def test_resumed_phases_cover_completed_prefix(
+        self, graph, baselines, tmp_path, kernel, phase
+    ):
+        _, stats = _interrupt_then_resume(graph, kernel, tmp_path, phase)
+        pipeline = ("enumerate", "overlap", "percolate")
+        expected = pipeline[: pipeline.index(phase) + 1]
+        assert stats.resumed_phases == expected
+
+
+class TestPartialPercolationResume:
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_partial_percolate_checkpoint_resumes(self, graph, baselines, tmp_path, kernel):
+        """A percolate checkpoint holding only *some* orders is completed."""
+        store = CheckpointStore(tmp_path / "ckpt")
+        _, stats = _interrupt_then_resume(graph, kernel, tmp_path, "percolate")
+        # Truncate the percolate checkpoint to a strict subset of orders.
+        full = pickle.loads(store.phase_path("percolate").read_bytes())
+        assert len(full) > 2
+        kept = dict(sorted(full.items(), reverse=True)[:2])
+        store.store_phase("percolate", kept)
+        resumed = LightweightParallelCPM(graph, kernel=kernel, checkpoint=store, resume=True)
+        assert hierarchy_to_dict(resumed.run()) == baselines[kernel]
+        assert "percolate" in resumed.stats.resumed_phases
+
+    def test_serial_checkpoint_writes_incrementally(self, graph, tmp_path):
+        """The serial path persists percolation progress chunk by chunk."""
+        store = CheckpointStore(tmp_path / "ckpt")
+        cpm = LightweightParallelCPM(graph, checkpoint=store)
+        cpm.run()
+        persisted = store.load_phase("percolate")
+        assert persisted is not None
+        assert sorted(persisted) == list(range(2, cpm.stats.max_clique_size + 1))
+
+
+class TestResumeWithWorkers:
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_worker_kill_then_resume(self, graph, baselines, tmp_path, kernel):
+        """Driver dies after overlap; the resumed run uses two workers."""
+        store = CheckpointStore(tmp_path / "ckpt")
+        plan = FaultPlan.parse("driver:after=overlap:raise")
+        with pytest.raises(InjectedFault):
+            LightweightParallelCPM(graph, kernel=kernel, checkpoint=store, fault_plan=plan).run()
+        resumed = LightweightParallelCPM(
+            graph, kernel=kernel, workers=2, checkpoint=store, resume=True
+        )
+        assert hierarchy_to_dict(resumed.run()) == baselines[kernel]
+
+
+class TestCheckpointHygiene:
+    def test_resume_without_checkpoint_content_recomputes(self, graph, baselines, tmp_path):
+        store = CheckpointStore(tmp_path / "empty")
+        cpm = LightweightParallelCPM(graph, checkpoint=store, resume=True)
+        assert hierarchy_to_dict(cpm.run()) == baselines["bitset"]
+        assert cpm.stats.resumed_phases == ()
+
+    def test_fresh_run_ignores_stale_checkpoint(self, graph, baselines, tmp_path):
+        """Without resume=True an old checkpoint is cleared, not reused."""
+        store = CheckpointStore(tmp_path / "ckpt")
+        store.open(checksum="stale", kernel="bitset", resume=False)
+        store.store_phase("enumerate", {"dense": [], "cliques": [], "n_nodes": 0})
+        cpm = LightweightParallelCPM(graph, checkpoint=store)
+        assert hierarchy_to_dict(cpm.run()) == baselines["bitset"]
+        assert cpm.stats.resumed_phases == ()
+
+    def test_torn_overlap_checkpoint_recomputed_on_resume(self, graph, baselines, tmp_path):
+        store = CheckpointStore(tmp_path / "ckpt")
+        _interrupt_then_resume(graph, "bitset", tmp_path, "overlap")
+        store.phase_path("overlap").write_bytes(b"\x80\x04 torn mid-write")
+        resumed = LightweightParallelCPM(graph, checkpoint=store, resume=True)
+        assert hierarchy_to_dict(resumed.run()) == baselines["bitset"]
+        assert "overlap" not in resumed.stats.resumed_phases
+        assert "enumerate" in resumed.stats.resumed_phases
