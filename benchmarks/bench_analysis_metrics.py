@@ -1,0 +1,193 @@
+"""Analysis-engine sweep vs the replaced per-analysis metric path.
+
+Before the engine existed, every Chapter-4 analysis recomputed its own
+metrics: ``DensityOdfAnalysis`` called the set-based oracle per
+community (one member-set copy plus a node-by-node ``degree_within``
+loop per metric), ``OverlapAnalysis.__init__`` enumerated every
+parallel pair per order through :meth:`Community.overlap_fraction`, and
+the findings (b)/(c) re-enumerated *all* those pairs again from
+scratch.  This bench replicates that replaced path verbatim
+(``_legacy_metric_path``) and times it against the one-pass
+:class:`~repro.analysis.engine.MetricsEngine` sweep — bitset mode (CSR
+reuse, popcounts, dedup memo, exact shortcuts) and set mode (same
+orchestration, oracle arithmetic).
+
+All three paths must agree exactly; the equality asserts here repeat
+the ``tests/test_analysis_engine_equivalence.py`` guarantee on the
+bench topology before any number is recorded.
+
+Persisted measurements (``BENCH_*.json`` config, gated by
+``check_bench_regression.py``): ``analysis_seconds_{bitset,set,legacy}``
+are single-sweep minima; the ``*_x10`` variants are 10-sweep sums that
+clear the gate's tiny-baseline floor (0.05 s) so the trajectory is
+actually enforced; ``analysis_speedup_*`` record the headline ratios.
+The engine's ``analysis.sweep`` span and ``analysis.*`` counters land
+in the manifest via ``bench_tracer`` / ``bench_metrics``.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from itertools import combinations
+
+from repro.analysis.engine import MetricsEngine
+from repro.core.metrics import average_odf, link_density
+from repro.report.figures import ascii_table
+
+_REPS = 10
+
+
+def _legacy_metric_path(context):
+    """The pre-engine computation, replicated verbatim.
+
+    Per-community oracle calls with the member-set copy the old
+    ``core/metrics.py`` made (``list(...)`` forces it), the per-order
+    pairwise overlap loop of the old ``OverlapAnalysis.__init__``, and
+    the twice-enumerated findings (b)/(c) scans.
+    """
+    graph = context.graph
+    tree = context.tree
+    hierarchy = context.hierarchy
+    points = [
+        (
+            c.k,
+            c.label,
+            c.size,
+            link_density(graph, list(c.members)),
+            average_odf(graph, list(c.members)),
+            tree.is_main(c),
+        )
+        for c in hierarchy.all_communities()
+    ]
+    rows = []
+    for k in hierarchy.orders:
+        cover = hierarchy[k]
+        if len(cover) < 2:
+            continue
+        main = tree.main_community(k)
+        parallels = [c for c in cover if c.label != main.label]
+        main_fracs = [p.overlap_fraction(main) for p in parallels]
+        pp_fracs = [a.overlap_fraction(b) for a, b in combinations(parallels, 2)]
+        rows.append(
+            (
+                k,
+                len(parallels),
+                statistics.mean(main_fracs),
+                sum(1 for f in main_fracs if f == 0.0),
+                statistics.mean(pp_fracs) if pp_fracs else None,
+            )
+        )
+    disjoint = False
+    strong = 0
+    for k in hierarchy.orders:
+        parallels = tree.parallel_communities(k)
+        for a, b in combinations(parallels, 2):
+            if a.overlap(b) == 0:
+                disjoint = True
+            if a.overlap_fraction(b) >= 0.5:
+                strong += 1
+    return points, rows, disjoint, strong
+
+
+def _engine_metric_path(context, mode, tracer=None, metrics=None):
+    """The engine path: one sweep, then table scans for the findings."""
+    engine = MetricsEngine(
+        context.hierarchy,
+        context.tree,
+        context.graph,
+        engine=mode,
+        csr=context.csr,
+        tracer=tracer,
+        metrics=metrics,
+    )
+    engine_rows = engine.rows()
+    points = [
+        (r.k, r.label, r.size, r.link_density, r.average_odf, r.is_main)
+        for r in engine_rows
+    ]
+    rows = []
+    disjoint = False
+    strong = 0
+    overlaps = engine.order_overlaps()
+    for k in context.hierarchy.orders:
+        order = overlaps.get(k)
+        if order is None:
+            continue
+        main_fracs = order.main_fractions
+        pp_fracs = order.pair_fractions
+        rows.append(
+            (
+                k,
+                len(order.parallel_labels),
+                statistics.mean(main_fracs),
+                sum(1 for f in main_fracs if f == 0.0),
+                statistics.mean(pp_fracs) if pp_fracs else None,
+            )
+        )
+        disjoint = disjoint or any(f == 0.0 for f in pp_fracs)
+        strong += sum(1 for f in pp_fracs if f >= 0.5)
+    return points, rows, disjoint, strong
+
+
+def _time_path(fn, reps=_REPS):
+    """(best single wall time, total over ``reps``) of ``fn()``."""
+    best = float("inf")
+    total = 0.0
+    for _ in range(reps):
+        start = time.perf_counter()
+        fn()
+        elapsed = time.perf_counter() - start
+        best = min(best, elapsed)
+        total += elapsed
+    return best, total
+
+
+def test_analysis_metrics_sweep(
+    benchmark, context, emit, bench_record, bench_tracer, bench_metrics
+):
+    # Exactness first: all three paths must produce the same numbers on
+    # the bench topology, or the timings compare different computations.
+    legacy = _legacy_metric_path(context)
+    bitset = _engine_metric_path(context, "bitset", bench_tracer, bench_metrics)
+    set_based = _engine_metric_path(context, "set")
+    assert bitset == legacy
+    assert set_based == legacy
+
+    timings = {}
+    for name, fn in (
+        ("bitset", lambda: _engine_metric_path(context, "bitset")),
+        ("set", lambda: _engine_metric_path(context, "set")),
+        ("legacy", lambda: _legacy_metric_path(context)),
+    ):
+        best, total = _time_path(fn)
+        timings[name] = (best, total)
+        bench_record[f"analysis_seconds_{name}"] = round(best, 4)
+        bench_record[f"analysis_seconds_{name}_x10"] = round(total, 4)
+    bench_record["analysis_speedup_vs_legacy"] = round(
+        timings["legacy"][0] / timings["bitset"][0], 2
+    )
+    bench_record["analysis_speedup_vs_set"] = round(
+        timings["set"][0] / timings["bitset"][0], 2
+    )
+
+    # The timed target for pytest-benchmark: the bitset sweep.
+    benchmark(lambda: _engine_metric_path(context, "bitset"))
+
+    table = ascii_table(
+        ["path", "best (ms)", "x10 total (ms)", "speedup vs legacy"],
+        [
+            [
+                name,
+                round(best * 1000, 2),
+                round(total * 1000, 2),
+                round(timings["legacy"][0] / best, 2),
+            ]
+            for name, (best, total) in timings.items()
+        ],
+        title="Chapter-4 metric sweep: engine vs replaced per-analysis path",
+    )
+    emit("analysis_metrics_sweep", table)
+
+    # The engine must beat the path it replaced by a wide margin.
+    assert timings["legacy"][0] > 2.0 * timings["bitset"][0]

@@ -1,11 +1,12 @@
-"""Gate CPM wall-time regressions against the committed bench baselines.
+"""Gate pipeline wall-time regressions against committed bench baselines.
 
 Compares the fresh ``benchmarks/output/BENCH_*.json`` manifests (what a
 bench run just wrote to the working tree) against the versions
-committed at a git ref (default ``HEAD``): every ``cpm.*`` span and
-every ``cpm_seconds_*`` config scalar present in both is checked, and
-the run fails when a fresh value exceeds baseline x tolerance
-(default 1.25, i.e. a >25% wall-time regression in a CPM phase).
+committed at a git ref (default ``HEAD``): every ``cpm.*`` and
+``analysis.*`` span and every ``cpm_seconds_*`` / ``analysis_seconds_*``
+config scalar present in both is checked, and the run fails when a
+fresh value exceeds baseline x tolerance (default 1.25, i.e. a >25%
+wall-time regression in a gated phase).
 
 Tiny baselines (< ``--min-seconds``, default 0.05 s) are reported but
 never fail the gate — at that magnitude the comparison measures
@@ -54,20 +55,27 @@ def committed_manifests(ref: str) -> dict[str, dict]:
     return manifests
 
 
-def cpm_measurements(manifest: dict) -> dict[str, float]:
-    """The CPM wall-time measurements of one manifest.
+#: Gated measurement families: span-name prefixes and config-scalar
+#: prefixes.  ``cpm.*`` covers extraction phases; ``analysis.*`` covers
+#: the metric-engine sweep (``bench_analysis_metrics.py``).
+SPAN_PREFIXES = ("cpm.", "analysis.")
+SCALAR_PREFIXES = ("cpm_seconds", "analysis_seconds")
 
-    ``cpm.*`` spans (first occurrence per name, matching
-    ``RunManifest.span``) plus any ``cpm_seconds_*`` scalars a bench
-    recorded in its config.
+
+def cpm_measurements(manifest: dict) -> dict[str, float]:
+    """The gated wall-time measurements of one manifest.
+
+    ``cpm.*`` and ``analysis.*`` spans (first occurrence per name,
+    matching ``RunManifest.span``) plus any ``cpm_seconds_*`` /
+    ``analysis_seconds_*`` scalars a bench recorded in its config.
     """
     out: dict[str, float] = {}
     for span in manifest.get("spans") or []:
         name = span.get("name", "")
-        if name.startswith("cpm.") and name not in out:
+        if name.startswith(SPAN_PREFIXES) and name not in out:
             out[name] = float(span.get("wall_seconds", 0.0))
     for key, value in (manifest.get("config") or {}).items():
-        if key.startswith("cpm_seconds") and isinstance(value, (int, float)):
+        if key.startswith(SCALAR_PREFIXES) and isinstance(value, (int, float)):
             out[key] = float(value)
     return out
 
@@ -109,7 +117,7 @@ def compare(
 
 
 def main(argv: list[str] | None = None) -> int:
-    """CLI entry point; exit code 1 iff any CPM phase regressed."""
+    """CLI entry point; exit code 1 iff any gated phase regressed."""
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--ref", default="HEAD", help="git ref holding the baselines")
     parser.add_argument(
@@ -137,7 +145,7 @@ def main(argv: list[str] | None = None) -> int:
         baselines, Path(args.output_dir), args.tolerance, args.min_seconds
     )
     if not rows:
-        print("no overlapping CPM measurements between baselines and fresh manifests")
+        print("no overlapping gated measurements between baselines and fresh manifests")
         return 0
 
     width = max(len(r[1]) for r in rows)
@@ -148,9 +156,9 @@ def main(argv: list[str] | None = None) -> int:
             f"fresh={fresh:8.4f}s  {verdict}"
         )
     if failures:
-        print(f"FAILED: {failures} CPM measurement(s) regressed past the gate")
+        print(f"FAILED: {failures} measurement(s) regressed past the gate")
         return 1
-    print("all CPM measurements within tolerance")
+    print("all gated measurements within tolerance")
     return 0
 
 

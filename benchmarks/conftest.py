@@ -91,6 +91,29 @@ def bench_record(request):
     return record
 
 
+@pytest.fixture()
+def bench_tracer(request):
+    """Per-test tracer whose spans merge into the test's manifest.
+
+    Hand it to the code under benchmark (e.g. a
+    :class:`~repro.analysis.engine.MetricsEngine`) and its spans —
+    ``analysis.sweep`` and friends — land in ``BENCH_<test>.json``
+    alongside the autouse timing span, where
+    ``check_bench_regression.py`` can gate on them.
+    """
+    tracer = Tracer(memory=_TRACE_MEMORY)
+    request.node._bench_tracer = tracer
+    return tracer
+
+
+@pytest.fixture()
+def bench_metrics(request):
+    """Per-test metric registry persisted in the test's manifest."""
+    registry = MetricsRegistry()
+    request.node._bench_metrics = registry
+    return registry
+
+
 @pytest.fixture(autouse=True)
 def bench_manifest(request):
     """Time each benchmark test and archive its manifest under output/.
@@ -104,9 +127,18 @@ def bench_manifest(request):
     with tracer.span("bench", nodeid=request.node.nodeid):
         yield
     tracer.close()
+    extra_tracer = getattr(request.node, "_bench_tracer", None)
+    if extra_tracer is not None:
+        extra_tracer.close()
+        tracer.records.extend(extra_tracer.records)
     config = {"kernel": _KERNEL}
     config.update(getattr(request.node, "_bench_record", {}))
-    manifest = RunManifest.collect(label=request.node.name, config=config, tracer=tracer)
+    manifest = RunManifest.collect(
+        label=request.node.name,
+        config=config,
+        tracer=tracer,
+        metrics=getattr(request.node, "_bench_metrics", None),
+    )
     manifest.fingerprint = dict(_SESSION_FINGERPRINT) or None
     manifest.save(_manifest_path(request.node.name))
 

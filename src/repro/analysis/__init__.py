@@ -16,6 +16,7 @@ from .census import CensusRow, CommunityCensus
 from .community_graph import CommunityGraphStats, community_graph, community_graph_stats
 from .context import AnalysisContext
 from .density_odf import DensityOdfAnalysis, DensityOdfPoint
+from .engine import ENGINES, MetricsEngine, MetricsRow, OrderOverlap
 from .geo import CommunityGeo, GeoAnalysis, common_continents, common_countries
 from .ixp_share import CommunityIXPShare, IXPShareAnalysis
 from .kdense_compare import KDenseComparison, compare_with_kdense
@@ -39,6 +40,10 @@ from .zp import NodeRole, ZPAnalysis, ZPRecord, classify_role
 
 __all__ = [
     "AnalysisContext",
+    "MetricsEngine",
+    "MetricsRow",
+    "OrderOverlap",
+    "ENGINES",
     "CommunityCensus",
     "CensusRow",
     "SizeAnalysis",

@@ -191,7 +191,6 @@ def trunk_report(
     """Compute the Section 4.2 trunk-band report."""
     hierarchy = context.hierarchy
     tree = context.tree
-    graph = context.graph
     geography = context.dataset.geography
     lo, hi = bands.root_max + 1, bands.crown_min - 1
     communities = _communities_in_band(context, lo, hi)
@@ -200,7 +199,10 @@ def trunk_report(
     members: set[int] = set()
     for c in communities:
         members |= set(c.members)
-    degrees = [graph.degree(a) for a in members]
+    # Degrees come from the engine's CSR snapshot (one indptr diff per
+    # node); integer degrees make the mean exact and order-independent.
+    node_degree = context.engine.node_degree
+    degrees = [node_degree(a) for a in members]
     multi_country = [
         a
         for a in members

@@ -17,7 +17,6 @@ from __future__ import annotations
 import statistics
 from dataclasses import dataclass
 
-from ..core.metrics import average_odf, link_density
 from .context import AnalysisContext
 
 __all__ = ["DensityOdfPoint", "DensityOdfAnalysis"]
@@ -40,18 +39,16 @@ class DensityOdfAnalysis:
 
     def __init__(self, context: AnalysisContext) -> None:
         self.context = context
-        graph = context.graph
-        tree = context.tree
         self.points = [
             DensityOdfPoint(
-                k=c.k,
-                label=c.label,
-                size=c.size,
-                link_density=link_density(graph, c.members),
-                average_odf=average_odf(graph, c.members),
-                is_main=tree.is_main(c),
+                k=row.k,
+                label=row.label,
+                size=row.size,
+                link_density=row.link_density,
+                average_odf=row.average_odf,
+                is_main=row.is_main,
             )
-            for c in context.hierarchy.all_communities()
+            for row in context.metrics_rows()
         ]
 
     def main_density_series(self) -> list[tuple[int, float]]:

@@ -20,7 +20,6 @@ from __future__ import annotations
 
 import statistics
 from dataclasses import dataclass
-from itertools import combinations
 
 from .context import AnalysisContext
 
@@ -44,21 +43,22 @@ class OverlapAnalysis:
     def __init__(self, context: AnalysisContext) -> None:
         self.context = context
         self.rows: list[OverlapRow] = []
-        tree = context.tree
+        #: Per-order parallel↔parallel fraction tuples, keyed by k.  All
+        #: pairwise findings (b, c, e) read these — the pairs are
+        #: enumerated exactly once, by the engine sweep.
+        self._pair_fractions: dict[int, tuple[float, ...]] = {}
+        overlaps = context.engine.order_overlaps()
         for k in context.hierarchy.orders:
-            cover = context.hierarchy[k]
-            if len(cover) < 2:
+            order = overlaps.get(k)
+            if order is None:
                 continue
-            main = tree.main_community(k)
-            parallels = [c for c in cover if c.label != main.label]
-            main_fracs = [p.overlap_fraction(main) for p in parallels]
-            pp_fracs = [
-                a.overlap_fraction(b) for a, b in combinations(parallels, 2)
-            ]
+            main_fracs = order.main_fractions
+            pp_fracs = order.pair_fractions
+            self._pair_fractions[k] = pp_fracs
             self.rows.append(
                 OverlapRow(
                     k=k,
-                    n_parallel=len(parallels),
+                    n_parallel=len(order.parallel_labels),
                     mean_parallel_main_fraction=statistics.mean(main_fracs),
                     zero_overlap_parallels=sum(1 for f in main_fracs if f == 0.0),
                     mean_parallel_parallel_fraction=(
@@ -103,22 +103,23 @@ class OverlapAnalysis:
         return statistics.variance(values) if len(values) > 1 else 0.0
 
     def disjoint_parallel_pairs_exist(self) -> bool:
-        """Finding (b): some parallel pairs share no member."""
-        tree = self.context.tree
-        for k in self.context.hierarchy.orders:
-            parallels = tree.parallel_communities(k)
-            for a, b in combinations(parallels, 2):
-                if a.overlap(b) == 0:
-                    return True
-        return False
+        """Finding (b): some parallel pairs share no member.
+
+        A pair's overlap count is zero iff its fraction is zero (sizes
+        are at least k > 0), so this reads the memoized fraction table
+        instead of re-enumerating every pair.
+        """
+        return any(
+            frac == 0.0
+            for fracs in self._pair_fractions.values()
+            for frac in fracs
+        )
 
     def strongly_overlapping_parallel_pairs(self, *, threshold: float = 0.5) -> int:
         """Finding (c): count of parallel pairs above the given fraction."""
-        tree = self.context.tree
-        count = 0
-        for k in self.context.hierarchy.orders:
-            parallels = tree.parallel_communities(k)
-            for a, b in combinations(parallels, 2):
-                if a.overlap_fraction(b) >= threshold:
-                    count += 1
-        return count
+        return sum(
+            1
+            for fracs in self._pair_fractions.values()
+            for frac in fracs
+            if frac >= threshold
+        )

@@ -35,10 +35,9 @@ class SizeAnalysis:
 
     def __init__(self, context: AnalysisContext) -> None:
         self.context = context
-        tree = context.tree
         self.points = [
-            SizePoint(k=c.k, label=c.label, size=c.size, is_main=tree.is_main(c))
-            for c in context.hierarchy.all_communities()
+            SizePoint(k=row.k, label=row.label, size=row.size, is_main=row.is_main)
+            for row in context.metrics_rows()
         ]
 
     def main_series(self) -> list[tuple[int, int]]:

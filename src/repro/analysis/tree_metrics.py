@@ -31,6 +31,9 @@ class BranchRecord:
     end_k: int              # deepest order
     absorbed_at: int | None  # order of the main community it merges into
     sizes: tuple[int, ...]
+    #: Per-node link densities along the branch, filled in only when
+    #: ``tree_shape`` is given a metric engine (None otherwise).
+    link_densities: tuple[float, ...] | None = None
 
     @property
     def persistence(self) -> int:
@@ -75,8 +78,16 @@ class TreeShape:
         )
 
 
-def tree_shape(tree: CommunityTree, *, min_branch_length: int = 1) -> TreeShape:
-    """Measure the shape of a community tree."""
+def tree_shape(
+    tree: CommunityTree, *, min_branch_length: int = 1, engine=None
+) -> TreeShape:
+    """Measure the shape of a community tree.
+
+    ``engine`` (a :class:`~repro.analysis.engine.MetricsEngine`, or any
+    object with a ``row(label)`` accessor) optionally annotates each
+    branch with the link densities from the shared metric table; without
+    one the records carry ``link_densities=None`` as before.
+    """
     branches = []
     for chain in tree.parallel_branches(min_length=min_branch_length):
         parent = chain[0].parent
@@ -87,6 +98,11 @@ def tree_shape(tree: CommunityTree, *, min_branch_length: int = 1) -> TreeShape:
                 end_k=chain[-1].k,
                 absorbed_at=absorbed_at,
                 sizes=tuple(node.community.size for node in chain),
+                link_densities=(
+                    None
+                    if engine is None
+                    else tuple(engine.row(node.label).link_density for node in chain)
+                ),
             )
         )
     main_children = []

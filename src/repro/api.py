@@ -42,6 +42,7 @@ from .core.cache import CliqueCache
 from .core.communities import CommunityCover, CommunityHierarchy
 from .core.lightweight import KERNELS, CPMRunStats, LightweightParallelCPM
 from .core.serialize import hierarchy_from_dict, hierarchy_to_dict
+from .graph.csr import CSRGraph
 from .graph.undirected import Graph
 from .obs.metrics import MetricsRegistry
 from .obs.tracing import Tracer
@@ -67,10 +68,18 @@ class CPMResult:
     ``stats`` the always-on run summary (clique census, phase wall
     times, cache/resume/degradation flags).  Indexing the result
     delegates to the hierarchy: ``result[4]`` is the k=4 cover.
+
+    ``csr`` is the degeneracy-ordered :class:`~repro.graph.csr
+    .CSRGraph` snapshot the bitset kernel built during enumeration —
+    downstream consumers (the analysis engine) reuse it instead of
+    re-deriving the ordering.  It is ``None`` for the set kernel, for
+    cache-hit runs that never touched the graph, and for results loaded
+    from disk.
     """
 
     hierarchy: CommunityHierarchy
     stats: CPMRunStats = field(default_factory=CPMRunStats)
+    csr: CSRGraph | None = None
 
     def __getitem__(self, k: int) -> CommunityCover:
         """The community cover at order ``k`` (delegates to hierarchy)."""
@@ -172,7 +181,7 @@ def run_cpm(
         metrics=metrics,
     )
     hierarchy = cpm.run(min_k=min_k, max_k=max_k)
-    return CPMResult(hierarchy=hierarchy, stats=cpm.stats)
+    return CPMResult(hierarchy=hierarchy, stats=cpm.stats, csr=cpm.csr)
 
 
 # ----------------------------------------------------------------------

@@ -14,7 +14,10 @@ graph fingerprint, per-phase wall/CPU/peak-memory and the core
 counters) — the observability artifacts described in
 ``docs/observability.md`` — plus ``--kernel {bitset,set}`` to pick the
 CPM kernel and ``--cache/--no-cache`` to reuse clique/overlap results
-across runs (``docs/performance.md``).  ``--checkpoint-dir DIR`` (with
+across runs (``docs/performance.md``).  ``tree`` and ``paper`` also
+take ``--analysis-engine {bitset,set}`` to choose between the one-pass
+bitset metric engine and the set-based reference oracle for the
+Chapter-4 analyses.  ``--checkpoint-dir DIR`` (with
 ``--resume`` on the restart) makes interrupted runs resumable, and
 ``--batch-timeout``/``--max-retries`` tune the worker supervision
 policy (``docs/robustness.md``).  CPM execution routes through the
@@ -28,6 +31,7 @@ import sys
 from pathlib import Path
 
 from .analysis.context import AnalysisContext
+from .analysis.engine import ENGINES
 from .api import run_cpm, save_result
 from .core.cache import CliqueCache
 from .core.lightweight import KERNELS
@@ -222,6 +226,7 @@ def _cmd_tree(args: argparse.Namespace) -> int:
         workers=args.workers,
         kernel=args.kernel,
         cache=_make_cache(args),
+        analysis_engine=args.analysis_engine,
         tracer=tracer,
         metrics=metrics,
         **runner_kwargs,
@@ -264,6 +269,7 @@ def _cmd_paper(args: argparse.Namespace) -> int:
         dataset,
         workers=args.workers,
         kernel=args.kernel,
+        analysis_engine=args.analysis_engine,
         cache=_make_cache(args),
         tracer=tracer,
         metrics=metrics,
@@ -403,6 +409,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_tree.add_argument("--max-children", type=int, default=8)
     p_tree.add_argument("--workers", type=int, default=1)
     p_tree.add_argument("--bands", action="store_true", help="colour DOT layers by band")
+    p_tree.add_argument(
+        "--analysis-engine",
+        choices=list(ENGINES),
+        default="bitset",
+        help="metric engine for the Chapter-4 analyses (bitset fast path or set-based oracle)",
+    )
     _add_cpm_arguments(p_tree)
     _add_obs_arguments(p_tree)
     p_tree.set_defaults(func=_cmd_tree)
@@ -420,6 +432,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_paper.add_argument("--workers", type=int, default=1)
     p_paper.add_argument("--html", default=None, help="write a standalone HTML report here")
     p_paper.add_argument("--csv-dir", default=None, help="write figure data as CSVs here")
+    p_paper.add_argument(
+        "--analysis-engine",
+        choices=list(ENGINES),
+        default="bitset",
+        help="metric engine for the Chapter-4 analyses (bitset fast path or set-based oracle)",
+    )
     _add_cpm_arguments(p_paper)
     _add_obs_arguments(p_paper)
     p_paper.set_defaults(func=_cmd_paper)

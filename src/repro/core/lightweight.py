@@ -370,6 +370,11 @@ class LightweightParallelCPM:
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._observing = self.tracer.enabled or metrics is not None
+        #: The CSR snapshot the bitset kernel built, kept so downstream
+        #: consumers (the analysis engine) can reuse it instead of
+        #: re-deriving the degeneracy order.  None for the set kernel
+        #: and for cache-hit runs that never touched the graph.
+        self.csr: CSRGraph | None = None
 
     def run(self, *, min_k: int = 2, max_k: int | None = None) -> CommunityHierarchy:
         """Run all three phases and return the hierarchy over [min_k, max_k]."""
@@ -546,6 +551,7 @@ class LightweightParallelCPM:
         with self.tracer.span("cpm.enumerate") as span:
             enum_stats = CliqueEnumerationStats() if self._observing else None
             csr = CSRGraph.from_graph(self.graph)
+            self.csr = csr
             dense = maximal_cliques_bitset(csr, min_size=2, stats=enum_stats)
             dense.sort(key=len, reverse=True)
             to_label = csr.labels.__getitem__

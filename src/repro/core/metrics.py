@@ -41,8 +41,11 @@ def link_density(graph: Graph, members: Iterable[Hashable]) -> float:
     """Fraction of existing to possible connections within ``members``.
 
     1.0 for a full mesh; defined as 0.0 for fewer than two members.
+    Set/frozenset inputs are used as-is — community member sets are
+    already frozensets, and rebuilding them on this hot path costs a
+    copy per call for nothing.
     """
-    member_set = set(members)
+    member_set = members if isinstance(members, (set, frozenset)) else set(members)
     n = len(member_set)
     if n < 2:
         return 0.0
@@ -80,12 +83,16 @@ def average_odf(graph: Graph, members: Iterable[Hashable]) -> float:
     High values mean members direct most connections *outside* the
     community (crown communities: cohesive carrier meshes with huge
     customer cones); low values mean members keep their degree inside
-    (the giant low-k main communities).
+    (the giant low-k main communities).  Set/frozenset inputs are used
+    as-is (no copy); the float summation runs in *sorted member order*
+    so the result is independent of set-table layout — equal member
+    sets give bit-identical averages in any process.
     """
-    member_set = set(members)
+    member_set = members if isinstance(members, (set, frozenset)) else set(members)
     if not member_set:
         return 0.0
-    return sum(node_odf(graph, node, member_set) for node in member_set) / len(member_set)
+    total = sum(node_odf(graph, node, member_set) for node in sorted(member_set))
+    return total / len(member_set)
 
 
 def overlap(a: Community, b: Community) -> int:
@@ -115,7 +122,7 @@ class CommunityMetrics:
 
 def community_metrics(graph: Graph, community: Community) -> CommunityMetrics:
     """Compute the full metric record for one community."""
-    members = set(community.members)
+    members = community.members
     return CommunityMetrics(
         label=community.label,
         k=community.k,

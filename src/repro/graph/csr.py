@@ -44,7 +44,7 @@ class CSRGraph:
     '0b1110'
     """
 
-    __slots__ = ("labels", "indptr", "indices", "bitsets")
+    __slots__ = ("labels", "indptr", "indices", "bitsets", "_rank", "_degrees")
 
     def __init__(
         self,
@@ -57,6 +57,8 @@ class CSRGraph:
         self.indptr = indptr
         self.indices = indices
         self.bitsets = bitsets
+        self._rank: dict | None = None
+        self._degrees: list[int] | None = None
 
     @classmethod
     def from_graph(cls, graph: Graph) -> "CSRGraph":
@@ -107,6 +109,24 @@ class CSRGraph:
         """Map dense ids back to the original node objects."""
         labels = self.labels
         return [labels[i] for i in ids]
+
+    def rank(self) -> dict:
+        """Original node object → dense id, built lazily and cached.
+
+        The inverse of :attr:`labels`; consumers that translate member
+        sets to dense ids (the analysis engine) share one dict per
+        snapshot instead of rebuilding it per sweep.
+        """
+        if self._rank is None:
+            self._rank = {node: i for i, node in enumerate(self.labels)}
+        return self._rank
+
+    def degrees(self) -> list[int]:
+        """Per-node degree list, built lazily from ``indptr`` and cached."""
+        if self._degrees is None:
+            indptr = self.indptr
+            self._degrees = [indptr[i + 1] - indptr[i] for i in range(len(self.labels))]
+        return self._degrees
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"CSRGraph(n={self.n}, edges={self.n_edges})"

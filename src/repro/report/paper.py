@@ -42,6 +42,7 @@ class PaperRun:
         *,
         workers: int = 1,
         kernel: str = "bitset",
+        analysis_engine: str = "bitset",
         cache=None,
         checkpoint=None,
         resume: bool = False,
@@ -60,6 +61,7 @@ class PaperRun:
             resume=resume,
             runner=runner,
             fault_plan=fault_plan,
+            analysis_engine=analysis_engine,
             tracer=tracer,
             metrics=metrics,
         )
