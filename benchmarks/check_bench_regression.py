@@ -156,7 +156,19 @@ def main(argv: list[str] | None = None) -> int:
             f"fresh={fresh:8.4f}s  {verdict}"
         )
     if failures:
+        # Rank the offenders worst-first so the triage order is the
+        # read order: the scalar with the largest fresh/base ratio is
+        # the regression (or the regression's symptom) to chase.
+        offenders = sorted(
+            (r for r in rows if r[4] in ("REGRESSION", "UNREADABLE")),
+            key=lambda r: (r[3] / r[2]) if r[2] else float("inf"),
+            reverse=True,
+        )
         print(f"FAILED: {failures} measurement(s) regressed past the gate")
+        print("offending scalars (worst regression first):")
+        for name, key, base, fresh, verdict in offenders:
+            ratio = f"{fresh / base:5.2f}x" if base else "  n/a"
+            print(f"  {ratio}  {name}: {key}  base={base:.4f}s fresh={fresh:.4f}s")
         return 1
     print("all gated measurements within tolerance")
     return 0

@@ -50,6 +50,18 @@ def _manifest_path(label: str) -> Path:
     return OUTPUT_DIR / f"BENCH_{re.sub(r'[^A-Za-z0-9_.-]+', '_', label)}.json"
 
 
+def _trace_path(label: str) -> Path:
+    """Per-test span trace (JSONL) beside the manifest.
+
+    Not committed (wall-clock timestamps churn every run; see
+    .gitignore) — CI uploads these as artifacts so any bench run can be
+    opened with ``repro obs view`` / exported to Perfetto after the
+    fact.
+    """
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    return OUTPUT_DIR / f"BENCH_{re.sub(r'[^A-Za-z0-9_.-]+', '_', label)}.trace.jsonl"
+
+
 @pytest.fixture(scope="session")
 def dataset():
     dataset = generate_topology(GeneratorConfig.default(), seed=42)
@@ -136,11 +148,13 @@ def bench_manifest(request):
     manifest = RunManifest.collect(
         label=request.node.name,
         config=config,
+        settings={"kernel": _KERNEL, "memory": _TRACE_MEMORY},
         tracer=tracer,
         metrics=getattr(request.node, "_bench_metrics", None),
     )
     manifest.fingerprint = dict(_SESSION_FINGERPRINT) or None
     manifest.save(_manifest_path(request.node.name))
+    tracer.write_jsonl(_trace_path(request.node.name))
 
 
 def pytest_sessionfinish(session):
@@ -150,11 +164,13 @@ def pytest_sessionfinish(session):
     manifest = RunManifest.collect(
         label="session",
         config={"kernel": _KERNEL},
+        settings={"kernel": _KERNEL, "memory": _TRACE_MEMORY},
         tracer=_SESSION_TRACER,
         metrics=_SESSION_METRICS,
     )
     manifest.fingerprint = dict(_SESSION_FINGERPRINT) or None
     manifest.save(_manifest_path("_session"))
+    _SESSION_TRACER.write_jsonl(_trace_path("_session"))
     _SESSION_TRACER.close()
 
 

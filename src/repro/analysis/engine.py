@@ -64,6 +64,7 @@ from ..graph.csr import CSRGraph
 from ..graph.undirected import Graph
 from ..obs.metrics import MetricsRegistry
 from ..obs.tracing import NULL_TRACER, Tracer
+from ..obs.worker import current_metrics, worker_span
 from ..runner import FaultPlan, RunnerConfig
 from ..runner.supervise import PoolSupervisor
 
@@ -121,9 +122,21 @@ def _init_engine_pool(payload: dict) -> None:
 
 
 def _sweep_order_task(task: tuple) -> list:
-    """Module-level worker entry: sweep one order block in a worker."""
+    """Module-level worker entry: sweep one order block in a worker.
+
+    Under a supervised telemetry capture the sweep records a
+    ``worker.analysis.sweep`` span (order k, community count) in the
+    worker's trace, which the supervisor grafts back into the driver's.
+    """
     shared = _POOL_SHARED
-    return _sweep_order(task, shared, shared["memo"])
+    k, _main_index, entries = task
+    with worker_span("worker.analysis.sweep", k=k, communities=len(entries)):
+        result = _sweep_order(task, shared, shared["memo"])
+    registry = current_metrics()
+    if registry is not None:
+        registry.inc("worker.analysis.orders_done")
+        registry.inc("worker.analysis.communities", len(entries))
+    return result
 
 
 def _sweep_order(task: tuple, shared: dict, memo: dict) -> list:
@@ -287,6 +300,7 @@ class MetricsEngine:
         self.workers = workers
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._observing = self.tracer.enabled or metrics is not None
         self._csr = csr
         self._rank: dict | None = None
         self._rows: list[MetricsRow] | None = None
@@ -390,6 +404,7 @@ class MetricsEngine:
                     initargs=(payload,),
                     tracer=self.tracer,
                     metrics=self.metrics,
+                    telemetry=self._observing,
                 )
                 memo: dict = {}
                 results = supervisor.run(

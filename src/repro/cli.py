@@ -8,20 +8,30 @@ Commands:
 * ``tree`` — print the k-clique community tree (ASCII or DOT);
 * ``paper`` — regenerate every table and figure of the paper.
 
-Every CPM-running command accepts ``--trace PATH`` (JSONL span trace)
+Every CPM-running command accepts ``--trace PATH`` (JSONL span trace,
+including worker-attributed spans shipped back from pool processes)
 and ``--metrics PATH`` (JSON :class:`repro.obs.RunManifest` with the
-graph fingerprint, per-phase wall/CPU/peak-memory and the core
-counters) — the observability artifacts described in
-``docs/observability.md`` — plus ``--kernel {bitset,set}`` to pick the
-CPM kernel and ``--cache/--no-cache`` to reuse clique/overlap results
-across runs (``docs/performance.md``).  ``tree`` and ``paper`` also
-take ``--analysis-engine {bitset,set}`` to choose between the one-pass
-bitset metric engine and the set-based reference oracle for the
-Chapter-4 analyses.  ``--checkpoint-dir DIR`` (with
-``--resume`` on the restart) makes interrupted runs resumable, and
-``--batch-timeout``/``--max-retries`` tune the worker supervision
+graph fingerprint, per-phase wall/CPU/peak-memory, the core counters
+and — at ``--resource-interval`` seconds — a sampled RSS/CPU series) —
+the observability artifacts described in ``docs/observability.md`` —
+plus ``--kernel {bitset,set}`` to pick the CPM kernel and
+``--cache/--no-cache`` to reuse clique/overlap results across runs
+(``docs/performance.md``).  Observability files are flushed even when
+the run fails, so a crashed pipeline still leaves a valid trace.
+``tree`` and ``paper`` also take ``--analysis-engine {bitset,set}`` to
+choose between the one-pass bitset metric engine and the set-based
+reference oracle for the Chapter-4 analyses.  ``--checkpoint-dir DIR``
+(with ``--resume`` on the restart) makes interrupted runs resumable,
+and ``--batch-timeout``/``--max-retries`` tune the worker supervision
 policy (``docs/robustness.md``).  CPM execution routes through the
 :mod:`repro.api` facade.
+
+The ``obs`` family inspects the artifacts after the fact:
+``obs view`` renders a trace as an ASCII span tree, ``obs diff``
+prints signed scalar deltas between two manifests, ``obs export
+--format perfetto`` converts a trace for ``ui.perfetto.dev``, and
+``obs history`` charts committed ``BENCH_*.json`` scalars across git
+history.
 """
 
 from __future__ import annotations
@@ -36,7 +46,18 @@ from .api import run_cpm, save_result
 from .core.cache import CliqueCache
 from .core.lightweight import KERNELS
 from .graph.io import read_edgelist
-from .obs import NULL_TRACER, MetricsRegistry, RunManifest, Tracer
+from .obs import (
+    NULL_TRACER,
+    MetricsRegistry,
+    ResourceMonitor,
+    RunManifest,
+    Tracer,
+    diff_manifests,
+    history,
+    load_trace,
+    render_tree,
+    write_perfetto,
+)
 from .report.paper import PaperRun
 from .runner import CheckpointStore, RunnerConfig
 from .topology.dataset import ASDataset
@@ -54,6 +75,13 @@ def _add_obs_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--metrics", default=None, metavar="PATH",
         help="write a JSON run manifest (fingerprint, spans, metrics) here",
+    )
+    parser.add_argument(
+        "--resource-interval", type=float, default=0.25, metavar="SECONDS",
+        help=(
+            "RSS/CPU sampling interval for the manifest's resources series "
+            "(used with --metrics; 0 disables the sampler)"
+        ),
     )
 
 
@@ -114,11 +142,32 @@ def _make_runner(args: argparse.Namespace) -> dict:
     }
 
 
-def _make_observability(args: argparse.Namespace) -> tuple[Tracer, MetricsRegistry | None]:
-    """Tracer + registry for the run: real ones iff a flag asked for output."""
-    if getattr(args, "trace", None) or getattr(args, "metrics", None):
-        return Tracer(memory=True), MetricsRegistry()
-    return NULL_TRACER, None
+def _make_observability(
+    args: argparse.Namespace,
+) -> tuple[Tracer, MetricsRegistry | None, ResourceMonitor | None]:
+    """Tracer + registry + resource sampler: real ones iff a flag asked.
+
+    The :class:`ResourceMonitor` starts only for manifest-producing
+    runs with a positive ``--resource-interval`` — uninstrumented runs
+    never spawn the sampling thread.
+    """
+    if not (getattr(args, "trace", None) or getattr(args, "metrics", None)):
+        return NULL_TRACER, None, None
+    monitor = None
+    interval = getattr(args, "resource_interval", 0.0) or 0.0
+    if getattr(args, "metrics", None) and interval > 0:
+        monitor = ResourceMonitor(interval=interval).start()
+    return Tracer(memory=True), MetricsRegistry(), monitor
+
+
+def _run_settings(args: argparse.Namespace) -> dict:
+    """The comparability-critical settings stamped into the manifest."""
+    return {
+        key: value
+        for key, value in vars(args).items()
+        if key in ("kernel", "workers", "analysis_engine", "min_k", "max_k")
+        and value is not None
+    }
 
 
 def _write_observability(
@@ -127,8 +176,17 @@ def _write_observability(
     metrics: MetricsRegistry | None,
     *,
     graph=None,
+    monitor: ResourceMonitor | None = None,
 ) -> None:
-    """Emit the trace/manifest files requested on the command line."""
+    """Emit the trace/manifest files requested on the command line.
+
+    Called from the commands' ``finally`` blocks, so it also runs on
+    failures: the tracer is closed *first* (finalising any spans an
+    exception left open), making the flushed trace complete and valid.
+    """
+    if monitor is not None:
+        monitor.stop()
+    tracer.close()
     if getattr(args, "trace", None):
         tracer.write_jsonl(args.trace)
         print(f"wrote trace ({len(tracer.records)} spans) to {args.trace}")
@@ -142,12 +200,13 @@ def _write_observability(
             label=f"cli.{args.command}",
             graph=graph,
             config=config,
+            settings=_run_settings(args),
             tracer=tracer,
             metrics=metrics,
+            resources=monitor.series() if monitor is not None else None,
         )
         manifest.save(args.metrics)
         print(f"wrote run manifest to {args.metrics}")
-    tracer.close()
 
 
 def _load_dataset(path: str) -> ASDataset:
@@ -187,62 +246,66 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 def _cmd_communities(args: argparse.Namespace) -> int:
     runner_kwargs = _make_runner(args)
     dataset = _load_dataset(args.dataset)
-    tracer, metrics = _make_observability(args)
-    result = run_cpm(
-        dataset.graph,
-        k_range=(args.min_k, args.max_k),
-        workers=args.workers,
-        kernel=args.kernel,
-        cache=_make_cache(args),
-        tracer=tracer,
-        metrics=metrics,
-        **runner_kwargs,
-    )
-    hierarchy = result.hierarchy
-    if result.stats.cache_hit:
-        print("clique cache: hit (enumeration + overlap skipped)")
-    if result.stats.resumed_phases:
-        print(f"resumed from checkpoint: {', '.join(result.stats.resumed_phases)}")
-    if result.degraded:
-        print("warning: run degraded to serial execution for some batches")
-    print(f"maximal cliques: {result.stats.n_cliques} (max size {result.stats.max_clique_size})")
-    print(f"total communities: {hierarchy.total_communities}")
-    for k in hierarchy.orders:
-        print(f"k={k}: {len(hierarchy[k])} communities")
-        if args.members:
-            for community in hierarchy[k]:
-                members = ",".join(map(str, sorted(community.members)))
-                print(f"  {community.label} ({community.size}): {members}")
-    _write_observability(args, tracer, metrics, graph=dataset.graph)
+    tracer, metrics, monitor = _make_observability(args)
+    try:
+        result = run_cpm(
+            dataset.graph,
+            k_range=(args.min_k, args.max_k),
+            workers=args.workers,
+            kernel=args.kernel,
+            cache=_make_cache(args),
+            tracer=tracer,
+            metrics=metrics,
+            **runner_kwargs,
+        )
+        hierarchy = result.hierarchy
+        if result.stats.cache_hit:
+            print("clique cache: hit (enumeration + overlap skipped)")
+        if result.stats.resumed_phases:
+            print(f"resumed from checkpoint: {', '.join(result.stats.resumed_phases)}")
+        if result.degraded:
+            print("warning: run degraded to serial execution for some batches")
+        print(f"maximal cliques: {result.stats.n_cliques} (max size {result.stats.max_clique_size})")
+        print(f"total communities: {hierarchy.total_communities}")
+        for k in hierarchy.orders:
+            print(f"k={k}: {len(hierarchy[k])} communities")
+            if args.members:
+                for community in hierarchy[k]:
+                    members = ",".join(map(str, sorted(community.members)))
+                    print(f"  {community.label} ({community.size}): {members}")
+    finally:
+        _write_observability(args, tracer, metrics, graph=dataset.graph, monitor=monitor)
     return 0
 
 
 def _cmd_tree(args: argparse.Namespace) -> int:
     runner_kwargs = _make_runner(args)
     dataset = _load_dataset(args.dataset)
-    tracer, metrics = _make_observability(args)
-    context = AnalysisContext.from_dataset(
-        dataset,
-        workers=args.workers,
-        kernel=args.kernel,
-        cache=_make_cache(args),
-        analysis_engine=args.analysis_engine,
-        tracer=tracer,
-        metrics=metrics,
-        **runner_kwargs,
-    )
-    if args.format == "dot":
-        band_of = None
-        if args.bands:
-            from .analysis.bands import derive_bands
-            from .analysis.ixp_share import IXPShareAnalysis
+    tracer, metrics, monitor = _make_observability(args)
+    try:
+        context = AnalysisContext.from_dataset(
+            dataset,
+            workers=args.workers,
+            kernel=args.kernel,
+            cache=_make_cache(args),
+            analysis_engine=args.analysis_engine,
+            tracer=tracer,
+            metrics=metrics,
+            **runner_kwargs,
+        )
+        if args.format == "dot":
+            band_of = None
+            if args.bands:
+                from .analysis.bands import derive_bands
+                from .analysis.ixp_share import IXPShareAnalysis
 
-            boundaries = derive_bands(IXPShareAnalysis(context))
-            band_of = boundaries.band_of
-        print(context.tree.to_dot(band_of=band_of))
-    else:
-        print(context.tree.to_ascii(max_children=args.max_children))
-    _write_observability(args, tracer, metrics, graph=dataset.graph)
+                boundaries = derive_bands(IXPShareAnalysis(context))
+                band_of = boundaries.band_of
+            print(context.tree.to_dot(band_of=band_of))
+        else:
+            print(context.tree.to_ascii(max_children=args.max_children))
+    finally:
+        _write_observability(args, tracer, metrics, graph=dataset.graph, monitor=monitor)
     return 0
 
 
@@ -264,33 +327,35 @@ def _cmd_paper(args: argparse.Namespace) -> int:
         dataset = _load_dataset(args.dataset)
     else:
         dataset = generate_topology(seed=args.seed)
-    tracer, metrics = _make_observability(args)
-    run = PaperRun(
-        dataset,
-        workers=args.workers,
-        kernel=args.kernel,
-        analysis_engine=args.analysis_engine,
-        cache=_make_cache(args),
-        tracer=tracer,
-        metrics=metrics,
-        **_make_runner(args),
-    )
-    wrote_artifacts = False
-    if args.html:
-        from .report.html import render_html_report
+    tracer, metrics, monitor = _make_observability(args)
+    try:
+        run = PaperRun(
+            dataset,
+            workers=args.workers,
+            kernel=args.kernel,
+            analysis_engine=args.analysis_engine,
+            cache=_make_cache(args),
+            tracer=tracer,
+            metrics=metrics,
+            **_make_runner(args),
+        )
+        wrote_artifacts = False
+        if args.html:
+            from .report.html import render_html_report
 
-        Path(args.html).write_text(render_html_report(run), encoding="utf-8")
-        print(f"wrote HTML report to {args.html}")
-        wrote_artifacts = True
-    if args.csv_dir:
-        from .report.csvdata import write_figure_csvs
+            Path(args.html).write_text(render_html_report(run), encoding="utf-8")
+            print(f"wrote HTML report to {args.html}")
+            wrote_artifacts = True
+        if args.csv_dir:
+            from .report.csvdata import write_figure_csvs
 
-        files = write_figure_csvs(run, args.csv_dir)
-        print(f"wrote {len(files)} CSV/manifest files to {args.csv_dir}")
-        wrote_artifacts = True
-    if not wrote_artifacts:
-        print(run.full_report())
-    _write_observability(args, tracer, metrics, graph=dataset.graph)
+            files = write_figure_csvs(run, args.csv_dir)
+            print(f"wrote {len(files)} CSV/manifest files to {args.csv_dir}")
+            wrote_artifacts = True
+        if not wrote_artifacts:
+            print(run.full_report())
+    finally:
+        _write_observability(args, tracer, metrics, graph=dataset.graph, monitor=monitor)
     return 0
 
 
@@ -355,24 +420,61 @@ def _cmd_atlas(args: argparse.Namespace) -> int:
 def _cmd_export(args: argparse.Namespace) -> int:
     runner_kwargs = _make_runner(args)
     dataset = _load_dataset(args.dataset)
-    tracer, metrics = _make_observability(args)
-    result = run_cpm(
-        dataset.graph,
-        k_range=(args.min_k, args.max_k),
-        workers=args.workers,
-        kernel=args.kernel,
-        cache=_make_cache(args),
-        tracer=tracer,
-        metrics=metrics,
-        **runner_kwargs,
-    )
-    save_result(result, args.out)
-    hierarchy = result.hierarchy
+    tracer, metrics, monitor = _make_observability(args)
+    try:
+        result = run_cpm(
+            dataset.graph,
+            k_range=(args.min_k, args.max_k),
+            workers=args.workers,
+            kernel=args.kernel,
+            cache=_make_cache(args),
+            tracer=tracer,
+            metrics=metrics,
+            **runner_kwargs,
+        )
+        save_result(result, args.out)
+        hierarchy = result.hierarchy
+        print(
+            f"wrote {hierarchy.total_communities} communities "
+            f"(k in [{hierarchy.min_k}, {hierarchy.max_k}]) to {args.out}"
+        )
+    finally:
+        _write_observability(args, tracer, metrics, graph=dataset.graph, monitor=monitor)
+    return 0
+
+
+def _cmd_obs_view(args: argparse.Namespace) -> int:
+    spans, _document = load_trace(args.trace)
+    print(render_tree(spans, hot_count=args.hot))
+    return 0
+
+
+def _cmd_obs_diff(args: argparse.Namespace) -> int:
+    import json
+
+    base = json.loads(Path(args.a).read_text(encoding="utf-8"))
+    fresh = json.loads(Path(args.b).read_text(encoding="utf-8"))
     print(
-        f"wrote {hierarchy.total_communities} communities "
-        f"(k in [{hierarchy.min_k}, {hierarchy.max_k}]) to {args.out}"
+        diff_manifests(base, fresh, names=(Path(args.a).name, Path(args.b).name))
     )
-    _write_observability(args, tracer, metrics, graph=dataset.graph)
+    return 0
+
+
+def _cmd_obs_export(args: argparse.Namespace) -> int:
+    spans, document = load_trace(args.trace)
+    resources = (document or {}).get("resources") or None
+    out = args.out or str(Path(args.trace).with_suffix(f".{args.format}.json"))
+    label = Path(args.trace).stem
+    target = write_perfetto(spans, out, resources=resources, label=label)
+    print(
+        f"wrote {args.format} trace ({len(spans)} spans) to {target} "
+        f"— open it at ui.perfetto.dev"
+    )
+    return 0
+
+
+def _cmd_obs_history(args: argparse.Namespace) -> int:
+    print(history(args.directory, max_commits=args.max_commits))
     return 0
 
 
@@ -468,6 +570,55 @@ def build_parser() -> argparse.ArgumentParser:
     _add_cpm_arguments(p_export)
     _add_obs_arguments(p_export)
     p_export.set_defaults(func=_cmd_export)
+
+    p_obs = sub.add_parser(
+        "obs", help="inspect observability artifacts (traces, manifests, bench history)"
+    )
+    obs_sub = p_obs.add_subparsers(dest="obs_command", required=True)
+
+    p_view = obs_sub.add_parser(
+        "view", help="render a trace (JSONL) or manifest as an ASCII span tree"
+    )
+    p_view.add_argument("trace", help="trace .jsonl or run-manifest .json file")
+    p_view.add_argument(
+        "--hot", type=int, default=3, metavar="N",
+        help="flag the N spans with the largest self time (default 3)",
+    )
+    p_view.set_defaults(func=_cmd_obs_view)
+
+    p_diff = obs_sub.add_parser(
+        "diff", help="signed scalar deltas between two run manifests"
+    )
+    p_diff.add_argument("a", help="baseline manifest JSON")
+    p_diff.add_argument("b", help="comparison manifest JSON")
+    p_diff.set_defaults(func=_cmd_obs_diff)
+
+    p_oexp = obs_sub.add_parser(
+        "export", help="convert a trace to a standard viewer format"
+    )
+    p_oexp.add_argument("trace", help="trace .jsonl or run-manifest .json file")
+    p_oexp.add_argument(
+        "--format", choices=["perfetto"], default="perfetto",
+        help="output format (Chrome/Perfetto trace-event JSON)",
+    )
+    p_oexp.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="output path (default: <trace>.perfetto.json)",
+    )
+    p_oexp.set_defaults(func=_cmd_obs_export)
+
+    p_hist = obs_sub.add_parser(
+        "history", help="bench scalar trajectories across committed BENCH manifests"
+    )
+    p_hist.add_argument(
+        "directory", nargs="?", default="benchmarks/output",
+        help="directory holding BENCH_*.json manifests (default benchmarks/output)",
+    )
+    p_hist.add_argument(
+        "--max-commits", type=int, default=10, metavar="N",
+        help="how many commits of history to walk (default 10)",
+    )
+    p_hist.set_defaults(func=_cmd_obs_history)
     return parser
 
 
@@ -486,6 +637,9 @@ def main(argv: list[str] | None = None) -> int:
     except (KeyError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except BrokenPipeError:
+        # Output piped into a pager/head that exited early; not an error.
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

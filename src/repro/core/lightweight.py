@@ -81,6 +81,7 @@ from ..graph.undirected import Graph
 from ..obs.manifest import graph_fingerprint
 from ..obs.metrics import MetricsRegistry
 from ..obs.tracing import NULL_TRACER, Tracer, max_rss_kib
+from ..obs.worker import current_metrics, worker_span
 from ..runner.checkpoint import CheckpointStore
 from ..runner.faults import FaultPlan
 from ..runner.supervise import PoolSupervisor, RunnerConfig
@@ -148,19 +149,30 @@ def _count_pairs_shard(shard: list[list[int]]) -> tuple[Counter, dict]:
     Returns the pair counter plus a self-timed statistics dict — worker
     processes cannot share the parent's tracer, so each shard reports
     its own wall/CPU time, sizes and peak RSS back for aggregation.
+    Under a supervised telemetry capture the shard additionally records
+    a ``worker.overlap.count`` span and ``worker.overlap.*`` counters
+    (a namespace disjoint from the stats-dict aggregation, so merged
+    worker registries never double-count the ``overlap.*`` family).
     """
     t0, c0 = time.perf_counter(), time.process_time()
-    counter: Counter[tuple[int, int]] = Counter()
-    incidences = 0
-    pair_updates = 0
-    for cids in shard:
-        n = len(cids)
-        incidences += n
-        pair_updates += n * (n - 1) // 2
-        for a in range(n):
-            ca = cids[a]
-            for b in range(a + 1, n):
-                counter[(ca, cids[b])] += 1
+    with worker_span("worker.overlap.count", nodes=len(shard)) as span:
+        counter: Counter[tuple[int, int]] = Counter()
+        incidences = 0
+        pair_updates = 0
+        for cids in shard:
+            n = len(cids)
+            incidences += n
+            pair_updates += n * (n - 1) // 2
+            for a in range(n):
+                ca = cids[a]
+                for b in range(a + 1, n):
+                    counter[(ca, cids[b])] += 1
+        span.set("pairs", len(counter))
+        registry = current_metrics()
+        if registry is not None:
+            registry.inc("worker.overlap.pair_updates", pair_updates)
+            registry.inc("worker.overlap.distinct_pairs", len(counter))
+            registry.observe("worker.overlap.shard_nodes", len(shard))
     stats = {
         "nodes": len(shard),
         "incidences": incidences,
@@ -192,26 +204,34 @@ def _percolate_orders(
     only integer ids keeps the workers light), plus the statistics dict.
     """
     t0, c0 = time.perf_counter(), time.process_time()
-    min_threshold = min(orders) - 1
-    if min_threshold > 1:
-        active = [p for p in pairs if p[2] >= min_threshold]
-    else:
-        active = pairs
-    result: dict[int, list[list[int]]] = {}
-    merges = 0
-    for k in orders:
-        eligible = _prefix_count(sizes, k)
-        if eligible == 0:
-            result[k] = []
-            continue
-        uf = UnionFind(range(eligible))
-        threshold = k - 1
-        for i, j, overlap in active:
-            if overlap >= threshold and i < eligible and j < eligible:
-                uf.union(i, j)
-        groups = [sorted(group) for group in uf.groups()]
-        result[k] = groups
-        merges += eligible - len(groups)
+    with worker_span(
+        "worker.percolate.orders", orders=len(orders), pairs=len(pairs)
+    ) as span:
+        min_threshold = min(orders) - 1
+        if min_threshold > 1:
+            active = [p for p in pairs if p[2] >= min_threshold]
+        else:
+            active = pairs
+        result: dict[int, list[list[int]]] = {}
+        merges = 0
+        for k in orders:
+            eligible = _prefix_count(sizes, k)
+            if eligible == 0:
+                result[k] = []
+                continue
+            uf = UnionFind(range(eligible))
+            threshold = k - 1
+            for i, j, overlap in active:
+                if overlap >= threshold and i < eligible and j < eligible:
+                    uf.union(i, j)
+            groups = [sorted(group) for group in uf.groups()]
+            result[k] = groups
+            merges += eligible - len(groups)
+        span.set("union_merges", merges)
+        registry = current_metrics()
+        if registry is not None:
+            registry.inc("worker.percolate.union_merges", merges)
+            registry.inc("worker.percolate.orders_done", len(orders))
     stats = {
         "orders": len(orders),
         "pairs_in": len(pairs),
@@ -246,28 +266,36 @@ def _percolate_orders_packed(
     builds.
     """
     t0, c0 = time.perf_counter(), time.process_time()
-    uf = IntUnionFind(wire.n_cliques)
-    shift = wire.shift
-    bucket_orders = sorted(wire.buckets, reverse=True)
-    bi = 0
-    n_buckets = len(bucket_orders)
-    applied = 0
-    merges = 0
-    result: dict[int, list[list[int]]] = {}
-    for idx, k in enumerate(orders):
-        while bi < n_buckets and bucket_orders[bi] >= k:
-            buf = array("q")
-            buf.frombytes(wire.buckets[bucket_orders[bi]])
-            applied += len(buf)
-            merges += uf.union_packed(buf, shift)
-            bi += 1
-        if k == 2 and wire.chains:
-            buf = array("q")
-            buf.frombytes(wire.chains)
-            applied += len(buf)
-            merges += uf.union_packed(buf, shift)
-        eligible = eligibles[idx]
-        result[k] = [] if eligible == 0 else uf.groups(eligible)
+    with worker_span(
+        "worker.percolate.packed", orders=len(orders), cliques=wire.n_cliques
+    ) as span:
+        uf = IntUnionFind(wire.n_cliques)
+        shift = wire.shift
+        bucket_orders = sorted(wire.buckets, reverse=True)
+        bi = 0
+        n_buckets = len(bucket_orders)
+        applied = 0
+        merges = 0
+        result: dict[int, list[list[int]]] = {}
+        for idx, k in enumerate(orders):
+            while bi < n_buckets and bucket_orders[bi] >= k:
+                buf = array("q")
+                buf.frombytes(wire.buckets[bucket_orders[bi]])
+                applied += len(buf)
+                merges += uf.union_packed(buf, shift)
+                bi += 1
+            if k == 2 and wire.chains:
+                buf = array("q")
+                buf.frombytes(wire.chains)
+                applied += len(buf)
+                merges += uf.union_packed(buf, shift)
+            eligible = eligibles[idx]
+            result[k] = [] if eligible == 0 else uf.groups(eligible)
+        span.set("union_merges", merges)
+        registry = current_metrics()
+        if registry is not None:
+            registry.inc("worker.percolate.union_merges", merges)
+            registry.inc("worker.percolate.orders_done", len(orders))
     pairs_in = wire.n_pairs + wire.n_chain_pairs
     stats = {
         "orders": len(orders),
@@ -458,6 +486,10 @@ class LightweightParallelCPM:
             initargs=initargs,
             tracer=self.tracer,
             metrics=self.metrics,
+            # Explicit: the CPM always owns a private registry, so the
+            # supervisor's tracer-based default would miss metrics-only
+            # observation; _observing is the run's single source of truth.
+            telemetry=self._observing,
         )
 
     def _cache_store(self, checksum: str | None, payload: dict) -> None:

@@ -37,6 +37,7 @@ from dataclasses import dataclass, field
 from itertools import combinations
 
 from ..obs.tracing import max_rss_kib
+from ..obs.worker import current_metrics, worker_span
 
 __all__ = [
     "OverlapWire",
@@ -122,15 +123,22 @@ def count_overlaps_shard(shard: list[list[int]]) -> tuple[Counter, dict]:
     like the set kernel's, so the parent aggregates both identically.
     """
     t0, c0 = time.perf_counter(), time.process_time()
-    counter: Counter[tuple[int, int]] = Counter()
-    update = counter.update
-    incidences = 0
-    pair_updates = 0
-    for cids in shard:
-        n = len(cids)
-        incidences += n
-        pair_updates += n * (n - 1) // 2
-        update(combinations(cids, 2))
+    with worker_span("worker.overlap.count", nodes=len(shard)) as span:
+        counter: Counter[tuple[int, int]] = Counter()
+        update = counter.update
+        incidences = 0
+        pair_updates = 0
+        for cids in shard:
+            n = len(cids)
+            incidences += n
+            pair_updates += n * (n - 1) // 2
+            update(combinations(cids, 2))
+        span.set("pairs", len(counter))
+        registry = current_metrics()
+        if registry is not None:
+            registry.inc("worker.overlap.pair_updates", pair_updates)
+            registry.inc("worker.overlap.distinct_pairs", len(counter))
+            registry.observe("worker.overlap.shard_nodes", len(shard))
     stats = {
         "nodes": len(shard),
         "incidences": incidences,

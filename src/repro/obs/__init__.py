@@ -20,12 +20,35 @@ observable:
   metrics into one JSON artifact per run, the unit of the benchmark
   trajectory under ``benchmarks/output/``.
 
+Telemetry v2 adds the capture-and-inspect layers on top:
+
+* :mod:`repro.obs.worker` — per-task tracer/metrics inside pool worker
+  processes, shipped back with each batch result and grafted into the
+  driver trace with pid/worker attribution;
+* :mod:`repro.obs.resources` — a sampling :class:`ResourceMonitor`
+  thread recording an RSS/CPU series into the manifest;
+* :mod:`repro.obs.export` — conversion of traces to Chrome/Perfetto
+  trace-event JSON (``ui.perfetto.dev``);
+* :mod:`repro.obs.inspect` — terminal rendering: ASCII span trees,
+  manifest diffs, bench-scalar history (the ``repro obs`` CLI).
+
 Schema and metric-name reference: ``docs/observability.md``.
 """
 
+from .export import to_perfetto, validate_trace_events, write_perfetto
+from .inspect import diff_manifests, history, load_trace, render_tree
 from .manifest import RunManifest, graph_fingerprint, library_versions
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .resources import ResourceMonitor
 from .tracing import NULL_TRACER, NullTracer, Span, SpanRecord, Tracer
+from .worker import (
+    TelemetryEnvelope,
+    WorkerTelemetry,
+    capture,
+    current_metrics,
+    current_tracer,
+    worker_span,
+)
 
 __all__ = [
     "Span",
@@ -40,4 +63,18 @@ __all__ = [
     "RunManifest",
     "graph_fingerprint",
     "library_versions",
+    "ResourceMonitor",
+    "WorkerTelemetry",
+    "TelemetryEnvelope",
+    "capture",
+    "current_metrics",
+    "current_tracer",
+    "worker_span",
+    "to_perfetto",
+    "validate_trace_events",
+    "write_perfetto",
+    "load_trace",
+    "render_tree",
+    "diff_manifests",
+    "history",
 ]

@@ -1,0 +1,182 @@
+"""Chrome/Perfetto trace-event export for repro traces.
+
+Our JSONL span schema is compact and greppable, but nobody should have
+to eyeball a 10k-span run as raw JSON.  :func:`to_perfetto` converts a
+trace (span dicts, optionally plus a resource series) into the Chrome
+trace-event JSON object format, which ``ui.perfetto.dev`` and
+``chrome://tracing`` open directly:
+
+* every span becomes one complete event (``"ph": "X"``) with
+  microsecond ``ts``/``dur`` on a shared timeline (``start_wall`` is
+  ``time.perf_counter``, a system-wide monotonic clock on Linux, so
+  driver and worker spans align without adjustment);
+* spans are grouped into one track per process — the driver plus one
+  per worker pid (worker spans carry the ``pid`` attribute the
+  supervisor stamps when it grafts telemetry) — with ``process_name``
+  metadata events labelling each track;
+* a :class:`~.resources.ResourceMonitor` series becomes Perfetto
+  counter events (``"ph": "C"``) so RSS and CPU draw as graphs under
+  the span tracks.
+
+:func:`validate_trace_events` is the schema check the round-trip test
+pins down: it verifies the structural contract of the trace-event
+format (required keys per phase type, numeric timestamps, integer
+pid/tid) so an export that would render blank in Perfetto fails
+loudly here instead.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+__all__ = ["to_perfetto", "validate_trace_events", "write_perfetto"]
+
+#: pid assigned to the driver process's track (worker tracks use the
+#: real worker pid, which can never be 1 in any container we run in —
+#: pid 1 is the init process).
+DRIVER_TRACK_PID = 1
+
+
+def _microseconds(seconds: float) -> float:
+    """Trace-event timestamps are microseconds (doubles are allowed)."""
+    return round(seconds * 1e6, 3)
+
+
+def to_perfetto(
+    spans: list[dict],
+    *,
+    resources: dict | None = None,
+    label: str = "repro",
+) -> dict:
+    """Convert span dicts (+ optional resource series) to trace-event JSON.
+
+    Returns the JSON object format: ``{"traceEvents": [...]}`` plus
+    ``displayTimeUnit``.  Timestamps are rebased to the earliest span
+    (or resource sample) so traces start at t=0.
+    """
+    samples = (resources or {}).get("samples", [])
+    origins = [s["start_wall"] for s in spans if "start_wall" in s]
+    origins += [s["wall"] for s in samples if "wall" in s]
+    origin = min(origins, default=0.0)
+
+    events: list[dict] = []
+    seen_pids: dict[int, str] = {}
+
+    def track(pid: int, name: str) -> int:
+        if pid not in seen_pids:
+            seen_pids[pid] = name
+            events.append(
+                {
+                    "ph": "M",
+                    "name": "process_name",
+                    "pid": pid,
+                    "tid": 0,
+                    "args": {"name": name},
+                }
+            )
+        return pid
+
+    track(DRIVER_TRACK_PID, f"{label} driver")
+    for span in spans:
+        attrs = span.get("attrs", {}) or {}
+        worker_pid = attrs.get("pid")
+        if isinstance(worker_pid, int) and worker_pid != DRIVER_TRACK_PID:
+            worker_id = attrs.get("worker_id")
+            suffix = f" (w{worker_id})" if worker_id is not None else ""
+            pid = track(worker_pid, f"{label} worker {worker_pid}{suffix}")
+        else:
+            pid = DRIVER_TRACK_PID
+        args = {
+            key: value
+            for key, value in attrs.items()
+            if isinstance(value, (str, int, float, bool)) or value is None
+        }
+        args["cpu_seconds"] = span.get("cpu_seconds", 0.0)
+        events.append(
+            {
+                "ph": "X",
+                "name": span.get("name", "span"),
+                "cat": "span",
+                "ts": _microseconds(span.get("start_wall", origin) - origin),
+                "dur": max(0.0, _microseconds(span.get("wall_seconds", 0.0))),
+                "pid": pid,
+                "tid": 1,
+                "args": args,
+            }
+        )
+
+    for sample in samples:
+        ts = _microseconds(sample.get("wall", origin) - origin)
+        for counter in ("rss_kib", "max_rss_kib", "cpu_seconds"):
+            if counter in sample:
+                events.append(
+                    {
+                        "ph": "C",
+                        "name": counter,
+                        "ts": ts,
+                        "pid": DRIVER_TRACK_PID,
+                        "tid": 0,
+                        "args": {counter: sample[counter]},
+                    }
+                )
+
+    return {"displayTimeUnit": "ms", "traceEvents": events}
+
+
+#: Phase types this exporter emits; validation rejects anything else.
+_KNOWN_PHASES = {"X", "C", "M"}
+
+
+def validate_trace_events(document: dict) -> None:
+    """Raise ValueError unless ``document`` is valid trace-event JSON.
+
+    Checks the structural contract of the Chrome trace-event object
+    format for the phases this exporter produces: a ``traceEvents``
+    list whose entries all carry ``ph``/``name``/``pid``/``tid``,
+    numeric non-negative ``ts`` (plus ``dur`` for complete events),
+    and dict ``args`` where present.
+    """
+    if not isinstance(document, dict):
+        raise ValueError("trace document must be a JSON object")
+    events = document.get("traceEvents")
+    if not isinstance(events, list):
+        raise ValueError("trace document must carry a traceEvents list")
+    for position, event in enumerate(events):
+        where = f"traceEvents[{position}]"
+        if not isinstance(event, dict):
+            raise ValueError(f"{where} is not an object")
+        phase = event.get("ph")
+        if phase not in _KNOWN_PHASES:
+            raise ValueError(f"{where} has unknown phase {phase!r}")
+        if not isinstance(event.get("name"), str) or not event["name"]:
+            raise ValueError(f"{where} needs a non-empty string name")
+        for key in ("pid", "tid"):
+            if not isinstance(event.get(key), int):
+                raise ValueError(f"{where} needs an integer {key}")
+        if phase in ("X", "C"):
+            ts = event.get("ts")
+            if not isinstance(ts, (int, float)) or ts < 0:
+                raise ValueError(f"{where} needs a non-negative numeric ts")
+        if phase == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                raise ValueError(f"{where} needs a non-negative numeric dur")
+        if "args" in event and not isinstance(event["args"], dict):
+            raise ValueError(f"{where} args must be an object")
+
+
+def write_perfetto(
+    spans: list[dict],
+    path,
+    *,
+    resources: dict | None = None,
+    label: str = "repro",
+) -> Path:
+    """Convert, validate and write a trace; returns the output path."""
+    document = to_perfetto(spans, resources=resources, label=label)
+    validate_trace_events(document)
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(json.dumps(document, indent=1) + "\n", encoding="utf-8")
+    return target

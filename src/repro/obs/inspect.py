@@ -1,0 +1,328 @@
+"""Terminal inspection of traces and manifests: view / diff / history.
+
+The exporter (:mod:`.export`) hands traces to Perfetto; this module is
+the zero-dependency path — everything renders as plain text in a
+terminal, which is where regressions actually get triaged:
+
+* :func:`render_tree` draws a trace (JSONL spans or a manifest's
+  ``spans`` block) as an ASCII call tree annotated with total and
+  *self* wall time (total minus the children), flagging the hottest
+  spans so the expensive subtree is visible without arithmetic;
+* :func:`diff_manifests` compares two :class:`~.manifest.RunManifest`
+  documents scalar by scalar — span wall times, numeric config
+  entries, counters, gauges — printing signed deltas with percent
+  change, and *warns* when ``schema_version`` or the recorded
+  ``settings`` (kernel, engine, workers) differ, because such a pair
+  measures two different pipelines, not one regression;
+* :func:`history` walks the git history of committed ``BENCH_*.json``
+  manifests and prints each gated scalar's trajectory across commits
+  (newest last, working tree included), turning the accumulated bench
+  artifacts into a per-scalar time series.
+
+All functions return strings; ``repro obs ...`` (see ``repro.cli``)
+just prints them.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+from pathlib import Path
+
+__all__ = [
+    "load_trace",
+    "manifest_scalars",
+    "render_tree",
+    "diff_manifests",
+    "history",
+]
+
+#: Spans whose self time ranks in the top this-many get the hot marker.
+HOT_COUNT = 3
+
+#: Marker appended to hot-path lines (pure ASCII on purpose).
+HOT_MARK = "  <== hot"
+
+
+def load_trace(path) -> tuple[list[dict], dict | None]:
+    """Load span dicts from a trace JSONL *or* a manifest JSON file.
+
+    Returns ``(spans, manifest_dict_or_None)``: a file that parses as a
+    single JSON object *and* looks like a :class:`~.manifest.RunManifest`
+    (it carries a ``spans`` or ``schema_version`` key — a bare span
+    line carries neither) yields its ``spans`` block alongside the full
+    document; anything else is parsed as JSON Lines with one span per
+    line.
+    """
+    text = Path(path).read_text(encoding="utf-8")
+    stripped = text.strip()
+    if stripped.startswith("{"):
+        try:
+            document = json.loads(stripped)
+        except json.JSONDecodeError:
+            document = None
+        if isinstance(document, dict) and (
+            "spans" in document or "schema_version" in document
+        ):
+            return list(document.get("spans") or []), document
+    spans = []
+    for line in stripped.splitlines():
+        line = line.strip()
+        if line:
+            spans.append(json.loads(line))
+    return spans, None
+
+
+# ----------------------------------------------------------------------
+# obs view — ASCII span tree
+# ----------------------------------------------------------------------
+def render_tree(spans: list[dict], *, hot_count: int = HOT_COUNT) -> str:
+    """Render spans as an indented tree with total/self wall time.
+
+    Children attach by ``parent_id`` and sort by ``start_wall``; spans
+    whose parent is missing from the trace (or None) are roots.  Self
+    time is a span's wall time minus its direct children's, clamped at
+    zero (children of absorbed worker spans overlap the driver span
+    that grafted them, so naive subtraction can go negative).  The
+    ``hot_count`` largest self times are flagged with ``<== hot``.
+    """
+    if not spans:
+        return "(empty trace)"
+    by_id = {s.get("span_id"): s for s in spans if s.get("span_id") is not None}
+    children: dict[int | None, list[dict]] = {}
+    for span in spans:
+        parent = span.get("parent_id")
+        if parent is not None and parent not in by_id:
+            parent = None
+        children.setdefault(parent, []).append(span)
+    for siblings in children.values():
+        siblings.sort(key=lambda s: s.get("start_wall", 0.0))
+
+    self_times: dict[int, float] = {}
+    for span in spans:
+        kids = children.get(span.get("span_id"), [])
+        child_wall = sum(k.get("wall_seconds", 0.0) for k in kids)
+        self_times[id(span)] = max(0.0, span.get("wall_seconds", 0.0) - child_wall)
+    hot = set(
+        sorted(self_times, key=self_times.get, reverse=True)[:hot_count]
+        if len(spans) > 1
+        else []
+    )
+
+    lines: list[str] = []
+
+    def label(span: dict) -> str:
+        name = span.get("name", "?")
+        attrs = span.get("attrs") or {}
+        tags = [
+            f"{key}={attrs[key]}"
+            for key in ("phase", "batch", "worker_id", "pid", "error", "dangling")
+            if key in attrs
+        ]
+        if tags:
+            name += " [" + " ".join(tags) + "]"
+        return name
+
+    def walk(span: dict, prefix: str, tail: bool, is_root: bool) -> None:
+        total = span.get("wall_seconds", 0.0)
+        self_time = self_times[id(span)]
+        connector = "" if is_root else ("`- " if tail else "|- ")
+        mark = HOT_MARK if id(span) in hot else ""
+        lines.append(
+            f"{prefix}{connector}{label(span)}"
+            f"  total={total:.4f}s self={self_time:.4f}s{mark}"
+        )
+        kids = children.get(span.get("span_id"), [])
+        child_prefix = prefix if is_root else prefix + ("   " if tail else "|  ")
+        for position, kid in enumerate(kids):
+            walk(kid, child_prefix, position == len(kids) - 1, False)
+
+    roots = children.get(None, [])
+    for position, root in enumerate(roots):
+        walk(root, "", position == len(roots) - 1, True)
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# obs diff — manifest scalar deltas
+# ----------------------------------------------------------------------
+def manifest_scalars(manifest: dict) -> dict[str, float]:
+    """Every numeric scalar of a manifest document, namespaced by origin.
+
+    ``span:<name>.wall`` (first occurrence per name, matching
+    ``RunManifest.span``), ``config:<key>`` for numeric config values,
+    ``counter:<name>`` and ``gauge:<name>`` from the metrics block.
+    """
+    out: dict[str, float] = {}
+    for span in manifest.get("spans") or []:
+        key = f"span:{span.get('name', '?')}.wall"
+        if key not in out:
+            out[key] = float(span.get("wall_seconds", 0.0))
+    for key, value in (manifest.get("config") or {}).items():
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            out[f"config:{key}"] = float(value)
+    metrics = manifest.get("metrics") or {}
+    for family, prefix in (("counters", "counter"), ("gauges", "gauge")):
+        for name, value in (metrics.get(family) or {}).items():
+            if isinstance(value, (int, float)):
+                out[f"{prefix}:{name}"] = float(value)
+    return out
+
+
+def diff_manifests(base: dict, fresh: dict, *, names: tuple[str, str] = ("a", "b")) -> str:
+    """Signed per-scalar deltas between two manifest documents.
+
+    Every scalar present in *both* manifests gets one row with the two
+    values, the signed delta and the percent change.  Scalars unique to
+    one side are listed separately.  Comparability warnings lead the
+    output when the manifests disagree on ``schema_version`` or on any
+    recorded ``settings`` key — those runs measured different
+    configurations and their deltas are attribution, not regression.
+    """
+    lines: list[str] = []
+    base_version = base.get("schema_version")
+    fresh_version = fresh.get("schema_version")
+    if base_version != fresh_version:
+        lines.append(
+            f"WARNING: schema_version mismatch ({names[0]}={base_version}, "
+            f"{names[1]}={fresh_version}); fields may not correspond"
+        )
+    base_settings = base.get("settings") or {}
+    fresh_settings = fresh.get("settings") or {}
+    for key in sorted(set(base_settings) | set(fresh_settings)):
+        left, right = base_settings.get(key), fresh_settings.get(key)
+        if left != right:
+            lines.append(
+                f"WARNING: settings mismatch on {key!r} ({names[0]}={left!r}, "
+                f"{names[1]}={right!r}); deltas compare different pipelines"
+            )
+    base_fp = (base.get("fingerprint") or {}).get("checksum")
+    fresh_fp = (fresh.get("fingerprint") or {}).get("checksum")
+    if base_fp and fresh_fp and base_fp != fresh_fp:
+        lines.append(
+            "WARNING: graph fingerprints differ; the runs used different inputs"
+        )
+
+    base_scalars = manifest_scalars(base)
+    fresh_scalars = manifest_scalars(fresh)
+    shared = sorted(set(base_scalars) & set(fresh_scalars))
+    if not shared:
+        lines.append("no shared scalars between the two manifests")
+        return "\n".join(lines)
+
+    width = max(len(key) for key in shared)
+    lines.append(
+        f"{'scalar':<{width}}  {names[0]:>12}  {names[1]:>12}  "
+        f"{'delta':>12}  {'pct':>8}"
+    )
+    for key in shared:
+        left, right = base_scalars[key], fresh_scalars[key]
+        delta = right - left
+        pct = f"{delta / left * 100.0:+.1f}%" if left else "   n/a"
+        lines.append(
+            f"{key:<{width}}  {left:>12.6g}  {right:>12.6g}  "
+            f"{delta:>+12.6g}  {pct:>8}"
+        )
+    only_base = sorted(set(base_scalars) - set(fresh_scalars))
+    only_fresh = sorted(set(fresh_scalars) - set(base_scalars))
+    if only_base:
+        lines.append(f"only in {names[0]}: {', '.join(only_base)}")
+    if only_fresh:
+        lines.append(f"only in {names[1]}: {', '.join(only_fresh)}")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# obs history — scalar trajectories over git history
+# ----------------------------------------------------------------------
+def _git(repo: Path, *argv: str) -> str:
+    return subprocess.check_output(
+        ("git", *argv), cwd=repo, text=True, stderr=subprocess.DEVNULL
+    )
+
+
+def history(
+    directory,
+    *,
+    max_commits: int = 10,
+    prefixes: tuple[str, ...] = ("span:cpm.", "span:analysis.", "config:"),
+) -> str:
+    """Per-scalar trajectories of ``BENCH_*.json`` files across commits.
+
+    Walks the last ``max_commits`` commits that touched ``directory``
+    (oldest first), reads every committed ``BENCH_*.json`` at each, and
+    prints the value of every scalar matching ``prefixes`` per commit,
+    ending with the working-tree value when the file exists on disk.
+    Without a usable git history the working tree alone is reported, so
+    the command still works on an export of the repository.
+    """
+    root = Path(directory)
+    lines: list[str] = []
+    commits: list[str] = []
+    try:
+        # Git pathspecs resolve relative to the cwd (root), so "." scopes
+        # the log — and ls-tree/show below — to the bench directory.
+        out = _git(
+            root, "log", f"--max-count={max_commits}",
+            "--format=%h %ad", "--date=short", "--", ".",
+        )
+        commits = [line.strip() for line in out.splitlines() if line.strip()]
+        commits.reverse()  # oldest first
+    except (subprocess.CalledProcessError, OSError):
+        pass
+
+    def matching(scalars: dict[str, float]) -> dict[str, float]:
+        return {
+            key: value
+            for key, value in scalars.items()
+            if key.startswith(prefixes)
+        }
+
+    # series[(file, scalar)] -> list of (label, value)
+    series: dict[tuple[str, str], list[tuple[str, float]]] = {}
+    for commit in commits:
+        short = commit.split()[0]
+        try:
+            listing = _git(root, "ls-tree", "--name-only", short, ".")
+        except (subprocess.CalledProcessError, OSError):
+            continue
+        for entry in listing.splitlines():
+            name = Path(entry).name
+            if not (name.startswith("BENCH_") and name.endswith(".json")):
+                continue
+            try:
+                # "<rev>:./<path>" resolves the path against the cwd.
+                document = json.loads(_git(root, "show", f"{short}:./{entry}"))
+            except (subprocess.CalledProcessError, OSError, json.JSONDecodeError):
+                continue
+            for key, value in matching(manifest_scalars(document)).items():
+                series.setdefault((name, key), []).append((commit, value))
+
+    worktree_files = sorted(root.glob("BENCH_*.json")) if root.is_dir() else []
+    for path in worktree_files:
+        try:
+            document = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            continue
+        for key, value in matching(manifest_scalars(document)).items():
+            series.setdefault((path.name, key), []).append(("worktree", value))
+
+    if not series:
+        return f"no BENCH_*.json scalars found under {root}"
+
+    lines.append(
+        f"bench scalar history ({len(commits)} commit(s) + working tree, "
+        f"oldest first):"
+    )
+    for (file_name, key) in sorted(series):
+        lines.append(f"  {file_name} :: {key}")
+        points = series[(file_name, key)]
+        first = points[0][1]
+        for label, value in points:
+            rel_pct = (
+                f"  ({(value - first) / first * 100.0:+.1f}% vs first)"
+                if first and label != points[0][0]
+                else ""
+            )
+            lines.append(f"    {label:<24} {value:>12.6g}{rel_pct}")
+    return "\n".join(lines)

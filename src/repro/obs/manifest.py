@@ -9,14 +9,22 @@ the same input?".  It bundles:
   graph, so before/after comparisons are provably about the same input;
 * ``config`` — the run's parameters (CLI arguments, generator profile,
   worker count …), free-form JSON;
+* ``settings`` — the *comparability-critical* subset of the config
+  (which kernel, which analysis engine, how many workers): ``repro obs
+  diff`` refuses to silently compare manifests whose settings differ,
+  because a bitset-vs-set delta is a kernel change, not a regression;
 * ``versions`` — Python, platform and ``repro`` versions;
 * ``spans`` — the closed spans of the run's :class:`~repro.obs.tracing.
   Tracer` (per-phase wall/CPU/peak-memory);
 * ``metrics`` — the ``to_dict`` export of the run's
-  :class:`~repro.obs.metrics.MetricsRegistry`.
+  :class:`~repro.obs.metrics.MetricsRegistry`;
+* ``resources`` — the :class:`~repro.obs.resources.ResourceMonitor`
+  sample series (RSS / CPU over the run), when one was attached.
 
 Manifests round-trip losslessly through JSON
-(:meth:`RunManifest.save` / :meth:`RunManifest.load`).
+(:meth:`RunManifest.save` / :meth:`RunManifest.load`).  Schema history:
+version 1 had neither ``settings`` nor ``resources``; version 2 added
+both (old files load fine — the new blocks default to empty).
 """
 
 from __future__ import annotations
@@ -31,7 +39,7 @@ from pathlib import Path
 __all__ = ["RunManifest", "graph_fingerprint", "library_versions"]
 
 #: Version of the manifest JSON layout, bumped on breaking changes.
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 
 def graph_fingerprint(graph) -> dict:
@@ -76,9 +84,11 @@ class RunManifest:
     label: str = ""
     fingerprint: dict | None = None
     config: dict = field(default_factory=dict)
+    settings: dict = field(default_factory=dict)
     versions: dict = field(default_factory=library_versions)
     spans: list[dict] = field(default_factory=list)
     metrics: dict = field(default_factory=dict)
+    resources: dict = field(default_factory=dict)
     schema_version: int = SCHEMA_VERSION
 
     @classmethod
@@ -88,21 +98,28 @@ class RunManifest:
         label: str = "",
         graph=None,
         config: dict | None = None,
+        settings: dict | None = None,
         tracer=None,
         metrics=None,
+        resources: dict | None = None,
     ) -> "RunManifest":
         """Assemble a manifest from live objects.
 
-        ``graph`` (fingerprinted), ``tracer`` (its closed spans) and
-        ``metrics`` (its ``to_dict``) are each optional, so partial
-        manifests — e.g. a benchmark that only times itself — are valid.
+        ``graph`` (fingerprinted), ``tracer`` (its closed spans),
+        ``metrics`` (its ``to_dict``), ``settings`` (the recording
+        kernel/engine configuration) and ``resources`` (a
+        :class:`~repro.obs.resources.ResourceMonitor` series) are each
+        optional, so partial manifests — e.g. a benchmark that only
+        times itself — are valid.
         """
         return cls(
             label=label,
             fingerprint=graph_fingerprint(graph) if graph is not None else None,
             config=dict(config or {}),
+            settings=dict(settings or {}),
             spans=tracer.to_dicts() if tracer is not None else [],
             metrics=metrics.to_dict() if metrics is not None else {},
+            resources=dict(resources or {}),
         )
 
     # ------------------------------------------------------------------
@@ -115,9 +132,11 @@ class RunManifest:
             "label": self.label,
             "fingerprint": self.fingerprint,
             "config": self.config,
+            "settings": self.settings,
             "versions": self.versions,
             "spans": self.spans,
             "metrics": self.metrics,
+            "resources": self.resources,
         }
 
     @classmethod
@@ -127,9 +146,11 @@ class RunManifest:
             label=data.get("label", ""),
             fingerprint=data.get("fingerprint"),
             config=dict(data.get("config", {})),
+            settings=dict(data.get("settings", {})),
             versions=dict(data.get("versions", {})),
             spans=list(data.get("spans", [])),
             metrics=dict(data.get("metrics", {})),
+            resources=dict(data.get("resources", {})),
             schema_version=data.get("schema_version", SCHEMA_VERSION),
         )
 

@@ -1,0 +1,128 @@
+"""Sampling resource monitor: RSS / CPU series for a whole run.
+
+Spans answer "how long did each phase take"; they cannot answer "what
+did the process footprint look like *while* the overlap phase ran".
+:class:`ResourceMonitor` fills that gap with a daemon thread that
+samples, at a configurable interval:
+
+* current resident set size (``/proc/self/statm`` where available,
+  0 elsewhere — no dependency on psutil),
+* the high-water RSS (``resource.getrusage``),
+* cumulative process CPU time (``time.process_time``),
+* the ``time.perf_counter`` wall clock — the *same* clock spans stamp
+  ``start_wall`` with, so samples and spans align on one timeline (the
+  Perfetto exporter relies on this to draw the counter track under the
+  span tracks).
+
+The monitor is opt-in and owned by the caller: uninstrumented runs
+never construct one, so the disabled cost is exactly zero.  The
+collected series lands in the :class:`~.manifest.RunManifest` as the
+``resources`` block.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+
+from .tracing import max_rss_kib
+
+__all__ = ["ResourceMonitor"]
+
+#: Bytes per VM page, for converting /proc/self/statm resident pages.
+_PAGE_SIZE = os.sysconf("SC_PAGE_SIZE") if hasattr(os, "sysconf") else 4096
+
+#: Default sampling interval in seconds (coarse enough to be free,
+#: fine enough to catch per-phase footprint changes).
+DEFAULT_INTERVAL = 0.25
+
+
+def current_rss_kib() -> int:
+    """Current resident set size in KiB (0 where /proc is unavailable)."""
+    try:
+        with open("/proc/self/statm", "rb") as handle:
+            fields = handle.read().split()
+        return int(fields[1]) * _PAGE_SIZE // 1024
+    except (OSError, IndexError, ValueError):
+        return 0
+
+
+class ResourceMonitor:
+    """Background sampler of process RSS and CPU time.
+
+    Use as a context manager (or call :meth:`start` / :meth:`stop`)::
+
+        with ResourceMonitor(interval=0.25) as monitor:
+            run_the_pipeline()
+        manifest = RunManifest.collect(..., resources=monitor.series())
+
+    Samples are plain dicts (``wall``, ``rss_kib``, ``max_rss_kib``,
+    ``cpu_seconds``) appended under a lock; :meth:`series` returns the
+    JSON-ready block.  The thread is a daemon and ``stop`` is
+    idempotent, so a crashing run can never hang on the sampler.
+    """
+
+    def __init__(self, interval: float = DEFAULT_INTERVAL) -> None:
+        if interval <= 0:
+            raise ValueError(f"interval must be > 0, got {interval}")
+        self.interval = interval
+        self.samples: list[dict] = []
+        self._lock = threading.Lock()
+        self._stop_event = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "ResourceMonitor":
+        """Begin sampling (one leading sample is taken immediately)."""
+        if self._thread is not None:
+            return self
+        self._sample()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-resource-monitor", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop the thread and take one trailing sample (idempotent)."""
+        if self._thread is None:
+            return
+        self._stop_event.set()
+        self._thread.join(timeout=5.0)
+        self._thread = None
+        self._sample()
+
+    def __enter__(self) -> "ResourceMonitor":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # Sampling
+    # ------------------------------------------------------------------
+    def _run(self) -> None:
+        while not self._stop_event.wait(self.interval):
+            self._sample()
+
+    def _sample(self) -> None:
+        sample = {
+            "wall": time.perf_counter(),
+            "rss_kib": current_rss_kib(),
+            "max_rss_kib": max_rss_kib(),
+            "cpu_seconds": time.process_time(),
+        }
+        with self._lock:
+            self.samples.append(sample)
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def series(self) -> dict:
+        """The collected samples as the manifest's ``resources`` block."""
+        with self._lock:
+            samples = list(self.samples)
+        return {"interval": self.interval, "samples": samples}

@@ -122,9 +122,16 @@ class Span:
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
-        """Close the span and hand the finished record to the tracer."""
+        """Close the span and hand the finished record to the tracer.
+
+        An exception unwinding through the span stamps an ``error``
+        attribute (the exception type name) so a failed run's trace
+        shows *where* it died, not just that spans stopped.
+        """
         wall = time.perf_counter() - self._t0
         cpu = time.process_time() - self._c0
+        if exc_type is not None:
+            self.attrs.setdefault("error", exc_type.__name__)
         self._tracer._close(self, wall, cpu)
 
 
@@ -157,10 +164,32 @@ class Tracer:
         return Span(self, name, attrs)
 
     def close(self) -> None:
-        """Stop tracemalloc if this tracer started it (idempotent)."""
+        """Finalise the trace: close dangling spans, stop tracemalloc.
+
+        Any span still open (an exception path that bypassed its
+        ``__exit__``, or code that entered spans manually) is closed
+        with its measured elapsed time and a ``dangling`` marker, so a
+        failed run still flushes a *complete* trace — every opened span
+        has a record, parent links resolve, and ``write_jsonl`` emits
+        valid lines.  Idempotent.
+        """
+        while self._stack:
+            span = self._stack[-1]
+            span.attrs.setdefault("dangling", True)
+            wall = time.perf_counter() - span._t0
+            cpu = time.process_time() - span._c0
+            self._close(span, wall, cpu)
         if self._started_tracemalloc and tracemalloc.is_tracing():
             tracemalloc.stop()
             self._started_tracemalloc = False
+
+    def __enter__(self) -> "Tracer":
+        """Tracers are context managers: ``with Tracer() as tracer``."""
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        """Closing the context finalises the trace (see :meth:`close`)."""
+        self.close()
 
     # ------------------------------------------------------------------
     # Span lifecycle (called by Span.__enter__/__exit__)
@@ -213,6 +242,62 @@ class Tracer:
             top = self._stack[-1]
             top._mem_peak = max(top._mem_peak, peak)
         tracemalloc.reset_peak()
+
+    # ------------------------------------------------------------------
+    # Grafting (worker telemetry)
+    # ------------------------------------------------------------------
+    def absorb(self, spans: list[dict], **extra_attrs) -> None:
+        """Graft externally-recorded span dicts into this trace.
+
+        ``spans`` is another tracer's :meth:`to_dicts` output (a worker
+        process's capture, shipped back as plain dicts).  Every span is
+        re-identified from this tracer's id sequence, root spans are
+        parented under the currently open span (so worker subtrees hang
+        off ``runner.supervise`` in the merged call tree), depths are
+        rebased, and ``extra_attrs`` — ``pid``/``worker_id`` in the
+        supervisor's case — are stamped onto each record.
+        """
+        if not spans:
+            return
+        parent = self._stack[-1] if self._stack else None
+        base_depth = len(self._stack)
+        # Assign new ids for every incoming span up front: spans arrive
+        # in closing order (children before parents), so parent links
+        # must resolve against the full batch, not a running prefix.
+        id_map: dict[int, int] = {}
+        for record in spans:
+            old_id = record.get("span_id")
+            if old_id is not None and old_id not in id_map:
+                id_map[old_id] = self._next_id
+                self._next_id += 1
+        for record in spans:
+            old_id = record.get("span_id")
+            if old_id is not None:
+                new_id = id_map[old_id]
+            else:
+                new_id = self._next_id
+                self._next_id += 1
+            old_parent = record.get("parent_id")
+            if old_parent is None or old_parent not in id_map:
+                parent_id = parent.span_id if parent is not None else None
+            else:
+                parent_id = id_map[old_parent]
+            attrs = dict(record.get("attrs", {}))
+            attrs.update(extra_attrs)
+            self.records.append(
+                SpanRecord(
+                    name=record.get("name", ""),
+                    span_id=new_id,
+                    parent_id=parent_id,
+                    depth=base_depth + record.get("depth", 0),
+                    start_wall=record.get("start_wall", 0.0),
+                    wall_seconds=record.get("wall_seconds", 0.0),
+                    cpu_seconds=record.get("cpu_seconds", 0.0),
+                    peak_alloc_bytes=record.get("peak_alloc_bytes", 0),
+                    max_rss_kib=record.get("max_rss_kib", 0),
+                    attrs=attrs,
+                )
+            )
 
     # ------------------------------------------------------------------
     # Export
@@ -272,6 +357,9 @@ class NullTracer(Tracer):
     def span(self, name: str, **attrs) -> Span:
         """The shared no-op span, regardless of arguments."""
         return _NULL_SPAN  # type: ignore[return-value]
+
+    def absorb(self, spans: list[dict], **extra_attrs) -> None:
+        """No-op: a null trace never accumulates records."""
 
 
 #: Module-level no-op tracer shared by all un-instrumented runs.

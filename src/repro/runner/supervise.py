@@ -39,6 +39,7 @@ from typing import Any, Callable
 
 from ..obs.metrics import MetricsRegistry
 from ..obs.tracing import NULL_TRACER, Tracer
+from ..obs.worker import TelemetryEnvelope, capture
 from .faults import FaultPlan
 
 __all__ = ["RunnerConfig", "PoolSupervisor", "BatchRetryExhausted"]
@@ -75,11 +76,23 @@ def _supervised_call(payload: tuple) -> Any:
     The fault plan travels as its spec string inside the task tuple, so
     this works identically under fork and spawn start methods and needs
     no shared state beyond the payload itself.
+
+    With ``telemetry`` set, the task body runs inside a
+    :func:`repro.obs.worker.capture` context and the bare result is
+    replaced by a :class:`~repro.obs.worker.TelemetryEnvelope` carrying
+    the worker's spans and counters; the driver unwraps it on receipt.
+    Faults fire *before* the capture opens, so a failed attempt ships
+    no telemetry and a retried batch is counted exactly once — by the
+    attempt that succeeded.
     """
-    fn, task, site, index, attempt, spec = payload
+    fn, task, site, index, attempt, spec, telemetry = payload
     if spec:
         FaultPlan.parse(spec).fire(site, index=index, attempt=attempt)
-    return fn(task)
+    if not telemetry:
+        return fn(task)
+    with capture(site, index, attempt) as ctx:
+        result = fn(task)
+    return TelemetryEnvelope(result, ctx.export())
 
 
 class PoolSupervisor:
@@ -103,6 +116,7 @@ class PoolSupervisor:
         initargs: tuple = (),
         tracer: Tracer | None = None,
         metrics: MetricsRegistry | None = None,
+        telemetry: bool | None = None,
         sleep: Callable[[float], None] = time.sleep,
     ) -> None:
         if workers < 2:
@@ -115,9 +129,16 @@ class PoolSupervisor:
         self.initargs = initargs
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        # Worker-side capture defaults to "whenever the driver traces":
+        # an instrumented run gets worker spans for free, an
+        # uninstrumented one pays nothing (the trampoline's telemetry
+        # branch is a falsy check).  Callers can force it either way.
+        self.telemetry = telemetry if telemetry is not None else self.tracer.enabled
         self.sleep = sleep
         self.degraded = False
         self.restarts = 0
+        #: First-seen ordering of worker pids -> small stable worker ids.
+        self._worker_ids: dict[int, int] = {}
 
     # ------------------------------------------------------------------
     # Public API
@@ -206,7 +227,10 @@ class PoolSupervisor:
         futures = {}
         try:
             for index, task in sorted(pending.items()):
-                payload = (fn, task, self.phase, index, attempts[index], self.fault_spec)
+                payload = (
+                    fn, task, self.phase, index, attempts[index],
+                    self.fault_spec, self.telemetry,
+                )
                 futures[pool.submit(_supervised_call, payload)] = index
         except (BrokenExecutor, RuntimeError):
             # Pool already broken (e.g. a worker died during initializer).
@@ -233,11 +257,32 @@ class PoolSupervisor:
                     failed.append(index)
                     self.metrics.inc("runner.batch_failures")
                 else:
+                    result = self._unwrap(result)
                     results[index] = result
                     del pending[index]
                     if on_result is not None:
                         on_result(index, result)
         return failed, False
+
+    def _unwrap(self, result: Any) -> Any:
+        """Merge a result's telemetry envelope into the driver's trace.
+
+        Spans are grafted under the open ``runner.supervise`` span with
+        ``pid`` / ``worker_id`` attribution (worker ids are assigned in
+        first-seen pid order, so they are small and stable within a
+        phase); counters/histograms merge into the driver registry.
+        Bare results pass through untouched.
+        """
+        if not isinstance(result, TelemetryEnvelope):
+            return result
+        telemetry = result.telemetry
+        pid = telemetry.get("pid", 0)
+        worker_id = self._worker_ids.setdefault(pid, len(self._worker_ids))
+        self.tracer.absorb(
+            telemetry.get("spans", []), pid=pid, worker_id=worker_id
+        )
+        self.metrics.merge(telemetry.get("metrics", {}))
+        return result.result
 
     def _degrade(
         self,
@@ -254,7 +299,17 @@ class PoolSupervisor:
                 f"{self.phase} batch {index} failed past {self.config.max_retries} retries"
             )
         with self.tracer.span("runner.fallback", phase=self.phase, batch=index):
-            result = fallback(task)
+            if self.telemetry:
+                # Serial degradation still captures the task's worker
+                # spans/counters — they just attribute to the driver
+                # pid.  The capture replaces any telemetry the failed
+                # pool attempts produced (which was never shipped), so
+                # the batch is counted exactly once here too.
+                with capture(self.phase, index, -1) as ctx:
+                    result = fallback(task)
+                result = self._unwrap(TelemetryEnvelope(result, ctx.export()))
+            else:
+                result = fallback(task)
         results[index] = result
         self.degraded = True
         self.metrics.inc("runner.fallback_batches")

@@ -5,9 +5,17 @@ tracer really is free, spans nest, manifests survive a JSON round
 trip, the instrumented LP-CPM run is oblivious to worker count (same
 hierarchy, complete trace either way), and the percolation prefilter
 drops exactly the pairs that cannot merge anything.
+
+Telemetry v2 contracts live here too: failed runs still flush complete
+traces (dangling spans close), worker captures graft into the driver
+trace with pid/worker attribution, the Perfetto export round-trips
+through its own schema validator, manifest diffs print every shared
+scalar and warn on incomparable settings, and the resource monitor
+samples a consistent series.
 """
 
 import json
+import os
 import time
 
 import pytest
@@ -21,10 +29,21 @@ from repro.obs import (
     Histogram,
     MetricsRegistry,
     NullTracer,
+    ResourceMonitor,
     RunManifest,
     Tracer,
+    capture,
+    current_metrics,
+    diff_manifests,
     graph_fingerprint,
+    load_trace,
+    render_tree,
+    to_perfetto,
+    validate_trace_events,
+    worker_span,
+    write_perfetto,
 )
+from repro.obs.inspect import manifest_scalars
 
 
 @pytest.fixture(scope="module")
@@ -364,3 +383,483 @@ class TestCLIObservability:
         capsys.readouterr()
         manifest = RunManifest.load(manifest_path)
         assert manifest.metrics["counters"]["tree.nodes"] > 0
+
+
+class TestTracerLifecycle:
+    def test_error_attr_on_exception(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("doomed"):
+                raise RuntimeError("boom")
+        assert tracer.records[0].attrs["error"] == "RuntimeError"
+
+    def test_context_manager_closes_dangling_spans(self):
+        with Tracer() as tracer:
+            tracer.span("left.open", k=4).__enter__()  # never exited
+        assert [r.name for r in tracer.records] == ["left.open"]
+        record = tracer.records[0]
+        assert record.attrs["dangling"] is True
+        assert record.attrs["k"] == 4
+        assert record.wall_seconds >= 0.0
+
+    def test_dangling_spans_close_innermost_first(self):
+        tracer = Tracer()
+        tracer.span("outer").__enter__()
+        tracer.span("inner").__enter__()
+        tracer.close()
+        assert [r.name for r in tracer.records] == ["inner", "outer"]
+        records = {r.name: r for r in tracer.records}
+        assert records["inner"].parent_id == records["outer"].span_id
+
+    def test_close_is_idempotent(self):
+        tracer = Tracer()
+        tracer.span("open").__enter__()
+        tracer.close()
+        tracer.close()
+        assert len(tracer.records) == 1
+
+    def test_closed_trace_is_flushable(self, tmp_path):
+        tracer = Tracer()
+        tracer.span("phase").__enter__()
+        tracer.close()
+        out = tracer.write_jsonl(tmp_path / "crash.jsonl")
+        record = json.loads(out.read_text().splitlines()[0])
+        assert record["attrs"]["dangling"] is True
+
+
+class TestAbsorb:
+    def _worker_spans(self):
+        worker = Tracer()
+        with worker.span("worker.task", batch=0):
+            with worker.span("worker.percolate.orders", orders=3):
+                pass
+        return worker.to_dicts()
+
+    def test_grafts_under_open_span(self):
+        driver = Tracer()
+        with driver.span("runner.supervise"):
+            driver.absorb(self._worker_spans(), pid=4242, worker_id=0)
+        driver.close()
+        records = {r.name: r for r in driver.records}
+        supervise = records["runner.supervise"]
+        task = records["worker.task"]
+        child = records["worker.percolate.orders"]
+        # Re-parented: worker roots hang off the open driver span, and
+        # the worker-internal parent link survives re-identification.
+        assert task.parent_id == supervise.span_id
+        assert child.parent_id == task.span_id
+        assert task.depth == 1 and child.depth == 2
+        # Attribution is stamped on every grafted record.
+        for record in (task, child):
+            assert record.attrs["pid"] == 4242
+            assert record.attrs["worker_id"] == 0
+        assert child.attrs["orders"] == 3
+        # Ids stay unique across native and absorbed spans.
+        ids = [r.span_id for r in driver.records]
+        assert len(ids) == len(set(ids))
+
+    def test_absorb_without_open_span_makes_roots(self):
+        driver = Tracer()
+        driver.absorb(self._worker_spans(), pid=7)
+        records = {r.name: r for r in driver.records}
+        assert records["worker.task"].parent_id is None
+        assert records["worker.percolate.orders"].parent_id == records["worker.task"].span_id
+
+    def test_absorb_two_batches_keeps_ids_distinct(self):
+        driver = Tracer()
+        with driver.span("runner.supervise"):
+            driver.absorb(self._worker_spans(), pid=1001, worker_id=0)
+            driver.absorb(self._worker_spans(), pid=1002, worker_id=1)
+        driver.close()
+        ids = [r.span_id for r in driver.records]
+        assert len(ids) == len(set(ids))
+        tasks = driver.find("worker.task")
+        assert {r.attrs["pid"] for r in tasks} == {1001, 1002}
+
+    def test_null_tracer_absorb_is_noop(self):
+        NULL_TRACER.absorb(self._worker_spans(), pid=1)
+        assert NULL_TRACER.records == []
+
+
+class TestWorkerTelemetryContext:
+    def test_unobserved_helpers_are_noop(self):
+        assert current_metrics() is None
+        span = worker_span("worker.anything", n=1)
+        assert span is NULL_TRACER.span("other")
+        with span:
+            span.set("ignored", 1)
+
+    def test_capture_activates_and_exports(self):
+        with capture("percolate", 3, 1) as ctx:
+            registry = current_metrics()
+            assert registry is ctx.metrics
+            with worker_span("worker.inner", n=1):
+                registry.inc("worker.test.calls")
+        assert current_metrics() is None
+        payload = ctx.export()
+        assert payload["pid"] == os.getpid()
+        names = {s["name"] for s in payload["spans"]}
+        assert names == {"worker.task", "worker.inner"}
+        task = next(s for s in payload["spans"] if s["name"] == "worker.task")
+        assert task["attrs"] == {"phase": "percolate", "batch": 3, "attempt": 1}
+        assert payload["metrics"]["counters"]["worker.test.calls"] == 1
+
+    def test_capture_deactivates_on_error(self):
+        with pytest.raises(RuntimeError):
+            with capture("overlap", 0, 0):
+                raise RuntimeError("boom")
+        assert current_metrics() is None
+
+
+class TestWorkerAttribution:
+    @pytest.mark.parametrize("kernel", ["bitset", "set"])
+    def test_parallel_run_ships_worker_spans(self, ring_graph, kernel):
+        tracer = Tracer()
+        metrics = MetricsRegistry()
+        cpm = LightweightParallelCPM(
+            ring_graph, workers=2, kernel=kernel, tracer=tracer, metrics=metrics
+        )
+        cpm.run(max_k=6)
+        tracer.close()
+        by_id = {r.span_id: r for r in tracer.records}
+        tasks = tracer.find("worker.task")
+        assert tasks, "expected worker.task spans grafted from the pool"
+        for record in tasks:
+            assert record.attrs["pid"] != os.getpid()
+            assert record.attrs["worker_id"] >= 0
+            assert by_id[record.parent_id].name == "runner.supervise"
+        # Worker-internal spans parent to their task span, never float.
+        for record in tracer.records:
+            if record.name.startswith("worker.") and record.name != "worker.task":
+                assert by_id[record.parent_id].name == "worker.task"
+        # Percolation always dispatches through the pool here; the
+        # bitset kernel's truncated overlap index can collapse to one
+        # shard on a graph this small (serial path), so the overlap
+        # worker span is only guaranteed for the set kernel.
+        names = {r.name for r in tracer.records}
+        assert names & {"worker.percolate.orders", "worker.percolate.packed"}
+        if kernel == "set":
+            assert "worker.overlap.count" in names
+        # Worker counters merged into the driver registry under the
+        # worker.* namespace (distinct from the stats-dict aggregates).
+        counters = metrics.to_dict()["counters"]
+        assert counters.get("worker.percolate.orders_done", 0) > 0
+
+    def test_serial_run_has_no_worker_spans(self, ring_graph):
+        tracer = Tracer()
+        cpm = LightweightParallelCPM(ring_graph, workers=1, tracer=tracer)
+        cpm.run(max_k=6)
+        tracer.close()
+        assert tracer.find("worker.task") == []
+
+
+class TestResourceMonitor:
+    def test_rejects_nonpositive_interval(self):
+        with pytest.raises(ValueError, match="interval"):
+            ResourceMonitor(interval=0)
+        with pytest.raises(ValueError, match="interval"):
+            ResourceMonitor(interval=-1.0)
+
+    def test_samples_and_series(self):
+        with ResourceMonitor(interval=0.01) as monitor:
+            time.sleep(0.06)
+        series = monitor.series()
+        assert series["interval"] == 0.01
+        samples = series["samples"]
+        assert len(samples) >= 2  # one leading + one trailing at minimum
+        for sample in samples:
+            assert set(sample) == {"wall", "rss_kib", "max_rss_kib", "cpu_seconds"}
+        walls = [s["wall"] for s in samples]
+        assert walls == sorted(walls)
+        # Linux always reports a positive high-water RSS.
+        assert samples[-1]["max_rss_kib"] > 0
+
+    def test_stop_is_idempotent(self):
+        monitor = ResourceMonitor(interval=0.01).start()
+        monitor.stop()
+        count = len(monitor.samples)
+        monitor.stop()
+        assert len(monitor.samples) == count
+
+
+class TestManifestV2:
+    def test_settings_and_resources_round_trip(self, tmp_path):
+        monitor = ResourceMonitor(interval=0.01).start()
+        monitor.stop()
+        manifest = RunManifest.collect(
+            label="v2",
+            settings={"kernel": "bitset", "workers": 4},
+            resources=monitor.series(),
+        )
+        loaded = RunManifest.load(manifest.save(tmp_path / "m.json"))
+        assert loaded.schema_version == 2
+        assert loaded.settings == {"kernel": "bitset", "workers": 4}
+        assert loaded.resources["interval"] == 0.01
+        assert loaded.resources["samples"]
+        assert loaded.to_dict() == manifest.to_dict()
+
+    def test_v1_document_loads_with_empty_blocks(self):
+        loaded = RunManifest.from_dict({"schema_version": 1, "label": "old"})
+        assert loaded.settings == {}
+        assert loaded.resources == {}
+        assert loaded.schema_version == 1
+
+
+class TestPerfettoExport:
+    def _spans(self):
+        driver = Tracer()
+        with driver.span("cpm.run", kernel="bitset"):
+            with driver.span("runner.supervise", phase="percolate"):
+                worker = Tracer()
+                with worker.span("worker.task", phase="percolate", batch=0, attempt=0):
+                    pass
+                driver.absorb(worker.to_dicts(), pid=4242, worker_id=0)
+        driver.close()
+        return driver.to_dicts()
+
+    def test_round_trip_validates(self, tmp_path):
+        spans = self._spans()
+        resources = {
+            "interval": 0.01,
+            "samples": [
+                {
+                    "wall": spans[-1]["start_wall"],
+                    "rss_kib": 100,
+                    "max_rss_kib": 200,
+                    "cpu_seconds": 0.5,
+                }
+            ],
+        }
+        out = write_perfetto(
+            spans, tmp_path / "t.perfetto.json", resources=resources, label="t"
+        )
+        # The written file must survive a JSON round trip *and* the
+        # trace-event schema check — what ui.perfetto.dev will parse.
+        document = json.loads(out.read_text())
+        validate_trace_events(document)
+        events = document["traceEvents"]
+        assert {e["ph"] for e in events} == {"X", "C", "M"}
+        track_names = {e["args"]["name"] for e in events if e["ph"] == "M"}
+        assert "t driver" in track_names
+        assert "t worker 4242 (w0)" in track_names
+        spans_x = [e for e in events if e["ph"] == "X"]
+        # Timestamps rebase to the earliest span: the trace starts at 0.
+        assert min(e["ts"] for e in spans_x) == 0.0
+        worker_events = [e for e in spans_x if e["pid"] == 4242]
+        assert [e["name"] for e in worker_events] == ["worker.task"]
+        assert worker_events[0]["args"]["worker_id"] == 0
+        counters = {e["name"] for e in events if e["ph"] == "C"}
+        assert counters == {"rss_kib", "max_rss_kib", "cpu_seconds"}
+
+    def test_driver_spans_stay_on_driver_track(self):
+        document = to_perfetto(self._spans())
+        run = next(
+            e for e in document["traceEvents"]
+            if e["ph"] == "X" and e["name"] == "cpm.run"
+        )
+        assert run["pid"] == 1
+        assert run["args"]["kernel"] == "bitset"
+
+    def test_validator_rejects_malformed_documents(self):
+        with pytest.raises(ValueError, match="traceEvents"):
+            validate_trace_events({})
+        with pytest.raises(ValueError, match="object"):
+            validate_trace_events([])
+        with pytest.raises(ValueError, match="unknown phase"):
+            validate_trace_events(
+                {"traceEvents": [{"ph": "Q", "name": "x", "pid": 1, "tid": 0}]}
+            )
+        with pytest.raises(ValueError, match="name"):
+            validate_trace_events(
+                {"traceEvents": [{"ph": "X", "name": "", "pid": 1, "tid": 0,
+                                  "ts": 0, "dur": 0}]}
+            )
+        with pytest.raises(ValueError, match="integer pid"):
+            validate_trace_events(
+                {"traceEvents": [{"ph": "M", "name": "n", "pid": "one", "tid": 0}]}
+            )
+        with pytest.raises(ValueError, match="non-negative numeric ts"):
+            validate_trace_events(
+                {"traceEvents": [{"ph": "X", "name": "x", "pid": 1, "tid": 0,
+                                  "ts": -1.0, "dur": 0}]}
+            )
+        with pytest.raises(ValueError, match="dur"):
+            validate_trace_events(
+                {"traceEvents": [{"ph": "X", "name": "x", "pid": 1, "tid": 0,
+                                  "ts": 0}]}
+            )
+
+
+class TestInspect:
+    def test_load_trace_jsonl(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        path = tracer.write_jsonl(tmp_path / "t.jsonl")
+        spans, document = load_trace(path)
+        assert [s["name"] for s in spans] == ["a"]
+        assert document is None
+
+    def test_load_trace_manifest(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("cpm.run"):
+            pass
+        manifest = RunManifest.collect(label="m", tracer=tracer)
+        path = manifest.save(tmp_path / "m.json")
+        spans, document = load_trace(path)
+        assert [s["name"] for s in spans] == ["cpm.run"]
+        assert document["schema_version"] == 2
+
+    def test_render_tree_structure(self):
+        tracer = Tracer()
+        with tracer.span("cpm.run"):
+            with tracer.span("cpm.enumerate"):
+                pass
+            with pytest.raises(ValueError):
+                with tracer.span("cpm.overlap"):
+                    raise ValueError("boom")
+        tracer.close()
+        lines = render_tree(tracer.to_dicts(), hot_count=1).splitlines()
+        assert lines[0].startswith("cpm.run")  # roots carry no connector
+        assert lines[1].startswith("|- cpm.enumerate")
+        assert lines[2].startswith("`- cpm.overlap [error=ValueError]")
+        for line in lines:
+            assert "total=" in line and "self=" in line
+        assert sum("<== hot" in line for line in lines) == 1
+
+    def test_render_tree_orphan_becomes_root(self):
+        spans = [
+            {"name": "orphan", "span_id": 9, "parent_id": 12345,
+             "start_wall": 0.0, "wall_seconds": 0.5},
+        ]
+        assert render_tree(spans).startswith("orphan")
+
+    def test_render_tree_empty(self):
+        assert render_tree([]) == "(empty trace)"
+
+    def test_manifest_scalars_namespacing(self):
+        manifest = {
+            "spans": [
+                {"name": "cpm.run", "wall_seconds": 2.0},
+                {"name": "cpm.run", "wall_seconds": 9.0},  # dup: first wins
+            ],
+            "config": {"workers": 2, "kernel": "bitset", "flag": True},
+            "metrics": {
+                "counters": {"cliques.enumerated": 8},
+                "gauges": {"runner.degraded": 0.0},
+            },
+        }
+        assert manifest_scalars(manifest) == {
+            "span:cpm.run.wall": 2.0,
+            "config:workers": 2.0,
+            "counter:cliques.enumerated": 8.0,
+            "gauge:runner.degraded": 0.0,
+        }
+
+    def test_diff_prints_every_shared_scalar_and_warns(self):
+        base = {
+            "schema_version": 2,
+            "settings": {"kernel": "bitset"},
+            "spans": [{"name": "cpm.run", "wall_seconds": 1.0}],
+            "config": {"workers": 2},
+            "metrics": {"counters": {"c": 10}},
+        }
+        fresh = {
+            "schema_version": 3,
+            "settings": {"kernel": "set"},
+            "spans": [{"name": "cpm.run", "wall_seconds": 1.5}],
+            "config": {"workers": 2},
+            "metrics": {"counters": {"c": 5, "d": 1}},
+        }
+        text = diff_manifests(base, fresh, names=("base", "fresh"))
+        assert "WARNING: schema_version mismatch" in text
+        assert "settings mismatch on 'kernel'" in text
+        for scalar in ("span:cpm.run.wall", "config:workers", "counter:c"):
+            assert scalar in text
+        assert "+50.0%" in text  # the span regressed by half
+        assert "only in fresh: counter:d" in text
+
+    def test_diff_identical_manifests_has_no_warnings(self):
+        doc = {
+            "schema_version": 2,
+            "settings": {"kernel": "bitset"},
+            "spans": [{"name": "cpm.run", "wall_seconds": 1.0}],
+        }
+        text = diff_manifests(doc, doc)
+        assert "WARNING" not in text
+        assert "span:cpm.run.wall" in text
+
+
+class TestObsCLI:
+    @pytest.fixture()
+    def artifacts(self, tmp_path, saved_dataset, capsys):
+        """One instrumented 2-worker CLI run's trace + manifest."""
+        trace = tmp_path / "trace.jsonl"
+        manifest = tmp_path / "manifest.json"
+        code = main(
+            [
+                "communities", saved_dataset, "--max-k", "5", "--workers", "2",
+                "--trace", str(trace), "--metrics", str(manifest),
+                "--resource-interval", "0.01",
+            ]
+        )
+        capsys.readouterr()
+        assert code == 0
+        return trace, manifest
+
+    def test_run_records_settings_resources_and_worker_spans(self, artifacts):
+        trace, manifest_path = artifacts
+        manifest = RunManifest.load(manifest_path)
+        assert manifest.settings["workers"] == 2
+        assert manifest.settings["kernel"]
+        assert manifest.resources["samples"], "resource monitor recorded no samples"
+        spans = [json.loads(line) for line in trace.read_text().splitlines()]
+        workers = {
+            s["attrs"]["pid"] for s in spans if s["name"] == "worker.task"
+        }
+        assert workers, "expected worker-attributed spans in the CLI trace"
+
+    def test_obs_view(self, artifacts, capsys):
+        trace, _ = artifacts
+        assert main(["obs", "view", str(trace), "--hot", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "cpm.run" in out
+        assert "worker.task" in out
+        assert "<== hot" in out
+
+    def test_obs_view_reads_manifests_too(self, artifacts, capsys):
+        _, manifest_path = artifacts
+        assert main(["obs", "view", str(manifest_path)]) == 0
+        assert "cpm.run" in capsys.readouterr().out
+
+    def test_obs_diff(self, artifacts, tmp_path, capsys):
+        _, manifest_path = artifacts
+        assert main(["obs", "diff", str(manifest_path), str(manifest_path)]) == 0
+        out = capsys.readouterr().out
+        assert "WARNING" not in out
+        assert "span:cpm.run.wall" in out
+        assert "counter:cliques.enumerated" in out
+
+    def test_obs_export(self, artifacts, tmp_path, capsys):
+        trace, _ = artifacts
+        out_path = tmp_path / "out.perfetto.json"
+        assert main(["obs", "export", str(trace), "--out", str(out_path)]) == 0
+        assert "perfetto" in capsys.readouterr().out
+        document = json.loads(out_path.read_text())
+        validate_trace_events(document)
+        worker_pids = {
+            e["pid"] for e in document["traceEvents"]
+            if e["ph"] == "X" and e["name"] == "worker.task"
+        }
+        assert worker_pids and 1 not in worker_pids
+
+    def test_obs_history_worktree_fallback(self, artifacts, tmp_path, capsys):
+        _, manifest_path = artifacts
+        bench_dir = tmp_path / "bench"
+        bench_dir.mkdir()
+        (bench_dir / "BENCH_sample.json").write_text(manifest_path.read_text())
+        assert main(["obs", "history", str(bench_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "BENCH_sample.json" in out
+        assert "worktree" in out
+        assert "span:cpm.run.wall" in out

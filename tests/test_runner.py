@@ -18,6 +18,7 @@ from repro.runner import (
     PoolSupervisor,
     RunnerConfig,
 )
+from repro.obs import MetricsRegistry, Tracer, current_metrics, worker_span
 from repro.runner.faults import FAULT_PLAN_ENV
 
 
@@ -259,6 +260,90 @@ class TestPoolSupervisor:
         assert config.backoff_seconds(1) == pytest.approx(0.1)
         assert config.backoff_seconds(2) == pytest.approx(0.2)
         assert config.backoff_seconds(5) == pytest.approx(0.3)  # capped
+
+
+def _counted_square(x: int) -> int:
+    """Picklable task that records worker telemetry when captured."""
+    registry = current_metrics()
+    if registry is not None:
+        registry.inc("worker.test.calls")
+    with worker_span("worker.test.square", x=x):
+        return x * x
+
+
+class TestWorkerTelemetryUnderFaults:
+    """Spans/counters from the pool must survive retries without double-counting."""
+
+    def _observed(self, plan="", **kwargs):
+        tracer = Tracer()
+        metrics = MetricsRegistry()
+        sup = PoolSupervisor(
+            workers=2,
+            phase="percolate",
+            fault_plan=FaultPlan.parse(plan) if plan else None,
+            tracer=tracer,
+            metrics=metrics,
+            sleep=lambda _s: None,
+            **kwargs,
+        )
+        return sup, tracer, metrics
+
+    def test_clean_run_attributes_every_batch_once(self):
+        sup, tracer, metrics = self._observed()
+        assert sup.run(_counted_square, [2, 3, 4]) == [4, 9, 16]
+        tracer.close()
+        assert metrics.to_dict()["counters"]["worker.test.calls"] == 3
+        tasks = tracer.find("worker.task")
+        assert {r.attrs["batch"] for r in tasks} == {0, 1, 2}
+        by_id = {r.span_id: r for r in tracer.records}
+        for record in tasks:
+            assert record.attrs["pid"] > 0
+            assert record.attrs["worker_id"] in (0, 1)
+            assert by_id[record.parent_id].name == "runner.supervise"
+        # Worker-internal spans re-parent under their task span.
+        for record in tracer.find("worker.test.square"):
+            assert by_id[record.parent_id].name == "worker.task"
+
+    def test_retried_batch_counts_once(self):
+        sup, tracer, metrics = self._observed("percolate:batch=0:raise:times=1")
+        assert sup.run(_counted_square, [2, 3]) == [4, 9]
+        tracer.close()
+        # The failed attempt shipped nothing: one call per batch, and
+        # batch 0's surviving span is the retry that succeeded.
+        assert metrics.to_dict()["counters"]["worker.test.calls"] == 2
+        assert len(tracer.find("worker.test.square")) == 2
+        batch0 = [r for r in tracer.find("worker.task") if r.attrs["batch"] == 0]
+        assert len(batch0) == 1
+        assert batch0[0].attrs["attempt"] == 1
+
+    def test_degraded_batch_counts_once_in_driver(self):
+        sup, tracer, metrics = self._observed(
+            "percolate:batch=1:raise", config=RunnerConfig(max_retries=1)
+        )
+        assert sup.run(_counted_square, [2, 3], fallback=_counted_square) == [4, 9]
+        tracer.close()
+        assert sup.degraded
+        counters = metrics.to_dict()["counters"]
+        assert counters["worker.test.calls"] == 2
+        fallbacks = [
+            r for r in tracer.find("worker.task") if r.attrs["attempt"] == -1
+        ]
+        assert len(fallbacks) == 1
+        assert fallbacks[0].attrs["batch"] == 1
+        # The serial fallback runs in (and attributes to) the driver.
+        assert fallbacks[0].attrs["pid"] == os.getpid()
+
+    def test_telemetry_off_ships_bare_results(self):
+        sup, tracer, metrics = self._observed(telemetry=False)
+        assert sup.run(_counted_square, [2, 3]) == [4, 9]
+        tracer.close()
+        assert tracer.find("worker.task") == []
+        assert "worker.test.calls" not in metrics.to_dict()["counters"]
+
+    def test_uninstrumented_supervisor_defaults_telemetry_off(self):
+        sup = PoolSupervisor(workers=2, phase="percolate")
+        assert sup.telemetry is False
+        assert sup.run(_counted_square, [3]) == [9]
 
 
 class TestKillExitCode:
