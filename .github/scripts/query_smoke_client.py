@@ -1,0 +1,134 @@
+"""Exercise every endpoint of a running query server and verify schemas.
+
+CI's query-smoke job starts ``repro query serve`` in the background and
+runs this client against it: stdlib urllib only, one GET per endpoint
+(plus the error paths), asserting each response is well-formed JSON with
+the documented shape and non-empty content.  Exit code 0 means every
+endpoint answered correctly.
+
+Usage: python query_smoke_client.py http://127.0.0.1:8091
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+import urllib.error
+import urllib.request
+
+TIMEOUT = 10.0
+
+
+def get(base: str, path: str):
+    """(status, parsed JSON body) of one GET, HTTP errors included."""
+    try:
+        with urllib.request.urlopen(base + path, timeout=TIMEOUT) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+def wait_ready(base: str, attempts: int = 100, delay: float = 0.2) -> dict:
+    """Poll /health until the server answers (or give up)."""
+    for _ in range(attempts):
+        try:
+            status, body = get(base, "/health")
+            if status == 200:
+                return body
+        except (urllib.error.URLError, ConnectionError, json.JSONDecodeError):
+            pass
+        time.sleep(delay)
+    raise SystemExit(f"server at {base} never became ready")
+
+
+def require(condition: bool, message: str) -> None:
+    if not condition:
+        raise SystemExit(f"query-smoke FAILED: {message}")
+
+
+def main(base: str) -> int:
+    health = wait_ready(base)
+    require(health.get("status") == "ok", f"/health not ok: {health}")
+    require(health.get("communities", 0) > 0, "/health reports zero communities")
+    print(f"/health ok: {health['communities']} communities, {health['nodes']} ASes")
+
+    status, info = get(base, "/artifact")
+    require(status == 200, f"/artifact -> {status}")
+    require(bool(info.get("fingerprint", {}).get("checksum")), "/artifact has no fingerprint")
+    require(bool(info.get("orders")), "/artifact has no orders")
+    require(
+        {"root_max", "crown_min"} <= set(info.get("bands", {})),
+        "/artifact bands malformed",
+    )
+    print(f"/artifact ok: orders {info['orders'][0]}..{info['orders'][-1]}")
+
+    # Discover real ASes through the API itself: the largest community's
+    # member list seeds the point queries.
+    status, top = get(base, "/top?metric=size&n=3")
+    require(status == 200, f"/top -> {status}")
+    communities = top.get("communities") or []
+    require(len(communities) == 3, f"/top returned {len(communities)} communities")
+    for record in communities:
+        require(
+            {"label", "k", "size", "link_density", "average_odf"} <= set(record),
+            f"/top record malformed: {record}",
+        )
+    sizes = [record["size"] for record in communities]
+    require(sizes == sorted(sizes, reverse=True), f"/top not sorted: {sizes}")
+    label = communities[0]["label"]
+    print(f"/top ok: largest community {label} (size {sizes[0]})")
+
+    status, community = get(base, f"/community?label={label}&members=1")
+    require(status == 200, f"/community -> {status}")
+    members = community.get("members") or []
+    require(len(members) == communities[0]["size"], "/community member count mismatch")
+    require(community.get("band") in ("root", "trunk", "crown"), "/community band missing")
+    print(f"/community ok: {len(members)} members, band {community['band']}")
+
+    a, b = members[0], members[1]
+    status, membership = get(base, f"/membership?as={a}")
+    require(status == 200, f"/membership -> {status}")
+    per_order = membership.get("memberships") or {}
+    require(bool(per_order), f"/membership empty for AS {a}")
+    require(
+        all(labels for labels in per_order.values()),
+        "/membership has an empty order",
+    )
+    require(
+        any(label in labels for labels in per_order.values()),
+        f"/membership for AS {a} misses its own community {label}",
+    )
+    print(f"/membership ok: AS {a} in communities at {len(per_order)} orders")
+
+    status, band = get(base, f"/band?as={a}")
+    require(status == 200, f"/band -> {status}")
+    require(band.get("band") in ("root", "trunk", "crown"), f"/band malformed: {band}")
+    require(isinstance(band.get("max_k"), int), "/band max_k missing")
+    print(f"/band ok: AS {a} is {band['band']} (max k {band['max_k']})")
+
+    status, lca = get(base, f"/lca?a={a}&b={b}")
+    require(status == 200, f"/lca -> {status}")
+    record = lca.get("lca")
+    require(record is not None, f"/lca of two co-members of {label} is null")
+    require(record["k"] >= communities[0]["k"], "/lca shallower than a shared community")
+    print(f"/lca ok: lca({a}, {b}) = {record['label']}")
+
+    # Error paths: unknown AS -> 404, missing parameter -> 400,
+    # unknown endpoint -> 404 — JSON errors, never tracebacks.
+    status, body = get(base, "/membership?as=999999999")
+    require(status == 404 and "error" in body, f"unknown AS: {status} {body}")
+    status, body = get(base, "/band")
+    require(status == 400 and "error" in body, f"missing param: {status} {body}")
+    status, body = get(base, "/no-such-endpoint")
+    require(status == 404 and "error" in body, f"unknown path: {status} {body}")
+    print("error paths ok: 404 unknown AS, 400 missing param, 404 unknown endpoint")
+
+    print("query-smoke client: all endpoints ok")
+    return 0
+
+
+if __name__ == "__main__":
+    if len(sys.argv) != 2:
+        raise SystemExit(f"usage: {sys.argv[0]} BASE_URL")
+    sys.exit(main(sys.argv[1].rstrip("/")))

@@ -57,17 +57,19 @@ def committed_manifests(ref: str) -> dict[str, dict]:
 
 #: Gated measurement families: span-name prefixes and config-scalar
 #: prefixes.  ``cpm.*`` covers extraction phases; ``analysis.*`` covers
-#: the metric-engine sweep (``bench_analysis_metrics.py``).
-SPAN_PREFIXES = ("cpm.", "analysis.")
-SCALAR_PREFIXES = ("cpm_seconds", "analysis_seconds")
+#: the metric-engine sweep (``bench_analysis_metrics.py``); ``query.*``
+#: and ``query_lookup_seconds_*`` cover the query-service read path
+#: (``bench_query_service.py``).
+SPAN_PREFIXES = ("cpm.", "analysis.", "query.")
+SCALAR_PREFIXES = ("cpm_seconds", "analysis_seconds", "query_lookup_seconds")
 
 
 def cpm_measurements(manifest: dict) -> dict[str, float]:
     """The gated wall-time measurements of one manifest.
 
-    ``cpm.*`` and ``analysis.*`` spans (first occurrence per name,
-    matching ``RunManifest.span``) plus any ``cpm_seconds_*`` /
-    ``analysis_seconds_*`` scalars a bench recorded in its config.
+    ``cpm.*`` / ``analysis.*`` / ``query.*`` spans (first occurrence
+    per name, matching ``RunManifest.span``) plus any scalar a bench
+    recorded in its config under one of ``SCALAR_PREFIXES``.
     """
     out: dict[str, float] = {}
     for span in manifest.get("spans") or []:

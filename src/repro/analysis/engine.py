@@ -328,6 +328,31 @@ class MetricsEngine:
             self._sweep()
         return self._overlaps
 
+    def export_table(self) -> dict:
+        """The memoized metric table in a serialisation-ready form.
+
+        The export hook consumed by :func:`repro.query.artifact
+        .build_artifact`: one dict per community (plain JSON types
+        only) carrying exactly the fields of :class:`MetricsRow`, in
+        ``hierarchy.all_communities()`` order, plus the engine mode the
+        numbers came from.  Both engines export bit-identical floats,
+        so an artifact built from either mode is byte-identical.
+        """
+        return {
+            "engine": self.engine,
+            "rows": [
+                {
+                    "label": r.label,
+                    "k": r.k,
+                    "size": r.size,
+                    "link_density": r.link_density,
+                    "average_odf": r.average_odf,
+                    "is_main": r.is_main,
+                }
+                for r in self.rows()
+            ],
+        }
+
     def node_degree(self, node) -> int:
         """Degree of an original node object.
 

@@ -48,7 +48,14 @@ from .obs.metrics import MetricsRegistry
 from .obs.tracing import Tracer
 from .runner import CheckpointStore, FaultPlan, RunnerConfig
 
-__all__ = ["CPMResult", "run_cpm", "save_result", "load_result"]
+__all__ = [
+    "CPMResult",
+    "run_cpm",
+    "save_result",
+    "load_result",
+    "build_query_artifact",
+    "load_query_artifact",
+]
 
 #: Pre-facade keyword spellings still accepted (with a
 #: DeprecationWarning) so existing call sites keep working.
@@ -202,6 +209,62 @@ def save_result(result: CPMResult, path: str | PathLike) -> None:
     Path(path).write_text(
         json.dumps(document, indent=1, sort_keys=True), encoding="utf-8"
     )
+
+
+# ----------------------------------------------------------------------
+# Query-artifact facade (the serveable read path; repro.query)
+# ----------------------------------------------------------------------
+def build_query_artifact(
+    result: CPMResult,
+    graph: Graph,
+    *,
+    bands=None,
+    analysis_engine: str = "bitset",
+    workers: int = 1,
+    tracer: Tracer | None = None,
+    metrics: MetricsRegistry | None = None,
+):
+    """Freeze a :func:`run_cpm` result into a serveable query artifact.
+
+    Builds the community tree, sweeps the Chapter-4 metric table
+    (reusing the result's CSR snapshot when the bitset kernel kept
+    one), and packs everything into an immutable
+    :class:`~repro.query.artifact.QueryArtifact` keyed by ``graph``'s
+    fingerprint.  ``bands`` optionally carries IXP-share-derived
+    crown/trunk/root boundaries (:func:`repro.analysis.bands
+    .derive_bands`); without it the paper's fallback boundaries apply.
+    Save with ``artifact.save(path)`` and serve with ``repro query
+    serve`` — the read path never re-runs CPM.
+    """
+    from .core.tree import CommunityTree
+    from .query.artifact import build_artifact
+
+    tree = CommunityTree(result.hierarchy, tracer=tracer, metrics=metrics)
+    return build_artifact(
+        result.hierarchy,
+        tree=tree,
+        graph=graph,
+        csr=result.csr,
+        bands=bands,
+        analysis_engine=analysis_engine,
+        workers=workers,
+        tracer=tracer,
+        metrics=metrics,
+    )
+
+
+def load_query_artifact(path: str | PathLike, *, mmap: bool = True):
+    """Load a saved query artifact (mmapped by default).
+
+    Returns a :class:`~repro.query.artifact.QueryArtifact`; wrap it in
+    a :class:`~repro.query.engine.LookupEngine` (or hand it to
+    :func:`~repro.query.server.make_server`) for point queries.
+    Corrupt or truncated files raise :class:`~repro.query.artifact
+    .ArtifactError` with a clean message.
+    """
+    from .query.artifact import QueryArtifact
+
+    return QueryArtifact.load(path, mmap=mmap)
 
 
 def load_result(path: str | PathLike) -> CPMResult:

@@ -26,6 +26,13 @@ and ``--batch-timeout``/``--max-retries`` tune the worker supervision
 policy (``docs/robustness.md``).  CPM execution routes through the
 :mod:`repro.api` facade.
 
+The ``query`` family is the serveable read path (``docs/query-service
+.md``): ``query build`` runs CPM once and freezes the hierarchy +
+metric table into an immutable, fingerprint-keyed artifact; ``query
+lookup`` answers membership/band/LCA/top-N point queries from that
+artifact with zero CPM recompute; ``query serve`` exposes the same
+lookups as JSON endpoints from a long-lived stdlib HTTP server.
+
 The ``obs`` family inspects the artifacts after the fact:
 ``obs view`` renders a trace as an ASCII span tree, ``obs diff``
 prints signed scalar deltas between two manifests, ``obs export
@@ -42,6 +49,7 @@ from pathlib import Path
 
 from .analysis.context import AnalysisContext
 from .analysis.engine import ENGINES
+from .query.engine import TOP_METRICS
 from .api import run_cpm, save_result
 from .core.cache import CliqueCache
 from .core.lightweight import KERNELS
@@ -177,12 +185,16 @@ def _write_observability(
     *,
     graph=None,
     monitor: ResourceMonitor | None = None,
+    fingerprint: dict | None = None,
 ) -> None:
     """Emit the trace/manifest files requested on the command line.
 
     Called from the commands' ``finally`` blocks, so it also runs on
     failures: the tracer is closed *first* (finalising any spans an
     exception left open), making the flushed trace complete and valid.
+    ``fingerprint`` stamps a precomputed graph fingerprint into the
+    manifest for commands that never hold the graph itself (the query
+    family reads it out of the artifact).
     """
     if monitor is not None:
         monitor.stop()
@@ -205,6 +217,8 @@ def _write_observability(
             metrics=metrics,
             resources=monitor.series() if monitor is not None else None,
         )
+        if fingerprint is not None and manifest.fingerprint is None:
+            manifest.fingerprint = dict(fingerprint)
         manifest.save(args.metrics)
         print(f"wrote run manifest to {args.metrics}")
 
@@ -443,6 +457,142 @@ def _cmd_export(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_query_build(args: argparse.Namespace) -> int:
+    runner_kwargs = _make_runner(args)
+    dataset = _load_dataset(args.dataset)
+    tracer, metrics, monitor = _make_observability(args)
+    try:
+        from .analysis.bands import derive_bands
+        from .analysis.ixp_share import IXPShareAnalysis
+        from .query.artifact import build_artifact
+
+        context = AnalysisContext.from_dataset(
+            dataset,
+            workers=args.workers,
+            kernel=args.kernel,
+            cache=_make_cache(args),
+            min_k=args.min_k,
+            max_k=args.max_k,
+            analysis_engine=args.analysis_engine,
+            tracer=tracer,
+            metrics=metrics,
+            **runner_kwargs,
+        )
+        bands = derive_bands(IXPShareAnalysis(context))
+        table = {
+            row["label"]: (row["link_density"], row["average_odf"])
+            for row in context.engine.export_table()["rows"]
+        }
+        artifact = build_artifact(
+            context.hierarchy,
+            tree=context.tree,
+            graph=dataset.graph,
+            csr=context.csr,
+            table=table,
+            bands=bands,
+            tracer=tracer,
+            metrics=metrics,
+        )
+        target = artifact.save(args.out)
+        checksum = artifact.fingerprint.get("checksum", "?")
+        print(
+            f"wrote query artifact ({artifact.n_communities} communities, "
+            f"{artifact.n_nodes} ASes, fingerprint {checksum}) to {target}"
+        )
+    finally:
+        _write_observability(args, tracer, metrics, graph=dataset.graph, monitor=monitor)
+    return 0
+
+
+def _cmd_query_lookup(args: argparse.Namespace) -> int:
+    import json
+
+    from .api import load_query_artifact
+    from .query.engine import LookupEngine
+    from .query.server import parse_as
+
+    tracer, metrics, monitor = _make_observability(args)
+    artifact = None
+    try:
+        artifact = load_query_artifact(args.artifact)
+        engine = LookupEngine(artifact, tracer=tracer, metrics=metrics)
+        results: dict = {}
+        if args.info:
+            results["info"] = engine.info()
+        if args.member is not None:
+            node = parse_as(args.member)
+            results["membership"] = {
+                "as": node,
+                "memberships": {
+                    str(k): labels for k, labels in engine.memberships(node).items()
+                },
+            }
+        if args.band is not None:
+            results["band"] = engine.band(parse_as(args.band))
+        if args.lca is not None:
+            a, b = (parse_as(value) for value in args.lca)
+            results["lca"] = {"a": a, "b": b, "lca": engine.lowest_common(a, b)}
+        if args.top is not None:
+            results["top"] = {
+                "metric": args.top,
+                "k": args.k,
+                "communities": engine.top(args.top, args.n, args.k),
+            }
+        if args.community is not None:
+            results["community"] = engine.community(
+                args.community, members=args.members
+            )
+        if not results:
+            raise ValueError(
+                "nothing to look up: pass --info, --member, --band, --lca, "
+                "--top and/or --community"
+            )
+        print(json.dumps(results, indent=2, sort_keys=True))
+    finally:
+        if artifact is not None:
+            fingerprint = artifact.fingerprint or None
+            artifact.close()
+        else:
+            fingerprint = None
+        _write_observability(
+            args, tracer, metrics, monitor=monitor, fingerprint=fingerprint
+        )
+    return 0
+
+
+def _cmd_query_serve(args: argparse.Namespace) -> int:
+    from .api import load_query_artifact
+    from .query.server import make_server
+
+    tracer, metrics, monitor = _make_observability(args)
+    artifact = None
+    try:
+        artifact = load_query_artifact(args.artifact)
+        server = make_server(
+            artifact, host=args.host, port=args.port, tracer=tracer, metrics=metrics
+        )
+        server.max_requests = args.max_requests
+        print(
+            f"serving query artifact {args.artifact} "
+            f"({artifact.n_communities} communities) at {server.url}",
+            flush=True,
+        )
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:
+            print("interrupted; shutting down")
+        finally:
+            server.server_close()
+    finally:
+        fingerprint = artifact.fingerprint or None if artifact is not None else None
+        if artifact is not None:
+            artifact.close()
+        _write_observability(
+            args, tracer, metrics, monitor=monitor, fingerprint=fingerprint
+        )
+    return 0
+
+
 def _cmd_obs_view(args: argparse.Namespace) -> int:
     spans, _document = load_trace(args.trace)
     print(render_tree(spans, hot_count=args.hot))
@@ -454,9 +604,9 @@ def _cmd_obs_diff(args: argparse.Namespace) -> int:
 
     base = json.loads(Path(args.a).read_text(encoding="utf-8"))
     fresh = json.loads(Path(args.b).read_text(encoding="utf-8"))
-    print(
-        diff_manifests(base, fresh, names=(Path(args.a).name, Path(args.b).name))
-    )
+    # Full paths, not basenames: a fingerprint/settings warning in a CI
+    # log must name which manifest files disagreed.
+    print(diff_manifests(base, fresh, names=(str(args.a), str(args.b))))
     return 0
 
 
@@ -570,6 +720,82 @@ def build_parser() -> argparse.ArgumentParser:
     _add_cpm_arguments(p_export)
     _add_obs_arguments(p_export)
     p_export.set_defaults(func=_cmd_export)
+
+    p_query = sub.add_parser(
+        "query", help="build, serve and query the community query artifact"
+    )
+    query_sub = p_query.add_subparsers(dest="query_command", required=True)
+
+    p_qbuild = query_sub.add_parser(
+        "build", help="run CPM once and freeze the hierarchy into a query artifact"
+    )
+    p_qbuild.add_argument("dataset", help="dataset directory or edge-list file")
+    p_qbuild.add_argument("out", help="output artifact path (e.g. communities.rqa)")
+    p_qbuild.add_argument("--min-k", type=int, default=2)
+    p_qbuild.add_argument("--max-k", type=int, default=None)
+    p_qbuild.add_argument("--workers", type=int, default=1)
+    p_qbuild.add_argument(
+        "--analysis-engine",
+        choices=list(ENGINES),
+        default="bitset",
+        help="metric engine that sweeps the frozen density/ODF table",
+    )
+    _add_cpm_arguments(p_qbuild)
+    _add_obs_arguments(p_qbuild)
+    p_qbuild.set_defaults(func=_cmd_query_build)
+
+    p_qlookup = query_sub.add_parser(
+        "lookup", help="point queries against a saved artifact (no CPM recompute)"
+    )
+    p_qlookup.add_argument("artifact", help="query artifact written by `repro query build`")
+    p_qlookup.add_argument(
+        "--info", action="store_true", help="print artifact metadata (fingerprint, bands)"
+    )
+    p_qlookup.add_argument(
+        "--member", default=None, metavar="AS",
+        help="communities containing this AS, per order k",
+    )
+    p_qlookup.add_argument(
+        "--band", default=None, metavar="AS",
+        help="crown/trunk/root band of this AS",
+    )
+    p_qlookup.add_argument(
+        "--lca", nargs=2, default=None, metavar=("A", "B"),
+        help="lowest common community of two ASes",
+    )
+    p_qlookup.add_argument(
+        "--top", default=None, choices=list(TOP_METRICS),
+        help="rank communities by this metric",
+    )
+    p_qlookup.add_argument(
+        "--n", type=int, default=10, help="how many communities --top returns"
+    )
+    p_qlookup.add_argument(
+        "-k", type=int, default=None, help="restrict --top to one order"
+    )
+    p_qlookup.add_argument(
+        "--community", default=None, metavar="LABEL",
+        help="one community's record by k<k>id<n> label",
+    )
+    p_qlookup.add_argument(
+        "--members", action="store_true",
+        help="expand the member list with --community",
+    )
+    _add_obs_arguments(p_qlookup)
+    p_qlookup.set_defaults(func=_cmd_query_lookup)
+
+    p_qserve = query_sub.add_parser(
+        "serve", help="long-lived JSON lookup server over a saved artifact"
+    )
+    p_qserve.add_argument("artifact", help="query artifact written by `repro query build`")
+    p_qserve.add_argument("--host", default="127.0.0.1")
+    p_qserve.add_argument("--port", type=int, default=8091)
+    p_qserve.add_argument(
+        "--max-requests", type=int, default=None, metavar="N",
+        help="shut down after N requests (smoke tests; default: serve forever)",
+    )
+    _add_obs_arguments(p_qserve)
+    p_qserve.set_defaults(func=_cmd_query_serve)
 
     p_obs = sub.add_parser(
         "obs", help="inspect observability artifacts (traces, manifests, bench history)"

@@ -200,7 +200,9 @@ def diff_manifests(base: dict, fresh: dict, *, names: tuple[str, str] = ("a", "b
     fresh_fp = (fresh.get("fingerprint") or {}).get("checksum")
     if base_fp and fresh_fp and base_fp != fresh_fp:
         lines.append(
-            "WARNING: graph fingerprints differ; the runs used different inputs"
+            "WARNING: graph fingerprints differ; the runs used different inputs\n"
+            f"  {names[0]}: checksum {base_fp}\n"
+            f"  {names[1]}: checksum {fresh_fp}"
         )
 
     base_scalars = manifest_scalars(base)

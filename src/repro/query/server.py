@@ -1,0 +1,221 @@
+"""Long-lived JSON lookup server over a query artifact.
+
+The read path of the ROADMAP's "millions of users" north star: a
+process that loads one immutable :class:`~repro.query.artifact
+.QueryArtifact` (mmapped, so N processes share one page cache copy)
+and answers the point queries of :class:`~repro.query.engine
+.LookupEngine` over plain HTTP.  Pure stdlib — ``http.server`` with a
+threading mixin — because the repo bakes in no third-party runtime
+dependencies.
+
+Endpoints (all ``GET``, all JSON)::
+
+    /health                        liveness + artifact identity
+    /artifact                      full metadata (fingerprint, bands,
+                                   orders, counts)
+    /membership?as=X               k -> community labels containing X
+    /band?as=X                     crown/trunk/root position of X
+    /lca?a=X&b=Y                   lowest common community of X and Y
+    /top?metric=M&n=N[&k=K]        top-N by density / odf / size
+    /community?label=L[&members=1] one community record (+ members)
+
+Errors are JSON too: 400 for malformed parameters, 404 for unknown
+ASes/labels/paths, never a traceback page.  AS parameters are parsed
+as integers when possible (AS numbers are ints), falling back to the
+raw string for string-labelled graphs.
+
+Observability: the server owns (or is given) a ``repro.obs`` tracer
+and registry; every request runs inside a ``query.request`` span
+(path, status) wrapping the engine's ``query.lookup`` span, and the
+``query.requests`` / ``query.errors`` counters accumulate alongside
+the per-op ``query.lookup.*`` family.  A single lock serialises
+request handling — lookups are microseconds, and it keeps the shared
+span stack and counters coherent under the threaded listener.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlparse
+
+from ..obs.metrics import MetricsRegistry
+from ..obs.tracing import NULL_TRACER, Tracer
+from .artifact import QueryArtifact
+from .engine import LookupEngine
+
+__all__ = ["QueryServer", "make_server"]
+
+
+def parse_as(value: str):
+    """An AS query parameter: int when it looks like one, else the string."""
+    try:
+        return int(value)
+    except ValueError:
+        return value
+
+
+class _BadRequest(ValueError):
+    """Malformed query parameters -> HTTP 400."""
+
+
+def _single(params: dict, name: str) -> str:
+    values = params.get(name)
+    if not values or not values[0]:
+        raise _BadRequest(f"missing required query parameter {name!r}")
+    if len(values) > 1:
+        raise _BadRequest(f"query parameter {name!r} given more than once")
+    return values[0]
+
+
+class QueryServer(ThreadingHTTPServer):
+    """A :class:`ThreadingHTTPServer` bound to one lookup engine."""
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        address: tuple[str, int],
+        engine: LookupEngine,
+        *,
+        tracer: Tracer | None = None,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        super().__init__(address, _QueryRequestHandler)
+        self.engine = engine
+        self.tracer = tracer if tracer is not None else engine.tracer
+        self.metrics = metrics if metrics is not None else engine.metrics
+        self.lock = threading.Lock()
+        #: When set, the server shuts itself down after this many
+        #: requests — a deterministic stop for smoke tests and CI.
+        self.max_requests: int | None = None
+        self._served = 0
+
+    @property
+    def url(self) -> str:
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+
+class _QueryRequestHandler(BaseHTTPRequestHandler):
+    server_version = "repro-query"
+    protocol_version = "HTTP/1.1"
+    server: QueryServer
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        url = urlparse(self.path)
+        params = parse_qs(url.query)
+        route = getattr(self, f"_route_{url.path.strip('/').replace('-', '_')}", None)
+        server = self.server
+        with server.lock:
+            with server.tracer.span("query.request", path=url.path) as span:
+                server.metrics.inc("query.requests")
+                try:
+                    if route is None:
+                        raise KeyError(f"no such endpoint: {url.path}")
+                    status, payload = 200, route(params)
+                except _BadRequest as exc:
+                    status, payload = 400, {"error": str(exc)}
+                except KeyError as exc:
+                    status, payload = 404, {"error": str(exc).strip("'\"")}
+                except ValueError as exc:
+                    status, payload = 400, {"error": str(exc)}
+                if status != 200:
+                    server.metrics.inc("query.errors")
+                span.set("status", status)
+            server._served += 1
+            drained = (
+                server.max_requests is not None and server._served >= server.max_requests
+            )
+        self._reply(status, payload)
+        if drained:
+            # shutdown() blocks until serve_forever exits; hop threads
+            # so this response finishes first.
+            threading.Thread(target=server.shutdown, daemon=True).start()
+
+    def _reply(self, status: int, payload: dict | list) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format: str, *args) -> None:
+        """Silence the default stderr access log; metrics carry traffic."""
+
+    # ------------------------------------------------------------------
+    # Endpoints
+    # ------------------------------------------------------------------
+    def _route_health(self, params: dict) -> dict:
+        artifact = self.server.engine.artifact
+        return {
+            "status": "ok",
+            "communities": artifact.n_communities,
+            "nodes": artifact.n_nodes,
+            "checksum": artifact.fingerprint.get("checksum"),
+        }
+
+    def _route_artifact(self, params: dict) -> dict:
+        return self.server.engine.info()
+
+    def _route_membership(self, params: dict) -> dict:
+        node = parse_as(_single(params, "as"))
+        memberships = self.server.engine.memberships(node)
+        return {
+            "as": node,
+            "memberships": {str(k): labels for k, labels in memberships.items()},
+        }
+
+    def _route_band(self, params: dict) -> dict:
+        return self.server.engine.band(parse_as(_single(params, "as")))
+
+    def _route_lca(self, params: dict) -> dict:
+        a = parse_as(_single(params, "a"))
+        b = parse_as(_single(params, "b"))
+        record = self.server.engine.lowest_common(a, b)
+        return {"a": a, "b": b, "lca": record}
+
+    def _route_top(self, params: dict) -> dict:
+        metric = _single(params, "metric") if "metric" in params else "density"
+        try:
+            n = int(_single(params, "n")) if "n" in params else 10
+            k = int(_single(params, "k")) if "k" in params else None
+        except ValueError as exc:
+            raise _BadRequest(f"n and k must be integers: {exc}") from exc
+        return {"metric": metric, "k": k, "communities": self.server.engine.top(metric, n, k)}
+
+    def _route_community(self, params: dict) -> dict:
+        label = _single(params, "label")
+        members = params.get("members", ["0"])[0] not in ("", "0", "false")
+        return self.server.engine.community(label, members=members)
+
+
+def make_server(
+    artifact: QueryArtifact | LookupEngine,
+    *,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    tracer: Tracer | None = None,
+    metrics: MetricsRegistry | None = None,
+) -> QueryServer:
+    """Bind a :class:`QueryServer` (``port=0`` picks a free port).
+
+    ``artifact`` may be a loaded :class:`QueryArtifact` or an existing
+    :class:`LookupEngine`.  The caller drives ``serve_forever()`` /
+    ``shutdown()``; the server is also a context manager (from
+    ``socketserver``), closing its socket on exit.
+    """
+    if isinstance(artifact, LookupEngine):
+        engine = artifact
+    else:
+        engine = LookupEngine(
+            artifact,
+            tracer=tracer if tracer is not None else NULL_TRACER,
+            metrics=metrics,
+        )
+    return QueryServer((host, port), engine, tracer=tracer, metrics=metrics)
