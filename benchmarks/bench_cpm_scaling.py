@@ -7,7 +7,11 @@ the community-tree depth (driven by the fixed IXP core sizes) stays
 constant — the property that makes scaled-down reproduction valid.
 """
 
+import gc
+
+from repro.core._blocks_compat import HAVE_NUMPY
 from repro.core.lightweight import LightweightParallelCPM
+from repro.obs import Tracer
 from repro.report.figures import ascii_table
 from repro.topology.generator import GeneratorConfig, generate_topology
 
@@ -52,3 +56,64 @@ def test_cpm_scaling_sweep(benchmark, emit, bench_record, bench_kernel):
     # Clique count grows with population; tree depth does not.
     assert results[0.25][1].n_cliques < results[1.0][1].n_cliques
     assert results[0.25][2].max_k == results[1.0][2].max_k == 36
+
+
+def test_cpm_kernel_comparison(dataset, emit, bench_record):
+    """bitset vs blocks on the reference-scale graph, one manifest.
+
+    Each kernel runs the full pipeline three times under its own live
+    tracer (the instrumented conditions CI gates in) with a
+    ``gc.collect()`` first, and the *fastest* run's wall time lands in
+    the manifest config as ``cpm_run_seconds_<kernel>`` — min-of-N on
+    a collected heap measures the kernels rather than whatever garbage
+    the earlier benches left behind or whatever the host stole from a
+    shared vCPU, which keeps the committed baseline reproducible
+    enough for a 1.25x gate.
+    check_bench_regression.py gates each kernel's trajectory
+    separately, so a committed baseline where blocks runs ~3x faster
+    than bitset keeps that margin from silently eroding.  The per-run
+    tracers are deliberately *not* merged into the manifest: two
+    kernels would write colliding ``cpm.*`` span names and the gate
+    only reads the first.
+    """
+    kernels = ["bitset"] + (["blocks"] if HAVE_NUMPY else [])
+    rows = []
+    seconds = {}
+    for kernel in kernels:
+        best = None
+        for _ in range(3):
+            gc.collect()
+            tracer = Tracer()
+            cpm = LightweightParallelCPM(dataset.graph, kernel=kernel, tracer=tracer)
+            hierarchy = cpm.run()
+            tracer.close()
+            if best is None or cpm.stats.total_seconds < best[0].stats.total_seconds:
+                best = (cpm, hierarchy)
+        cpm, hierarchy = best
+        seconds[kernel] = cpm.stats.total_seconds
+        bench_record[f"cpm_run_seconds_{kernel}"] = round(cpm.stats.total_seconds, 4)
+        rows.append(
+            [
+                kernel,
+                cpm.stats.n_cliques,
+                round(cpm.stats.total_seconds, 3),
+                hierarchy.max_k,
+                hierarchy.total_communities,
+            ]
+        )
+    if "blocks" in seconds:
+        # Informational (not gated): bigger is better, so the wall-time
+        # gate on cpm_run_seconds_blocks is what protects the speedup.
+        bench_record["cpm_blocks_speedup"] = round(
+            seconds["bitset"] / seconds["blocks"], 2
+        )
+
+    table = ascii_table(
+        ["kernel", "maximal cliques", "CPM seconds", "max k", "communities"],
+        rows,
+        title="LP-CPM kernel comparison (reference scale, instrumented)",
+    )
+    emit("cpm_kernel_comparison", table)
+
+    # Every kernel extracts the identical hierarchy.
+    assert len({(r[1], r[3], r[4]) for r in rows}) == 1

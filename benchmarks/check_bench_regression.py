@@ -59,9 +59,17 @@ def committed_manifests(ref: str) -> dict[str, dict]:
 #: prefixes.  ``cpm.*`` covers extraction phases; ``analysis.*`` covers
 #: the metric-engine sweep (``bench_analysis_metrics.py``); ``query.*``
 #: and ``query_lookup_seconds_*`` cover the query-service read path
-#: (``bench_query_service.py``).
+#: (``bench_query_service.py``); ``cpm_run_seconds_<kernel>`` gates
+#: each CPM kernel's end-to-end wall time separately
+#: (``bench_cpm_scaling.py``), so the blocks kernel's speed margin
+#: over bitset cannot silently erode.
 SPAN_PREFIXES = ("cpm.", "analysis.", "query.")
-SCALAR_PREFIXES = ("cpm_seconds", "analysis_seconds", "query_lookup_seconds")
+SCALAR_PREFIXES = (
+    "cpm_seconds",
+    "cpm_run_seconds",
+    "analysis_seconds",
+    "query_lookup_seconds",
+)
 
 
 def cpm_measurements(manifest: dict) -> dict[str, float]:

@@ -70,9 +70,10 @@ from ..runner.supervise import PoolSupervisor
 
 __all__ = ["ENGINES", "MetricsRow", "OrderOverlap", "MetricsEngine"]
 
-#: Selectable analysis engines: the popcount fast path and the
-#: set-based reference oracle it is verified against.
-ENGINES = ("bitset", "set")
+#: Selectable analysis engines: the popcount fast path, the
+#: numpy-vectorized blocks variant (``[perf]`` extra), and the
+#: set-based reference oracle both are verified against.
+ENGINES = ("bitset", "blocks", "set")
 
 
 class MetricsRow(NamedTuple):
@@ -151,6 +152,8 @@ def _sweep_order(task: tuple, shared: dict, memo: dict) -> list:
     """
     if shared["mode"] == "set":
         return _sweep_order_set(task, shared)
+    if shared["mode"] == "blocks":
+        return _sweep_order_blocks(task, shared, memo)
     return _sweep_order_bitset(task, shared, memo)
 
 
@@ -197,6 +200,76 @@ def _sweep_order_bitset(task: tuple, shared: dict, memo: dict) -> list:
             visits += n
             mask = _member_mask(ids, nbytes)
             inner = [(mask & bitsets[i]).bit_count() for i in ids]
+            intra = sum(inner) >> 1
+            odf_sum = sum(map(sub, repeat(1.0), map(truediv, inner, map(degs_get, ids))))
+            pair = (2.0 * intra / (n * (n - 1)), odf_sum / n)
+        memo[members] = pair
+        emit(pair)
+    overlap = None
+    pair_count = 0
+    if main_index is not None:
+        overlap, pair_count = _order_overlap(entries, main_index)
+    return [metric_pairs, overlap, visits, shortcuts, dedup_hits, pair_count]
+
+
+def _sweep_order_blocks(task: tuple, shared: dict, memo: dict) -> list:
+    """The vectorized sweep of one order (blocks analysis engine).
+
+    Identical control flow to :func:`_sweep_order_bitset` — same memo,
+    same order-2 / size==k shortcuts, same sorted-member canonical
+    order — but the general case batches the internal-degree popcounts:
+    the member rows of the uint64 block matrix are gathered at once,
+    AND-ed against the membership block mask, and popcounted in one
+    array sweep.  The per-member internal degrees are the same integers
+    the bitset path computes (converted back to Python ints before the
+    float folds), so every float downstream is bit-identical.
+    """
+    from ..core._blocks_compat import require_numpy
+
+    np = require_numpy("analysis engine 'blocks'")
+    _k, main_index, entries = task
+    blocks = shared["blocks"]
+    n_words = blocks.shape[1]
+    degs = shared["degs"]
+    rank_get = shared["rank"].__getitem__
+    degs_get = degs.__getitem__
+    memo_get = memo.get
+    metric_pairs: list[tuple[float, float]] = []
+    emit = metric_pairs.append
+    visits = shortcuts = dedup_hits = 0
+    popcount = (
+        np.bitwise_count
+        if hasattr(np, "bitwise_count")
+        else lambda a: np.unpackbits(a.view(np.uint8), axis=-1).sum(axis=-1, keepdims=True)
+    )
+    for members, order in entries:
+        cached = memo_get(members)
+        if cached is not None:
+            dedup_hits += 1
+            emit(cached)
+            continue
+        ids = list(map(rank_get, sorted(members)))
+        n = len(ids)
+        if order == 2:
+            shortcuts += 1
+            intra = sum(map(degs_get, ids)) >> 1
+            pair = (2.0 * intra / (n * (n - 1)) if n > 1 else 0.0, 0.0)
+        elif n == order:
+            shortcuts += 1
+            odf_sum = sum(
+                map(sub, repeat(1.0), map(truediv, repeat(order - 1), map(degs_get, ids)))
+            )
+            pair = (1.0, odf_sum / n)
+        else:
+            visits += n
+            idx = np.asarray(ids, dtype=np.int64)
+            mask = np.zeros(n_words, dtype=np.uint64)
+            np.bitwise_or.at(
+                mask, idx >> 6, np.uint64(1) << (idx & 63).astype(np.uint64)
+            )
+            inner = (
+                popcount(blocks[idx] & mask).sum(axis=1, dtype=np.int64).tolist()
+            )
             intra = sum(inner) >> 1
             odf_sum = sum(map(sub, repeat(1.0), map(truediv, inner, map(degs_get, ids))))
             pair = (2.0 * intra / (n * (n - 1)), odf_sum / n)
@@ -265,9 +338,10 @@ def _sweep_order_set(task: tuple, shared: dict) -> list:
 class MetricsEngine:
     """One-pass per-community metric table over a community hierarchy.
 
-    ``engine`` selects the popcount fast path (``"bitset"``, default)
-    or the set-based reference (``"set"``); both produce bit-identical
-    numbers.  ``csr`` reuses an existing
+    ``engine`` selects the popcount fast path (``"bitset"``, default),
+    the numpy-vectorized variant (``"blocks"``, needs the ``[perf]``
+    extra) or the set-based reference (``"set"``); all produce
+    bit-identical numbers.  ``csr`` reuses an existing
     :class:`~repro.graph.csr.CSRGraph` snapshot (e.g. the one the
     bitset CPM kernel built); without one the engine snapshots the
     graph itself on first use.  ``workers > 1`` fans the per-order
@@ -291,6 +365,10 @@ class MetricsEngine:
     ) -> None:
         if engine not in ENGINES:
             raise ValueError(f"engine must be one of {ENGINES}, got {engine!r}")
+        if engine == "blocks":
+            from ..core._blocks_compat import require_numpy
+
+            require_numpy("analysis engine 'blocks'")
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         self.hierarchy = hierarchy
@@ -387,6 +465,15 @@ class MetricsEngine:
         if self.engine == "set":
             return {"mode": "set", "graph": self.graph}
         csr = self._ensure_csr()
+        if self.engine == "blocks":
+            # The uint64 block matrix pickles as one flat buffer, so a
+            # worker pool ships it once per process like the bitsets.
+            return {
+                "mode": "blocks",
+                "blocks": csr.blocks(),
+                "degs": csr.degrees(),
+                "rank": self._node_rank(),
+            }
         return {
             "mode": "bitset",
             "bitsets": csr.bitsets,

@@ -165,7 +165,11 @@ def run_cpm(
 
     ``k_range`` is ``(min_k, max_k)`` with ``max_k=None`` meaning "up
     to the largest clique" (a bare int extracts that single order).
-    ``kernel`` is one of ``repro.core.lightweight.KERNELS``; ``cache``
+    ``kernel`` is one of ``repro.core.lightweight.KERNELS`` or
+    ``"auto"`` (``blocks`` when numpy — the ``[perf]`` extra — is
+    importable, degrading to ``bitset`` otherwise); requesting
+    ``"blocks"`` explicitly without numpy raises a ``ValueError``
+    subclass with an install hint.  ``cache``
     memoises enumeration + overlap on disk; ``checkpoint`` (+
     ``resume=True``) persists phase outputs so an interrupted run
     restarts from the last completed phase; ``runner`` tunes the worker
@@ -173,8 +177,8 @@ def run_cpm(
     (see ``docs/robustness.md``).  Returns a :class:`CPMResult`.
     """
     min_k, max_k, workers, cache = _apply_deprecated(deprecated, k_range, workers, cache)
-    if kernel not in KERNELS:
-        raise ValueError(f"kernel must be one of {KERNELS}, got {kernel!r}")
+    if kernel != "auto" and kernel not in KERNELS:
+        raise ValueError(f"kernel must be one of {KERNELS} or 'auto', got {kernel!r}")
     cpm = LightweightParallelCPM(
         graph,
         workers=workers,

@@ -14,7 +14,7 @@ and ``--metrics PATH`` (JSON :class:`repro.obs.RunManifest` with the
 graph fingerprint, per-phase wall/CPU/peak-memory, the core counters
 and — at ``--resource-interval`` seconds — a sampled RSS/CPU series) —
 the observability artifacts described in ``docs/observability.md`` —
-plus ``--kernel {bitset,set}`` to pick the CPM kernel and
+plus ``--kernel {bitset,blocks,set,auto}`` to pick the CPM kernel and
 ``--cache/--no-cache`` to reuse clique/overlap results across runs
 (``docs/performance.md``).  Observability files are flushed even when
 the run fails, so a crashed pipeline still leaves a valid trace.
@@ -96,8 +96,12 @@ def _add_obs_arguments(parser: argparse.ArgumentParser) -> None:
 def _add_cpm_arguments(parser: argparse.ArgumentParser) -> None:
     """Attach the shared CPM kernel/cache selection flags."""
     parser.add_argument(
-        "--kernel", choices=list(KERNELS), default="bitset",
-        help="CPM kernel: the integer fast path (default) or the set-based reference",
+        "--kernel", choices=[*KERNELS, "auto"], default="bitset",
+        help=(
+            "CPM kernel: the integer fast path (default), the numpy-vectorized "
+            "blocks kernel ([perf] extra), the set-based reference, or auto "
+            "(blocks when numpy is installed, else bitset)"
+        ),
     )
     parser.add_argument(
         "--cache", action=argparse.BooleanOptionalAction, default=False,
@@ -169,13 +173,29 @@ def _make_observability(
 
 
 def _run_settings(args: argparse.Namespace) -> dict:
-    """The comparability-critical settings stamped into the manifest."""
-    return {
+    """The comparability-critical settings stamped into the manifest.
+
+    The kernel is recorded *resolved* (``auto`` → the kernel that
+    actually ran) together with the numpy version (or ``None`` on a
+    numpy-less install), so two manifests can be told apart by the
+    numerical stack — ``repro obs diff`` warns when they disagree.
+    """
+    settings = {
         key: value
         for key, value in vars(args).items()
         if key in ("kernel", "workers", "analysis_engine", "min_k", "max_k")
         and value is not None
     }
+    if "kernel" in settings:
+        from .core._blocks_compat import numpy_version
+        from .core.lightweight import resolve_kernel
+
+        try:
+            settings["kernel"] = resolve_kernel(settings["kernel"])
+        except ValueError:
+            pass  # failed runs still flush a manifest; keep the request as-is
+        settings["numpy"] = numpy_version()
+    return settings
 
 
 def _write_observability(

@@ -1,0 +1,525 @@
+"""Vectorized ``blocks`` CPM kernel: numpy-batched hot loops.
+
+The third CPM kernel (``--kernel blocks``) keeps the degeneracy-ordered
+:class:`~repro.graph.csr.CSRGraph` snapshot of the bitset kernel and
+attacks the measured hot loops with numpy uint64 blocks
+(:meth:`CSRGraph.blocks`, shape ``(n, ceil(n/64))``) where batching
+wins, and with tighter big-int recursion where it does not:
+
+* **Enumeration** (:func:`maximal_cliques_blocks`) — the same
+  Bron–Kerbosch recursion over big-int masks as the bitset kernel, but
+  subproblems with ``|P| < 3`` are resolved *inline* by closed-form
+  maximality tests instead of recursing: profiling on the bench graph
+  showed ~75% of all recursive calls came from these leaf-sized
+  subproblems, where the per-call interpreter overhead — not the mask
+  width — dominates.  Top-level subproblems with at least
+  ``_LOCAL_REMAP_MIN`` candidates are *re-indexed* onto their own
+  neighborhood first, using one block-matrix gather: degeneracy order
+  bounds ``|N(v)|`` far below ``n``, so the whole subtree then runs on
+  masks one machine word wide instead of ``n`` bits.  (A numpy
+  ``bitwise_count`` pivot argmax over gathered block rows was
+  prototyped in three variants — per-call, whole-graph batched, and
+  column-pruned — and *lost* to the scalar scan at AS-graph scale
+  because the median pivot scan examines ~3.5 candidates;
+  ``docs/performance.md`` records the numbers.)
+* **Overlap counting** (:func:`count_overlaps_blocks`) — replaces the
+  per-pair ``Counter`` updates with array sweeps: clique memberships
+  are flattened and lex-sorted into per-node runs, run prefixes are
+  truncated to the counting-eligible (size >= 3) cliques, every
+  within-prefix pair is emitted as a packed ``(i << shift) | j`` word
+  by one ragged repeat/cumsum gather (no per-run Python loop), and
+  ``np.unique(..., return_counts=True)`` produces the exact overlap
+  multiset.  Activation-order bucketing and the k=2 chain pairs are
+  plain array arithmetic.  The result is bit-for-bit the same
+  :class:`~repro.core.overlap.OverlapWire` content as the bitset
+  kernel's (bucket *bytes* differ only in intra-bucket pair order,
+  which union-find provably ignores).
+* **Percolation** (:func:`percolate_orders_blocks`) — the serial sweep
+  becomes min-label propagation over the packed pair arrays: hook each
+  endpoint's *root* label to the pair minimum (``np.minimum.at``),
+  then pointer-jump (``labels[labels]``) to a fixed point.  Group
+  extraction replicates :meth:`IntUnionFind.groups` ordering exactly
+  (largest first, ties by smallest member, members ascending), which
+  ``tests/test_blocks_kernel.py`` pins against the union-find oracle.
+
+Everything downstream (wire format, checkpoints, hierarchy assembly)
+is shared with the bitset kernel, which is what makes the swap provably
+safe: identical clique sets + identical overlap counts + identical
+groups ⇒ byte-identical hierarchies, trees and query artifacts.
+
+The array stages require numpy (the ``[perf]`` extra): calling them
+without it raises a clean
+:class:`~._blocks_compat.BlocksUnavailableError` — the module itself
+imports everywhere.
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..obs.tracing import max_rss_kib
+from ..obs.worker import current_metrics, worker_span
+from ._blocks_compat import HAVE_NUMPY, require_numpy
+from .cliques import CliqueEnumerationStats
+from .overlap import OverlapWire
+
+#: Candidate-count threshold above which a top-level Bron–Kerbosch
+#: subproblem is re-indexed onto its own neighborhood before recursing.
+#: Below it the one-off numpy re-index (gather + unpackbits + packbits)
+#: costs more than the big-int width it saves; above it the whole
+#: subtree runs on masks one or two machine words wide (the degeneracy
+#: order bounds |N(v)| far under the graph's bit width).
+_LOCAL_REMAP_MIN = 12
+
+# The module itself imports everywhere (so pydoc/pkgutil walkers never
+# trip on a minimal install); the array stages gate on numpy at call
+# time via require_numpy, and kernel selection gates once up front in
+# ``resolve_kernel``.  The enumerator is pure big-int and needs nothing.
+
+__all__ = [
+    "maximal_cliques_blocks",
+    "count_overlaps_blocks",
+    "percolate_orders_blocks",
+]
+
+
+def maximal_cliques_blocks(
+    csr,
+    *,
+    min_size: int = 1,
+    stats: CliqueEnumerationStats | None = None,
+) -> list[tuple[int, ...]]:
+    """All maximal cliques of a :class:`CSRGraph`, blocks-kernel variant.
+
+    Same big-int Bron–Kerbosch recursion (Tomita pivot, degeneracy
+    outer order) as :func:`~.cliques.maximal_cliques_bitset`, with
+    ``|P| < 3`` subproblems resolved inline:
+
+    * ``P = {}`` — ``R`` is maximal iff ``X`` is empty;
+    * ``P = {u}`` — ``R ∪ {u}`` is maximal iff no ``X`` node is
+      adjacent to ``u`` (the pivot rule can never hide this clique: any
+      covering pivot would itself witness non-maximality);
+    * ``P = {u, w}`` adjacent — the only candidate is ``R ∪ {u, w}``,
+      maximal iff ``X ∩ N(u) ∩ N(w)`` is empty; non-adjacent — each of
+      ``R ∪ {u}`` / ``R ∪ {w}`` is tested independently.
+
+    Top-level subproblems with ``|P| >= _LOCAL_REMAP_MIN`` are first
+    re-indexed onto ``S = N(v)`` (ascending, so local bit order equals
+    global bit order and the recursion tree, pivot choices and emission
+    sequence are *identical*): one block-matrix gather builds the local
+    adjacency, and the subtree's masks shrink from ``n`` bits to
+    ``|S|`` bits — one machine word on any degeneracy-bounded graph.
+    Without numpy the re-index is skipped and the enumerator stays pure
+    big-int.
+
+    Enumerates exactly the clique set of the other kernels.  Tuple
+    *member order* can differ from the bitset kernel where the inline
+    tests bypass a pivot re-ordering — downstream consumers canonicalise
+    members (``build_hierarchy`` folds them into frozensets), which the
+    equivalence tests pin.  ``stats`` counts every resolved subproblem
+    (inline leaves included) as a call.
+    """
+    if min_size < 1:
+        raise ValueError(f"min_size must be >= 1, got {min_size}")
+    bits = csr.bitsets
+    cliques: list[tuple[int, ...]] = []
+    emit = cliques.append
+    stack: list[int] = []
+    append = stack.append
+    pop = stack.pop
+    counters = [0, 0, 0]  # calls, branches, pivot_candidates
+
+    def small(p: int, x: int, c: int) -> None:
+        counters[0] += 1
+        if c == 1:
+            u = p.bit_length() - 1
+            if x & bits[u] == 0 and len(stack) + 1 >= min_size:
+                emit((*stack, u))
+        elif c == 0:
+            if x == 0 and len(stack) >= min_size:
+                emit(tuple(stack))
+        else:
+            counters[1] += 2
+            low = p & -p
+            u = low.bit_length() - 1
+            w = (p ^ low).bit_length() - 1
+            bu = bits[u]
+            bw = bits[w]
+            if (bu >> w) & 1:
+                if x & bu & bw == 0 and len(stack) + 2 >= min_size:
+                    emit((*stack, u, w))
+            elif len(stack) + 1 >= min_size:
+                if x & bu == 0:
+                    emit((*stack, u))
+                if x & bw == 0:
+                    emit((*stack, w))
+
+    def expand(p: int, x: int) -> None:
+        counters[0] += 1
+        # Pivot: the candidate of P | X with the most neighbors in P.
+        cand = p | x
+        counters[2] += cand.bit_count()
+        best = -1
+        pivot_nbrs = 0
+        m = cand
+        while m:
+            low = m & -m
+            nb = bits[low.bit_length() - 1]
+            count = (nb & p).bit_count()
+            if count > best:
+                best = count
+                pivot_nbrs = nb
+            m ^= low
+        branch = p & ~pivot_nbrs
+        counters[1] += branch.bit_count()
+        while branch:
+            low = branch & -branch
+            v = low.bit_length() - 1
+            nv = bits[v]
+            np_ = p & nv
+            c = np_.bit_count()
+            append(v)
+            if c < 3:
+                small(np_, x & nv, c)
+            else:
+                expand(np_, x & nv)
+            pop()
+            p ^= low
+            x |= low
+            branch ^= low
+
+    def expand_local(v: int, sarr: list[int], adj: list[int], p: int, x: int) -> None:
+        # Same recursion as ``expand`` over the subproblem re-indexed
+        # onto S = N(v) (ascending, so local bit order == global bit
+        # order): identical pivot counts, identical branch sequence,
+        # identical emissions — but every mask is |S| bits wide instead
+        # of n bits, which is what makes the dense-core subtrees cheap.
+        lstack: list[int] = []
+        lappend = lstack.append
+        lpop = lstack.pop
+
+        def small_l(p: int, x: int, c: int) -> None:
+            counters[0] += 1
+            if c == 1:
+                u = p.bit_length() - 1
+                if x & adj[u] == 0 and len(lstack) + 2 >= min_size:
+                    emit((v, *(sarr[t] for t in lstack), sarr[u]))
+            elif c == 0:
+                if x == 0 and len(lstack) + 1 >= min_size:
+                    emit((v, *(sarr[t] for t in lstack)))
+            else:
+                counters[1] += 2
+                low = p & -p
+                u = low.bit_length() - 1
+                w = (p ^ low).bit_length() - 1
+                bu = adj[u]
+                bw = adj[w]
+                if (bu >> w) & 1:
+                    if x & bu & bw == 0 and len(lstack) + 3 >= min_size:
+                        emit((v, *(sarr[t] for t in lstack), sarr[u], sarr[w]))
+                elif len(lstack) + 2 >= min_size:
+                    if x & bu == 0:
+                        emit((v, *(sarr[t] for t in lstack), sarr[u]))
+                    if x & bw == 0:
+                        emit((v, *(sarr[t] for t in lstack), sarr[w]))
+
+        def expand_l(p: int, x: int) -> None:
+            counters[0] += 1
+            cand = p | x
+            counters[2] += cand.bit_count()
+            best = -1
+            pivot_nbrs = 0
+            m = cand
+            while m:
+                low = m & -m
+                nb = adj[low.bit_length() - 1]
+                count = (nb & p).bit_count()
+                if count > best:
+                    best = count
+                    pivot_nbrs = nb
+                m ^= low
+            branch = p & ~pivot_nbrs
+            counters[1] += branch.bit_count()
+            while branch:
+                low = branch & -branch
+                u = low.bit_length() - 1
+                nu = adj[u]
+                np_ = p & nu
+                c = np_.bit_count()
+                lappend(u)
+                if c < 3:
+                    small_l(np_, x & nu, c)
+                else:
+                    expand_l(np_, x & nu)
+                lpop()
+                p ^= low
+                x |= low
+                branch ^= low
+
+        expand_l(p, x)
+
+    np = None
+    blocks_mat = None
+
+    def local_subproblem(v: int):
+        """(sarr, adj, p0, x0) of v's neighborhood re-indexed to [0, |S|)."""
+        nonlocal np, blocks_mat
+        if blocks_mat is None:
+            np = require_numpy("the 'blocks' kernel")
+            blocks_mat = csr.blocks()
+        nbrs = csr.neighbors(v)
+        sarr = nbrs.tolist()
+        s_idx = np.asarray(nbrs, dtype=np.int64)
+        length = len(sarr)
+        sub = blocks_mat[s_idx]
+        bits01 = (sub[:, s_idx >> 6] >> (s_idx & 63).astype(np.uint64)) & np.uint64(1)
+        if length <= 64:
+            # One local word per row: position j's bit shifted into place
+            # and row-summed — no byte round trip at all.
+            adj = (bits01 << np.arange(length, dtype=np.uint64)).sum(
+                axis=1, dtype=np.uint64
+            ).tolist()
+        else:
+            packed = np.packbits(bits01.astype(np.uint8), axis=1, bitorder="little")
+            row_bytes = packed.shape[1]
+            buf = packed.tobytes()
+            adj = [
+                int.from_bytes(buf[i * row_bytes : (i + 1) * row_bytes], "little")
+                for i in range(length)
+            ]
+        split = int(np.searchsorted(s_idx, v))
+        x0 = (1 << split) - 1
+        p0 = ((1 << length) - 1) ^ x0
+        return sarr, adj, p0, x0
+
+    remap_min = _LOCAL_REMAP_MIN if HAVE_NUMPY else float("inf")
+    for v in range(len(bits)):
+        nv = bits[v]
+        later = (nv >> (v + 1)) << (v + 1)
+        c = later.bit_count()
+        if c >= remap_min:
+            sarr, adj, p0, x0 = local_subproblem(v)
+            expand_local(v, sarr, adj, p0, x0)
+            continue
+        append(v)
+        if c < 3:
+            small(later, nv & ((1 << v) - 1), c)
+        else:
+            expand(later, nv & ((1 << v) - 1))
+        pop()
+    if stats is not None:
+        stats.calls += counters[0]
+        stats.branches += counters[1]
+        stats.pivot_candidates += counters[2]
+        stats.emitted = len(cliques)
+    return cliques
+
+
+def count_overlaps_blocks(
+    dense: list[tuple[int, ...]],
+    sizes: list[int],
+    n_counting: int,
+    shift: int,
+) -> tuple[OverlapWire, int, dict]:
+    """Vectorized overlap counting + bucketing + chains, as one wire.
+
+    ``dense`` must be sorted by size descending (the pipeline
+    invariant); ``n_counting`` is the size>=3 prefix length and
+    ``shift`` the pair-packing shift.  Returns ``(wire, n_counted,
+    stats)`` where ``n_counted`` is the number of distinct co-occurring
+    pairs (the bitset kernel's ``len(counts)``) and ``stats`` is shaped
+    like a :func:`~.overlap.count_overlaps_shard` report so the driver
+    aggregates both kernels identically.
+
+    Counting semantics match the reference exactly: pairs are counted
+    over the per-node id lists truncated to the eligible prefix, nodes
+    with fewer than two eligible cliques contribute nothing, overlap-1
+    pairs are dropped from the buckets (the k=2 chains cover them), and
+    ``k_act = min(sizes[j], o + 1)``.
+    """
+    np = require_numpy("the 'blocks' kernel")
+    t0, c0 = time.perf_counter(), time.process_time()
+    with worker_span("worker.overlap.blocks", cliques=len(dense)) as span:
+        n_cliques = len(dense)
+        # Pair words are (id << shift) | id; on every graph this
+        # pipeline meets they fit int32, which halves the sort traffic
+        # of the np.unique below.  The wire stays '<i8' regardless.
+        word_dtype = (
+            np.int32
+            if (n_cliques << shift) | ((1 << shift) - 1) < 2**31
+            else np.int64
+        )
+        lens = np.fromiter(map(len, dense), np.int64, count=n_cliques)
+        total = int(lens.sum())
+        flat = np.fromiter((v for c in dense for v in c), word_dtype, count=total)
+        cid = np.repeat(np.arange(n_cliques, dtype=word_dtype), lens)
+        order = np.lexsort((cid, flat))
+        cids_s = cid[order]
+        nodes_s = flat[order]
+        # k=2 chains: consecutive clique ids within each node run.
+        same = nodes_s[:-1] == nodes_s[1:]
+        chains = (cids_s[:-1][same] << shift) | cids_s[1:][same]
+        # Per-node runs; the eligible ids are an ascending prefix.
+        starts = np.flatnonzero(np.concatenate(([True], ~same)))
+        eligible_len = np.add.reduceat((cids_s < n_counting).astype(np.int64), starts)
+        keep = eligible_len >= 2
+        kept_starts = starts[keep]
+        kept_len = eligible_len[keep].astype(word_dtype)
+        # All pairs within each eligible prefix, in one ragged gather:
+        # each prefix position q > 0 contributes q pairs as the larger
+        # endpoint, partnered with every earlier position of its run.
+        # Ids ascend within a run, so position order is id order and the
+        # packed word is (smaller id << shift) | larger id, exactly the
+        # reference's ascending-prefix pairs.
+        n_incident = int(kept_len.sum())
+        within = np.arange(n_incident, dtype=word_dtype) - np.repeat(
+            np.cumsum(kept_len, dtype=word_dtype) - kept_len, kept_len
+        )
+        pos = np.repeat(kept_starts.astype(word_dtype), kept_len) + within
+        pair_updates = int(within.sum())
+        batches = 1 if pair_updates else 0
+        if pair_updates:
+            j_pos = np.repeat(pos, within)
+            grp_starts = np.cumsum(within, dtype=word_dtype) - within
+            delta = (
+                np.arange(pair_updates, dtype=word_dtype)
+                - np.repeat(grp_starts, within)
+                + word_dtype(1)
+            )
+            i_pos = j_pos - delta
+            words = (cids_s[i_pos] << shift) | cids_s[j_pos]
+            unique_words, counts = np.unique(words, return_counts=True)
+        else:
+            unique_words = counts = np.empty(0, np.int64)
+        n_counted = len(unique_words)
+        # Activation-order bucketing over the overlap >= 2 pairs.
+        strong = counts > 1
+        kept_words = unique_words[strong]
+        kept_counts = counts[strong]
+        sizes_j = np.asarray(sizes, dtype=np.int64)[kept_words & ((1 << shift) - 1)]
+        k_act = np.minimum(sizes_j, kept_counts + 1)
+        by_k = np.argsort(k_act, kind="stable")
+        words_sorted = kept_words[by_k]
+        k_sorted = k_act[by_k]
+        if len(k_sorted):
+            bounds = np.flatnonzero(np.diff(k_sorted)) + 1
+            bucket_starts = np.concatenate(([0], bounds))
+            bucket_ends = np.concatenate((bounds, [len(k_sorted)]))
+        else:
+            bucket_starts = bucket_ends = ()
+        wire = OverlapWire(
+            n_cliques=n_cliques,
+            shift=shift,
+            n_pairs=len(words_sorted),
+            n_chain_pairs=len(chains),
+            buckets={
+                int(k_sorted[s]): words_sorted[s:e].astype("<i8", copy=False).tobytes()
+                for s, e in zip(bucket_starts, bucket_ends)
+            },
+            chains=chains.astype("<i8", copy=False).tobytes(),
+        )
+        span.set("pairs", n_counted)
+        span.set("batches", batches)
+    stats = {
+        "nodes": int(keep.sum()),
+        "incidences": total,
+        "pair_updates": pair_updates,
+        "batches": batches,
+        "distinct_pairs": n_counted,
+        "wall_seconds": time.perf_counter() - t0,
+        "cpu_seconds": time.process_time() - c0,
+        "max_rss_kib": max_rss_kib(),
+    }
+    return wire, n_counted, stats
+
+
+def percolate_orders_blocks(
+    orders: list[int],
+    eligibles: list[int],
+    wire: OverlapWire,
+) -> tuple[dict[int, list[list[int]]], dict]:
+    """Min-label percolation sweep over a packed wire, vectorized.
+
+    Drop-in twin of
+    :func:`~.lightweight._percolate_orders_packed`: the same
+    descending incremental contract (a bucket at ``k_act`` is applied
+    once, at the first order ``k <= k_act``; chains fold in at k = 2),
+    with the union-find replaced by min-label propagation.  Each batch
+    of pairs hooks both endpoint *roots* to the pair minimum and
+    pointer-jumps to a fixed point — equal labels stay equal under
+    that transformation, so previously contracted components remain
+    contracted and connectivity through them is preserved.
+
+    Group snapshots replicate ``IntUnionFind.groups`` ordering exactly:
+    member ids ascending (stable argsort of the label array), groups
+    largest-first with ties broken by smallest member.
+    """
+    np = require_numpy("the 'blocks' kernel")
+    t0, c0 = time.perf_counter(), time.process_time()
+    with worker_span(
+        "worker.percolate.blocks", orders=len(orders), cliques=wire.n_cliques
+    ) as span:
+        shift = wire.shift
+        labels = np.arange(wire.n_cliques, dtype=np.int64)
+        bucket_orders = sorted(wire.buckets, reverse=True)
+        bi = 0
+        n_buckets = len(bucket_orders)
+        applied = 0
+        result: dict[int, list[list[int]]] = {}
+
+        def apply_pairs(words) -> None:
+            nonlocal labels
+            i = words >> shift
+            j = words & ((1 << shift) - 1)
+            while True:
+                li = labels[i]
+                lj = labels[j]
+                if np.array_equal(li, lj):
+                    break
+                lo = np.minimum(li, lj)
+                np.minimum.at(labels, li, lo)
+                np.minimum.at(labels, lj, lo)
+                while True:
+                    jumped = labels[labels]
+                    if np.array_equal(jumped, labels):
+                        break
+                    labels = jumped
+
+        for idx, k in enumerate(orders):
+            while bi < n_buckets and bucket_orders[bi] >= k:
+                words = np.frombuffer(wire.buckets[bucket_orders[bi]], dtype="<i8")
+                applied += len(words)
+                apply_pairs(words)
+                bi += 1
+            if k == 2 and wire.chains:
+                words = np.frombuffer(wire.chains, dtype="<i8")
+                applied += len(words)
+                apply_pairs(words)
+            eligible = eligibles[idx]
+            if eligible == 0:
+                result[k] = []
+                continue
+            prefix = labels[:eligible]
+            _uniq, inverse = np.unique(prefix, return_inverse=True)
+            by_label = np.argsort(inverse, kind="stable")
+            cuts = np.flatnonzero(np.diff(inverse[by_label])) + 1
+            groups = [g.tolist() for g in np.split(by_label, cuts)]
+            groups.sort(key=lambda g: (-len(g), g[0]))
+            result[k] = groups
+        merges = wire.n_cliques - len(np.unique(labels))
+        span.set("union_merges", merges)
+        registry = current_metrics()
+        if registry is not None:
+            registry.inc("worker.percolate.union_merges", merges)
+            registry.inc("worker.percolate.orders_done", len(orders))
+    pairs_in = wire.n_pairs + wire.n_chain_pairs
+    stats = {
+        "orders": len(orders),
+        "pairs_in": pairs_in,
+        "skipped_pairs": max(0, pairs_in - applied),
+        "union_merges": merges,
+        "wall_seconds": time.perf_counter() - t0,
+        "cpu_seconds": time.process_time() - c0,
+        "max_rss_kib": max_rss_kib(),
+    }
+    return result, stats

@@ -21,7 +21,13 @@ from __future__ import annotations
 from collections.abc import Hashable, Iterable, Iterator, Mapping
 from dataclasses import dataclass, field
 
-__all__ = ["Community", "CommunityCover", "CommunityHierarchy", "member_sort_key"]
+__all__ = [
+    "Community",
+    "CommunityCover",
+    "CommunityHierarchy",
+    "member_sort_key",
+    "rank_member_sets",
+]
 
 
 def member_sort_key(members: frozenset) -> tuple:
@@ -33,6 +39,37 @@ def member_sort_key(members: frozenset) -> tuple:
     must agree on indices to attach parent provenance.
     """
     return (-len(members), tuple(sorted(map(repr, members))))
+
+
+def rank_member_sets(member_sets: list) -> list[int]:
+    """Indices of ``member_sets`` in :func:`member_sort_key` order.
+
+    Equivalent to sorting by ``member_sort_key`` (including its
+    stability for fully tied sets), but the repr tie-break tuple is
+    only materialised for size-*tied* sets — the giant low-k
+    communities almost always have unique sizes, and repr-ing
+    thousands of members to break a tie that cannot occur is the
+    hierarchy assembly's hottest avoidable cost.
+    """
+    by_len = sorted(range(len(member_sets)), key=lambda i: -len(member_sets[i]))
+    ranked: list[int] = []
+    i, n = 0, len(by_len)
+    while i < n:
+        j = i + 1
+        size = len(member_sets[by_len[i]])
+        while j < n and len(member_sets[by_len[j]]) == size:
+            j += 1
+        if j - i == 1:
+            ranked.append(by_len[i])
+        else:
+            ranked.extend(
+                sorted(
+                    by_len[i:j],
+                    key=lambda t: tuple(sorted(map(repr, member_sets[t]))),
+                )
+            )
+        i = j
+    return ranked
 
 
 @dataclass(frozen=True, order=False)
@@ -111,7 +148,8 @@ class CommunityCover:
         if k < 2:
             raise ValueError(f"k must be >= 2, got {k}")
         self.k = k
-        ordered = sorted((frozenset(m) for m in member_sets), key=member_sort_key)
+        sets = [frozenset(m) for m in member_sets]
+        ordered = [sets[i] for i in rank_member_sets(sets)]
         self._communities = tuple(
             Community(k=k, index=i, members=members) for i, members in enumerate(ordered)
         )

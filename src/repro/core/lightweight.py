@@ -8,7 +8,7 @@ all-pairs clique overlap matrix; the 'parallel' idea is that both the
 overlap computation and the per-order percolation decompose into
 independent shards.
 
-This implementation reproduces that architecture with two kernels:
+This implementation reproduces that architecture with three kernels:
 
 * ``kernel="bitset"`` (default) — the integer fast path.  The graph is
   snapshotted into a :class:`~repro.graph.csr.CSRGraph` (dense ids in
@@ -20,11 +20,19 @@ This implementation reproduces that architecture with two kernels:
   sweep per worker over pair buckets keyed by activation order (see
   :mod:`.overlap`).  Workers receive one packed ``bytes`` buffer via
   the pool initializer instead of a per-batch re-pickle.
+* ``kernel="blocks"`` — the vectorized fast path (requires the
+  ``[perf]`` numpy extra; see :mod:`.blocks`).  Same CSR snapshot and
+  wire format as the bitset kernel, but clique enumeration resolves
+  leaf subproblems inline, overlap counting is batched numpy array
+  sweeps instead of sharded ``Counter`` updates, and the serial
+  percolation sweep is min-label propagation.  ``--kernel auto``
+  selects it when numpy is importable and degrades to ``bitset``
+  otherwise (:func:`resolve_kernel`).
 * ``kernel="set"`` — the original set-based pipeline, kept as the
   tested reference oracle: per-order independent union-find over the
-  full (i, j, overlap) list.  Both kernels produce bit-identical
+  full (i, j, overlap) list.  All kernels produce bit-identical
   hierarchies (same covers, same parent labels), which
-  ``tests/test_kernels_equivalence.py`` asserts.
+  ``tests/test_kernels_equivalence.py`` asserts three ways.
 
 Phases (either kernel):
 
@@ -106,9 +114,33 @@ from .overlap import (
 from .percolation import CliqueOverlapIndex, build_hierarchy
 from .unionfind import IntUnionFind, UnionFind
 
-__all__ = ["LightweightParallelCPM", "CPMRunStats", "KERNELS"]
+__all__ = ["LightweightParallelCPM", "CPMRunStats", "KERNELS", "resolve_kernel"]
 
-KERNELS = ("bitset", "set")
+KERNELS = ("bitset", "blocks", "set")
+
+
+def resolve_kernel(kernel: str) -> str:
+    """Resolve a kernel request (including ``"auto"``) to a KERNELS name.
+
+    ``"auto"`` picks the fastest kernel the install supports: ``blocks``
+    when numpy (the ``[perf]`` extra) is importable, else ``bitset`` —
+    the documented degradation, so an ``auto`` run never fails on a
+    minimal install.  Explicit names pass through after validation;
+    requesting ``blocks`` without numpy raises
+    :class:`~._blocks_compat.BlocksUnavailableError` (a ``ValueError``)
+    here, before any phase starts.
+    """
+    if kernel == "auto":
+        from ._blocks_compat import HAVE_NUMPY
+
+        return "blocks" if HAVE_NUMPY else "bitset"
+    if kernel not in KERNELS:
+        raise ValueError(f"kernel must be one of {KERNELS} or 'auto', got {kernel!r}")
+    if kernel == "blocks":
+        from ._blocks_compat import require_numpy
+
+        require_numpy("kernel 'blocks'")
+    return kernel
 
 
 @dataclass
@@ -352,8 +384,10 @@ def _prefix_count(sorted_desc: Sequence[int], k: int) -> int:
 class LightweightParallelCPM:
     """Extract the full k-clique community hierarchy of a graph.
 
-    ``kernel`` selects the integer fast path (``"bitset"``, default) or
-    the set-based reference (``"set"``); both produce identical
+    ``kernel`` selects the integer fast path (``"bitset"``, default),
+    the numpy-vectorized fast path (``"blocks"``, needs the ``[perf]``
+    extra), the set-based reference (``"set"``), or ``"auto"`` (blocks
+    when numpy is importable, else bitset); all produce identical
     hierarchies.  ``cache`` (a :class:`~.cache.CliqueCache`) memoises
     enumeration + overlap on disk keyed by the graph fingerprint.
     ``tracer``/``metrics`` (both optional) switch on observability: the
@@ -384,8 +418,7 @@ class LightweightParallelCPM:
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
-        if kernel not in KERNELS:
-            raise ValueError(f"kernel must be one of {KERNELS}, got {kernel!r}")
+        kernel = resolve_kernel(kernel)
         self.graph = graph
         self.workers = workers
         self.kernel = kernel
@@ -422,10 +455,10 @@ class LightweightParallelCPM:
             if ckpt is not None:
                 run_span.set("checkpoint", str(ckpt.root))
                 run_span.set("resume", self.resume)
-            if self.kernel == "bitset":
-                hierarchy = self._run_bitset(min_k, max_k, checksum, payload, ckpt)
-            else:
+            if self.kernel == "set":
                 hierarchy = self._run_set(min_k, max_k, checksum, payload, ckpt)
+            else:  # bitset and blocks share the packed pipeline
+                hierarchy = self._run_bitset(min_k, max_k, checksum, payload, ckpt)
             if self.stats.resumed_phases:
                 run_span.set("resumed_phases", list(self.stats.resumed_phases))
             if self.stats.degraded:
@@ -556,7 +589,10 @@ class LightweightParallelCPM:
                 n_counted = over_ck["counted_pairs"]
                 self._mark_resumed("overlap")
             else:
-                wire, n_counted = self._overlap_phase_bitset(dense, sizes, n_nodes)
+                if self.kernel == "blocks":
+                    wire, n_counted = self._overlap_phase_blocks(dense, sizes)
+                else:
+                    wire, n_counted = self._overlap_phase_bitset(dense, sizes, n_nodes)
                 self._cache_store(
                     checksum, {"cliques": cliques, "wire": wire, "counted_pairs": n_counted}
                 )
@@ -579,17 +615,30 @@ class LightweightParallelCPM:
         return hierarchy
 
     def _enumerate_phase_bitset(self) -> tuple[list[tuple[int, ...]], list[tuple], int]:
-        """Enumerate via the bitset kernel; returns (dense, labelled, n_nodes)."""
+        """Enumerate via the bitset/blocks kernel; returns (dense, labelled, n_nodes)."""
         with self.tracer.span("cpm.enumerate") as span:
             enum_stats = CliqueEnumerationStats() if self._observing else None
             csr = CSRGraph.from_graph(self.graph)
             self.csr = csr
-            dense = maximal_cliques_bitset(csr, min_size=2, stats=enum_stats)
+            if self.kernel == "blocks":
+                from .blocks import maximal_cliques_blocks
+
+                # The uint64 block matrix is the *analysis* engine's
+                # input, not the CPM pipeline's — it stays lazy
+                # (csr.blocks() materialises on first use) so cpm.run
+                # never pays the allocation.  Record the footprint it
+                # will occupy so the manifest sizes the [perf] extra's
+                # memory cost anyway.
+                n_words = max(1, (csr.n + 63) >> 6)
+                self.metrics.inc("cpm.blocks.bytes", csr.n * n_words * 8)
+                dense = maximal_cliques_blocks(csr, min_size=2, stats=enum_stats)
+            else:
+                dense = maximal_cliques_bitset(csr, min_size=2, stats=enum_stats)
             dense.sort(key=len, reverse=True)
             to_label = csr.labels.__getitem__
             cliques = [tuple(map(to_label, clique)) for clique in dense]
             span.set("n_cliques", len(cliques))
-            span.set("kernel", "bitset")
+            span.set("kernel", self.kernel)
             self.metrics.inc("cliques.enumerated", len(cliques))
             if enum_stats is not None:
                 span.set("recursive_calls", enum_stats.calls)
@@ -646,6 +695,41 @@ class LightweightParallelCPM:
             span.set("bucketed_pairs", wire.n_pairs)
             return wire, len(counts)
 
+    def _overlap_phase_blocks(
+        self,
+        dense: list[tuple[int, ...]],
+        sizes: list[int],
+    ) -> tuple[OverlapWire, int]:
+        """Vectorized overlap counting (blocks kernel), same wire out.
+
+        One batched numpy sweep replaces the inverted index + sharded
+        ``Counter`` pipeline — counting is already data-parallel inside
+        numpy, so the phase runs in-driver regardless of ``workers``
+        (the shard report below keeps the ``overlap.*`` aggregation
+        identical across kernels).
+        """
+        from .blocks import count_overlaps_blocks
+
+        with self.tracer.span("cpm.overlap") as span:
+            t0 = time.perf_counter()
+            n_cliques = len(sizes)
+            shift = max(1, n_cliques.bit_length())
+            with self.tracer.span("cpm.blocks.count") as count_span:
+                wire, n_counted, shard_stats = count_overlaps_blocks(
+                    dense, sizes, _prefix_count(sizes, 3), shift
+                )
+                count_span.set("batches", shard_stats["batches"])
+            span.set("shards", 1)
+            self._aggregate_shard_reports([shard_stats], time.perf_counter() - t0)
+            self.metrics.inc("cpm.blocks.popcount_batches", shard_stats["batches"])
+            self.metrics.inc("cpm.blocks.pair_words", shard_stats["pair_updates"])
+            self.metrics.inc("overlap.pairs", n_counted)
+            self.metrics.inc("overlap.chain_pairs", wire.n_chain_pairs)
+            span.set("pairs", n_counted)
+            span.set("chain_pairs", wire.n_chain_pairs)
+            span.set("bucketed_pairs", wire.n_pairs)
+            return wire, n_counted
+
     def _percolation_phase_packed(
         self,
         cliques: list,
@@ -671,9 +755,13 @@ class LightweightParallelCPM:
             if not todo:
                 self.metrics.inc("overlap.bytes_shipped", 0)
             elif self.workers == 1:
+                if self.kernel == "blocks":
+                    from .blocks import percolate_orders_blocks as sweep
+                else:
+                    sweep = _percolate_orders_packed
                 for chunk in self._serial_chunks(todo, ckpt):
                     eligibles = [_prefix_count(sizes, k) for k in chunk]
-                    absorb(0, _percolate_orders_packed(chunk, eligibles, wire))
+                    absorb(0, sweep(chunk, eligibles, wire))
                 self.metrics.inc("overlap.bytes_shipped", 0)
             else:
                 # Interleave orders across workers: low orders see more

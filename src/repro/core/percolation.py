@@ -39,7 +39,7 @@ from ..graph.undirected import Graph
 from ..obs.metrics import MetricsRegistry
 from ..obs.tracing import NULL_TRACER, Tracer
 from .cliques import k_cliques, maximal_cliques
-from .communities import CommunityCover, CommunityHierarchy, member_sort_key
+from .communities import CommunityCover, CommunityHierarchy, rank_member_sets
 from .unionfind import UnionFind
 
 __all__ = [
@@ -201,13 +201,16 @@ def build_hierarchy(
     with tracer.span("hierarchy.build", orders=len(groups_by_k)) as span:
         for k in sorted(groups_by_k):
             groups = groups_by_k[k]
-            member_sets = [
-                frozenset(node for cid in group for node in cliques[cid]) for group in groups
-            ]
+            member_sets = []
+            for group in groups:
+                members: set = set()
+                for cid in group:
+                    members.update(cliques[cid])
+                member_sets.append(frozenset(members))
             # Rank groups exactly as CommunityCover will, so that group
-            # positions map onto community indices (sorted() is stable, so
-            # even duplicate member sets stay aligned).
-            ranked = sorted(range(len(groups)), key=lambda i: member_sort_key(member_sets[i]))
+            # positions map onto community indices (rank_member_sets is
+            # stable, so even duplicate member sets stay aligned).
+            ranked = rank_member_sets(member_sets)
             covers[k] = CommunityCover(k, member_sets)
             membership: dict[int, str] = {}
             for community_index, group_position in enumerate(ranked):

@@ -44,7 +44,7 @@ class CSRGraph:
     '0b1110'
     """
 
-    __slots__ = ("labels", "indptr", "indices", "bitsets", "_rank", "_degrees")
+    __slots__ = ("labels", "indptr", "indices", "bitsets", "_rank", "_degrees", "_blocks")
 
     def __init__(
         self,
@@ -59,6 +59,7 @@ class CSRGraph:
         self.bitsets = bitsets
         self._rank: dict | None = None
         self._degrees: list[int] | None = None
+        self._blocks = None
 
     @classmethod
     def from_graph(cls, graph: Graph) -> "CSRGraph":
@@ -127,6 +128,30 @@ class CSRGraph:
             indptr = self.indptr
             self._degrees = [indptr[i + 1] - indptr[i] for i in range(len(self.labels))]
         return self._degrees
+
+    def blocks(self):
+        """The adjacency as a numpy uint64 block matrix, lazily cached.
+
+        Shape ``(n, ceil(n/64))``, little-endian within and across
+        words: bit ``j`` of row ``i`` (word ``j // 64``, bit ``j % 64``)
+        is set iff ``{i, j}`` is an edge — the exact bytes of
+        :attr:`bitsets`, so the two views agree by construction on any
+        host.  The ``blocks`` CPM kernel and the ``blocks`` analysis
+        engine batch their popcounts over this matrix.
+
+        Requires the ``[perf]`` extra; raises
+        :class:`~repro.core._blocks_compat.BlocksUnavailableError`
+        without numpy.
+        """
+        if self._blocks is None:
+            from ..core._blocks_compat import require_numpy
+
+            np = require_numpy("CSRGraph.blocks()")
+            n_words = max(1, (self.n + 63) >> 6)
+            row_bytes = n_words * 8
+            buf = b"".join(mask.to_bytes(row_bytes, "little") for mask in self.bitsets)
+            self._blocks = np.frombuffer(buf, dtype="<u8").reshape(self.n, n_words)
+        return self._blocks
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"CSRGraph(n={self.n}, edges={self.n_edges})"

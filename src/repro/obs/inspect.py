@@ -191,7 +191,18 @@ def diff_manifests(base: dict, fresh: dict, *, names: tuple[str, str] = ("a", "b
     fresh_settings = fresh.get("settings") or {}
     for key in sorted(set(base_settings) | set(fresh_settings)):
         left, right = base_settings.get(key), fresh_settings.get(key)
-        if left != right:
+        if left == right:
+            continue
+        if key == "kernel":
+            # The manifests record the *resolved* kernel (auto already
+            # collapsed), so a mismatch here means the two runs executed
+            # different CPM implementations end to end.
+            lines.append(
+                f"WARNING: kernel mismatch ({names[0]}={left!r}, "
+                f"{names[1]}={right!r}); timing deltas measure the kernel "
+                "swap, not a regression"
+            )
+        else:
             lines.append(
                 f"WARNING: settings mismatch on {key!r} ({names[0]}={left!r}, "
                 f"{names[1]}={right!r}); deltas compare different pipelines"

@@ -22,6 +22,7 @@ import pytest
 
 from repro.analysis.context import AnalysisContext
 from repro.analysis.engine import ENGINES, MetricsEngine
+from repro.core._blocks_compat import HAVE_NUMPY
 from repro.analysis.overlap import OverlapAnalysis
 from repro.api import run_cpm
 from repro.core.metrics import average_odf, link_density
@@ -30,6 +31,22 @@ from repro.graph import Graph
 from repro.report.paper import PaperRun
 
 from .conftest import random_graph
+
+#: Engine modes, with the numpy-backed one skipped on minimal installs.
+ENGINE_MODES = [
+    pytest.param(
+        mode,
+        id=mode,
+        marks=pytest.mark.skipif(
+            mode == "blocks" and not HAVE_NUMPY, reason="blocks engine needs numpy"
+        ),
+    )
+    for mode in ENGINES
+]
+
+
+def _available_modes():
+    return [m for m in ENGINES if m != "blocks" or HAVE_NUMPY]
 
 
 def _engine_for(graph: Graph, *, engine: str = "bitset", workers: int = 1) -> MetricsEngine:
@@ -153,8 +170,8 @@ def test_overlap_findings_match_re_enumeration(default_context):
 # ----------------------------------------------------------------------
 # Oracle graphs: structured and randomized
 # ----------------------------------------------------------------------
-def test_ring_of_cliques_both_engines(ring_graph):
-    for mode in ENGINES:
+def test_ring_of_cliques_all_engines(ring_graph):
+    for mode in _available_modes():
         engine = _engine_for(ring_graph, engine=mode)
         _assert_rows_match_oracle(engine)
         _assert_overlaps_match_oracle(engine)
@@ -163,12 +180,15 @@ def test_ring_of_cliques_both_engines(ring_graph):
 @pytest.mark.parametrize("seed", [11, 23, 47])
 def test_random_graphs_match_oracle(seed):
     graph = random_graph(80, 0.15, seed)
-    bitset = _engine_for(graph, engine="bitset")
     reference = _engine_for(graph, engine="set")
-    _assert_rows_match_oracle(bitset)
-    _assert_overlaps_match_oracle(bitset)
-    assert bitset.rows() == reference.rows()
-    assert bitset.order_overlaps() == reference.order_overlaps()
+    for mode in _available_modes():
+        if mode == "set":
+            continue
+        fast = _engine_for(graph, engine=mode)
+        _assert_rows_match_oracle(fast)
+        _assert_overlaps_match_oracle(fast)
+        assert fast.rows() == reference.rows()
+        assert fast.order_overlaps() == reference.order_overlaps()
 
 
 def test_randomized_hierarchy_shuffled_members():
@@ -183,7 +203,7 @@ def test_randomized_hierarchy_shuffled_members():
                 graph.add_edge(u, v)
     for a, b in zip(cliques, cliques[1:]):
         graph.add_edge(a[0], b[0])
-    for mode in ENGINES:
+    for mode in _available_modes():
         engine = _engine_for(graph, engine=mode)
         _assert_rows_match_oracle(engine)
         _assert_overlaps_match_oracle(engine)
@@ -192,7 +212,7 @@ def test_randomized_hierarchy_shuffled_members():
 # ----------------------------------------------------------------------
 # Parallel sweeps: results must not depend on worker scheduling
 # ----------------------------------------------------------------------
-@pytest.mark.parametrize("mode", ENGINES)
+@pytest.mark.parametrize("mode", ENGINE_MODES)
 def test_workers_match_serial(default_dataset, mode):
     serial = _engine_for(default_dataset.graph, engine=mode, workers=1)
     pooled = _engine_for(default_dataset.graph, engine=mode, workers=2)

@@ -1,0 +1,255 @@
+"""The blocks kernel's own seams: guard, auto-selection, wire, CLI.
+
+Cross-kernel *output* equivalence lives in
+``tests/test_kernels_equivalence.py`` / ``tests/test_query.py``; this
+module pins everything around the kernel:
+
+* the optional-dependency guard (``repro.core._blocks_compat``) and the
+  documented degradation — ``--kernel auto`` falls back to ``bitset``
+  and an explicit ``--kernel blocks`` exits 2 with an install hint on a
+  numpy-less install (simulated by monkeypatching ``HAVE_NUMPY``, so
+  both legs run regardless of which CI matrix cell executes them);
+* the uint64 block matrix against the big-int bitsets, bit for bit;
+* the vectorized overlap counter against the sharded reference at the
+  wire level (same buckets as multisets, same chains);
+* the min-label percolation sweep against the incremental union-find,
+  group for group;
+* the resolved kernel + numpy version stamped into manifest settings,
+  and the ``obs diff`` kernel-mismatch warning.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core import _blocks_compat
+from repro.core._blocks_compat import (
+    HAVE_NUMPY,
+    BlocksUnavailableError,
+    numpy_version,
+    require_numpy,
+)
+from repro.core.lightweight import (
+    KERNELS,
+    LightweightParallelCPM,
+    _percolate_orders_packed,
+    resolve_kernel,
+)
+from repro.graph import CSRGraph, ring_of_cliques
+from repro.obs.inspect import diff_manifests
+
+from .conftest import random_graph
+
+needs_numpy = pytest.mark.skipif(not HAVE_NUMPY, reason="blocks kernel needs numpy")
+
+
+@pytest.fixture(scope="module")
+def saved_dataset(tmp_path_factory, tiny_dataset):
+    path = tmp_path_factory.mktemp("data") / "bundle"
+    tiny_dataset.save(path)
+    return str(path)
+
+
+class TestGuard:
+    def test_kernels_table_lists_blocks(self):
+        assert KERNELS == ("bitset", "blocks", "set")
+
+    @needs_numpy
+    def test_require_numpy_returns_the_module(self):
+        np = require_numpy("test")
+        assert np.__name__ == "numpy"
+        assert numpy_version() == np.__version__
+
+    def test_missing_numpy_raises_value_error_with_hint(self, monkeypatch):
+        monkeypatch.setattr(_blocks_compat, "HAVE_NUMPY", False)
+        with pytest.raises(BlocksUnavailableError, match=r"\[perf\]"):
+            require_numpy("kernel 'blocks'")
+        assert issubclass(BlocksUnavailableError, ValueError)
+        assert numpy_version() is None
+
+    @needs_numpy
+    def test_auto_resolves_to_blocks(self):
+        assert resolve_kernel("auto") == "blocks"
+
+    def test_auto_degrades_to_bitset_without_numpy(self, monkeypatch):
+        monkeypatch.setattr(_blocks_compat, "HAVE_NUMPY", False)
+        assert resolve_kernel("auto") == "bitset"
+
+    def test_explicit_blocks_without_numpy_raises(self, monkeypatch):
+        monkeypatch.setattr(_blocks_compat, "HAVE_NUMPY", False)
+        with pytest.raises(BlocksUnavailableError, match="numpy"):
+            resolve_kernel("blocks")
+        with pytest.raises(BlocksUnavailableError, match="numpy"):
+            LightweightParallelCPM(ring_of_cliques(3, 4), kernel="blocks")
+
+    def test_unknown_kernel_still_rejected(self):
+        with pytest.raises(ValueError, match="kernel must be one of"):
+            resolve_kernel("turbo")
+
+    @needs_numpy
+    def test_auto_runs_and_records_resolved_kernel(self):
+        cpm = LightweightParallelCPM(ring_of_cliques(3, 4), kernel="auto")
+        assert cpm.kernel == "blocks"
+        cpm.run()
+        assert cpm.stats.kernel == "blocks"
+
+
+@needs_numpy
+class TestBlockMatrix:
+    def test_blocks_match_bitsets_bit_for_bit(self):
+        csr = CSRGraph.from_graph(random_graph(70, 0.2, seed=3))
+        blocks = csr.blocks()
+        assert blocks.shape == (csr.n, (csr.n + 63) // 64)
+        for i, mask in enumerate(csr.bitsets):
+            row = int.from_bytes(blocks[i].tobytes(), "little")
+            assert row == mask
+
+    def test_matrix_is_cached(self):
+        csr = CSRGraph.from_graph(ring_of_cliques(3, 4))
+        assert csr.blocks() is csr.blocks()
+
+
+@needs_numpy
+class TestWireEquivalence:
+    """The vectorized overlap/percolation stages vs the references."""
+
+    def _wires(self, graph):
+        fast = LightweightParallelCPM(graph, kernel="blocks")
+        ref = LightweightParallelCPM(graph, kernel="bitset")
+        hierarchies = (fast.run(), ref.run())
+        return fast, ref, hierarchies
+
+    @pytest.mark.parametrize("seed", [11, 23])
+    def test_overlap_wire_matches_reference(self, seed):
+        import numpy as np
+
+        graph = random_graph(55, 0.25, seed=seed)
+        dense_graphs = []
+        for kernel in ("blocks", "bitset"):
+            cpm = LightweightParallelCPM(graph, kernel=kernel)
+            dense, _cliques, n_nodes = cpm._enumerate_phase_bitset()
+            sizes = [len(c) for c in dense]
+            if kernel == "blocks":
+                wire, counted = cpm._overlap_phase_blocks(dense, sizes)
+            else:
+                wire, counted = cpm._overlap_phase_bitset(dense, sizes, n_nodes)
+            dense_graphs.append((wire, counted))
+        (fast_wire, fast_counted), (ref_wire, ref_counted) = dense_graphs
+        assert fast_counted == ref_counted
+        assert fast_wire.n_cliques == ref_wire.n_cliques
+        assert fast_wire.shift == ref_wire.shift
+        assert fast_wire.n_pairs == ref_wire.n_pairs
+        assert sorted(fast_wire.buckets) == sorted(ref_wire.buckets)
+        for k in ref_wire.buckets:
+            fast_words = np.sort(np.frombuffer(fast_wire.buckets[k], dtype="<i8"))
+            ref_words = np.sort(np.frombuffer(ref_wire.buckets[k], dtype="<i8"))
+            assert np.array_equal(fast_words, ref_words)
+        fast_chains = np.sort(np.frombuffer(fast_wire.chains, dtype="<i8"))
+        ref_chains = np.sort(np.frombuffer(ref_wire.chains, dtype="<i8"))
+        assert np.array_equal(fast_chains, ref_chains)
+
+    @pytest.mark.parametrize("seed", [5, 23])
+    def test_percolation_groups_match_union_find(self, seed):
+        from repro.core.blocks import percolate_orders_blocks
+        from repro.core.lightweight import _prefix_count
+
+        graph = random_graph(50, 0.3, seed=seed)
+        cpm = LightweightParallelCPM(graph, kernel="bitset")
+        dense, _cliques, n_nodes = cpm._enumerate_phase_bitset()
+        sizes = [len(c) for c in dense]
+        wire, _ = cpm._overlap_phase_bitset(dense, sizes, n_nodes)
+        orders = list(range(max(sizes), 1, -1))
+        eligibles = [_prefix_count(sizes, k) for k in orders]
+        fast, fast_stats = percolate_orders_blocks(orders, eligibles, wire)
+        ref, ref_stats = _percolate_orders_packed(orders, eligibles, wire)
+        assert fast == ref
+        assert fast_stats["union_merges"] == ref_stats["union_merges"]
+        assert fast_stats["orders"] == ref_stats["orders"]
+
+
+class TestCLI:
+    def test_blocks_without_numpy_exits_2(self, saved_dataset, monkeypatch, capsys):
+        from repro.cli import main
+
+        monkeypatch.setattr(_blocks_compat, "HAVE_NUMPY", False)
+        code = main(["communities", saved_dataset, "--kernel", "blocks"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "numpy" in err and "[perf]" in err
+
+    def test_auto_without_numpy_runs_on_bitset(self, saved_dataset, monkeypatch, capsys):
+        from repro.cli import main
+
+        monkeypatch.setattr(_blocks_compat, "HAVE_NUMPY", False)
+        assert main(["communities", saved_dataset, "--kernel", "auto", "--max-k", "4"]) == 0
+
+    @needs_numpy
+    def test_blocks_kernel_end_to_end(self, saved_dataset, capsys):
+        from repro.cli import main
+
+        assert main(["communities", saved_dataset, "--kernel", "blocks", "--max-k", "4"]) == 0
+        assert "k=4" in capsys.readouterr().out
+
+    def test_manifest_records_resolved_kernel_and_numpy(
+        self, saved_dataset, tmp_path, capsys
+    ):
+        from repro.cli import main
+
+        manifest_path = tmp_path / "manifest.json"
+        code = main(
+            [
+                "communities",
+                saved_dataset,
+                "--kernel",
+                "auto",
+                "--max-k",
+                "4",
+                "--metrics",
+                str(manifest_path),
+            ]
+        )
+        assert code == 0
+        settings = json.loads(manifest_path.read_text())["settings"]
+        assert settings["kernel"] == ("blocks" if HAVE_NUMPY else "bitset")
+        assert settings["numpy"] == numpy_version()
+
+    def test_manifest_records_bitset_and_null_without_numpy(
+        self, saved_dataset, tmp_path, monkeypatch, capsys
+    ):
+        from repro.cli import main
+
+        monkeypatch.setattr(_blocks_compat, "HAVE_NUMPY", False)
+        manifest_path = tmp_path / "manifest.json"
+        code = main(
+            [
+                "communities",
+                saved_dataset,
+                "--kernel",
+                "auto",
+                "--max-k",
+                "4",
+                "--metrics",
+                str(manifest_path),
+            ]
+        )
+        assert code == 0
+        settings = json.loads(manifest_path.read_text())["settings"]
+        assert settings["kernel"] == "bitset"
+        assert settings["numpy"] is None
+
+
+class TestObsDiff:
+    def test_kernel_mismatch_warns_explicitly(self):
+        base = {"settings": {"kernel": "bitset"}, "metrics": {"counters": {}}}
+        fresh = {"settings": {"kernel": "blocks"}, "metrics": {"counters": {}}}
+        out = diff_manifests(base, fresh)
+        assert "kernel mismatch" in out
+        assert "not a regression" in out
+
+    def test_matching_kernels_do_not_warn(self):
+        base = {"settings": {"kernel": "blocks"}, "metrics": {"counters": {}}}
+        fresh = {"settings": {"kernel": "blocks"}, "metrics": {"counters": {}}}
+        assert "kernel mismatch" not in diff_manifests(base, fresh)

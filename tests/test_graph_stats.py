@@ -22,6 +22,14 @@ from repro.graph import (
 )
 
 
+try:  # nx.degree_pearson_correlation_coefficient needs scipy (-> numpy)
+    import scipy  # noqa: F401
+
+    HAVE_SCIPY = True
+except ImportError:
+    HAVE_SCIPY = False
+
+
 def _as_nx(g: Graph) -> nx.Graph:
     G = nx.Graph(list(g.edges()))
     G.add_nodes_from(g.nodes())
@@ -87,6 +95,7 @@ class TestClustering:
 
 
 class TestAssortativity:
+    @pytest.mark.skipif(not HAVE_SCIPY, reason="networkx pearson cross-check needs scipy")
     @pytest.mark.parametrize("seed", range(4))
     def test_matches_networkx(self, seed):
         g = erdos_renyi(40, 0.15, random.Random(seed))

@@ -1,12 +1,16 @@
-"""Cross-kernel equivalence: the integer fast path vs the references.
+"""Cross-kernel equivalence: the fast paths vs the references.
 
-The acceptance gate of the fast path: on every test graph, the bitset
-kernel must produce *exactly* what the set-based reference produces —
-the same maximal cliques, the same k range, the same member sets per
-order, and the same parent labels — under both ``workers=1`` and
-``workers=4``.  Both are also checked against the executable
+The acceptance gate of the fast paths: on every test graph, the bitset
+and blocks kernels must produce *exactly* what the set-based reference
+produces — the same maximal cliques, the same k range, the same member
+sets per order, and the same parent labels — under both ``workers=1``
+and ``workers=4``.  All kernels are also checked against the executable
 specification (``k_cliques`` percolated directly), and the array-backed
 union-find against the dict-backed one, group for group.
+
+The ``blocks`` legs need numpy (the ``[perf]`` extra) and are skipped
+cleanly without it — the no-numpy CI leg instead asserts the guard
+behaviour (``tests/test_blocks_kernel.py``).
 """
 
 import random
@@ -14,6 +18,7 @@ import random
 import pytest
 
 from repro.core import IntUnionFind, UnionFind
+from repro.core._blocks_compat import HAVE_NUMPY
 from repro.core.cliques import maximal_cliques, maximal_cliques_bitset
 from repro.core.lightweight import LightweightParallelCPM
 from repro.core.percolation import extract_hierarchy, k_clique_communities_direct
@@ -28,6 +33,18 @@ GRAPHS = {
     "gnp-medium": lambda: random_graph(50, 0.3, seed=23),
     "gnp-dense": lambda: random_graph(35, 0.5, seed=5),
 }
+
+needs_numpy = pytest.mark.skipif(not HAVE_NUMPY, reason="blocks kernel needs numpy")
+
+#: The non-reference kernels, each verified against the set oracle.
+FAST_KERNELS = [
+    pytest.param("bitset", id="bitset"),
+    pytest.param("blocks", id="blocks", marks=needs_numpy),
+]
+ALL_KERNELS = [
+    pytest.param("set", id="set"),
+    *FAST_KERNELS,
+]
 
 
 def _signature(hierarchy):
@@ -55,6 +72,22 @@ class TestCliqueEnumeration:
         fast = {frozenset(csr.to_labels(clique)) for clique in dense}
         assert fast == reference
 
+    @needs_numpy
+    def test_blocks_enumerates_the_same_cliques(self, graph):
+        """The blocks kernel emits the identical clique sequence.
+
+        Stronger than set equality: the inline leaf resolution must
+        preserve the bitset kernel's emission *order* (as member sets),
+        which is what keeps dense clique ids — and therefore the packed
+        overlap wire — aligned across the two kernels.
+        """
+        from repro.core.blocks import maximal_cliques_blocks
+
+        csr = CSRGraph.from_graph(graph)
+        reference = [frozenset(c) for c in maximal_cliques_bitset(csr, min_size=2)]
+        fast = [frozenset(c) for c in maximal_cliques_blocks(csr, min_size=2)]
+        assert fast == reference
+
     def test_min_size_filter_agrees(self, graph):
         csr = CSRGraph.from_graph(graph)
         for min_size in (1, 3, 4):
@@ -62,6 +95,20 @@ class TestCliqueEnumeration:
             fast = {
                 frozenset(csr.to_labels(clique))
                 for clique in maximal_cliques_bitset(csr, min_size=min_size)
+            }
+            assert fast == reference
+
+    @needs_numpy
+    def test_blocks_min_size_filter_agrees(self, graph):
+        from repro.core.blocks import maximal_cliques_blocks
+
+        csr = CSRGraph.from_graph(graph)
+        for min_size in (1, 3, 4):
+            reference = {
+                frozenset(c) for c in maximal_cliques_bitset(csr, min_size=min_size)
+            }
+            fast = {
+                frozenset(c) for c in maximal_cliques_blocks(csr, min_size=min_size)
             }
             assert fast == reference
 
@@ -74,39 +121,43 @@ class TestCliqueEnumeration:
 
 class TestHierarchyEquivalence:
     @pytest.mark.parametrize("workers", [1, 4])
-    def test_bitset_matches_set_kernel(self, graph, workers):
-        fast = LightweightParallelCPM(graph, kernel="bitset", workers=workers).run()
+    @pytest.mark.parametrize("kernel", FAST_KERNELS)
+    def test_fast_kernels_match_set_kernel(self, graph, kernel, workers):
+        fast = LightweightParallelCPM(graph, kernel=kernel, workers=workers).run()
         reference = LightweightParallelCPM(graph, kernel="set", workers=workers).run()
         assert sorted(fast.orders) == sorted(reference.orders)
         assert _signature(fast) == _signature(reference)
         assert fast.parent_labels == reference.parent_labels
 
-    def test_bitset_matches_sequential_oracle(self, graph):
-        fast = LightweightParallelCPM(graph, kernel="bitset").run()
+    @pytest.mark.parametrize("kernel", FAST_KERNELS)
+    def test_fast_kernels_match_sequential_oracle(self, graph, kernel):
+        fast = LightweightParallelCPM(graph, kernel=kernel).run()
         oracle = extract_hierarchy(graph)
         assert _signature(fast) == _signature(oracle)
         assert fast.parent_labels == oracle.parent_labels
 
-    def test_workers_do_not_change_the_fast_path(self, graph):
-        h1 = LightweightParallelCPM(graph, kernel="bitset", workers=1).run()
-        h4 = LightweightParallelCPM(graph, kernel="bitset", workers=4).run()
+    @pytest.mark.parametrize("kernel", FAST_KERNELS)
+    def test_workers_do_not_change_the_fast_path(self, graph, kernel):
+        h1 = LightweightParallelCPM(graph, kernel=kernel, workers=1).run()
+        h4 = LightweightParallelCPM(graph, kernel=kernel, workers=4).run()
         assert _signature(h1) == _signature(h4)
         assert h1.parent_labels == h4.parent_labels
 
-    def test_capped_k_range_agrees(self, graph):
-        fast = LightweightParallelCPM(graph, kernel="bitset").run(min_k=3, max_k=4)
+    @pytest.mark.parametrize("kernel", FAST_KERNELS)
+    def test_capped_k_range_agrees(self, graph, kernel):
+        fast = LightweightParallelCPM(graph, kernel=kernel).run(min_k=3, max_k=4)
         reference = LightweightParallelCPM(graph, kernel="set").run(min_k=3, max_k=4)
         assert sorted(fast.orders) == sorted(reference.orders)
         assert _signature(fast) == _signature(reference)
 
 
 class TestDefinitionOracle:
-    """Both kernels against the literal k-clique percolation definition."""
+    """All kernels against the literal k-clique percolation definition."""
 
     @pytest.mark.parametrize(
         "name", ["ring-6x4", "gnp-medium", "gnp-dense"]
     )
-    @pytest.mark.parametrize("kernel", ["bitset", "set"])
+    @pytest.mark.parametrize("kernel", ALL_KERNELS)
     def test_covers_match_direct_percolation(self, name, kernel):
         graph = GRAPHS[name]()
         hierarchy = LightweightParallelCPM(graph, kernel=kernel).run()

@@ -773,7 +773,10 @@ class TestInspect:
         }
         text = diff_manifests(base, fresh, names=("base", "fresh"))
         assert "WARNING: schema_version mismatch" in text
-        assert "settings mismatch on 'kernel'" in text
+        # Kernel gets its own message: the timing deltas measure the
+        # kernel swap itself, not a regression.
+        assert "WARNING: kernel mismatch" in text
+        assert "not a regression" in text
         for scalar in ("span:cpm.run.wall", "config:workers", "counter:c"):
             assert scalar in text
         assert "+50.0%" in text  # the span regressed by half

@@ -97,12 +97,26 @@ class TestBuild:
         assert artifact.fingerprint == graph_fingerprint(tiny_dataset.graph)
 
     def test_kernels_build_identical_bytes(self, tiny_dataset):
-        """Both kernels freeze into byte-identical artifacts."""
-        arts = []
-        for kernel in ("set", "bitset"):
+        """All kernels freeze into byte-identical artifacts.
+
+        The set oracle anchors the comparison; the bitset and (when
+        numpy is installed) blocks kernels must reproduce its artifact
+        byte for byte — hierarchy, tree, metric table and all.  The
+        blocks leg also runs the blocks *analysis engine* so the whole
+        vectorized path is pinned end to end.
+        """
+        from repro.core._blocks_compat import HAVE_NUMPY
+
+        legs = [("set", "set"), ("bitset", "bitset")]
+        if HAVE_NUMPY:
+            legs.append(("blocks", "blocks"))
+        blobs = {}
+        for kernel, engine in legs:
             result = run_cpm(tiny_dataset.graph, k_range=(3, None), kernel=kernel)
-            arts.append(build_query_artifact(result, tiny_dataset.graph))
-        assert arts[0].to_bytes() == arts[1].to_bytes()
+            blobs[kernel] = build_query_artifact(
+                result, tiny_dataset.graph, analysis_engine=engine
+            ).to_bytes()
+        assert len(set(blobs.values())) == 1, sorted(blobs)
 
     def test_build_emits_span_and_counters(self, cpm_result, tiny_dataset):
         tracer, registry = Tracer(memory=True), MetricsRegistry()

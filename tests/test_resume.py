@@ -13,10 +13,22 @@ import pickle
 
 import pytest
 
+from repro.core._blocks_compat import HAVE_NUMPY
 from repro.core.lightweight import KERNELS, LightweightParallelCPM
 from repro.core.serialize import hierarchy_to_dict
 from repro.graph import ring_of_cliques
 from repro.runner import CheckpointStore, FaultPlan, InjectedFault
+
+#: Every kernel, with 'blocks' skipped on numpy-less installs.
+KERNEL_PARAMS = [
+    pytest.param(
+        kernel,
+        marks=pytest.mark.skipif(
+            kernel == "blocks" and not HAVE_NUMPY, reason="blocks kernel needs numpy"
+        ),
+    )
+    for kernel in KERNELS
+]
 
 
 @pytest.fixture(scope="module")
@@ -26,10 +38,11 @@ def graph():
 
 @pytest.fixture(scope="module")
 def baselines(graph):
-    """Uninterrupted-run documents, one per kernel."""
+    """Uninterrupted-run documents, one per available kernel."""
     return {
         kernel: hierarchy_to_dict(LightweightParallelCPM(graph, kernel=kernel).run())
         for kernel in KERNELS
+        if kernel != "blocks" or HAVE_NUMPY
     }
 
 
@@ -48,7 +61,7 @@ def _interrupt_then_resume(graph, kernel, tmp_path, phase, workers=1):
     return hierarchy_to_dict(resumed.run()), resumed.stats
 
 
-@pytest.mark.parametrize("kernel", KERNELS)
+@pytest.mark.parametrize("kernel", KERNEL_PARAMS)
 @pytest.mark.parametrize("phase", ["enumerate", "overlap", "percolate"])
 class TestResumeIdentity:
     def test_resume_is_byte_identical(self, graph, baselines, tmp_path, kernel, phase):
@@ -66,7 +79,7 @@ class TestResumeIdentity:
 
 
 class TestPartialPercolationResume:
-    @pytest.mark.parametrize("kernel", KERNELS)
+    @pytest.mark.parametrize("kernel", KERNEL_PARAMS)
     def test_partial_percolate_checkpoint_resumes(self, graph, baselines, tmp_path, kernel):
         """A percolate checkpoint holding only *some* orders is completed."""
         store = CheckpointStore(tmp_path / "ckpt")
@@ -91,7 +104,7 @@ class TestPartialPercolationResume:
 
 
 class TestResumeWithWorkers:
-    @pytest.mark.parametrize("kernel", KERNELS)
+    @pytest.mark.parametrize("kernel", KERNEL_PARAMS)
     def test_worker_kill_then_resume(self, graph, baselines, tmp_path, kernel):
         """Driver dies after overlap; the resumed run uses two workers."""
         store = CheckpointStore(tmp_path / "ckpt")
