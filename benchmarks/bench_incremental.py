@@ -1,0 +1,145 @@
+"""Extension — incremental sessions vs per-snapshot replay.
+
+The incremental API exists so a changing AS topology does not re-pay
+enumeration and overlap counting per measurement batch.  This bench
+pins that claim on the evolution scenario: the final snapshot
+transition of a growing default-scale Internet is fed to a
+:class:`repro.incremental.CPMSession` in batches of at most 1% of the
+live edges, against a replayer that re-runs ``run_cpm`` after every
+batch (what ``EvolutionTracker(strategy="replay")`` pays).  The
+session's final hierarchy must be byte-identical to the from-scratch
+run, and the measured speedup must hold the >= 3x bar the roadmap
+gates on.
+
+Persisted measurements (``BENCH_*.json`` config):
+``incr_apply_seconds_growth`` (the batched-feed total) and
+``incr_apply_seconds_flap`` (a fixed loop of single-link flap cycles,
+the deletion path) are gated by ``check_bench_regression.py``'s
+``incr_apply_seconds`` scalar prefix; ``incr_open_seconds``,
+``incr_replay_seconds`` and ``incr_speedup_vs_replay`` ride along
+ungated (the speedup floor is asserted here instead — a ratio has no
+lower-is-better direction for the gate).  The session's ``incr.*``
+spans and counters land in the manifest via ``bench_tracer`` /
+``bench_metrics``.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.api import open_session, run_cpm
+from repro.core.serialize import hierarchy_to_dict
+from repro.evolution import TopologyEvolution
+from repro.incremental import EdgeDelta
+from repro.report.figures import ascii_table
+from repro.topology.generator import GeneratorConfig
+
+#: Snapshots in the growth sequence; the bench feeds the session the
+#: last transition only (the earlier ones just shape the topology).
+_N_SNAPSHOTS = 12
+#: Per-batch delta ceiling as a fraction of the live edge count.
+_DELTA_FRACTION = 0.01
+#: Single-link flap (down + up) cycles timed for the deletion-path
+#: scalar; sized so the loop total clears the regression gate's 0.05 s
+#: tiny-baseline floor.
+_FLAP_CYCLES = 3
+
+
+def test_incremental_vs_replay(benchmark, emit, bench_record, bench_tracer, bench_metrics):
+    evolution = TopologyEvolution(
+        GeneratorConfig.default(), seed=42, n_snapshots=_N_SNAPSHOTS
+    )
+    snapshots = evolution.snapshots()
+    prev, last = snapshots[-2], snapshots[-1]
+    full_delta = EdgeDelta.between(prev, last)
+    n_prev_edges = sum(1 for _ in prev.edges())
+    cap = max(1, int(n_prev_edges * _DELTA_FRACTION))
+    insertions = list(full_delta.insertions)
+    batches = [
+        EdgeDelta(insertions=insertions[i : i + cap])
+        for i in range(0, len(insertions), cap)
+    ]
+    assert full_delta.deletions == ()  # a growing topology only adds links
+    assert all(b.n_edges <= cap for b in batches)
+    assert cap / n_prev_edges <= _DELTA_FRACTION
+
+    session = open_session(prev, tracer=bench_tracer, metrics=bench_metrics)
+    bench_record["incr_open_seconds"] = round(session.open_seconds, 4)
+
+    updates = []
+    apply_seconds = 0.0
+    for batch in batches:
+        start = time.perf_counter()
+        updates.append(session.apply(batch))
+        apply_seconds += time.perf_counter() - start
+    bench_record["incr_apply_seconds_growth"] = round(apply_seconds, 4)
+
+    # The replayer's cost for the same feed: one full run_cpm after
+    # every batch (identical graphs, same kernel).
+    replayed = prev.copy()
+    replay_seconds = 0.0
+    result = None
+    for batch in batches:
+        for u, v in batch.insertions:
+            replayed.add_edge(u, v)
+        start = time.perf_counter()
+        result = run_cpm(replayed)
+        replay_seconds += time.perf_counter() - start
+    bench_record["incr_replay_seconds"] = round(replay_seconds, 4)
+
+    # Correctness before any number is trusted: the session's state
+    # after the whole feed is byte-identical to the from-scratch run.
+    assert hierarchy_to_dict(session.result().hierarchy) == hierarchy_to_dict(
+        result.hierarchy
+    )
+
+    speedup = replay_seconds / apply_seconds
+    bench_record["incr_speedup_vs_replay"] = round(speedup, 2)
+
+    # The deletion path: flap one live link down and back up.  Each
+    # cycle restores the graph, so the loop (and the pytest-benchmark
+    # target below) measures a stable state.
+    flap = [sorted(session.graph.edges())[0]]
+    down = EdgeDelta(deletions=flap)
+    up = EdgeDelta(insertions=flap)
+    start = time.perf_counter()
+    for _ in range(_FLAP_CYCLES):
+        session.apply(down)
+        session.apply(up)
+    bench_record["incr_apply_seconds_flap"] = round(time.perf_counter() - start, 4)
+
+    benchmark(lambda: (session.apply(down), session.apply(up)))
+
+    total_changes = sum(len(u.changes) for u in updates)
+    rows = [
+        [
+            u.batch,
+            f"+{u.inserted_edges}",
+            u.cliques_born,
+            u.cliques_retired,
+            len(u.affected_orders),
+            len(u.changes),
+        ]
+        for u in updates
+    ]
+    table = ascii_table(
+        ["batch", "edges", "born", "retired", "orders", "changes"],
+        rows,
+        title=(
+            f"incremental feed of the final snapshot transition "
+            f"({len(batches)} batches of <= {cap} edges, {_DELTA_FRACTION:.0%} "
+            f"of {n_prev_edges} live links each)"
+        ),
+    )
+    footer = (
+        f"apply total {apply_seconds:.3f}s vs replay total {replay_seconds:.3f}s "
+        f"-> {speedup:.2f}x ({total_changes} community changes observed)"
+    )
+    emit("incremental_vs_replay", f"{table}\n{footer}")
+
+    assert speedup >= 3.0, (
+        f"incremental apply must beat per-batch replay >= 3x, got {speedup:.2f}x "
+        f"(apply {apply_seconds:.3f}s, replay {replay_seconds:.3f}s)"
+    )
+    assert total_changes > 0  # growth must surface community changes
+    assert any(u.by_kind().get("born") for u in updates)

@@ -62,13 +62,17 @@ def committed_manifests(ref: str) -> dict[str, dict]:
 #: (``bench_query_service.py``); ``cpm_run_seconds_<kernel>`` gates
 #: each CPM kernel's end-to-end wall time separately
 #: (``bench_cpm_scaling.py``), so the blocks kernel's speed margin
-#: over bitset cannot silently erode.
+#: over bitset cannot silently erode; ``incr_apply_seconds_*``
+#: gates the incremental session's edge-delta apply path as aggregate
+#: scalars (``bench_incremental.py`` — individual ``incr.*`` spans are
+#: per-batch and too small/noisy to gate one-by-one).
 SPAN_PREFIXES = ("cpm.", "analysis.", "query.")
 SCALAR_PREFIXES = (
     "cpm_seconds",
     "cpm_run_seconds",
     "analysis_seconds",
     "query_lookup_seconds",
+    "incr_apply_seconds",
 )
 
 

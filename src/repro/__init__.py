@@ -24,13 +24,22 @@ Quickstart::
     print(run.figure_4_1())
 
 :mod:`repro.api` (``run_cpm``/``CPMResult``/``save_result``/
-``load_result``) is the supported programmatic surface; see
-``docs/robustness.md`` for its checkpoint/resume and fault-tolerance
-options.
+``load_result``, plus ``open_session``/``load_session`` for the
+incremental path) is the supported programmatic surface — see
+``docs/api.md`` for the stability policy, ``docs/robustness.md`` for
+checkpoint/resume and fault tolerance, and ``docs/incremental.md`` for
+edge-delta sessions.
 """
 
 from .analysis import AnalysisContext
-from .api import CPMResult, load_result, run_cpm, save_result
+from .api import (
+    CPMResult,
+    load_result,
+    load_session,
+    open_session,
+    run_cpm,
+    save_result,
+)
 from .compare import jaccard, match_covers, omega_index, recall_at
 from .core import (
     Community,
@@ -45,6 +54,7 @@ from .core import (
 )
 from .evolution import EvolutionTracker, TopologyEvolution
 from .graph import Graph, read_edgelist, write_edgelist
+from .incremental import CPMSession, CPMUpdate, EdgeDelta
 from .report import PaperRun
 from .routing import BGPSimulator, RelationshipMap, infer_relationships
 from .topology import ASDataset, GeneratorConfig, generate_topology
@@ -63,6 +73,11 @@ __all__ = [
     "CPMResult",
     "save_result",
     "load_result",
+    "open_session",
+    "load_session",
+    "CPMSession",
+    "EdgeDelta",
+    "CPMUpdate",
     "Community",
     "CommunityCover",
     "CommunityHierarchy",

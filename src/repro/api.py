@@ -10,11 +10,15 @@ one function::
     result.stats.total_seconds   # phase timings
     save_result(result, "communities.json")
 
-:func:`run_cpm` is the supported entry point — the CLI subcommands
-(``communities``, ``tree``, ``export``, ``evolve``), the analysis
-context and the evolution tracker all route through it — so resilience
-features (on-disk caching, phase checkpoints with ``resume=True``,
-supervised worker pools, fault injection) arrive uniformly everywhere.
+:func:`run_cpm` is the supported batch entry point — the CLI
+subcommands (``communities``, ``tree``, ``export``, ``evolve``), the
+analysis context and the evolution tracker all route through it — so
+resilience features (on-disk caching, phase checkpoints with
+``resume=True``, supervised worker pools, fault injection) arrive
+uniformly everywhere.  For evolving graphs, :func:`open_session` /
+:func:`load_session` expose the stateful incremental path
+(:mod:`repro.incremental`): apply edge deltas to a live session
+instead of re-running the batch pipeline per snapshot.
 Constructor internals (:class:`~repro.core.lightweight
 .LightweightParallelCPM` and friends) remain importable but are not a
 stability surface; prefer this module.
@@ -33,7 +37,6 @@ legacy :func:`~repro.core.serialize.load_hierarchy` and vice versa.
 from __future__ import annotations
 
 import json
-import warnings
 from dataclasses import asdict, dataclass, field
 from os import PathLike
 from pathlib import Path
@@ -51,20 +54,20 @@ from .runner import CheckpointStore, FaultPlan, RunnerConfig
 __all__ = [
     "CPMResult",
     "run_cpm",
+    "open_session",
+    "load_session",
     "save_result",
     "load_result",
     "build_query_artifact",
     "load_query_artifact",
+    "RESULT_SCHEMA_VERSION",
 ]
 
-#: Pre-facade keyword spellings still accepted (with a
-#: DeprecationWarning) so existing call sites keep working.
-_DEPRECATED_KWARGS = {
-    "min_k": "k_range=(min_k, ...)",
-    "max_k": "k_range=(..., max_k)",
-    "n_workers": "workers",
-    "use_cache": "cache",
-}
+#: Version of the :meth:`CPMResult.to_dict` document.  Files written
+#: before versioning (or by the legacy ``save_hierarchy``) carry no
+#: ``result_schema`` key and load as version 1; an unknown *future*
+#: version fails loudly in :meth:`CPMResult.from_dict`.
+RESULT_SCHEMA_VERSION = 1
 
 
 @dataclass
@@ -105,6 +108,54 @@ class CPMResult:
         """True iff any batch had to fall back to serial execution."""
         return self.stats.degraded
 
+    def to_dict(self) -> dict:
+        """A versioned JSON-ready document of hierarchy plus stats.
+
+        The document is a superset of :func:`repro.core.serialize
+        .hierarchy_to_dict` output (``format``, ``covers``,
+        ``parent_labels``) extended with ``result_schema`` (see
+        :data:`RESULT_SCHEMA_VERSION`) and a ``stats`` block.  The CSR
+        snapshot is deliberately not serialised — it is a derived
+        acceleration structure, rebuilt from the graph when needed.
+        """
+        stats = asdict(self.stats)
+        stats["resumed_phases"] = list(stats["resumed_phases"])
+        stats["size_histogram"] = {str(k): v for k, v in stats["size_histogram"].items()}
+        return {
+            **hierarchy_to_dict(self.hierarchy),
+            "result_schema": RESULT_SCHEMA_VERSION,
+            "stats": stats,
+        }
+
+    @classmethod
+    def from_dict(cls, document: dict) -> "CPMResult":
+        """Rebuild a result from :meth:`to_dict` output.
+
+        Accepts three document generations: current (versioned),
+        pre-versioning :func:`save_result` files (stats but no
+        ``result_schema``), and bare ``save_hierarchy`` documents (no
+        stats at all — defaults apply).  A document declaring a
+        *newer* schema than this build understands raises
+        ``ValueError`` instead of guessing.
+        """
+        schema = document.get("result_schema", RESULT_SCHEMA_VERSION)
+        if schema != RESULT_SCHEMA_VERSION:
+            raise ValueError(
+                f"result document declares schema {schema!r}; this build reads "
+                f"schema {RESULT_SCHEMA_VERSION} (upgrade repro to load it)"
+            )
+        hierarchy = hierarchy_from_dict(document)
+        raw = dict(document.get("stats") or {})
+        known = set(CPMRunStats.__dataclass_fields__)
+        raw = {key: value for key, value in raw.items() if key in known}
+        if "resumed_phases" in raw:
+            raw["resumed_phases"] = tuple(raw["resumed_phases"])
+        if "size_histogram" in raw:
+            raw["size_histogram"] = {
+                int(k): v for k, v in raw["size_histogram"].items()
+            }
+        return cls(hierarchy=hierarchy, stats=CPMRunStats(**raw))
+
 
 def _coerce_cache(cache: CliqueCache | bool | str | PathLike | None) -> CliqueCache | None:
     if cache is None or cache is False:
@@ -124,28 +175,6 @@ def _coerce_checkpoint(
     return CheckpointStore(checkpoint)
 
 
-def _apply_deprecated(kwargs: dict, k_range, workers, cache):
-    """Translate pre-facade keyword spellings, warning once per name."""
-    min_k, max_k = k_range if isinstance(k_range, tuple) else (k_range, k_range)
-    for name in list(kwargs):
-        if name not in _DEPRECATED_KWARGS:
-            raise TypeError(f"run_cpm() got an unexpected keyword argument {name!r}")
-        warnings.warn(
-            f"run_cpm(..., {name}=...) is deprecated; use {_DEPRECATED_KWARGS[name]}",
-            DeprecationWarning,
-            stacklevel=3,
-        )
-    if "min_k" in kwargs:
-        min_k = kwargs["min_k"]
-    if "max_k" in kwargs:
-        max_k = kwargs["max_k"]
-    if "n_workers" in kwargs:
-        workers = kwargs["n_workers"]
-    if "use_cache" in kwargs:
-        cache = kwargs["use_cache"]
-    return min_k, max_k, workers, cache
-
-
 def run_cpm(
     graph: Graph,
     *,
@@ -159,7 +188,6 @@ def run_cpm(
     fault_plan: FaultPlan | None = None,
     tracer: Tracer | None = None,
     metrics: MetricsRegistry | None = None,
-    **deprecated,
 ) -> CPMResult:
     """Extract the k-clique community hierarchy of ``graph``.
 
@@ -175,8 +203,13 @@ def run_cpm(
     restarts from the last completed phase; ``runner`` tunes the worker
     supervision policy and ``fault_plan`` injects deterministic faults
     (see ``docs/robustness.md``).  Returns a :class:`CPMResult`.
+
+    The pre-facade keyword spellings (``min_k``/``max_k``/``n_workers``
+    /``use_cache``), deprecated since the facade landed, have been
+    removed — they now raise ``TypeError`` like any unknown keyword;
+    see ``docs/api.md`` for the migration table.
     """
-    min_k, max_k, workers, cache = _apply_deprecated(deprecated, k_range, workers, cache)
+    min_k, max_k = k_range if isinstance(k_range, tuple) else (k_range, k_range)
     if kernel != "auto" and kernel not in KERNELS:
         raise ValueError(f"kernel must be one of {KERNELS} or 'auto', got {kernel!r}")
     cpm = LightweightParallelCPM(
@@ -196,6 +229,74 @@ def run_cpm(
 
 
 # ----------------------------------------------------------------------
+# Incremental sessions (repro.incremental)
+# ----------------------------------------------------------------------
+def open_session(
+    source,
+    *,
+    kernel: str = "bitset",
+    cache: CliqueCache | bool | str | PathLike | None = None,
+    tracer: Tracer | None = None,
+    metrics: MetricsRegistry | None = None,
+):
+    """Open an incremental CPM session over a graph (or a result's graph).
+
+    ``source`` is a :class:`~repro.graph.undirected.Graph`, or a
+    :class:`CPMResult` whose CSR snapshot identifies the graph it was
+    extracted from (set-kernel, cache-hit and disk-loaded results carry
+    none — pass the graph itself for those).  The returned
+    :class:`~repro.incremental.CPMSession` holds live percolation
+    state; feed it :class:`~repro.incremental.EdgeDelta` batches via
+    ``session.apply`` and read ``session.result()`` — always
+    byte-identical to a fresh :func:`run_cpm` on the mutated graph.
+    ``cache`` accepts the same coercions as :func:`run_cpm` and is
+    probed read-only for the initial clique payload.
+    """
+    from .incremental import CPMSession
+    from .incremental.session import _graph_from_csr
+
+    if isinstance(source, CPMResult):
+        if source.csr is None:
+            raise ValueError(
+                "cannot open a session from this CPMResult: it carries no CSR "
+                "snapshot (set-kernel, cache-hit and loaded results do not); "
+                "pass the graph itself instead"
+            )
+        graph = _graph_from_csr(source.csr)
+    elif isinstance(source, Graph):
+        graph = source
+    else:
+        raise TypeError(
+            f"open_session() takes a Graph or CPMResult, got {type(source).__name__}"
+        )
+    return CPMSession(
+        graph,
+        kernel=kernel,
+        cache=_coerce_cache(cache),
+        tracer=tracer,
+        metrics=metrics,
+    )
+
+
+def load_session(
+    path: str | PathLike,
+    *,
+    tracer: Tracer | None = None,
+    metrics: MetricsRegistry | None = None,
+):
+    """Reopen a session persisted by ``CPMSession.save``.
+
+    Facade alias of :func:`repro.incremental.load_session`: validates
+    the checkpoint directory (session tag, schema versions, graph
+    fingerprint) and rebuilds the full incremental state without any
+    recomputation.
+    """
+    from .incremental import load_session as _load_session
+
+    return _load_session(path, tracer=tracer, metrics=metrics)
+
+
+# ----------------------------------------------------------------------
 # Result persistence
 # ----------------------------------------------------------------------
 def save_result(result: CPMResult, path: str | PathLike) -> None:
@@ -204,14 +305,11 @@ def save_result(result: CPMResult, path: str | PathLike) -> None:
     The file is a superset of :func:`repro.core.serialize
     .save_hierarchy` output, so it also loads with plain
     :func:`~repro.core.serialize.load_hierarchy` (which ignores the
-    extra ``stats`` key).
+    extra keys).  The document is exactly :meth:`CPMResult.to_dict`
+    (versioned via ``result_schema``).
     """
-    stats = asdict(result.stats)
-    stats["resumed_phases"] = list(stats["resumed_phases"])
-    stats["size_histogram"] = {str(k): v for k, v in stats["size_histogram"].items()}
-    document = {**hierarchy_to_dict(result.hierarchy), "stats": stats}
     Path(path).write_text(
-        json.dumps(document, indent=1, sort_keys=True), encoding="utf-8"
+        json.dumps(result.to_dict(), indent=1, sort_keys=True), encoding="utf-8"
     )
 
 
@@ -275,15 +373,8 @@ def load_result(path: str | PathLike) -> CPMResult:
     """Read a :func:`save_result` file (or a bare hierarchy file) back.
 
     A file written by the legacy ``save_hierarchy`` has no stats block;
-    it loads with default (all-zero) statistics.
+    it loads with default (all-zero) statistics.  Delegates to
+    :meth:`CPMResult.from_dict`, so pre-versioning and versioned
+    documents both load (and future-schema documents fail loudly).
     """
-    document = json.loads(Path(path).read_text(encoding="utf-8"))
-    hierarchy = hierarchy_from_dict(document)
-    raw = dict(document.get("stats") or {})
-    known = {f for f in CPMRunStats.__dataclass_fields__}
-    raw = {k: v for k, v in raw.items() if k in known}
-    if "resumed_phases" in raw:
-        raw["resumed_phases"] = tuple(raw["resumed_phases"])
-    if "size_histogram" in raw:
-        raw["size_histogram"] = {int(k): v for k, v in raw["size_histogram"].items()}
-    return CPMResult(hierarchy=hierarchy, stats=CPMRunStats(**raw))
+    return CPMResult.from_dict(json.loads(Path(path).read_text(encoding="utf-8")))

@@ -427,17 +427,136 @@ def _cmd_evolve(args: argparse.Namespace) -> int:
         "default": GeneratorConfig.default,
         "tiny": GeneratorConfig.tiny,
     }[args.profile]()
+    strategy = "incremental" if args.incremental else args.strategy
     evolution = TopologyEvolution(profile, seed=args.seed, n_snapshots=args.snapshots)
     print("growth:")
     for t, nodes, edges in evolution.growth_series():
         print(f"  t={t:.2f}  {nodes} ASes  {edges} links")
-    tracker = EvolutionTracker(evolution.snapshots(), k=args.k)
+    tracker = EvolutionTracker(evolution.snapshots(), k=args.k, strategy=strategy)
     counts = tracker.event_counts()
     print(f"community events at k={args.k}:")
     for kind in EventKind:
         print(f"  {kind.value}: {counts[kind]}")
+    # Update records are strategy-independent by construction, so this
+    # output diffs clean between --strategy runs (the CI smoke relies
+    # on that).
+    print("per-snapshot updates:")
+    for update in tracker.updates:
+        print(f"  {update.summary()}")
     longest = tracker.longest_timeline()
     print(f"longest timeline: born at snapshot {longest.born_at}, sizes {longest.sizes()}")
+    return 0
+
+
+def _parse_edge(value: str) -> tuple:
+    """One CLI edge spec ``U,V`` (or ``U:V``) -> an endpoint pair."""
+    from .query.server import parse_as
+
+    separator = "," if "," in value else ":"
+    parts = value.split(separator)
+    if len(parts) != 2 or not parts[0] or not parts[1]:
+        raise ValueError(f"bad edge {value!r}; expected the form U,V (e.g. 64512,64513)")
+    return (parse_as(parts[0].strip()), parse_as(parts[1].strip()))
+
+
+def _session_delta(args: argparse.Namespace):
+    """Assemble the EdgeDelta of a ``session apply`` invocation."""
+    import json as _json
+
+    from .incremental import EdgeDelta
+
+    insertions = [_parse_edge(edge) for edge in args.insert or []]
+    deletions = [_parse_edge(edge) for edge in args.delete or []]
+    if args.delta:
+        document = _json.loads(Path(args.delta).read_text(encoding="utf-8"))
+        if not isinstance(document, dict):
+            raise ValueError(f"delta file {args.delta} must hold a JSON object")
+        insertions += [tuple(edge) for edge in document.get("insertions", [])]
+        deletions += [tuple(edge) for edge in document.get("deletions", [])]
+    if not insertions and not deletions:
+        raise ValueError(
+            "empty delta: give --insert/--delete edges or a --delta file"
+        )
+    return EdgeDelta(insertions=insertions, deletions=deletions)
+
+
+def _print_session_status(session) -> None:
+    """Render one session's ``describe()`` block as the status table."""
+    from .report.figures import ascii_table
+
+    info = session.describe()
+    fingerprint = info["fingerprint"]
+    print(
+        ascii_table(
+            ["field", "value"],
+            [
+                ["kernel", info["kernel"]],
+                ["nodes", fingerprint["nodes"]],
+                ["edges", fingerprint["edges"]],
+                ["checksum", fingerprint["checksum"]],
+                ["maximal cliques", info["n_cliques"]],
+                ["largest clique", info["max_clique_size"]],
+                ["counted overlaps", info["n_overlap_pairs"]],
+                ["orders", f"{min(info['orders'])}..{max(info['orders'])}" if info["orders"] else "-"],
+                ["communities", info["total_communities"]],
+                ["applied batches", info["applied_batches"]],
+            ],
+            title="Incremental CPM session",
+        )
+    )
+
+
+def _cmd_session_open(args: argparse.Namespace) -> int:
+    from .api import open_session
+
+    dataset = _load_dataset(args.dataset)
+    tracer, metrics, monitor = _make_observability(args)
+    try:
+        session = open_session(
+            dataset.graph,
+            kernel=args.kernel,
+            cache=_make_cache(args),
+            tracer=tracer,
+            metrics=metrics,
+        )
+        session.save(args.session_dir)
+        if session.cache_hit:
+            print("clique cache: hit (enumeration + overlap skipped)")
+        print(f"opened session in {args.session_dir}")
+        _print_session_status(session)
+    finally:
+        _write_observability(args, tracer, metrics, graph=dataset.graph, monitor=monitor)
+    return 0
+
+
+def _cmd_session_apply(args: argparse.Namespace) -> int:
+    from .api import load_session
+
+    delta = _session_delta(args)
+    tracer, metrics, monitor = _make_observability(args)
+    session = None
+    try:
+        session = load_session(args.session_dir, tracer=tracer, metrics=metrics)
+        update = session.apply(delta)
+        session.save(args.session_dir)
+        print(update.summary())
+        for change in update.changes:
+            arrow = f"{list(change.old_labels)} -> {list(change.new_labels)}"
+            print(
+                f"  k={change.k} {change.kind}: {arrow} "
+                f"(size {change.size_before} -> {change.size_after})"
+            )
+    finally:
+        graph = session.graph if session is not None else None
+        _write_observability(args, tracer, metrics, graph=graph, monitor=monitor)
+    return 0
+
+
+def _cmd_session_status(args: argparse.Namespace) -> int:
+    from .api import load_session
+
+    session = load_session(args.session_dir)
+    _print_session_status(session)
     return 0
 
 
@@ -477,9 +596,42 @@ def _cmd_export(args: argparse.Namespace) -> int:
     return 0
 
 
+def _guard_stale_artifact(out: Path, dataset, *, force: bool) -> None:
+    """Refuse to overwrite an artifact built from a *different* graph.
+
+    ``query build`` used to clobber whatever sat at the output path,
+    silently replacing an artifact another dataset's pipeline produced.
+    Now the existing artifact's stored fingerprint is compared with the
+    current dataset's before the (expensive) CPM run: a mismatch — or
+    an unreadable existing file — aborts unless ``--force``.  Matching
+    fingerprints rebuild freely: that is a refresh, not a clobber.
+    """
+    if force or not out.exists():
+        return
+    from .api import load_query_artifact
+    from .obs.manifest import graph_fingerprint
+    from .query.artifact import ArtifactError
+
+    try:
+        existing = load_query_artifact(out, mmap=False).fingerprint
+    except ArtifactError as exc:
+        raise ValueError(
+            f"refusing to overwrite {out}: the existing file is not a readable "
+            f"query artifact ({exc}); re-run with --force to replace it"
+        ) from exc
+    current = graph_fingerprint(dataset.graph)
+    if existing.get("checksum") != current["checksum"]:
+        raise ValueError(
+            f"refusing to overwrite {out}: it was built from a different graph "
+            f"(stored fingerprint {existing.get('checksum')!r}, this dataset is "
+            f"{current['checksum']!r}); re-run with --force to replace it"
+        )
+
+
 def _cmd_query_build(args: argparse.Namespace) -> int:
     runner_kwargs = _make_runner(args)
     dataset = _load_dataset(args.dataset)
+    _guard_stale_artifact(Path(args.out), dataset, force=args.force)
     tracer, metrics, monitor = _make_observability(args)
     try:
         from .analysis.bands import derive_bands
@@ -723,7 +875,57 @@ def build_parser() -> argparse.ArgumentParser:
     p_evolve.add_argument("--seed", type=int, default=42)
     p_evolve.add_argument("--snapshots", type=int, default=5)
     p_evolve.add_argument("-k", type=int, default=4)
+    p_evolve.add_argument(
+        "--strategy", choices=["incremental", "replay"], default="incremental",
+        help=(
+            "cover extraction: one incremental session advanced by edge deltas "
+            "(default) or an independent CPM run per snapshot; output is identical"
+        ),
+    )
+    p_evolve.add_argument(
+        "--incremental", action="store_true",
+        help="shorthand for --strategy incremental",
+    )
     p_evolve.set_defaults(func=_cmd_evolve)
+
+    p_session = sub.add_parser(
+        "session", help="open, mutate and inspect incremental CPM sessions"
+    )
+    session_sub = p_session.add_subparsers(dest="session_command", required=True)
+
+    p_sopen = session_sub.add_parser(
+        "open", help="run CPM once and persist the live session state"
+    )
+    p_sopen.add_argument("dataset", help="dataset directory or edge-list file")
+    p_sopen.add_argument("session_dir", help="directory to persist the session into")
+    _add_cpm_arguments(p_sopen)
+    _add_obs_arguments(p_sopen)
+    p_sopen.set_defaults(func=_cmd_session_open)
+
+    p_sapply = session_sub.add_parser(
+        "apply", help="apply an edge delta to a persisted session"
+    )
+    p_sapply.add_argument("session_dir", help="directory holding a saved session")
+    p_sapply.add_argument(
+        "--insert", action="append", metavar="U,V", default=[],
+        help="insert one AS link (repeatable)",
+    )
+    p_sapply.add_argument(
+        "--delete", action="append", metavar="U,V", default=[],
+        help="delete one AS link (repeatable)",
+    )
+    p_sapply.add_argument(
+        "--delta", default=None, metavar="PATH",
+        help='JSON file {"insertions": [[u, v], ...], "deletions": [...]}',
+    )
+    _add_obs_arguments(p_sapply)
+    p_sapply.set_defaults(func=_cmd_session_apply)
+
+    p_sstatus = session_sub.add_parser(
+        "status", help="show a persisted session's census and fingerprint"
+    )
+    p_sstatus.add_argument("session_dir", help="directory holding a saved session")
+    p_sstatus.set_defaults(func=_cmd_session_status)
 
     p_atlas = sub.add_parser("atlas", help="per-IXP and per-country community profiles")
     p_atlas.add_argument("dataset", help="dataset directory or edge-list file")
@@ -754,6 +956,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_qbuild.add_argument("--min-k", type=int, default=2)
     p_qbuild.add_argument("--max-k", type=int, default=None)
     p_qbuild.add_argument("--workers", type=int, default=1)
+    p_qbuild.add_argument(
+        "--force", action="store_true",
+        help=(
+            "overwrite an existing artifact even when its stored graph "
+            "fingerprint does not match this dataset"
+        ),
+    )
     p_qbuild.add_argument(
         "--analysis-engine",
         choices=list(ENGINES),

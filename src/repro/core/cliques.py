@@ -42,6 +42,7 @@ from ..graph.undirected import Graph
 __all__ = [
     "maximal_cliques",
     "maximal_cliques_bitset",
+    "local_maximal_cliques",
     "max_clique_size",
     "k_cliques",
     "clique_size_census",
@@ -208,6 +209,45 @@ def maximal_cliques_bitset(
     if stats is not None:
         stats.emitted = len(cliques)
     return cliques
+
+
+def local_maximal_cliques(
+    graph: Graph,
+    nodes: set[Hashable],
+    *,
+    kernel: str = "set",
+    stats: CliqueEnumerationStats | None = None,
+) -> list[frozenset[Hashable]]:
+    """Maximal cliques of the subgraph ``graph`` induces on ``nodes``.
+
+    The incremental insertion step needs exactly this: after adding
+    edge (u, v), every *new* maximal clique of the graph is
+    ``{u, v} ∪ C`` for ``C`` a maximal clique of the subgraph induced
+    on the common neighborhood ``N(u) ∩ N(v)`` — so enumeration stays
+    local to the touched endpoints instead of rescanning the graph.
+    Isolated nodes of the induced subgraph count (they extend to
+    triangles ``{u, v, w}``), hence ``min_size=1`` semantics.
+
+    ``kernel`` picks the Bron–Kerbosch variant: ``"set"`` runs the
+    reference enumerator directly; ``"bitset"`` / ``"blocks"`` build a
+    :class:`~repro.graph.csr.CSRGraph` over the induced subgraph and
+    run the corresponding integer kernel (the same code paths the full
+    pipeline uses, exercised here on neighborhood-sized inputs).  All
+    kernels return the same clique set.
+    """
+    if not nodes:
+        return []
+    sub = graph.subgraph(nodes)
+    if kernel == "set":
+        return maximal_cliques(sub, min_size=1, stats=stats)
+    csr = CSRGraph.from_graph(sub)
+    if kernel == "blocks":
+        from .blocks import maximal_cliques_blocks
+
+        dense = maximal_cliques_blocks(csr, min_size=1, stats=stats)
+    else:
+        dense = maximal_cliques_bitset(csr, min_size=1, stats=stats)
+    return [frozenset(csr.to_labels(clique)) for clique in dense]
 
 
 def max_clique_size(graph: Graph) -> int:

@@ -79,7 +79,6 @@ defaults (no-op tracer, private registry) add no measurable overhead.
 from __future__ import annotations
 
 import time
-from array import array
 from collections import Counter
 from collections.abc import Sequence
 from dataclasses import dataclass, field
@@ -111,8 +110,8 @@ from .overlap import (
     truncate_index,
     unpack_triples,
 )
-from .percolation import CliqueOverlapIndex, build_hierarchy
-from .unionfind import IntUnionFind, UnionFind
+from .percolation import CliqueOverlapIndex, build_hierarchy, sweep_wire
+from .unionfind import UnionFind
 
 __all__ = ["LightweightParallelCPM", "CPMRunStats", "KERNELS", "resolve_kernel"]
 
@@ -301,28 +300,7 @@ def _percolate_orders_packed(
     with worker_span(
         "worker.percolate.packed", orders=len(orders), cliques=wire.n_cliques
     ) as span:
-        uf = IntUnionFind(wire.n_cliques)
-        shift = wire.shift
-        bucket_orders = sorted(wire.buckets, reverse=True)
-        bi = 0
-        n_buckets = len(bucket_orders)
-        applied = 0
-        merges = 0
-        result: dict[int, list[list[int]]] = {}
-        for idx, k in enumerate(orders):
-            while bi < n_buckets and bucket_orders[bi] >= k:
-                buf = array("q")
-                buf.frombytes(wire.buckets[bucket_orders[bi]])
-                applied += len(buf)
-                merges += uf.union_packed(buf, shift)
-                bi += 1
-            if k == 2 and wire.chains:
-                buf = array("q")
-                buf.frombytes(wire.chains)
-                applied += len(buf)
-                merges += uf.union_packed(buf, shift)
-            eligible = eligibles[idx]
-            result[k] = [] if eligible == 0 else uf.groups(eligible)
+        result, merges, applied = sweep_wire(orders, eligibles, wire)
         span.set("union_merges", merges)
         registry = current_metrics()
         if registry is not None:

@@ -32,6 +32,7 @@ order — the structure the Lightweight Parallel CPM [11] parallelises.
 
 from __future__ import annotations
 
+from array import array
 from collections import Counter
 from collections.abc import Hashable, Sequence
 
@@ -40,7 +41,8 @@ from ..obs.metrics import MetricsRegistry
 from ..obs.tracing import NULL_TRACER, Tracer
 from .cliques import k_cliques, maximal_cliques
 from .communities import CommunityCover, CommunityHierarchy, rank_member_sets
-from .unionfind import UnionFind
+from .overlap import OverlapWire
+from .unionfind import IntUnionFind, UnionFind
 
 __all__ = [
     "CliqueOverlapIndex",
@@ -48,7 +50,64 @@ __all__ = [
     "k_clique_communities_direct",
     "extract_hierarchy",
     "build_hierarchy",
+    "sweep_wire",
 ]
+
+
+def sweep_wire(
+    orders: Sequence[int],
+    eligibles: Sequence[int | Sequence[int]],
+    wire: OverlapWire,
+) -> tuple[dict[int, list[list[int]]], int, int]:
+    """One descending union-find sweep over a packed overlap wire.
+
+    ``orders`` must be strictly descending, with ``eligibles`` aligned:
+    each entry is either the *count* of cliques of size >= that order
+    (a prefix, for the batch kernels whose clique ids are assigned in
+    size-descending order) or an explicit *list* of the eligible
+    clique ids (for the incremental session, whose stable lifetime ids
+    are not size-sorted).  A pair bucketed at activation order
+    ``k_act`` is usable at every ``k <= k_act``, so one
+    :class:`~.unionfind.IntUnionFind` serves the whole batch: walking
+    orders downward, each bucket with ``k_act >= k`` is merged exactly
+    once and groups are snapshotted over the eligible cliques.  At
+    k = 2 the chain buffer is folded in (order-2 connectivity over
+    *all* cliques, including the 2-cliques the counting phase
+    excludes).
+
+    This is the percolation core shared by the parallel kernels (via
+    ``_percolate_orders_packed`` in :mod:`.lightweight`, which adds
+    worker spans and self-timing) and by the incremental
+    :class:`~repro.incremental.CPMSession`, which re-sweeps only the
+    orders a delta affected over its persistent pair wire.  Returns
+    ``(groups_by_order, merges, pairs_applied)``.
+    """
+    uf = IntUnionFind(wire.n_cliques)
+    shift = wire.shift
+    bucket_orders = sorted(wire.buckets, reverse=True)
+    bi = 0
+    n_buckets = len(bucket_orders)
+    applied = 0
+    merges = 0
+    result: dict[int, list[list[int]]] = {}
+    for idx, k in enumerate(orders):
+        while bi < n_buckets and bucket_orders[bi] >= k:
+            buf = array("q")
+            buf.frombytes(wire.buckets[bucket_orders[bi]])
+            applied += len(buf)
+            merges += uf.union_packed(buf, shift)
+            bi += 1
+        if k == 2 and wire.chains:
+            buf = array("q")
+            buf.frombytes(wire.chains)
+            applied += len(buf)
+            merges += uf.union_packed(buf, shift)
+        eligible = eligibles[idx]
+        if isinstance(eligible, int):
+            result[k] = [] if eligible == 0 else uf.groups(eligible)
+        else:
+            result[k] = uf.groups_of(eligible)
+    return result, merges, applied
 
 
 class CliqueOverlapIndex:

@@ -18,7 +18,7 @@ Both structures implement path halving and union by size:
 
 from __future__ import annotations
 
-from collections.abc import Hashable, Iterable
+from collections.abc import Hashable, Iterable, Sequence
 
 __all__ = ["UnionFind", "IntUnionFind"]
 
@@ -195,5 +195,21 @@ class IntUnionFind:
         n = self.n if limit is None else limit
         by_root: dict[int, list[int]] = {}
         for i in range(n):
+            by_root.setdefault(self.find(i), []).append(i)
+        return sorted(by_root.values(), key=len, reverse=True)
+
+    def groups_of(self, members: Sequence[int]) -> list[list[int]]:
+        """Disjoint sets restricted to an explicit member list.
+
+        The eligibility companion to :meth:`groups` for callers whose
+        element ids are *not* laid out size-descending — the incremental
+        session assigns cliques stable ids for life, so the cliques
+        eligible at an order are an arbitrary subset, not a prefix.
+        Members keep the order given within each group; groups come
+        largest first (ties by first listed member, like
+        :meth:`groups`).
+        """
+        by_root: dict[int, list[int]] = {}
+        for i in members:
             by_root.setdefault(self.find(i), []).append(i)
         return sorted(by_root.values(), key=len, reverse=True)

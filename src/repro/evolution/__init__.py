@@ -3,7 +3,13 @@ tracking (birth / growth / merge / split events across campaigns).
 """
 
 from .snapshots import TopologyEvolution
-from .tracking import CommunityEvent, CommunityTimeline, EventKind, EvolutionTracker
+from .tracking import (
+    STRATEGIES,
+    CommunityEvent,
+    CommunityTimeline,
+    EventKind,
+    EvolutionTracker,
+)
 
 __all__ = [
     "TopologyEvolution",
@@ -11,4 +17,5 @@ __all__ = [
     "CommunityEvent",
     "CommunityTimeline",
     "EventKind",
+    "STRATEGIES",
 ]

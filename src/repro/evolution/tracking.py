@@ -15,6 +15,20 @@ Vicsek's community-evolution study:
   communities;
 * **split** — two or more communities each inheriting the bulk of one
   previous community.
+
+Two extraction strategies produce the covers (and therefore identical
+events — the strategies are interchangeable, pinned by a parity test):
+
+* ``"incremental"`` (default) — one :class:`~repro.incremental
+  .CPMSession` opened on the first snapshot and advanced by
+  :meth:`~repro.incremental.EdgeDelta.between` deltas; per-snapshot
+  cost scales with the change, not the graph;
+* ``"replay"`` — the pre-session behaviour: an independent
+  :func:`repro.run_cpm` per snapshot.
+
+Both also emit one :class:`~repro.incremental.CPMUpdate` per
+transition (``tracker.updates``), built uniformly from the covers so
+the records are strategy-independent.
 """
 
 from __future__ import annotations
@@ -24,8 +38,18 @@ from enum import Enum
 
 from ..compare.covers import jaccard, match_covers
 from ..graph.undirected import Graph
+from ..incremental import CPMSession, CPMUpdate, EdgeDelta, diff_covers
 
-__all__ = ["EventKind", "CommunityEvent", "CommunityTimeline", "EvolutionTracker"]
+__all__ = [
+    "EventKind",
+    "CommunityEvent",
+    "CommunityTimeline",
+    "EvolutionTracker",
+    "STRATEGIES",
+]
+
+#: The cover-extraction strategies :class:`EvolutionTracker` accepts.
+STRATEGIES = ("incremental", "replay")
 
 
 class EventKind(str, Enum):
@@ -77,29 +101,50 @@ class CommunityTimeline:
 
 
 class EvolutionTracker:
-    """Track k-clique communities of one order k over snapshots."""
+    """Track k-clique communities of one order k over snapshots.
+
+    ``strategy`` selects how the per-snapshot covers are produced —
+    ``"incremental"`` (one session advanced by edge deltas, the
+    default) or ``"replay"`` (an independent CPM run per snapshot).
+    The covers, events and timelines are identical either way; only
+    the cost profile differs.  ``tracker.updates`` carries one
+    :class:`~repro.incremental.CPMUpdate` per snapshot transition.
+    """
 
     def __init__(
         self,
         snapshots: list[Graph],
         *,
         k: int,
+        strategy: str = "incremental",
         match_threshold: float = 0.3,
         absorb_threshold: float = 0.5,
         size_change: float = 0.25,
     ) -> None:
         if len(snapshots) < 2:
             raise ValueError("need at least two snapshots to track")
+        if strategy not in STRATEGIES:
+            raise ValueError(
+                f"strategy must be one of {STRATEGIES}, got {strategy!r}"
+            )
         self.k = k
+        self.strategy = strategy
         self.match_threshold = match_threshold
         self.absorb_threshold = absorb_threshold
         self.size_change = size_change
-        self.covers: list[list[set]] = [self._extract(graph) for graph in snapshots]
+        if strategy == "replay":
+            self.covers: list[list[set]] = [
+                self._extract(graph) for graph in snapshots
+            ]
+        else:
+            self.covers = self._extract_incremental(snapshots)
+        self.updates: list[CPMUpdate] = self._build_updates(snapshots)
         self.events: list[CommunityEvent] = []
         self.timelines: list[CommunityTimeline] = []
         self._track()
 
     def _extract(self, graph: Graph) -> list[set]:
+        """One replay-strategy cover: an independent CPM run at order k."""
         from ..api import run_cpm
 
         try:
@@ -109,6 +154,59 @@ class EvolutionTracker:
         if self.k not in result:
             return []
         return [set(c.members) for c in result[self.k]]
+
+    def _extract_incremental(self, snapshots: list[Graph]) -> list[list[set]]:
+        """All covers from one session advanced snapshot to snapshot.
+
+        The session's hierarchy is byte-identical to a from-scratch run
+        on each snapshot (the incremental package's core guarantee), so
+        these covers equal the replay strategy's exactly.
+        """
+        session = CPMSession(snapshots[0])
+        covers = [self._cover_of(session)]
+        for previous, current in zip(snapshots, snapshots[1:]):
+            session.apply(EdgeDelta.between(previous, current))
+            covers.append(self._cover_of(session))
+        return covers
+
+    def _cover_of(self, session: CPMSession) -> list[set]:
+        """The session's current order-k cover (empty when k is absent)."""
+        hierarchy = session.hierarchy
+        if hierarchy is None or self.k not in hierarchy:
+            return []
+        return [set(c.members) for c in hierarchy[self.k]]
+
+    def _build_updates(self, snapshots: list[Graph]) -> list[CPMUpdate]:
+        """One strategy-independent CPMUpdate per snapshot transition.
+
+        Built uniformly from the covers (via :func:`~repro.incremental
+        .diff_covers`) and the snapshot edge deltas, so both strategies
+        report the same records.  The clique counters are zero at this
+        level — the replay strategy cannot observe clique churn; use a
+        :class:`~repro.incremental.CPMSession` directly when that
+        telemetry matters.
+        """
+        updates = []
+        for step in range(len(self.covers) - 1):
+            delta = EdgeDelta.between(snapshots[step], snapshots[step + 1])
+            changes = diff_covers(
+                self.k,
+                [frozenset(m) for m in self.covers[step]],
+                [frozenset(m) for m in self.covers[step + 1]],
+                absorb_threshold=self.absorb_threshold,
+            )
+            updates.append(
+                CPMUpdate(
+                    batch=step,
+                    inserted_edges=len(delta.insertions),
+                    deleted_edges=len(delta.deletions),
+                    cliques_born=0,
+                    cliques_retired=0,
+                    affected_orders=(self.k,) if changes else (),
+                    changes=changes,
+                )
+            )
+        return updates
 
     # ------------------------------------------------------------------
     # Tracking

@@ -1,0 +1,321 @@
+"""Edge deltas in, community change records out.
+
+The value objects of the incremental API (:mod:`repro.incremental`):
+
+* :class:`EdgeDelta` — one batch of edge insertions/deletions, the
+  unit a :class:`~.session.CPMSession` applies atomically;
+* :class:`CommunityChange` — one community-level difference between
+  the covers before and after a batch, classified per the Palla
+  et al. evolution taxonomy (born / died / grown / shrunk / merged /
+  split);
+* :class:`CPMUpdate` — everything one ``apply`` call changed: edge and
+  clique counts, the union-find orders that had to be re-percolated,
+  and the per-k :class:`CommunityChange` records.
+
+:func:`diff_covers` — the classifier shared by the session and the
+:class:`~repro.evolution.EvolutionTracker` (both strategies emit
+:class:`CPMUpdate` records through it) — compares two covers of the
+same order and reports only what changed: communities whose member
+sets are identical on both sides are matched exactly first and never
+produce a record.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Sequence
+from dataclasses import dataclass
+
+from ..compare.covers import match_covers
+from ..graph.undirected import Graph
+
+__all__ = ["EdgeDelta", "CommunityChange", "CPMUpdate", "diff_covers"]
+
+#: The change kinds :func:`diff_covers` can emit, in report order.
+CHANGE_KINDS = ("born", "died", "grown", "shrunk", "merged", "split")
+
+
+def _edge_key(edge: tuple[Hashable, Hashable]) -> tuple[str, str]:
+    """Order-independent sort key of one undirected edge."""
+    a, b = sorted(map(repr, edge))
+    return (a, b)
+
+
+def _normalize(
+    edges: Iterable[tuple[Hashable, Hashable]], label: str
+) -> tuple[tuple[Hashable, Hashable], ...]:
+    """Validate and freeze one side of a delta (no self-loops, no dups)."""
+    out = []
+    seen = set()
+    for edge in edges:
+        u, v = edge
+        if u == v:
+            raise ValueError(f"self-loop {edge!r} in {label}: AS links join distinct ASes")
+        key = frozenset((u, v))
+        if key in seen:
+            raise ValueError(f"duplicate edge {edge!r} in {label}")
+        seen.add(key)
+        out.append((u, v))
+    return tuple(out)
+
+
+@dataclass(frozen=True)
+class EdgeDelta:
+    """One batch of edge insertions and deletions.
+
+    The unit of change a :class:`~.session.CPMSession` applies:
+    deletions are processed first, then insertions, each edge
+    sequentially (the session's invariants hold between edges, so the
+    result is independent of the order within each list).  Validation
+    is structural only — whether each edge is actually applicable
+    (insertions absent, deletions present) is checked by the session
+    against its graph before any mutation, so a bad batch never leaves
+    the session half-applied.
+
+    >>> delta = EdgeDelta(insertions=[(1, 2)], deletions=[(3, 4)])
+    >>> delta.n_edges
+    2
+    """
+
+    insertions: tuple[tuple[Hashable, Hashable], ...] = ()
+    deletions: tuple[tuple[Hashable, Hashable], ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "insertions", _normalize(self.insertions, "insertions")
+        )
+        object.__setattr__(self, "deletions", _normalize(self.deletions, "deletions"))
+        inserted = {frozenset(edge) for edge in self.insertions}
+        for edge in self.deletions:
+            if frozenset(edge) in inserted:
+                raise ValueError(
+                    f"edge {edge!r} appears in both insertions and deletions; "
+                    "split contradictory changes into separate batches"
+                )
+
+    @classmethod
+    def between(cls, old: Graph, new: Graph) -> "EdgeDelta":
+        """The delta turning ``old``'s edge set into ``new``'s.
+
+        Snapshot sequences (e.g. :class:`~repro.evolution
+        .TopologyEvolution`) feed the incremental tracker through this:
+        ``apply(EdgeDelta.between(s[t], s[t+1]))`` advances a session
+        from one snapshot to the next.  Edges are ordered
+        deterministically (by repr) so the same snapshot pair always
+        yields the same delta.
+        """
+        old_edges = {frozenset(edge) for edge in old.edges()}
+        new_edges = {frozenset(edge) for edge in new.edges()}
+        insertions = sorted(
+            (tuple(sorted(edge, key=repr)) for edge in new_edges - old_edges),
+            key=_edge_key,
+        )
+        deletions = sorted(
+            (tuple(sorted(edge, key=repr)) for edge in old_edges - new_edges),
+            key=_edge_key,
+        )
+        return cls(insertions=tuple(insertions), deletions=tuple(deletions))
+
+    @property
+    def n_edges(self) -> int:
+        """Total number of edge changes in the batch."""
+        return len(self.insertions) + len(self.deletions)
+
+    def __bool__(self) -> bool:
+        return self.n_edges > 0
+
+
+@dataclass(frozen=True)
+class CommunityChange:
+    """One community-level difference between consecutive covers.
+
+    ``kind`` is one of :data:`CHANGE_KINDS`.  Labels are paper-style
+    ``k<k>id<n>`` identifiers into the respective cover: ``old_labels``
+    index the cover before the batch, ``new_labels`` the cover after.
+    Births have no ``old_labels``, deaths no ``new_labels``; merges
+    list every absorbed predecessor, splits every heir.  ``jaccard``
+    carries the match score for grown/shrunk records (0.0 where no
+    pairwise match is involved).
+    """
+
+    kind: str
+    k: int
+    old_labels: tuple[str, ...]
+    new_labels: tuple[str, ...]
+    size_before: int
+    size_after: int
+    jaccard: float = 0.0
+
+
+@dataclass(frozen=True)
+class CPMUpdate:
+    """What one :meth:`~.session.CPMSession.apply` call changed.
+
+    ``affected_orders`` are the union-find orders the session had to
+    re-percolate (every order up to the largest clique born or retired
+    by the batch — higher orders provably cannot change and their
+    cached groups are reused).  ``changes`` holds one record per
+    community-level difference; orders whose covers came out identical
+    contribute nothing.
+    """
+
+    batch: int
+    inserted_edges: int
+    deleted_edges: int
+    cliques_born: int
+    cliques_retired: int
+    affected_orders: tuple[int, ...]
+    changes: tuple[CommunityChange, ...]
+
+    @property
+    def changed_orders(self) -> tuple[int, ...]:
+        """The orders with at least one community change, ascending."""
+        return tuple(sorted({change.k for change in self.changes}))
+
+    def by_kind(self) -> dict[str, int]:
+        """Change kind -> number of records (all kinds present)."""
+        counts = {kind: 0 for kind in CHANGE_KINDS}
+        for change in self.changes:
+            counts[change.kind] += 1
+        return counts
+
+    def summary(self) -> str:
+        """One log-friendly line: edge, clique and community movement."""
+        kinds = ", ".join(
+            f"{kind}={count}" for kind, count in self.by_kind().items() if count
+        )
+        return (
+            f"batch {self.batch}: +{self.inserted_edges}/-{self.deleted_edges} edges, "
+            f"+{self.cliques_born}/-{self.cliques_retired} cliques, "
+            f"{len(self.affected_orders)} orders re-percolated"
+            + (f" ({kinds})" if kinds else " (no community changes)")
+        )
+
+
+def diff_covers(
+    k: int,
+    before: Sequence[frozenset],
+    after: Sequence[frozenset],
+    *,
+    absorb_threshold: float = 0.5,
+) -> tuple[CommunityChange, ...]:
+    """Classify the differences between two covers of order ``k``.
+
+    ``before`` and ``after`` must be in canonical cover order (index n
+    = label ``k<k>id<n>``), which is how :class:`~repro.core
+    .communities.CommunityCover` stores them.  Communities present
+    identically on both sides are removed first (exact member-set
+    matching, duplicates paired by index); the remainder is classified:
+
+    * **merged** — a new community absorbing >= ``absorb_threshold`` of
+      two or more old ones; **split** — the symmetric case;
+    * **grown** / **shrunk** — best-Jaccard greedy pairs among the
+      remainder (ties toward *grown* on equal sizes, which can happen
+      when membership churned without a net size change);
+    * **born** / **died** — whatever remains unpaired.
+
+    Merge/split detection runs on the changed remainder only: a
+    community that survived byte-identical was by construction neither
+    absorbed nor redistributed.
+    """
+    index_of: dict[frozenset, list[int]] = {}
+    for j, members in enumerate(after):
+        index_of.setdefault(members, []).append(j)
+    rem_before: list[int] = []
+    matched_after: set[int] = set()
+    for i, members in enumerate(before):
+        slots = index_of.get(members)
+        if slots:
+            matched_after.add(slots.pop(0))
+        else:
+            rem_before.append(i)
+    rem_after = [j for j in range(len(after)) if j not in matched_after]
+    if not rem_before and not rem_after:
+        return ()
+
+    changes: list[CommunityChange] = []
+    before_sets = [before[i] for i in rem_before]
+    after_sets = [after[j] for j in rem_after]
+
+    for pos_j, members in zip(rem_after, after_sets):
+        absorbed = tuple(
+            rem_before[pos_i]
+            for pos_i, earlier in enumerate(before_sets)
+            if earlier and len(earlier & members) / len(earlier) >= absorb_threshold
+        )
+        if len(absorbed) >= 2:
+            changes.append(
+                CommunityChange(
+                    kind="merged",
+                    k=k,
+                    old_labels=tuple(f"k{k}id{i}" for i in absorbed),
+                    new_labels=(f"k{k}id{pos_j}",),
+                    size_before=max(len(before[i]) for i in absorbed),
+                    size_after=len(members),
+                )
+            )
+    for pos_i, earlier in zip(rem_before, before_sets):
+        heirs = tuple(
+            rem_after[pos_j]
+            for pos_j, members in enumerate(after_sets)
+            if members and len(members & earlier) / len(members) >= absorb_threshold
+        )
+        if len(heirs) >= 2:
+            changes.append(
+                CommunityChange(
+                    kind="split",
+                    k=k,
+                    old_labels=(f"k{k}id{pos_i}",),
+                    new_labels=tuple(f"k{k}id{j}" for j in heirs),
+                    size_before=len(earlier),
+                    size_after=max(len(after[j]) for j in heirs),
+                )
+            )
+
+    result = match_covers(before_sets, after_sets)
+    paired_before: set[int] = set()
+    paired_after: set[int] = set()
+    for pos_i, pos_j, score in result.pairs:
+        if score <= 0.0:
+            continue
+        paired_before.add(pos_i)
+        paired_after.add(pos_j)
+        size_before = len(before_sets[pos_i])
+        size_after = len(after_sets[pos_j])
+        changes.append(
+            CommunityChange(
+                kind="grown" if size_after >= size_before else "shrunk",
+                k=k,
+                old_labels=(f"k{k}id{rem_before[pos_i]}",),
+                new_labels=(f"k{k}id{rem_after[pos_j]}",),
+                size_before=size_before,
+                size_after=size_after,
+                jaccard=score,
+            )
+        )
+    for pos_i, i in enumerate(rem_before):
+        if pos_i not in paired_before:
+            changes.append(
+                CommunityChange(
+                    kind="died",
+                    k=k,
+                    old_labels=(f"k{k}id{i}",),
+                    new_labels=(),
+                    size_before=len(before[i]),
+                    size_after=0,
+                )
+            )
+    for pos_j, j in enumerate(rem_after):
+        if pos_j not in paired_after:
+            changes.append(
+                CommunityChange(
+                    kind="born",
+                    k=k,
+                    old_labels=(),
+                    new_labels=(f"k{k}id{j}",),
+                    size_before=0,
+                    size_after=len(after[j]),
+                )
+            )
+    order = {kind: rank for rank, kind in enumerate(CHANGE_KINDS)}
+    changes.sort(key=lambda c: (order[c.kind], c.old_labels, c.new_labels))
+    return tuple(changes)

@@ -15,6 +15,8 @@ Layout of a checkpoint directory::
     <dir>/enumerate.pickle    # phase 1 output
     <dir>/overlap.pickle      # phase 2 output (wire/overlaps + integrity checksum)
     <dir>/percolate.pickle    # {k: clique-id groups} for completed orders
+    <dir>/session.pickle      # a persisted incremental CPMSession (exclusive
+                              # with the three batch phases; docs/incremental.md)
 
 Every write goes through :func:`repro.core.cache.atomic_bytes_dump`
 (same-directory temp file + ``os.replace``), so a crash mid-write can
@@ -47,8 +49,12 @@ __all__ = [
 #: then fail resume loudly instead of deserialising garbage.
 CHECKPOINT_SCHEMA_VERSION = 1
 
-#: The checkpointable phases, in pipeline order.
-PHASES = ("enumerate", "overlap", "percolate")
+#: The checkpointable phases, in pipeline order.  ``session`` is not a
+#: pipeline phase: it is the single-payload slot an incremental
+#: :class:`~repro.incremental.CPMSession` persists itself into (the
+#: session state subsumes the three batch phases, so they are never
+#: mixed in one directory — ``open`` clears the others).
+PHASES = ("enumerate", "overlap", "percolate", "session")
 
 
 class CheckpointError(ValueError):
@@ -165,6 +171,17 @@ class CheckpointStore:
     # ------------------------------------------------------------------
     # META
     # ------------------------------------------------------------------
+    def meta(self) -> dict | None:
+        """The directory's ``META.json`` contents, or None when absent.
+
+        The public read used by :func:`repro.incremental.load_session`
+        to discover what a directory holds (schema, checksum, kernel
+        tag) *before* deciding to trust its payloads — unlike
+        :meth:`open`, it never clears or rewrites anything.  An
+        unreadable META raises :class:`CheckpointMismatchError`.
+        """
+        return self._read_meta()
+
     def _read_meta(self) -> dict | None:
         try:
             return json.loads(self.meta_path.read_text(encoding="utf-8"))

@@ -66,22 +66,24 @@ class TestRunCpm:
         assert hierarchy_to_dict(again.hierarchy) == hierarchy_to_dict(cached.hierarchy)
 
 
-class TestDeprecatedSpellings:
-    def test_min_k_max_k_warn_but_work(self, graph):
-        with pytest.warns(DeprecationWarning) as captured:
-            result = run_cpm(graph, min_k=3, max_k=4)
-        assert result.orders == [3, 4]
-        warned = {str(w.message).split("(..., ")[1].split("=")[0] for w in captured}
-        assert warned == {"min_k", "max_k"}
+class TestRemovedSpellings:
+    """The pre-facade keyword shims are gone: plain TypeError now."""
 
-    def test_n_workers_warns_but_works(self, graph):
-        with pytest.warns(DeprecationWarning, match="n_workers"):
-            result = run_cpm(graph, n_workers=1)
-        assert result.stats.workers == 1
-
-    def test_unknown_kwarg_is_a_type_error(self, graph):
+    @pytest.mark.parametrize("kwargs", [
+        {"min_k": 3},
+        {"max_k": 4},
+        {"n_workers": 2},
+        {"use_cache": True},
+        {"granularity": 3},
+    ])
+    def test_removed_kwarg_is_a_type_error(self, graph, kwargs):
         with pytest.raises(TypeError, match="unexpected keyword"):
-            run_cpm(graph, granularity=3)
+            run_cpm(graph, **kwargs)
+
+    def test_replacement_spellings_work(self, graph):
+        result = run_cpm(graph, k_range=(3, 4), workers=1)
+        assert result.orders == [3, 4]
+        assert result.stats.workers == 1
 
 
 class TestResultPersistence:
@@ -114,6 +116,31 @@ class TestResultPersistence:
         save_result(result, path)
         document = json.loads(path.read_text(encoding="utf-8"))
         assert document["stats"]["kernel"] == "bitset"
+
+    def test_to_dict_is_versioned(self, result):
+        from repro.api import RESULT_SCHEMA_VERSION
+
+        document = result.to_dict()
+        assert document["result_schema"] == RESULT_SCHEMA_VERSION
+        rebuilt = CPMResult.from_dict(document)
+        assert hierarchy_to_dict(rebuilt.hierarchy) == hierarchy_to_dict(result.hierarchy)
+        assert rebuilt.stats == result.stats
+
+    def test_pre_versioning_document_still_loads(self, result):
+        document = result.to_dict()
+        del document["result_schema"]
+        rebuilt = CPMResult.from_dict(document)
+        assert rebuilt.stats.n_cliques == result.stats.n_cliques
+
+    def test_future_schema_is_rejected(self, result, tmp_path):
+        document = result.to_dict()
+        document["result_schema"] = 999
+        with pytest.raises(ValueError, match="schema 999"):
+            CPMResult.from_dict(document)
+        path = tmp_path / "future.json"
+        path.write_text(json.dumps(document), encoding="utf-8")
+        with pytest.raises(ValueError, match="upgrade repro"):
+            load_result(path)
 
 
 class TestTopLevelExports:

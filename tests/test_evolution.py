@@ -132,3 +132,40 @@ class TestEvolutionTrackerOnGenerator:
         # exist (the IXP core).
         longest = tracker.longest_timeline()
         assert len(longest.path) >= 3
+
+
+class TestStrategyParity:
+    """Replay and incremental strategies are interchangeable."""
+
+    @pytest.fixture(scope="class")
+    def snapshots(self):
+        return TopologyEvolution(
+            GeneratorConfig.tiny(), seed=7, n_snapshots=4
+        ).snapshots()
+
+    def test_unknown_strategy_rejected(self, snapshots):
+        with pytest.raises(ValueError, match="strategy"):
+            EvolutionTracker(snapshots, k=4, strategy="telepathy")
+
+    def test_identical_covers_events_timelines_updates(self, snapshots):
+        incremental = EvolutionTracker(snapshots, k=4, strategy="incremental")
+        replay = EvolutionTracker(snapshots, k=4, strategy="replay")
+        assert incremental.covers == replay.covers
+        assert incremental.events == replay.events
+        assert [t.path for t in incremental.timelines] == [
+            t.path for t in replay.timelines
+        ]
+        assert incremental.updates == replay.updates
+
+    def test_updates_report_per_transition_changes(self, snapshots):
+        tracker = EvolutionTracker(snapshots, k=4)
+        assert len(tracker.updates) == len(snapshots) - 1
+        assert [u.batch for u in tracker.updates] == [0, 1, 2]
+        # a growing topology inserts edges and births communities
+        assert all(u.inserted_edges > 0 for u in tracker.updates)
+        assert any(
+            change.kind == "born" for u in tracker.updates for change in u.changes
+        )
+
+    def test_default_strategy_is_incremental(self, snapshots):
+        assert EvolutionTracker(snapshots, k=4).strategy == "incremental"

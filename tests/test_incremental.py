@@ -1,0 +1,490 @@
+"""Incremental CPM sessions: byte-identity, persistence, API and CLI.
+
+The load-bearing guarantee of :mod:`repro.incremental` is that a
+session advanced by edge deltas is indistinguishable — hierarchy,
+community tree, query artifact, byte for byte — from re-running the
+batch pipeline on the mutated graph.  The fuzz tests here drive random
+insert/delete batches against every kernel and check exactly that
+after every batch.
+"""
+
+import json
+import random
+
+import pytest
+
+from repro.api import open_session, run_cpm
+from repro.cli import main
+from repro.core.cache import CliqueCache
+from repro.core.serialize import hierarchy_to_dict
+from repro.core.tree import CommunityTree
+from repro.graph.generators import ring_of_cliques
+from repro.graph.undirected import Graph
+from repro.incremental import (
+    CPMSession,
+    CPMUpdate,
+    EdgeDelta,
+    diff_covers,
+    load_session,
+)
+from repro.runner.checkpoint import CheckpointError, CheckpointStore
+
+try:
+    import numpy  # noqa: F401
+
+    HAVE_NUMPY = True
+except ImportError:
+    HAVE_NUMPY = False
+
+KERNELS = ["set", "bitset"] + (["blocks"] if HAVE_NUMPY else [])
+
+
+def hierarchy_bytes(hierarchy) -> bytes:
+    """Canonical serialisation of a hierarchy (None-safe)."""
+    if hierarchy is None:
+        return b"<empty>"
+    return json.dumps(hierarchy_to_dict(hierarchy), sort_keys=True).encode()
+
+
+def random_graph(n: int, p: float, seed: int) -> Graph:
+    """An Erdos-Renyi-ish labelled graph (deterministic per seed)."""
+    rng = random.Random(seed)
+    graph = Graph()
+    graph.add_nodes_from(range(n))
+    for u in range(n):
+        for v in range(u + 1, n):
+            if rng.random() < p:
+                graph.add_edge(u, v)
+    return graph
+
+
+def random_delta(graph: Graph, rng: random.Random, *, n_ins=3, n_del=3) -> EdgeDelta:
+    """A random applicable batch: existing edges out, absent edges in."""
+    edges = sorted(tuple(sorted(edge)) for edge in graph.edges())
+    deletions = rng.sample(edges, min(n_del, len(edges)))
+    nodes = sorted(graph.nodes())
+    present = {frozenset(edge) for edge in edges}
+    insertions: list[tuple] = []
+    for _ in range(200):
+        if len(insertions) >= n_ins:
+            break
+        u, v = rng.sample(nodes, 2)
+        key = frozenset((u, v))
+        if key not in present and key not in map(frozenset, insertions):
+            insertions.append((u, v))
+    return EdgeDelta(insertions=insertions, deletions=deletions)
+
+
+def apply_to_graph(graph: Graph, delta: EdgeDelta) -> None:
+    """Mirror a delta onto a plain graph (the fuzz oracle's copy)."""
+    for u, v in delta.deletions:
+        graph.remove_edge(u, v)
+    for u, v in delta.insertions:
+        graph.add_edge(u, v)
+
+
+def fresh_bytes(graph: Graph, kernel: str) -> bytes:
+    """Hierarchy bytes of a from-scratch run (empty marker when none)."""
+    try:
+        return hierarchy_bytes(run_cpm(graph, kernel=kernel).hierarchy)
+    except ValueError:
+        return b"<empty>"
+
+
+class TestEdgeDelta:
+    def test_normalizes_and_counts(self):
+        delta = EdgeDelta(insertions=[(1, 2), (3, 4)], deletions=[(5, 6)])
+        assert delta.n_edges == 3
+        assert bool(delta)
+        assert not EdgeDelta()
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(ValueError, match="self-loop"):
+            EdgeDelta(insertions=[(1, 1)])
+
+    def test_rejects_duplicate_edge(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            EdgeDelta(deletions=[(1, 2), (2, 1)])
+
+    def test_rejects_contradictory_edge(self):
+        with pytest.raises(ValueError, match="both insertions and deletions"):
+            EdgeDelta(insertions=[(1, 2)], deletions=[(2, 1)])
+
+    def test_between_is_the_edge_set_difference(self):
+        old = random_graph(12, 0.3, seed=1)
+        new = old.copy()
+        delta0 = random_delta(new, random.Random(2))
+        apply_to_graph(new, delta0)
+        delta = EdgeDelta.between(old, new)
+        rebuilt = old.copy()
+        apply_to_graph(rebuilt, delta)
+        assert {frozenset(e) for e in rebuilt.edges()} == {
+            frozenset(e) for e in new.edges()
+        }
+        # deterministic: same pair, same delta
+        assert delta == EdgeDelta.between(old, new)
+
+
+class TestDiffCovers:
+    def test_identical_covers_produce_nothing(self):
+        cover = (frozenset({1, 2, 3}), frozenset({3, 4, 5}))
+        assert diff_covers(3, cover, cover) == ()
+
+    def test_birth_and_death(self):
+        before = (frozenset({1, 2, 3}),)
+        after = (frozenset({7, 8, 9}),)
+        kinds = [c.kind for c in diff_covers(3, before, after)]
+        assert kinds == ["born", "died"]
+
+    def test_growth_pairs_by_jaccard(self):
+        before = (frozenset({1, 2, 3}),)
+        after = (frozenset({1, 2, 3, 4}),)
+        (change,) = diff_covers(3, before, after)
+        assert change.kind == "grown"
+        assert change.size_before == 3 and change.size_after == 4
+        assert change.jaccard == pytest.approx(0.75)
+
+    def test_merge_and_split(self):
+        a, b = frozenset(range(0, 5)), frozenset(range(5, 10))
+        merged = a | b
+        changes = diff_covers(4, (a, b), (merged,))
+        assert "merged" in [c.kind for c in changes]
+        changes = diff_covers(4, (merged,), (a, b))
+        assert "split" in [c.kind for c in changes]
+
+
+class TestSessionBasics:
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_initial_state_matches_batch_run(self, kernel):
+        graph = ring_of_cliques(4, 5)
+        session = CPMSession(graph, kernel=kernel)
+        fresh = run_cpm(graph, kernel=kernel)
+        assert hierarchy_bytes(session.result().hierarchy) == hierarchy_bytes(
+            fresh.hierarchy
+        )
+        assert session.result().stats.n_cliques == fresh.stats.n_cliques
+        assert session.result().stats.kernel == kernel
+
+    def test_update_reports_movement(self):
+        session = CPMSession(ring_of_cliques(4, 5))
+        update = session.apply(EdgeDelta(insertions=[(0, 10)]))
+        assert isinstance(update, CPMUpdate)
+        assert update.inserted_edges == 1 and update.deleted_edges == 0
+        assert update.batch == 0
+        assert update.affected_orders and update.affected_orders[0] == 2
+        assert "batch 0" in update.summary()
+        assert session.applied_batches == 1
+
+    def test_inapplicable_batch_is_atomic(self):
+        session = CPMSession(ring_of_cliques(3, 4))
+        before = hierarchy_bytes(session.hierarchy)
+        with pytest.raises(ValueError, match="already present"):
+            session.apply(EdgeDelta(insertions=[(0, 1)]))
+        with pytest.raises(ValueError, match="not present"):
+            session.apply(EdgeDelta(deletions=[(0, 99)]))
+        with pytest.raises(TypeError, match="EdgeDelta"):
+            session.apply([(0, 99)])
+        assert session.applied_batches == 0
+        assert hierarchy_bytes(session.hierarchy) == before
+
+    def test_edgeless_graph_has_no_result(self):
+        graph = Graph()
+        graph.add_nodes_from(range(4))
+        session = CPMSession(graph)
+        assert session.hierarchy is None
+        with pytest.raises(ValueError, match="no clique of size >= 2"):
+            session.result()
+        session.apply(EdgeDelta(insertions=[(0, 1), (1, 2), (0, 2)]))
+        assert session.result().hierarchy.orders == [2, 3]
+        session.apply(EdgeDelta(deletions=[(0, 1), (1, 2), (0, 2)]))
+        assert session.hierarchy is None and session.n_cliques == 0
+
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_reuses_run_cpm_clique_cache(self, tmp_path, kernel):
+        graph = ring_of_cliques(4, 5)
+        cache = CliqueCache(tmp_path)
+        fresh = run_cpm(graph, kernel=kernel, cache=cache)
+        session = CPMSession(graph, kernel=kernel, cache=cache)
+        assert session.cache_hit
+        assert hierarchy_bytes(session.result().hierarchy) == hierarchy_bytes(
+            fresh.hierarchy
+        )
+        # the reused overlap state keeps working through mutations
+        session.apply(EdgeDelta(deletions=[(0, 1)]))
+        mutated = graph.copy()
+        mutated.remove_edge(0, 1)
+        assert hierarchy_bytes(session.result().hierarchy) == fresh_bytes(
+            mutated, kernel
+        )
+
+    def test_describe_reports_census(self):
+        session = CPMSession(ring_of_cliques(4, 5))
+        info = session.describe()
+        assert info["max_clique_size"] == 5
+        assert info["orders"] == [2, 3, 4, 5]
+        assert info["applied_batches"] == 0
+        assert set(info["fingerprint"]) == {"nodes", "edges", "checksum"}
+
+
+class TestDeltaFuzz:
+    """The core guarantee: byte-identity with run_cpm after every batch."""
+
+    @pytest.mark.parametrize("kernel", KERNELS)
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_random_batches_on_random_graph(self, kernel, seed):
+        rng = random.Random(1000 + seed)
+        graph = random_graph(28, 0.22, seed=seed)
+        session = CPMSession(graph, kernel=kernel)
+        oracle = graph.copy()
+        for _ in range(6):
+            delta = random_delta(oracle, rng)
+            session.apply(delta)
+            apply_to_graph(oracle, delta)
+            session_bytes = (
+                b"<empty>"
+                if session.hierarchy is None
+                else hierarchy_bytes(session.result().hierarchy)
+            )
+            assert session_bytes == fresh_bytes(oracle, kernel)
+
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_random_batches_on_generator_graph(self, kernel):
+        rng = random.Random(7)
+        graph = ring_of_cliques(6, 6)
+        session = CPMSession(graph, kernel=kernel)
+        oracle = graph.copy()
+        for _ in range(6):
+            delta = random_delta(oracle, rng, n_ins=4, n_del=4)
+            session.apply(delta)
+            apply_to_graph(oracle, delta)
+            assert hierarchy_bytes(session.result().hierarchy) == fresh_bytes(
+                oracle, kernel
+            )
+
+    def test_tree_and_query_artifact_bytes_match(self):
+        from repro.api import build_query_artifact
+
+        rng = random.Random(42)
+        graph = ring_of_cliques(5, 6)
+        session = CPMSession(graph)
+        oracle = graph.copy()
+        for _ in range(3):
+            delta = random_delta(oracle, rng)
+            session.apply(delta)
+            apply_to_graph(oracle, delta)
+            ours, fresh = session.result(), run_cpm(oracle)
+            assert CommunityTree(ours.hierarchy).to_dot() == CommunityTree(
+                fresh.hierarchy
+            ).to_dot()
+            assert (
+                build_query_artifact(ours, oracle).to_bytes()
+                == build_query_artifact(fresh, oracle).to_bytes()
+            )
+
+    def test_deletion_only_and_insertion_only_batches(self):
+        graph = ring_of_cliques(5, 5)
+        session = CPMSession(graph)
+        oracle = graph.copy()
+        rng = random.Random(3)
+        for n_ins, n_del in [(0, 5), (5, 0), (0, 5), (5, 0)]:
+            delta = random_delta(oracle, rng, n_ins=n_ins, n_del=n_del)
+            session.apply(delta)
+            apply_to_graph(oracle, delta)
+            assert hierarchy_bytes(session.result().hierarchy) == fresh_bytes(
+                oracle, "bitset"
+            )
+
+
+class TestPersistence:
+    def test_save_load_round_trip(self, tmp_path):
+        session = CPMSession(ring_of_cliques(4, 5))
+        session.apply(EdgeDelta(insertions=[(0, 10)], deletions=[(0, 1)]))
+        session.save(tmp_path / "sess")
+        loaded = load_session(tmp_path / "sess")
+        assert hierarchy_bytes(loaded.result().hierarchy) == hierarchy_bytes(
+            session.result().hierarchy
+        )
+        assert loaded.applied_batches == session.applied_batches
+        assert loaded.kernel == session.kernel
+        # both copies evolve identically afterwards
+        update_a = session.apply(EdgeDelta(insertions=[(2, 12)]))
+        update_b = loaded.apply(EdgeDelta(insertions=[(2, 12)]))
+        assert update_a == update_b
+        assert hierarchy_bytes(loaded.result().hierarchy) == hierarchy_bytes(
+            session.result().hierarchy
+        )
+
+    def test_missing_directory_fails_cleanly(self, tmp_path):
+        with pytest.raises(CheckpointError, match="META.json is missing"):
+            load_session(tmp_path / "nothing")
+
+    def test_pipeline_checkpoint_is_rejected(self, tmp_path):
+        store = CheckpointStore(tmp_path / "ckpt")
+        store.open(checksum="abc", kernel="bitset", resume=False)
+        with pytest.raises(CheckpointError, match="pipeline checkpoint"):
+            load_session(tmp_path / "ckpt")
+
+    def test_future_schema_is_rejected(self, tmp_path):
+        session = CPMSession(ring_of_cliques(3, 4))
+        session.save(tmp_path / "sess")
+        store = CheckpointStore(tmp_path / "sess")
+        payload = store.load_phase("session")
+        payload["schema"] = 999
+        store.store_phase("session", payload)
+        with pytest.raises(CheckpointError, match="schema"):
+            load_session(tmp_path / "sess")
+
+    def test_tampered_graph_fails_integrity_check(self, tmp_path):
+        session = CPMSession(ring_of_cliques(3, 4))
+        session.save(tmp_path / "sess")
+        store = CheckpointStore(tmp_path / "sess")
+        payload = store.load_phase("session")
+        payload["edges"] = payload["edges"][:-1]
+        store.store_phase("session", payload)
+        with pytest.raises(CheckpointError, match="integrity"):
+            load_session(tmp_path / "sess")
+
+
+class TestFacade:
+    def test_open_session_from_graph(self):
+        graph = ring_of_cliques(4, 5)
+        session = open_session(graph)
+        assert isinstance(session, CPMSession)
+        assert hierarchy_bytes(session.result().hierarchy) == fresh_bytes(
+            graph, "bitset"
+        )
+
+    def test_open_session_from_result(self):
+        graph = ring_of_cliques(4, 5)
+        result = run_cpm(graph)
+        session = open_session(result)
+        assert hierarchy_bytes(session.result().hierarchy) == hierarchy_bytes(
+            result.hierarchy
+        )
+
+    def test_open_session_needs_a_csr_snapshot(self):
+        result = run_cpm(ring_of_cliques(4, 5), kernel="set")
+        with pytest.raises(ValueError, match="no CSR snapshot"):
+            open_session(result)
+
+    def test_open_session_rejects_other_types(self):
+        with pytest.raises(TypeError, match="Graph or CPMResult"):
+            open_session("a graph, honest")
+
+    def test_facade_load_session(self, tmp_path):
+        from repro.api import load_session as facade_load
+
+        session = open_session(ring_of_cliques(3, 4))
+        session.save(tmp_path / "sess")
+        loaded = facade_load(tmp_path / "sess")
+        assert hierarchy_bytes(loaded.result().hierarchy) == hierarchy_bytes(
+            session.result().hierarchy
+        )
+
+
+class TestObservability:
+    def test_incr_spans_and_counters(self):
+        from repro.obs.metrics import MetricsRegistry
+        from repro.obs.tracing import Tracer
+
+        tracer, metrics = Tracer(), MetricsRegistry()
+        session = CPMSession(ring_of_cliques(4, 5), tracer=tracer, metrics=metrics)
+        session.apply(EdgeDelta(insertions=[(0, 10)]))
+        tracer.close()
+        names = {record.name for record in tracer.records}
+        assert {"incr.open", "incr.apply", "incr.mutate", "incr.percolate"} <= names
+        counters = metrics.to_dict()["counters"]
+        assert counters["incr.sessions_opened"] == 1
+        assert counters["incr.batches"] == 1
+        assert counters["incr.edges_inserted"] == 1
+        assert counters["incr.cliques_born"] >= 1
+
+
+class TestSessionCLI:
+    @pytest.fixture(scope="class")
+    def dataset_dir(self, tmp_path_factory):
+        out = tmp_path_factory.mktemp("ds") / "tiny"
+        assert main(["generate", str(out), "--profile", "tiny", "--seed", "5"]) == 0
+        return str(out)
+
+    def test_open_apply_status(self, dataset_dir, tmp_path, capsys):
+        sess = str(tmp_path / "sess")
+        assert main(["session", "open", dataset_dir, sess]) == 0
+        assert "opened session" in capsys.readouterr().out
+        from repro.topology import ASDataset
+
+        edge = sorted(
+            tuple(sorted(e)) for e in ASDataset.load(dataset_dir).graph.edges()
+        )[0]
+        assert (
+            main(
+                [
+                    "session",
+                    "apply",
+                    sess,
+                    "--insert",
+                    "1,2000000",
+                    "--delete",
+                    f"{edge[0]},{edge[1]}",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "+1/-1 edges" in out
+        assert main(["session", "status", sess]) == 0
+        out = capsys.readouterr().out
+        assert "applied batches" in out and "1" in out
+
+    def test_apply_accepts_delta_file(self, dataset_dir, tmp_path, capsys):
+        sess = str(tmp_path / "sess")
+        assert main(["session", "open", dataset_dir, sess]) == 0
+        delta_file = tmp_path / "delta.json"
+        delta_file.write_text(json.dumps({"insertions": [[1, 2000000]]}))
+        assert main(["session", "apply", sess, "--delta", str(delta_file)]) == 0
+        assert "+1/-0 edges" in capsys.readouterr().out
+
+    def test_apply_rejects_empty_delta(self, dataset_dir, tmp_path, capsys):
+        sess = str(tmp_path / "sess")
+        assert main(["session", "open", dataset_dir, sess]) == 0
+        capsys.readouterr()
+        assert main(["session", "apply", sess]) == 2
+        assert "empty delta" in capsys.readouterr().err
+
+    def test_status_on_missing_session_exits_2(self, tmp_path, capsys):
+        assert main(["session", "status", str(tmp_path / "nope")]) == 2
+        assert "META.json is missing" in capsys.readouterr().err
+
+
+class TestQueryBuildGuard:
+    @pytest.fixture(scope="class")
+    def two_datasets(self, tmp_path_factory):
+        root = tmp_path_factory.mktemp("guard")
+        a, b = root / "a", root / "b"
+        assert main(["generate", str(a), "--profile", "tiny", "--seed", "5"]) == 0
+        assert main(["generate", str(b), "--profile", "tiny", "--seed", "6"]) == 0
+        return str(a), str(b)
+
+    def test_refuses_stale_overwrite_without_force(
+        self, two_datasets, tmp_path, capsys
+    ):
+        ds_a, ds_b = two_datasets
+        artifact = str(tmp_path / "art.rqa")
+        assert main(["query", "build", ds_a, artifact]) == 0
+        capsys.readouterr()
+        # same dataset: rebuild is a refresh, not a clobber
+        assert main(["query", "build", ds_a, artifact]) == 0
+        capsys.readouterr()
+        # different dataset: refuse...
+        assert main(["query", "build", ds_b, artifact]) == 2
+        err = capsys.readouterr().err
+        assert "different graph" in err and "--force" in err
+        # ...unless forced
+        assert main(["query", "build", ds_b, artifact, "--force"]) == 0
+
+    def test_refuses_unreadable_existing_file(self, two_datasets, tmp_path, capsys):
+        ds_a, _ = two_datasets
+        bogus = tmp_path / "bogus.rqa"
+        bogus.write_bytes(b"not an artifact")
+        assert main(["query", "build", ds_a, str(bogus)]) == 2
+        assert "not a readable query artifact" in capsys.readouterr().err
