@@ -62,18 +62,34 @@ def committed_manifests(ref: str) -> dict[str, dict]:
 #: (``bench_query_service.py``); ``cpm_run_seconds_<kernel>`` gates
 #: each CPM kernel's end-to-end wall time separately
 #: (``bench_cpm_scaling.py``), so the blocks kernel's speed margin
-#: over bitset cannot silently erode; ``incr_apply_seconds_*``
+#: over bitset cannot silently erode; ``cpm_seconds_scale_<scale>``
+#: gates every point of the scaling curve (``bench_cpm_scaling.py``'s
+#: sweep), not just the reference scale, and
+#: ``cpm_sharded_seconds_scale_<scale>`` does the same for the sharded
+#: pipeline's sweep (``bench_cpm_sharded.py``); ``incr_apply_seconds_*``
 #: gates the incremental session's edge-delta apply path as aggregate
 #: scalars (``bench_incremental.py`` — individual ``incr.*`` spans are
 #: per-batch and too small/noisy to gate one-by-one).
 SPAN_PREFIXES = ("cpm.", "analysis.", "query.")
 SCALAR_PREFIXES = (
     "cpm_seconds",
+    # Explicit, though "cpm_seconds" already prefix-matches it: the
+    # per-scale scaling curve is a gated family in its own right and
+    # must survive any future tightening of the parent prefix.
+    "cpm_seconds_scale_",
     "cpm_run_seconds",
+    "cpm_sharded_seconds",
+    "cpm_shard_speedup",
     "analysis_seconds",
     "query_lookup_seconds",
     "incr_apply_seconds",
 )
+
+#: Scalars where *bigger* is better (ratios like sharded-vs-serial
+#: speedup): the gate inverts for these — a regression is the fresh
+#: value dropping below baseline / tolerance — and the tiny-baseline
+#: skip does not apply (a ratio's magnitude is not scheduler noise).
+HIGHER_IS_BETTER_PREFIXES = ("cpm_shard_speedup",)
 
 
 def cpm_measurements(manifest: dict) -> dict[str, float]:
@@ -119,7 +135,15 @@ def compare(
             if key not in fresh_m:
                 continue
             base, fresh = base_m[key], fresh_m[key]
-            if base < min_seconds:
+            if key.startswith(HIGHER_IS_BETTER_PREFIXES):
+                if base <= 0:
+                    verdict = "skip (tiny)"
+                elif fresh < base / tolerance:
+                    verdict = "REGRESSION"
+                    failures += 1
+                else:
+                    verdict = "ok"
+            elif base < min_seconds:
                 verdict = "skip (tiny)"
             elif fresh > base * tolerance:
                 verdict = "REGRESSION"

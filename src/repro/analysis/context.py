@@ -63,6 +63,7 @@ class AnalysisContext:
         *,
         workers: int = 1,
         kernel: str = "bitset",
+        shards: int | str = 1,
         cache: CliqueCache | None = None,
         checkpoint: CheckpointStore | None = None,
         resume: bool = False,
@@ -95,6 +96,7 @@ class AnalysisContext:
             k_range=(min_k, max_k),
             workers=workers,
             kernel=kernel,
+            shards=shards,
             cache=cache,
             checkpoint=checkpoint,
             resume=resume,

@@ -181,6 +181,7 @@ def run_cpm(
     k_range: tuple[int, int | None] | int = (2, None),
     kernel: str = "bitset",
     workers: int = 1,
+    shards: int | str = 1,
     cache: CliqueCache | bool | str | PathLike | None = None,
     checkpoint: CheckpointStore | str | PathLike | None = None,
     resume: bool = False,
@@ -197,7 +198,10 @@ def run_cpm(
     ``"auto"`` (``blocks`` when numpy — the ``[perf]`` extra — is
     importable, degrading to ``bitset`` otherwise); requesting
     ``"blocks"`` explicitly without numpy raises a ``ValueError``
-    subclass with an install hint.  ``cache``
+    subclass with an install hint.  ``shards`` (an int or ``"auto"``,
+    meaning one shard per worker) partitions every phase's data across
+    workers via :mod:`repro.shard` — byte-identical output, built for
+    graphs past the single-process scale.  ``cache``
     memoises enumeration + overlap on disk; ``checkpoint`` (+
     ``resume=True``) persists phase outputs so an interrupted run
     restarts from the last completed phase; ``runner`` tunes the worker
@@ -216,6 +220,7 @@ def run_cpm(
         graph,
         workers=workers,
         kernel=kernel,
+        shards=shards,
         cache=_coerce_cache(cache),
         checkpoint=_coerce_checkpoint(checkpoint),
         resume=resume,

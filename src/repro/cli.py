@@ -104,6 +104,14 @@ def _add_cpm_arguments(parser: argparse.ArgumentParser) -> None:
         ),
     )
     parser.add_argument(
+        "--shards", default="1", metavar="N",
+        help=(
+            "partition every CPM phase's data into N shards fanned out across "
+            "--workers ('auto' = one shard per worker); output is byte-identical "
+            "to the serial pipeline"
+        ),
+    )
+    parser.add_argument(
         "--cache", action=argparse.BooleanOptionalAction, default=False,
         help=(
             "reuse/store clique+overlap results on disk, keyed by the graph "
@@ -151,6 +159,7 @@ def _make_runner(args: argparse.Namespace) -> dict:
         "checkpoint": CheckpointStore(checkpoint_dir) if checkpoint_dir else None,
         "resume": getattr(args, "resume", False),
         "runner": runner,
+        "shards": getattr(args, "shards", 1),
     }
 
 
@@ -186,6 +195,17 @@ def _run_settings(args: argparse.Namespace) -> dict:
         if key in ("kernel", "workers", "analysis_engine", "min_k", "max_k")
         and value is not None
     }
+    if getattr(args, "shards", None) is not None:
+        from .shard.plan import resolve_shards
+
+        try:
+            # Recorded *resolved* ("auto" -> the count that actually ran),
+            # like the kernel below — ``repro obs diff`` warns on mismatch.
+            settings["shards"] = resolve_shards(
+                args.shards, getattr(args, "workers", 1) or 1
+            )
+        except ValueError:
+            settings["shards"] = args.shards
     if "kernel" in settings:
         from .core._blocks_compat import numpy_version
         from .core.lightweight import resolve_kernel

@@ -496,16 +496,35 @@ def percolate_orders_blocks(
                 applied += len(words)
                 apply_pairs(words)
             eligible = eligibles[idx]
-            if eligible == 0:
-                result[k] = []
-                continue
-            prefix = labels[:eligible]
-            _uniq, inverse = np.unique(prefix, return_inverse=True)
+            if isinstance(eligible, (int, np.integer)):
+                # Prefix form: the first ``eligible`` clique ids.
+                if eligible == 0:
+                    result[k] = []
+                    continue
+                members = None
+                snapshot = labels[:eligible]
+            else:
+                # Explicit-id form (``sweep_wire``'s groups_of twin):
+                # the incremental session passes stable ids that are
+                # not a prefix of the label array.
+                if len(eligible) == 0:
+                    result[k] = []
+                    continue
+                members = np.asarray(eligible, dtype=np.int64)
+                snapshot = labels[members]
+            _uniq, inverse = np.unique(snapshot, return_inverse=True)
             by_label = np.argsort(inverse, kind="stable")
             cuts = np.flatnonzero(np.diff(inverse[by_label])) + 1
-            groups = [g.tolist() for g in np.split(by_label, cuts)]
+            # Positions ascend within each split, so g[0] is both the
+            # smallest member (prefix form) and the first-listed member
+            # (explicit form) — the exact tie-break of
+            # ``IntUnionFind.groups`` / ``groups_of``.
+            groups = list(np.split(by_label, cuts))
             groups.sort(key=lambda g: (-len(g), g[0]))
-            result[k] = groups
+            if members is None:
+                result[k] = [g.tolist() for g in groups]
+            else:
+                result[k] = [members[g].tolist() for g in groups]
         merges = wire.n_cliques - len(np.unique(labels))
         span.set("union_merges", merges)
         registry = current_metrics()

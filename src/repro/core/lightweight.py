@@ -160,6 +160,8 @@ class CPMRunStats:
     percolate_seconds: float = 0.0
     workers: int = 1
     kernel: str = "bitset"
+    #: Resolved shard count (1 = the unsharded single-process pipeline).
+    shards: int = 1
     cache_hit: bool = False
     size_histogram: dict[int, int] = field(default_factory=dict)
     #: Phases loaded from a checkpoint instead of recomputed.
@@ -366,8 +368,12 @@ class LightweightParallelCPM:
     the numpy-vectorized fast path (``"blocks"``, needs the ``[perf]``
     extra), the set-based reference (``"set"``), or ``"auto"`` (blocks
     when numpy is importable, else bitset); all produce identical
-    hierarchies.  ``cache`` (a :class:`~.cache.CliqueCache`) memoises
-    enumeration + overlap on disk keyed by the graph fingerprint.
+    hierarchies.  ``shards`` (a count or ``"auto"``, one shard per
+    worker) routes every phase through the partitioned pipeline of
+    :mod:`repro.shard` — byte-identical output, built for graphs past
+    the single-process scale.  ``cache`` (a
+    :class:`~.cache.CliqueCache`) memoises enumeration + overlap on
+    disk keyed by the graph fingerprint.
     ``tracer``/``metrics`` (both optional) switch on observability: the
     run then emits ``cpm.run`` → ``cpm.enumerate`` / ``cpm.overlap`` /
     ``cpm.percolate`` / ``cpm.hierarchy`` spans and populates the
@@ -386,6 +392,7 @@ class LightweightParallelCPM:
         *,
         workers: int = 1,
         kernel: str = "bitset",
+        shards: int | str = 1,
         cache: CliqueCache | None = None,
         checkpoint: CheckpointStore | None = None,
         resume: bool = False,
@@ -397,15 +404,22 @@ class LightweightParallelCPM:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         kernel = resolve_kernel(kernel)
+        from ..shard.plan import resolve_shards
+
         self.graph = graph
         self.workers = workers
         self.kernel = kernel
+        #: Resolved shard count (``"auto"`` -> one shard per worker).
+        #: ``shards > 1`` routes every phase through the sharded
+        #: pipeline (:mod:`repro.shard`), which is byte-identical to
+        #: the serial path but partitions data across workers.
+        self.shards = resolve_shards(shards, workers)
         self.cache = cache
         self.checkpoint = checkpoint
         self.resume = resume
         self.runner_config = runner if runner is not None else RunnerConfig()
         self.fault_plan = fault_plan if fault_plan is not None else FaultPlan.from_env()
-        self.stats = CPMRunStats(workers=workers, kernel=kernel)
+        self.stats = CPMRunStats(workers=workers, kernel=kernel, shards=self.shards)
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._observing = self.tracer.enabled or metrics is not None
@@ -421,7 +435,12 @@ class LightweightParallelCPM:
             raise ValueError(f"min_k must be >= 2, got {min_k}")
 
         with self.tracer.span(
-            "cpm.run", workers=self.workers, min_k=min_k, max_k=max_k, kernel=self.kernel
+            "cpm.run",
+            workers=self.workers,
+            min_k=min_k,
+            max_k=max_k,
+            kernel=self.kernel,
+            shards=self.shards,
         ) as run_span:
             checksum = self._graph_checksum()
             payload = self._cache_lookup(checksum)
@@ -536,6 +555,15 @@ class LightweightParallelCPM:
                 cliques = enum_ck["cliques"]
                 n_nodes = enum_ck["n_nodes"]
                 self._mark_resumed("enumerate")
+            elif self.shards > 1:
+                from ..shard.pipeline import sharded_enumerate_dense
+
+                dense, cliques, n_nodes = sharded_enumerate_dense(self, ckpt)
+                if ckpt is not None:
+                    ckpt.store_phase(
+                        "enumerate",
+                        {"dense": dense, "cliques": cliques, "n_nodes": n_nodes},
+                    )
             else:
                 dense, cliques, n_nodes = self._enumerate_phase_bitset()
                 if ckpt is not None:
@@ -567,7 +595,13 @@ class LightweightParallelCPM:
                 n_counted = over_ck["counted_pairs"]
                 self._mark_resumed("overlap")
             else:
-                if self.kernel == "blocks":
+                if self.shards > 1:
+                    from ..shard.pipeline import sharded_overlap_dense
+
+                    wire, n_counted = sharded_overlap_dense(
+                        self, dense, sizes, n_nodes, ckpt
+                    )
+                elif self.kernel == "blocks":
                     wire, n_counted = self._overlap_phase_blocks(dense, sizes)
                 else:
                     wire, n_counted = self._overlap_phase_bitset(dense, sizes, n_nodes)
@@ -732,6 +766,17 @@ class LightweightParallelCPM:
 
             if not todo:
                 self.metrics.inc("overlap.bytes_shipped", 0)
+            elif self.shards > 1:
+                # Sharded boundary stitching: per-bucket slices are
+                # contracted to spanning chains worker-side, then one
+                # in-driver sweep over the reduced wire stitches the
+                # global components (identical partitions, so identical
+                # groups).
+                from ..shard.pipeline import sharded_reduce_wire
+
+                reduced = sharded_reduce_wire(self, wire, ckpt)
+                eligibles = [_prefix_count(sizes, k) for k in todo]
+                absorb(0, _percolate_orders_packed(todo, eligibles, reduced))
             elif self.workers == 1:
                 if self.kernel == "blocks":
                     from .blocks import percolate_orders_blocks as sweep
@@ -811,7 +856,12 @@ class LightweightParallelCPM:
                 cliques = enum_ck["cliques"]
                 self._mark_resumed("enumerate")
             else:
-                cliques = self._enumerate_phase()
+                if self.shards > 1:
+                    from ..shard.pipeline import sharded_enumerate_set
+
+                    cliques = sharded_enumerate_set(self, ckpt)
+                else:
+                    cliques = self._enumerate_phase()
                 if ckpt is not None:
                     ckpt.store_phase("enumerate", {"cliques": cliques})
         self._boundary("enumerate")
@@ -827,13 +877,39 @@ class LightweightParallelCPM:
             raise ValueError(f"graph has no clique of size >= {min_k}; nothing to extract")
 
         sizes = [len(c) for c in cliques]
+        overlaps: dict | None = None
+        wire: OverlapWire | None = None
+        n_counted = 0
         if payload is not None:
             overlaps = payload["overlaps"]
         else:
             over_ck = self._load_checkpoint_phase(ckpt, "overlap")
-            if over_ck is not None:
+            if over_ck is not None and "overlaps" in over_ck:
                 overlaps = over_ck["overlaps"]
                 self._mark_resumed("overlap")
+            elif (
+                over_ck is not None
+                and "wire" in over_ck
+                and over_ck.get("wire_checksum") == over_ck["wire"].checksum()
+            ):
+                # A sharded set run checkpointed its overlap phase in
+                # wire form; resume it the same way.
+                wire = over_ck["wire"]
+                n_counted = over_ck["counted_pairs"]
+                self._mark_resumed("overlap")
+            elif self.shards > 1:
+                from ..shard.pipeline import sharded_overlap_set
+
+                wire, n_counted = sharded_overlap_set(self, cliques, sizes, ckpt)
+                if ckpt is not None:
+                    ckpt.store_phase(
+                        "overlap",
+                        {
+                            "wire": wire,
+                            "counted_pairs": n_counted,
+                            "wire_checksum": wire.checksum(),
+                        },
+                    )
             else:
                 overlaps = self._overlap_phase(cliques)
                 self._cache_store(checksum, {"cliques": cliques, "overlaps": overlaps})
@@ -842,9 +918,16 @@ class LightweightParallelCPM:
         self._boundary("overlap")
         t2 = time.perf_counter()
         self.stats.overlap_seconds = t2 - t1
-        self.stats.n_overlap_pairs = len(overlaps)
+        self.stats.n_overlap_pairs = n_counted if overlaps is None else len(overlaps)
 
-        hierarchy = self._percolation_phase(cliques, sizes, overlaps, min_k, top, ckpt)
+        if overlaps is None:
+            # Sharded set runs percolate over the packed wire (the same
+            # Baudin-truncated representation the dense kernels use).
+            hierarchy = self._percolation_phase_packed(
+                cliques, sizes, wire, min_k, top, ckpt
+            )
+        else:
+            hierarchy = self._percolation_phase(cliques, sizes, overlaps, min_k, top, ckpt)
         self.stats.percolate_seconds = time.perf_counter() - t2
         return hierarchy
 

@@ -648,7 +648,16 @@ class CPMSession:
             chains=chains.tobytes(),
         )
         eligibles = [ids[: _prefix_ge(sizes, k)] for k in orders]
-        groups_by_order, _merges, _applied = sweep_wire(orders, eligibles, wire)
+        if self.kernel == "blocks":
+            # The vectorised sweep twin: identical descending-bucket
+            # contract and group ordering (parity-fuzzed against
+            # sweep_wire in tests/test_incremental.py), min-label
+            # propagation instead of union-find.
+            from ..core.blocks import percolate_orders_blocks
+
+            groups_by_order, _stats = percolate_orders_blocks(orders, eligibles, wire)
+        else:
+            groups_by_order, _merges, _applied = sweep_wire(orders, eligibles, wire)
         for k, groups in groups_by_order.items():
             self._groups[k] = [sorted(group) for group in groups]
 

@@ -202,6 +202,18 @@ def diff_manifests(base: dict, fresh: dict, *, names: tuple[str, str] = ("a", "b
                 f"{names[1]}={right!r}); timing deltas measure the kernel "
                 "swap, not a regression"
             )
+        elif key == "shards":
+            # Like the kernel, shards is recorded resolved (auto already
+            # collapsed to a count): a mismatch means one run used the
+            # sharded pipeline and the other did not (or used a different
+            # partition width) — phase timings then measure the fan-out,
+            # not a regression.
+            lines.append(
+                f"WARNING: shards mismatch ({names[0]}={left!r}, "
+                f"{names[1]}={right!r}); the runs partitioned the pipeline "
+                "differently and phase deltas measure the sharding, not a "
+                "regression"
+            )
         else:
             lines.append(
                 f"WARNING: settings mismatch on {key!r} ({names[0]}={left!r}, "

@@ -42,6 +42,7 @@ class PaperRun:
         *,
         workers: int = 1,
         kernel: str = "bitset",
+        shards: int | str = 1,
         analysis_engine: str = "bitset",
         cache=None,
         checkpoint=None,
@@ -56,6 +57,7 @@ class PaperRun:
             dataset,
             workers=workers,
             kernel=kernel,
+            shards=shards,
             cache=cache,
             checkpoint=checkpoint,
             resume=resume,

@@ -49,12 +49,24 @@ __all__ = [
 #: then fail resume loudly instead of deserialising garbage.
 CHECKPOINT_SCHEMA_VERSION = 1
 
-#: The checkpointable phases, in pipeline order.  ``session`` is not a
-#: pipeline phase: it is the single-payload slot an incremental
-#: :class:`~repro.incremental.CPMSession` persists itself into (the
-#: session state subsumes the three batch phases, so they are never
-#: mixed in one directory — ``open`` clears the others).
-PHASES = ("enumerate", "overlap", "percolate", "session")
+#: The checkpointable phases, in pipeline order.  The ``shard_*``
+#: phases hold the sharded pipeline's per-task partials (completed
+#: shards of a fan-out still in flight); the unprefixed phase stores
+#: the assembled result once the fan-out finishes, so serial and
+#: sharded runs can resume each other's completed phases.  ``session``
+#: is not a pipeline phase: it is the single-payload slot an
+#: incremental :class:`~repro.incremental.CPMSession` persists itself
+#: into (the session state subsumes the batch phases, so they are
+#: never mixed in one directory — ``open`` clears the others).
+PHASES = (
+    "shard_enumerate",
+    "enumerate",
+    "shard_overlap",
+    "overlap",
+    "shard_percolate",
+    "percolate",
+    "session",
+)
 
 
 class CheckpointError(ValueError):

@@ -1,0 +1,16 @@
+"""Sharded CPM pipeline: degeneracy-partitioned enumeration, i-shard
+bucketed overlap counting and boundary-stitched percolation.
+
+``repro.shard`` scales :class:`~repro.core.lightweight
+.LightweightParallelCPM` past single-process task parallelism: the
+``shards`` knob (``run_cpm(..., shards=4)`` / ``--shards auto``)
+partitions every phase's *data* across workers while keeping outputs
+byte-identical to the serial path.  See :mod:`.plan` for the
+partitioning scheme, :mod:`.workers` for the worker-side memory model
+and :mod:`.pipeline` for the stitching arguments; docs/performance.md
+covers when sharding wins (and when it loses at small scale).
+"""
+
+from .plan import ShardPlan, plan_shards, resolve_shards
+
+__all__ = ["ShardPlan", "plan_shards", "resolve_shards"]

@@ -488,3 +488,86 @@ class TestQueryBuildGuard:
         bogus.write_bytes(b"not an artifact")
         assert main(["query", "build", ds_a, str(bogus)]) == 2
         assert "not a readable query artifact" in capsys.readouterr().err
+
+
+class TestBlocksSweepParity:
+    """percolate_orders_blocks is a drop-in twin of sweep_wire.
+
+    The session's blocks path re-sweeps its persistent wire with the
+    vectorised kernel instead of the union-find; this fuzz feeds both
+    sweeps identical random wires — prefix *and* explicit-id eligible
+    forms, arbitrary member orderings — and requires exactly equal
+    group lists at every order (sizes, members, ordering, tie-breaks).
+    """
+
+    @staticmethod
+    def _random_wire(rng, n_cliques, shift=12):
+        from array import array
+
+        from repro.core.overlap import OverlapWire
+
+        max_k = rng.randint(3, 9)
+        buckets = {}
+        n_pairs = 0
+        for k_act in range(2, max_k + 1):
+            if rng.random() < 0.3:
+                continue
+            arr = array("q")
+            for _ in range(rng.randint(0, 12)):
+                a, b = rng.sample(range(n_cliques), 2)
+                arr.append((max(a, b) << shift) | min(a, b))
+            if arr:
+                buckets[k_act] = arr.tobytes()
+                n_pairs += len(arr)
+        chains = array("q")
+        ids = sorted(rng.sample(range(n_cliques), rng.randint(0, n_cliques)))
+        for prev, cur in zip(ids, ids[1:]):
+            if rng.random() < 0.5:
+                chains.append((prev << shift) | cur)
+        wire = OverlapWire(
+            n_cliques=n_cliques,
+            shift=shift,
+            n_pairs=n_pairs,
+            n_chain_pairs=len(chains),
+            buckets=buckets,
+            chains=chains.tobytes(),
+        )
+        return wire, max_k
+
+    @pytest.mark.skipif(not HAVE_NUMPY, reason="blocks kernel needs numpy")
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_wires_explicit_ids(self, seed):
+        from repro.core.blocks import percolate_orders_blocks
+        from repro.core.percolation import sweep_wire
+
+        rng = random.Random(4200 + seed)
+        n_cliques = rng.randint(4, 40)
+        wire, max_k = self._random_wire(rng, n_cliques)
+        orders = sorted(rng.sample(range(2, max_k + 2), rng.randint(1, max_k)),
+                        reverse=True)
+        # Explicit ids in arbitrary (shuffled) order: the session's
+        # stable ids are not size-sorted, and groups_of's tie-breaks
+        # depend on first appearance — the twin must replicate both.
+        eligibles = []
+        for _ in orders:
+            ids = rng.sample(range(n_cliques), rng.randint(0, n_cliques))
+            eligibles.append(ids)
+        expected, _merges, _applied = sweep_wire(orders, eligibles, wire)
+        actual, _stats = percolate_orders_blocks(orders, eligibles, wire)
+        assert actual == expected
+
+    @pytest.mark.skipif(not HAVE_NUMPY, reason="blocks kernel needs numpy")
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_wires_prefix_counts(self, seed):
+        from repro.core.blocks import percolate_orders_blocks
+        from repro.core.percolation import sweep_wire
+
+        rng = random.Random(8600 + seed)
+        n_cliques = rng.randint(4, 40)
+        wire, max_k = self._random_wire(rng, n_cliques)
+        orders = sorted(rng.sample(range(2, max_k + 2), rng.randint(1, max_k)),
+                        reverse=True)
+        eligibles = [rng.randint(0, n_cliques) for _ in orders]
+        expected, _merges, _applied = sweep_wire(orders, eligibles, wire)
+        actual, _stats = percolate_orders_blocks(orders, eligibles, wire)
+        assert actual == expected

@@ -185,7 +185,15 @@ class TestCheckpointStore:
     def test_unknown_phase_rejected(self, tmp_path):
         with pytest.raises(ValueError, match="unknown checkpoint phase"):
             CheckpointStore(tmp_path).phase_path("bogus")
-        assert set(PHASES) == {"enumerate", "overlap", "percolate", "session"}
+        assert set(PHASES) == {
+            "shard_enumerate",
+            "enumerate",
+            "shard_overlap",
+            "overlap",
+            "shard_percolate",
+            "percolate",
+            "session",
+        }
 
 
 def _square(x: int) -> int:

@@ -1,0 +1,275 @@
+"""Sharded pipeline: planning, shard-count invariance, resilience.
+
+The contract of :mod:`repro.shard` is *byte-identity*: for every
+kernel, running with any shard count — serial dispatch or a worker
+pool, interrupted and resumed mid-shard, or degraded by worker kills —
+must produce the same hierarchy document, the same community tree and
+the same packed query artifact as the single-process pipeline.  These
+tests pin that contract on a ring-of-cliques oracle small enough to
+sweep every combination.
+"""
+
+import json
+import pickle
+
+import pytest
+
+from repro.api import build_query_artifact, run_cpm
+from repro.core._blocks_compat import HAVE_NUMPY
+from repro.core.lightweight import KERNELS, LightweightParallelCPM
+from repro.core.serialize import hierarchy_to_dict
+from repro.core.tree import CommunityTree
+from repro.graph import ring_of_cliques
+from repro.obs.inspect import diff_manifests
+from repro.runner import CheckpointStore, FaultPlan
+from repro.shard import ShardPlan, plan_shards, resolve_shards
+
+#: Every kernel, with 'blocks' skipped on numpy-less installs.
+KERNEL_PARAMS = [
+    pytest.param(
+        kernel,
+        marks=pytest.mark.skipif(
+            kernel == "blocks" and not HAVE_NUMPY, reason="blocks kernel needs numpy"
+        ),
+    )
+    for kernel in KERNELS
+]
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return ring_of_cliques(6, 6)
+
+
+@pytest.fixture(scope="module")
+def baselines(graph):
+    """Serial (shards=1, workers=1) documents, one per available kernel."""
+    return {
+        kernel: hierarchy_to_dict(LightweightParallelCPM(graph, kernel=kernel).run())
+        for kernel in KERNELS
+        if kernel != "blocks" or HAVE_NUMPY
+    }
+
+
+class TestResolveShards:
+    def test_auto_matches_workers(self):
+        assert resolve_shards("auto", 4) == 4
+        assert resolve_shards("auto", 1) == 1
+        assert resolve_shards("AUTO", 0) == 1
+
+    def test_integer_strings_parse(self):
+        assert resolve_shards("3", 8) == 3
+        assert resolve_shards(" 2 ", 1) == 2
+
+    def test_integers_pass_through(self):
+        assert resolve_shards(5, 1) == 5
+
+    @pytest.mark.parametrize("bad", [0, -1, "0", "none", "1.5"])
+    def test_invalid_requests_raise(self, bad):
+        with pytest.raises(ValueError):
+            resolve_shards(bad, 4)
+
+
+class TestPlanShards:
+    def test_every_vertex_owned_exactly_once(self):
+        degrees = [5, 0, 3, 3, 1, 8, 2, 0, 4, 1]
+        plan = plan_shards(degrees, 3)
+        owned = [v for shard in plan.owners for v in shard]
+        assert sorted(owned) == list(range(len(degrees)))
+        assert plan.n_shards == 3
+        assert plan.n_vertices == len(degrees)
+
+    def test_owners_ascend_within_each_shard(self):
+        plan = plan_shards([3, 1, 4, 1, 5, 9, 2, 6], 2)
+        for shard in plan.owners:
+            assert list(shard) == sorted(shard)
+
+    def test_lpt_balances_uniform_costs(self):
+        # 12 equal-cost vertices over 4 shards: a level plan exists and
+        # LPT must find it.
+        plan = plan_shards([2] * 12, 4)
+        assert plan.imbalance() == 1.0
+        assert {len(shard) for shard in plan.owners} == {3}
+
+    def test_costs_are_superlinear_in_forward_degree(self):
+        # One heavyweight vertex must not drag its shard's cheap
+        # vertices along: LPT places it alone when the rest balance.
+        plan = plan_shards([10, 1, 1, 1, 1], 2)
+        heavy_shard = next(s for s in plan.owners if 0 in s)
+        assert heavy_shard == (0,)
+
+    def test_more_shards_than_vertices_clamps(self):
+        plan = plan_shards([1, 1], 8)
+        assert plan.n_shards == 2
+
+    def test_empty_graph_plans_one_empty_shard(self):
+        plan = plan_shards([], 4)
+        assert plan.n_shards == 1
+        assert plan.owners == ((),)
+        assert plan.imbalance() == 1.0
+
+    def test_imbalance_reports_max_over_mean(self):
+        plan = ShardPlan(n_shards=2, owners=((0,), (1,)), costs=(3, 1))
+        assert plan.imbalance() == pytest.approx(1.5)
+
+
+@pytest.mark.parametrize("kernel", KERNEL_PARAMS)
+@pytest.mark.parametrize("shards", [1, 2, 4, "auto"])
+class TestShardCountInvariance:
+    def test_hierarchy_is_byte_identical(self, graph, baselines, kernel, shards):
+        cpm = LightweightParallelCPM(graph, kernel=kernel, shards=shards)
+        assert hierarchy_to_dict(cpm.run()) == baselines[kernel]
+
+    def test_pool_execution_is_byte_identical(self, graph, baselines, kernel, shards):
+        cpm = LightweightParallelCPM(graph, kernel=kernel, workers=2, shards=shards)
+        assert hierarchy_to_dict(cpm.run()) == baselines[kernel]
+        assert not cpm.stats.degraded
+
+
+@pytest.mark.parametrize("kernel", KERNEL_PARAMS)
+class TestDownstreamArtifacts:
+    """Tree and query artifact built from a sharded run match serial."""
+
+    def test_tree_and_artifact_bytes_match(self, graph, kernel):
+        serial = run_cpm(graph, kernel=kernel)
+        sharded = run_cpm(graph, kernel=kernel, shards=4)
+        assert CommunityTree(serial.hierarchy).to_dot() == (
+            CommunityTree(sharded.hierarchy).to_dot()
+        )
+        a = build_query_artifact(serial, graph)
+        b = build_query_artifact(sharded, graph)
+        try:
+            assert a.to_bytes() == b.to_bytes()
+        finally:
+            a.close()
+            b.close()
+
+
+class TestShardResume:
+    def _sharded(self, graph, store, *, resume=False, shards=4):
+        return LightweightParallelCPM(
+            graph, kernel="bitset", shards=shards, checkpoint=store, resume=resume
+        )
+
+    def test_mid_shard_checkpoint_resumes_byte_identical(
+        self, graph, baselines, tmp_path
+    ):
+        """A shard_enumerate checkpoint holding only *some* shards'
+        results is completed, not recomputed from scratch."""
+        store = CheckpointStore(tmp_path / "ckpt")
+        self._sharded(graph, store).run()
+        partial = pickle.loads(store.phase_path("shard_enumerate").read_bytes())
+        assert partial["signature"] == 4 and len(partial["done"]) == 4
+        partial["done"] = dict(sorted(partial["done"].items())[:2])
+        store.store_phase("shard_enumerate", partial)
+        for phase in ("enumerate", "shard_overlap", "overlap", "shard_percolate", "percolate"):
+            store.phase_path(phase).unlink(missing_ok=True)
+
+        resumed = self._sharded(graph, store, resume=True)
+        assert hierarchy_to_dict(resumed.run()) == baselines["bitset"]
+        assert "shard_enumerate" in resumed.stats.resumed_phases
+
+    def test_signature_mismatch_discards_partials(self, graph, baselines, tmp_path):
+        """Resuming under a different shard count must not trust the
+        old partition's partial results."""
+        store = CheckpointStore(tmp_path / "ckpt")
+        self._sharded(graph, store).run()
+        for phase in ("enumerate", "shard_overlap", "overlap", "shard_percolate", "percolate"):
+            store.phase_path(phase).unlink(missing_ok=True)
+        resumed = self._sharded(graph, store, resume=True, shards=2)
+        assert hierarchy_to_dict(resumed.run()) == baselines["bitset"]
+        assert "shard_enumerate" not in resumed.stats.resumed_phases
+
+    def test_serial_and_sharded_share_assembled_checkpoints(
+        self, graph, baselines, tmp_path
+    ):
+        """Assembled phases are stored unprefixed, so a serial run can
+        resume from a sharded run's checkpoint and vice versa."""
+        store = CheckpointStore(tmp_path / "ckpt")
+        self._sharded(graph, store).run()
+        resumed = LightweightParallelCPM(
+            graph, kernel="bitset", checkpoint=store, resume=True
+        )
+        assert hierarchy_to_dict(resumed.run()) == baselines["bitset"]
+        assert "enumerate" in resumed.stats.resumed_phases
+
+
+class TestShardFaults:
+    def test_worker_kill_retries_byte_identical(self, graph, baselines):
+        """Killing shard 0's worker once heals under retry."""
+        plan = FaultPlan.parse("enumerate:shard=0:kill:times=1")
+        cpm = LightweightParallelCPM(
+            graph, kernel="bitset", workers=2, shards=4, fault_plan=plan
+        )
+        assert hierarchy_to_dict(cpm.run()) == baselines["bitset"]
+        assert not cpm.stats.degraded
+
+    def test_permanent_kill_degrades_byte_identical(self, graph, baselines):
+        """A permanently killed shard falls back to in-driver execution
+        — degraded, but the output does not change."""
+        plan = FaultPlan.parse("enumerate:shard=1:kill")
+        cpm = LightweightParallelCPM(
+            graph, kernel="bitset", workers=2, shards=4, fault_plan=plan
+        )
+        assert hierarchy_to_dict(cpm.run()) == baselines["bitset"]
+        assert cpm.stats.degraded
+
+
+class TestObsDiffShards:
+    def test_shards_mismatch_warns_explicitly(self):
+        base = {"settings": {"shards": 1}, "metrics": {"counters": {}}}
+        fresh = {"settings": {"shards": 4}, "metrics": {"counters": {}}}
+        out = diff_manifests(base, fresh)
+        assert "shards mismatch" in out
+        assert "not a regression" in out
+
+    def test_matching_shards_do_not_warn(self):
+        base = {"settings": {"shards": 4}, "metrics": {"counters": {}}}
+        fresh = {"settings": {"shards": 4}, "metrics": {"counters": {}}}
+        assert "shards mismatch" not in diff_manifests(base, fresh)
+
+
+class TestCLISettings:
+    @pytest.fixture(scope="class")
+    def saved_dataset(self, tmp_path_factory, tiny_dataset):
+        path = tmp_path_factory.mktemp("data") / "bundle"
+        tiny_dataset.save(path)
+        return str(path)
+
+    def test_manifest_records_resolved_shards(self, saved_dataset, tmp_path, capsys):
+        from repro.cli import main
+
+        manifest_path = tmp_path / "manifest.json"
+        code = main(
+            [
+                "communities",
+                saved_dataset,
+                "--shards",
+                "2",
+                "--metrics",
+                str(manifest_path),
+            ]
+        )
+        assert code == 0
+        settings = json.loads(manifest_path.read_text())["settings"]
+        assert settings["shards"] == 2
+
+    def test_auto_shards_resolve_to_worker_count(self, saved_dataset, tmp_path, capsys):
+        from repro.cli import main
+
+        manifest_path = tmp_path / "manifest.json"
+        code = main(
+            [
+                "communities",
+                saved_dataset,
+                "--shards",
+                "auto",
+                "--workers",
+                "2",
+                "--metrics",
+                str(manifest_path),
+            ]
+        )
+        assert code == 0
+        settings = json.loads(manifest_path.read_text())["settings"]
+        assert settings["shards"] == 2
