@@ -3,8 +3,11 @@
 CI's query-smoke job starts ``repro query serve`` in the background and
 runs this client against it: stdlib urllib only, one GET per endpoint
 (plus the error paths), asserting each response is well-formed JSON with
-the documented shape and non-empty content.  Exit code 0 means every
-endpoint answered correctly.
+the documented shape and non-empty content.  It then hammers the server
+from concurrent threads and scrapes ``/metrics``, asserting the
+Prometheus text carries exact per-endpoint request counts and a sane
+p99 — the live-telemetry plane verified over real HTTP, not in-process.
+Exit code 0 means every endpoint answered correctly.
 
 Usage: python query_smoke_client.py http://127.0.0.1:8091
 """
@@ -13,11 +16,17 @@ from __future__ import annotations
 
 import json
 import sys
+import threading
 import time
 import urllib.error
 import urllib.request
 
 TIMEOUT = 10.0
+
+#: Concurrent-load shape: threads x requests each (health + band + an
+#: expected-404 membership per round, so error counters are exercised).
+N_CLIENTS = 8
+PER_CLIENT = 20
 
 
 def get(base: str, path: str):
@@ -45,6 +54,61 @@ def wait_ready(base: str, attempts: int = 100, delay: float = 0.2) -> dict:
 def require(condition: bool, message: str) -> None:
     if not condition:
         raise SystemExit(f"query-smoke FAILED: {message}")
+
+
+def scrape(base: str) -> dict[str, float]:
+    """Parse ``/metrics`` Prometheus text into ``{series: value}``.
+
+    Keys keep their label block verbatim, e.g.
+    ``repro_query_request_seconds_count{endpoint="band"}``.
+    """
+    with urllib.request.urlopen(base + "/metrics", timeout=TIMEOUT) as response:
+        content_type = response.headers.get("Content-Type", "")
+        text = response.read().decode("utf-8")
+    require(
+        content_type.startswith("text/plain") and "version=0.0.4" in content_type,
+        f"/metrics content type not Prometheus text: {content_type!r}",
+    )
+    samples: dict[str, float] = {}
+    for line in text.splitlines():
+        if not line or line.startswith("#"):
+            continue
+        series, _, value = line.rpartition(" ")
+        samples[series] = float(value)
+    require(bool(samples), "/metrics exposition is empty")
+    return samples
+
+
+def concurrent_load(base: str, known_as: int) -> None:
+    """Hammer the server from ``N_CLIENTS`` threads, recording failures.
+
+    Each round issues a /health, a /band for a real AS, and a
+    /membership for a nonexistent one (an *expected* 404), so both the
+    request and error counters move under concurrency.
+    """
+    failures: list[tuple] = []
+
+    def hammer() -> None:
+        for _ in range(PER_CLIENT):
+            try:
+                status, _body = get(base, "/health")
+                if status != 200:
+                    failures.append(("health", status))
+                status, _body = get(base, f"/band?as={known_as}")
+                if status != 200:
+                    failures.append(("band", status))
+                status, _body = get(base, "/membership?as=999999999")
+                if status != 404:
+                    failures.append(("membership-miss", status))
+            except Exception as exc:  # noqa: BLE001 - smoke harness
+                failures.append(("exception", repr(exc)))
+
+    threads = [threading.Thread(target=hammer) for _ in range(N_CLIENTS)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    require(not failures, f"concurrent load failures: {failures[:5]}")
 
 
 def main(base: str) -> int:
@@ -123,6 +187,41 @@ def main(base: str) -> int:
     status, body = get(base, "/no-such-endpoint")
     require(status == 404 and "error" in body, f"unknown path: {status} {body}")
     print("error paths ok: 404 unknown AS, 400 missing param, 404 unknown endpoint")
+
+    # Live-telemetry plane: scrape, hammer concurrently, scrape again.
+    # The counter/histogram deltas must account for every request the
+    # threads issued — a lost update under concurrency shows up as an
+    # exact-count mismatch here, over real HTTP.
+    before = scrape(base)
+    start = time.perf_counter()
+    concurrent_load(base, a)
+    elapsed = time.perf_counter() - start
+    after = scrape(base)
+    total = N_CLIENTS * PER_CLIENT
+    for endpoint in ("health", "band", "membership"):
+        key = f'repro_query_request_seconds_count{{endpoint="{endpoint}"}}'
+        delta = after.get(key, 0.0) - before.get(key, 0.0)
+        require(
+            delta == total,
+            f"lost updates: {key} moved {delta:g}, expected {total}",
+        )
+    err_delta = after.get("repro_query_errors_total", 0.0) - before.get(
+        "repro_query_errors_total", 0.0
+    )
+    require(err_delta == total, f"error counter moved {err_delta:g}, expected {total}")
+    p50 = after[f'repro_query_request_seconds{{endpoint="band",quantile="0.5"}}']
+    p99 = after[f'repro_query_request_seconds{{endpoint="band",quantile="0.99"}}']
+    require(0.0 < p50 <= p99, f"/band quantiles not ordered: p50={p50} p99={p99}")
+    require(p99 < 5.0, f"/band p99 {p99:.3f}s is not sane for a point lookup")
+    require(
+        after.get("repro_process_rss_kib", 0.0) > 0.0,
+        "/metrics missing process RSS gauge",
+    )
+    print(
+        f"concurrent load ok: {N_CLIENTS} threads x {PER_CLIENT} rounds "
+        f"({3 * total} requests in {elapsed:.2f}s), exact counts on /metrics, "
+        f"band p50={p50 * 1e3:.2f}ms p99={p99 * 1e3:.2f}ms"
+    )
 
     print("query-smoke client: all endpoints ok")
     return 0

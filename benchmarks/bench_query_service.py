@@ -15,20 +15,45 @@ floor (0.05 s) so the latency trajectory is actually enforced; the
 per-call ``query_lookup_us_*`` microsecond figures and the build/load
 costs ride along ungated.  The build's ``query.build`` span lands in
 the manifest via ``bench_tracer``/``bench_metrics``.
+
+``test_query_service_concurrent`` drives the *served* path: a live
+:class:`~repro.query.server.QueryServer` hammered over HTTP by
+keep-alive client threads, once in the legacy global-lock mode
+(``serialize_requests=True``) and once concurrently.  It records
+``query_throughput_rps`` (gated, higher-is-better: multi-threaded
+serving must not silently lose throughput) and the per-endpoint
+``query_p99_seconds_*`` tail latencies straight from the server's
+log-bucketed histograms.  The concurrent-vs-serialized speedup floor
+only *fails* under ``REPRO_BENCH_REQUIRE_SPEEDUP=1`` (set by CI, which
+has multiple vCPUs) — a single-core dev box cannot overlap requests
+and would fail the floor for hardware reasons, exactly like the shard
+bench's treatment.
 """
 
 from __future__ import annotations
 
+import http.client
+import os
+import threading
 import time
 
-from repro.api import load_query_artifact
+from repro.api import load_query_artifact, make_query_server
 from repro.obs.manifest import graph_fingerprint
+from repro.obs.metrics import MetricsRegistry
 from repro.query import LookupEngine, build_artifact
 from repro.report.figures import ascii_table
 
 #: Loop counts per lookup family, sized so each loop total clears the
 #: regression gate's 0.05 s floor by a wide margin on CI hardware.
 _LOOPS = {"membership": 50_000, "band": 40_000, "lca": 20_000, "top": 10_000}
+
+#: Concurrent-load shape: client threads x keep-alive requests each.
+_CLIENTS = 8
+_REQUESTS_PER_CLIENT = 300
+
+#: Required concurrent/serialized throughput ratio when the floor is
+#: armed (REPRO_BENCH_REQUIRE_SPEEDUP=1; CI runs with >= 4 vCPUs).
+_SPEEDUP_FLOOR = 1.05
 
 
 def test_query_service_lookups(
@@ -106,5 +131,119 @@ def test_query_service_lookups(
         ),
     )
     emit("query_service_lookups", table)
+
+    artifact.close()
+
+
+def _serve_and_hammer(artifact, nodes, *, serialize: bool) -> tuple[float, dict]:
+    """Serve ``artifact`` and hammer it; returns (wall, metrics dict).
+
+    ``_CLIENTS`` threads each issue ``_REQUESTS_PER_CLIENT`` requests
+    over one keep-alive :class:`http.client.HTTPConnection`, cycling
+    membership/band/top paths the way served traffic would.  Every
+    response is checked to be 200.
+    """
+    metrics = MetricsRegistry()
+    server = make_query_server(artifact, metrics=metrics, serialize_requests=serialize)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    n = len(nodes)
+    bad: list[int] = []
+
+    def client(t: int) -> None:
+        conn = http.client.HTTPConnection(host, port, timeout=30)
+        try:
+            for i in range(_REQUESTS_PER_CLIENT):
+                node = nodes[(t * _REQUESTS_PER_CLIENT + i) % n]
+                path = (
+                    f"/membership?as={node}",
+                    f"/band?as={node}",
+                    "/top?metric=density&n=5",
+                )[i % 3]
+                conn.request("GET", path)
+                response = conn.getresponse()
+                response.read()
+                if response.status != 200:
+                    bad.append(response.status)
+        finally:
+            conn.close()
+
+    threads = [threading.Thread(target=client, args=(t,)) for t in range(_CLIENTS)]
+    start = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    wall = time.perf_counter() - start
+    server.shutdown()
+    server.server_close()
+    thread.join(timeout=10)
+    assert not bad, f"non-200 responses under load: {bad[:5]}"
+    data = metrics.to_dict()
+    total = _CLIENTS * _REQUESTS_PER_CLIENT
+    assert data["counters"]["query.requests"] == total, "lost counter updates"
+    return wall, data
+
+
+def test_query_service_concurrent(context, emit, bench_record, tmp_path):
+    built = build_artifact(
+        context.hierarchy, tree=context.tree, graph=context.graph, csr=context.csr
+    )
+    path = tmp_path / "bench-live.rqart"
+    built.save(path)
+    artifact = load_query_artifact(path)
+    nodes = artifact.nodes
+    total = _CLIENTS * _REQUESTS_PER_CLIENT
+
+    serial_wall, _serial_data = _serve_and_hammer(artifact, nodes, serialize=True)
+    concurrent_wall, data = _serve_and_hammer(artifact, nodes, serialize=False)
+
+    serial_rps = total / serial_wall
+    concurrent_rps = total / concurrent_wall
+    speedup = concurrent_rps / serial_rps
+    bench_record["query_concurrent_requests"] = total
+    bench_record["query_concurrent_clients"] = _CLIENTS
+    bench_record["query_throughput_rps"] = round(concurrent_rps, 1)
+    bench_record["query_throughput_serial_rps"] = round(serial_rps, 1)
+    bench_record["query_concurrent_speedup"] = round(speedup, 3)
+
+    rows = []
+    histograms = data["histograms"]
+    for endpoint in ("membership", "band", "top"):
+        summary = histograms[f'query.request_seconds{{endpoint="{endpoint}"}}']
+        bench_record[f"query_p99_seconds_{endpoint}"] = round(summary["p99"], 6)
+        bench_record[f"query_p50_seconds_{endpoint}"] = round(summary["p50"], 6)
+        rows.append(
+            [
+                endpoint,
+                summary["count"],
+                round(summary["p50"] * 1e6, 1),
+                round(summary["p99"] * 1e6, 1),
+                round(summary["max"] * 1e6, 1),
+            ]
+        )
+        # Sanity on the live histograms: exact counts survived the
+        # concurrent writers, and the tail dominates the median.
+        assert summary["count"] == total // 3
+        assert summary["p99"] >= summary["p50"] > 0.0
+
+    table = ascii_table(
+        ["endpoint", "requests", "p50 (us)", "p99 (us)", "max (us)"],
+        rows,
+        title=(
+            f"served lookups under concurrent load "
+            f"({_CLIENTS} clients x {_REQUESTS_PER_CLIENT} reqs: "
+            f"serialized {serial_rps:,.0f} rps -> concurrent {concurrent_rps:,.0f} rps, "
+            f"{speedup:.2f}x)"
+        ),
+    )
+    emit("query_service_concurrent", table)
+
+    if os.environ.get("REPRO_BENCH_REQUIRE_SPEEDUP"):
+        assert speedup >= _SPEEDUP_FLOOR, (
+            f"concurrent serving {speedup:.2f}x vs serialized; "
+            f"expected >= {_SPEEDUP_FLOOR}x with the global lock removed"
+        )
 
     artifact.close()

@@ -69,7 +69,13 @@ def committed_manifests(ref: str) -> dict[str, dict]:
 #: pipeline's sweep (``bench_cpm_sharded.py``); ``incr_apply_seconds_*``
 #: gates the incremental session's edge-delta apply path as aggregate
 #: scalars (``bench_incremental.py`` — individual ``incr.*`` spans are
-#: per-batch and too small/noisy to gate one-by-one).
+#: per-batch and too small/noisy to gate one-by-one);
+#: ``query_throughput_rps`` (higher-is-better) and
+#: ``query_p99_seconds_*`` gate the live server's concurrent serving
+#: path (``bench_query_service.py``'s HTTP load section) — removing
+#: the global request lock must not silently give the throughput back,
+#: and per-endpoint tail latency rides in the same table (sub-ms p99s
+#: fall under the tiny-baseline skip but stay visible per run).
 SPAN_PREFIXES = ("cpm.", "analysis.", "query.")
 SCALAR_PREFIXES = (
     "cpm_seconds",
@@ -82,14 +88,17 @@ SCALAR_PREFIXES = (
     "cpm_shard_speedup",
     "analysis_seconds",
     "query_lookup_seconds",
+    "query_throughput_rps",
+    "query_p99_seconds",
     "incr_apply_seconds",
 )
 
 #: Scalars where *bigger* is better (ratios like sharded-vs-serial
-#: speedup): the gate inverts for these — a regression is the fresh
-#: value dropping below baseline / tolerance — and the tiny-baseline
-#: skip does not apply (a ratio's magnitude is not scheduler noise).
-HIGHER_IS_BETTER_PREFIXES = ("cpm_shard_speedup",)
+#: speedup, served requests/second): the gate inverts for these — a
+#: regression is the fresh value dropping below baseline / tolerance —
+#: and the tiny-baseline skip does not apply (a ratio's magnitude is
+#: not scheduler noise).
+HIGHER_IS_BETTER_PREFIXES = ("cpm_shard_speedup", "query_throughput_rps")
 
 
 def cpm_measurements(manifest: dict) -> dict[str, float]:

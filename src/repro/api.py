@@ -60,6 +60,7 @@ __all__ = [
     "load_result",
     "build_query_artifact",
     "load_query_artifact",
+    "make_query_server",
     "RESULT_SCHEMA_VERSION",
 ]
 
@@ -372,6 +373,40 @@ def load_query_artifact(path: str | PathLike, *, mmap: bool = True):
     from .query.artifact import QueryArtifact
 
     return QueryArtifact.load(path, mmap=mmap)
+
+
+def make_query_server(
+    artifact,
+    *,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    tracer: Tracer | None = None,
+    metrics: MetricsRegistry | None = None,
+    monitor=None,
+    serialize_requests: bool = False,
+):
+    """Bind a threaded JSON lookup server over a query artifact.
+
+    Facade over :func:`repro.query.server.make_server`: ``artifact``
+    is a loaded :class:`~repro.query.artifact.QueryArtifact` or an
+    existing :class:`~repro.query.engine.LookupEngine`.  Requests run
+    concurrently (no global lock) with per-endpoint latency histograms
+    and a Prometheus ``/metrics`` endpoint; ``monitor`` attaches a
+    running :class:`~repro.obs.resources.ResourceMonitor` whose
+    samples surface as process gauges on scrapes.  The caller drives
+    ``serve_forever()`` / ``shutdown()``.
+    """
+    from .query.server import make_server
+
+    return make_server(
+        artifact,
+        host=host,
+        port=port,
+        tracer=tracer,
+        metrics=metrics,
+        monitor=monitor,
+        serialize_requests=serialize_requests,
+    )
 
 
 def load_result(path: str | PathLike) -> CPMResult:

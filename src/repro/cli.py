@@ -36,9 +36,14 @@ lookups as JSON endpoints from a long-lived stdlib HTTP server.
 The ``obs`` family inspects the artifacts after the fact:
 ``obs view`` renders a trace as an ASCII span tree, ``obs diff``
 prints signed scalar deltas between two manifests, ``obs export
---format perfetto`` converts a trace for ``ui.perfetto.dev``, and
-``obs history`` charts committed ``BENCH_*.json`` scalars across git
-history.
+--format perfetto`` converts a trace for ``ui.perfetto.dev``
+(``--format prometheus`` renders a manifest's metrics block as
+Prometheus text), ``obs history`` charts committed ``BENCH_*.json``
+scalars across git history, and ``obs tail URL`` polls a running
+query server's ``/health`` + ``/metrics`` into a live per-endpoint
+rate/err/p99 view.  Every instrumented command also accepts
+``--log-json PATH|-`` for structured NDJSON event logs stamped with a
+``run_id`` that the manifest records too.
 """
 
 from __future__ import annotations
@@ -66,6 +71,7 @@ from .obs import (
     render_tree,
     write_perfetto,
 )
+from .obs import logging as obs_logging
 from .report.paper import PaperRun
 from .runner import CheckpointStore, RunnerConfig
 from .topology.dataset import ASDataset
@@ -89,6 +95,14 @@ def _add_obs_arguments(parser: argparse.ArgumentParser) -> None:
         help=(
             "RSS/CPU sampling interval for the manifest's resources series "
             "(used with --metrics; 0 disables the sampler)"
+        ),
+    )
+    parser.add_argument(
+        "--log-json", default=None, metavar="PATH",
+        help=(
+            "emit newline-delimited JSON events (run_id-stamped; '-' for "
+            "stderr) — phase progress, retries, and for `query serve` the "
+            "per-request access log"
         ),
     )
 
@@ -248,6 +262,11 @@ def _write_observability(
             for key, value in vars(args).items()
             if key != "func" and isinstance(value, (str, int, float, bool, type(None)))
         }
+        run_id = obs_logging.current_run_id()
+        if run_id is not None:
+            # Same id every --log-json event carries: a manifest and a
+            # log stream from one invocation join on it.
+            config["run_id"] = run_id
         manifest = RunManifest.collect(
             label=f"cli.{args.command}",
             graph=graph,
@@ -757,11 +776,26 @@ def _cmd_query_serve(args: argparse.Namespace) -> int:
     from .query.server import make_server
 
     tracer, metrics, monitor = _make_observability(args)
+    # A server always keeps a live registry (it feeds /metrics) and —
+    # unlike batch commands — always samples resources while serving:
+    # /metrics exposes RSS/CPU as process gauges even when no manifest
+    # was requested.  0 still disables the sampler.
+    if metrics is None:
+        metrics = MetricsRegistry()
+    interval = getattr(args, "resource_interval", 0.0) or 0.0
+    if monitor is None and interval > 0:
+        monitor = ResourceMonitor(interval=interval).start()
     artifact = None
     try:
         artifact = load_query_artifact(args.artifact)
         server = make_server(
-            artifact, host=args.host, port=args.port, tracer=tracer, metrics=metrics
+            artifact,
+            host=args.host,
+            port=args.port,
+            tracer=tracer,
+            metrics=metrics,
+            monitor=monitor,
+            serialize_requests=args.serialize_requests,
         )
         server.max_requests = args.max_requests
         print(
@@ -769,12 +803,21 @@ def _cmd_query_serve(args: argparse.Namespace) -> int:
             f"({artifact.n_communities} communities) at {server.url}",
             flush=True,
         )
+        obs_logging.log_event(
+            "query.serve.start",
+            url=server.url,
+            artifact=str(args.artifact),
+            communities=artifact.n_communities,
+            max_requests=args.max_requests,
+            serialize_requests=args.serialize_requests,
+        )
         try:
             server.serve_forever()
         except KeyboardInterrupt:
             print("interrupted; shutting down")
         finally:
             server.server_close()
+            obs_logging.log_event("query.serve.stop", served=server.served)
     finally:
         fingerprint = artifact.fingerprint or None if artifact is not None else None
         if artifact is not None:
@@ -803,6 +846,24 @@ def _cmd_obs_diff(args: argparse.Namespace) -> int:
 
 
 def _cmd_obs_export(args: argparse.Namespace) -> int:
+    if args.format == "prometheus":
+        import json
+
+        from .obs import RunManifest
+
+        document = json.loads(Path(args.trace).read_text(encoding="utf-8"))
+        if not isinstance(document, dict) or "metrics" not in document:
+            raise ValueError(
+                f"{args.trace} is not a run manifest (no metrics block); "
+                "prometheus export needs a --metrics manifest, not a trace"
+            )
+        text = RunManifest.from_dict(document).to_prometheus()
+        if args.out:
+            Path(args.out).write_text(text, encoding="utf-8")
+            print(f"wrote prometheus exposition to {args.out}")
+        else:
+            sys.stdout.write(text)
+        return 0
     spans, document = load_trace(args.trace)
     resources = (document or {}).get("resources") or None
     out = args.out or str(Path(args.trace).with_suffix(f".{args.format}.json"))
@@ -813,6 +874,54 @@ def _cmd_obs_export(args: argparse.Namespace) -> int:
         f"— open it at ui.perfetto.dev"
     )
     return 0
+
+
+def _cmd_obs_tail(args: argparse.Namespace) -> int:
+    import time
+    import urllib.error
+    import urllib.request
+
+    from .obs import parse_exposition
+    from .obs.inspect import render_tail_frame
+
+    base = args.url.rstrip("/")
+
+    def fetch(path: str) -> str:
+        with urllib.request.urlopen(base + path, timeout=args.timeout) as response:
+            return response.read().decode("utf-8")
+
+    previous: dict | None = None
+    previous_at: float | None = None
+    frames = 0
+    try:
+        while True:
+            import json
+
+            try:
+                health = json.loads(fetch("/health"))
+            except (urllib.error.URLError, OSError, ValueError) as exc:
+                print(f"-- {base} unreachable: {exc}", flush=True)
+                health = None
+            try:
+                current = parse_exposition(fetch("/metrics"))
+            except (urllib.error.URLError, OSError) as exc:
+                print(f"-- scrape failed: {exc}", flush=True)
+                current = None
+            now = time.monotonic()
+            if current is not None:
+                elapsed = (now - previous_at) if previous_at is not None else 0.0
+                print(
+                    render_tail_frame(current, previous, elapsed, health=health),
+                    flush=True,
+                )
+                previous, previous_at = current, now
+            frames += 1
+            if args.count is not None and frames >= args.count:
+                return 0
+            print(f"-- next scrape in {args.interval:g}s --", flush=True)
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
 
 
 def _cmd_obs_history(args: argparse.Namespace) -> int:
@@ -1043,6 +1152,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-requests", type=int, default=None, metavar="N",
         help="shut down after N requests (smoke tests; default: serve forever)",
     )
+    p_qserve.add_argument(
+        "--serialize-requests", action="store_true",
+        help=(
+            "legacy mode: serve one request at a time under a global lock "
+            "(benchmark baseline / concurrency bisection; not for production)"
+        ),
+    )
     _add_obs_arguments(p_qserve)
     p_qserve.set_defaults(func=_cmd_query_serve)
 
@@ -1073,14 +1189,35 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_oexp.add_argument("trace", help="trace .jsonl or run-manifest .json file")
     p_oexp.add_argument(
-        "--format", choices=["perfetto"], default="perfetto",
-        help="output format (Chrome/Perfetto trace-event JSON)",
+        "--format", choices=["perfetto", "prometheus"], default="perfetto",
+        help=(
+            "output format: Chrome/Perfetto trace-event JSON from a trace, "
+            "or Prometheus text exposition from a manifest's metrics block"
+        ),
     )
     p_oexp.add_argument(
         "--out", default=None, metavar="PATH",
-        help="output path (default: <trace>.perfetto.json)",
+        help="output path (default: <trace>.perfetto.json; prometheus prints to stdout)",
     )
     p_oexp.set_defaults(func=_cmd_obs_export)
+
+    p_tail = obs_sub.add_parser(
+        "tail", help="live per-endpoint rate/err/p99 view of a running query server"
+    )
+    p_tail.add_argument("url", help="server base URL, e.g. http://127.0.0.1:8091")
+    p_tail.add_argument(
+        "--interval", type=float, default=2.0, metavar="SECONDS",
+        help="seconds between scrapes (default 2)",
+    )
+    p_tail.add_argument(
+        "--count", type=int, default=None, metavar="N",
+        help="stop after N frames (default: run until interrupted)",
+    )
+    p_tail.add_argument(
+        "--timeout", type=float, default=5.0, metavar="SECONDS",
+        help="per-request HTTP timeout (default 5)",
+    )
+    p_tail.set_defaults(func=_cmd_obs_tail)
 
     p_hist = obs_sub.add_parser(
         "history", help="bench scalar trajectories across committed BENCH manifests"
@@ -1104,17 +1241,28 @@ def main(argv: list[str] | None = None) -> int:
     clean error line and return 2 instead of a traceback.
     """
     args = build_parser().parse_args(argv)
+    log_target = getattr(args, "log_json", None)
+    if log_target:
+        logger = obs_logging.configure(log_target, command=args.command)
+        logger.info("cli.start", argv=list(argv) if argv is not None else sys.argv[1:])
     try:
-        return args.func(args)
+        code = args.func(args)
+        if log_target:
+            obs_logging.log_event("cli.exit", code=code)
+        return code
     except (FileNotFoundError, NotADirectoryError) as exc:
+        obs_logging.log_event("cli.error", level="error", error=str(exc))
         print(f"error: {exc}", file=sys.stderr)
         return 2
     except (KeyError, ValueError) as exc:
+        obs_logging.log_event("cli.error", level="error", error=str(exc))
         print(f"error: {exc}", file=sys.stderr)
         return 2
     except BrokenPipeError:
         # Output piped into a pager/head that exited early; not an error.
         return 0
+    finally:
+        obs_logging.shutdown()
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -65,6 +65,7 @@ from ..core.overlap import OverlapWire
 from ..core.percolation import build_hierarchy, sweep_wire
 from ..graph.csr import CSRGraph
 from ..graph.undirected import Graph
+from ..obs.logging import get_logger
 from ..obs.manifest import graph_fingerprint
 from ..obs.metrics import MetricsRegistry
 from ..obs.tracing import NULL_TRACER, Tracer
@@ -74,6 +75,9 @@ from ..runner.checkpoint import (
     CheckpointStore,
 )
 from .delta import CPMUpdate, EdgeDelta, diff_covers
+
+#: Structured-log handle (no-op until ``--log-json`` configures one).
+_LOG = get_logger(component="incremental")
 
 __all__ = ["CPMSession", "load_session", "SESSION_SCHEMA_VERSION"]
 
@@ -472,6 +476,15 @@ class CPMSession:
         metrics.inc("incr.cliques_retired", retired)
         metrics.inc("incr.orders_repercolated", len(affected))
         metrics.inc("incr.community_changes", len(update.changes))
+        _LOG.info(
+            "incr.apply",
+            batch=update.batch,
+            insertions=len(delta.insertions),
+            deletions=len(delta.deletions),
+            cliques_born=born,
+            cliques_retired=retired,
+            changes=len(update.changes),
+        )
         return update
 
     def _covers_snapshot(self) -> dict[int, tuple[frozenset, ...]]:

@@ -32,13 +32,26 @@ Telemetry v2 adds the capture-and-inspect layers on top:
 * :mod:`repro.obs.inspect` — terminal rendering: ASCII span trees,
   manifest diffs, bench-scalar history (the ``repro obs`` CLI).
 
+The serving plane adds the live-telemetry layers:
+
+* :mod:`repro.obs.exposition` — Prometheus text exposition
+  (v0.0.4) of registries and manifest metric blocks: counters,
+  gauges, and log-bucketed histograms as summary families with
+  p50/p90/p99 quantile series, plus the parser ``repro obs tail``
+  uses to difference scrapes into rates;
+* :mod:`repro.obs.logging` — structured newline-delimited JSON
+  events with run/request-id correlation (``--log-json``), the
+  access-log and phase-progress channel for long-lived processes.
+
 Schema and metric-name reference: ``docs/observability.md``.
 """
 
 from .export import to_perfetto, validate_trace_events, write_perfetto
+from .exposition import parse_exposition, render_exposition, sanitize_metric_name
 from .inspect import diff_manifests, history, load_trace, render_tree
+from .logging import JsonLogger, configure, get_logger, log_event, new_run_id
 from .manifest import RunManifest, graph_fingerprint, library_versions
-from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .metrics import AtomicCounter, Counter, Gauge, Histogram, MetricsRegistry
 from .resources import ResourceMonitor
 from .tracing import NULL_TRACER, NullTracer, Span, SpanRecord, Tracer
 from .worker import (
@@ -56,10 +69,19 @@ __all__ = [
     "Tracer",
     "NullTracer",
     "NULL_TRACER",
+    "AtomicCounter",
     "Counter",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "render_exposition",
+    "parse_exposition",
+    "sanitize_metric_name",
+    "JsonLogger",
+    "configure",
+    "get_logger",
+    "log_event",
+    "new_run_id",
     "RunManifest",
     "graph_fingerprint",
     "library_versions",

@@ -1,0 +1,200 @@
+"""Prometheus text exposition for registries and manifests.
+
+One rendering path serves two producers:
+
+* the live query server's ``/metrics`` endpoint renders its (merged,
+  thread-safe) :class:`~.metrics.MetricsRegistry` on every scrape;
+* a saved :class:`~.manifest.RunManifest` renders its frozen
+  ``metrics`` block after the fact (``RunManifest.to_prometheus`` /
+  ``repro obs export --format prometheus``), so batch runs and served
+  artifacts speak the same metric names to the same dashboards.
+
+The mapping follows the Prometheus exposition format v0.0.4:
+
+* counters  -> ``<name>_total`` with ``# TYPE ... counter``;
+* gauges    -> ``<name>`` with ``# TYPE ... gauge``;
+* histograms -> a *summary* family: ``<name>{quantile="0.5|0.9|0.99"}``
+  plus ``<name>_count`` / ``<name>_sum`` (quantiles come from the
+  log-bucketed :class:`~.metrics.Histogram`, already merged across
+  threads/workers, so no client-side aggregation is needed).
+
+Registry names are dotted (``query.lookup.band``); exposition
+sanitises them to ``query_lookup_band``.  Per-endpoint (and any other
+labelled) series use the **inline-label convention**: a registry
+instrument named ``query.request_seconds{endpoint="membership"}`` is
+one instrument per label set, and the renderer splits the braces back
+into real Prometheus labels — grouped under one ``# TYPE`` line per
+family, as the format requires.
+
+:func:`parse_exposition` is the inverse used by ``repro obs tail``:
+it reads a scrape back into ``{(name, labels): value}`` so the tail
+view can difference two scrapes into rates.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+__all__ = [
+    "render_exposition",
+    "parse_exposition",
+    "sanitize_metric_name",
+    "split_labels",
+]
+
+#: Quantiles emitted for every histogram family.
+SUMMARY_QUANTILES = (("0.5", "p50"), ("0.9", "p90"), ("0.99", "p99"))
+
+_INVALID_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+_LABEL_PAIR = re.compile(r'(\w+)="((?:[^"\\]|\\.)*)"')
+_SAMPLE_LINE = re.compile(r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(?:\{(.*)\})?\s+(\S+)$")
+
+
+def sanitize_metric_name(name: str) -> str:
+    """A registry name as a valid Prometheus metric name.
+
+    Dots (the registry convention) and any other invalid characters
+    become underscores; a leading digit gets an underscore prefix.
+    """
+    cleaned = _INVALID_CHARS.sub("_", name)
+    if cleaned and cleaned[0].isdigit():
+        cleaned = "_" + cleaned
+    return cleaned
+
+
+def split_labels(name: str) -> tuple[str, tuple[tuple[str, str], ...]]:
+    """Split an inline-labelled registry name into (bare name, labels).
+
+    ``'query.request_seconds{endpoint="membership"}'`` ->
+    ``('query.request_seconds', (('endpoint', 'membership'),))``; a
+    name without braces returns an empty label tuple.  Label order is
+    preserved as written (instrument names are constructed, not typed,
+    so one family always orders its labels identically).
+    """
+    brace = name.find("{")
+    if brace == -1 or not name.endswith("}"):
+        return name, ()
+    bare = name[:brace]
+    labels = tuple(
+        (key, value.replace('\\"', '"').replace("\\\\", "\\"))
+        for key, value in _LABEL_PAIR.findall(name[brace + 1 : -1])
+    )
+    return bare, labels
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def _format_labels(labels: tuple[tuple[str, str], ...]) -> str:
+    if not labels:
+        return ""
+    body = ",".join(f'{key}="{_escape(value)}"' for key, value in labels)
+    return "{" + body + "}"
+
+
+def _format_value(value) -> str:
+    number = float(value)
+    if math.isnan(number):
+        return "NaN"
+    if math.isinf(number):
+        return "+Inf" if number > 0 else "-Inf"
+    if number == int(number) and abs(number) < 1e15:
+        return str(int(number))
+    return repr(number)
+
+
+def render_exposition(
+    metrics,
+    *,
+    namespace: str = "repro",
+    extra_gauges: dict | None = None,
+) -> str:
+    """Render a registry (or its ``to_dict`` form) as Prometheus text.
+
+    ``metrics`` is a :class:`~.metrics.MetricsRegistry` or the dict
+    its ``to_dict`` produces (the shape stored in manifests).
+    ``extra_gauges`` adds scrape-time gauges — the query server passes
+    its process RSS/CPU/uptime here so resource series need no
+    registry round-trip.  Families are emitted name-sorted, each under
+    one ``# TYPE`` line, terminated by a trailing newline.
+    """
+    data = metrics if isinstance(metrics, dict) else metrics.to_dict()
+    prefix = f"{namespace}_" if namespace else ""
+    lines: list[str] = []
+
+    def _family(kind: str, items: dict, suffix: str = "") -> None:
+        families: dict[str, list[tuple[tuple[tuple[str, str], ...], object]]] = {}
+        for name, value in items.items():
+            bare, labels = split_labels(name)
+            family = prefix + sanitize_metric_name(bare) + suffix
+            families.setdefault(family, []).append((labels, value))
+        for family in sorted(families):
+            lines.append(f"# TYPE {family} {kind}")
+            for labels, value in families[family]:
+                lines.append(f"{family}{_format_labels(labels)} {_format_value(value)}")
+
+    counters = data.get("counters") or {}
+    gauges = dict(data.get("gauges") or {})
+    if extra_gauges:
+        gauges.update(extra_gauges)
+    histograms = data.get("histograms") or {}
+
+    _family("counter", counters, suffix="_total")
+    _family("gauge", gauges)
+
+    # Histograms render as summaries: one # TYPE per family, then the
+    # quantile series of every label set, then _count and _sum.
+    families: dict[str, list[tuple[tuple[tuple[str, str], ...], dict]]] = {}
+    for name, summary in histograms.items():
+        bare, labels = split_labels(name)
+        family = prefix + sanitize_metric_name(bare)
+        families.setdefault(family, []).append((labels, summary))
+    for family in sorted(families):
+        lines.append(f"# TYPE {family} summary")
+        for labels, summary in families[family]:
+            for quantile, key in SUMMARY_QUANTILES:
+                value = summary.get(key)
+                if value is None:
+                    continue
+                q_labels = labels + (("quantile", quantile),)
+                lines.append(f"{family}{_format_labels(q_labels)} {_format_value(value)}")
+            lines.append(
+                f"{family}_count{_format_labels(labels)} "
+                f"{_format_value(summary.get('count', 0))}"
+            )
+            lines.append(
+                f"{family}_sum{_format_labels(labels)} "
+                f"{_format_value(summary.get('sum', 0.0))}"
+            )
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def parse_exposition(text: str) -> dict[tuple[str, tuple[tuple[str, str], ...]], float]:
+    """Parse Prometheus text back into ``{(name, labels): value}``.
+
+    The inverse of :func:`render_exposition` to the extent ``repro obs
+    tail`` needs: comment/``# TYPE`` lines are skipped, label values
+    are unescaped, sample values become floats (``NaN``/``+Inf``
+    included).  Unparseable lines are ignored rather than fatal — a
+    tail must survive scraping a newer server.
+    """
+    samples: dict[tuple[str, tuple[tuple[str, str], ...]], float] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        match = _SAMPLE_LINE.match(line)
+        if match is None:
+            continue
+        name, label_body, raw_value = match.groups()
+        labels = tuple(
+            (key, value.replace('\\"', '"').replace("\\\\", "\\"))
+            for key, value in _LABEL_PAIR.findall(label_body or "")
+        )
+        try:
+            samples[(name, labels)] = float(raw_value)
+        except ValueError:
+            continue
+    return samples

@@ -35,6 +35,7 @@ __all__ = [
     "render_tree",
     "diff_manifests",
     "history",
+    "render_tail_frame",
 ]
 
 #: Spans whose self time ranks in the top this-many get the hot marker.
@@ -151,7 +152,10 @@ def manifest_scalars(manifest: dict) -> dict[str, float]:
 
     ``span:<name>.wall`` (first occurrence per name, matching
     ``RunManifest.span``), ``config:<key>`` for numeric config values,
-    ``counter:<name>`` and ``gauge:<name>`` from the metrics block.
+    ``counter:<name>`` and ``gauge:<name>`` from the metrics block,
+    and ``hist:<name>.p50/p99/mean/count`` from each histogram summary
+    (quantiles come from the log-bucketed summaries, so two manifests'
+    ``hist:`` rows are directly comparable).
     """
     out: dict[str, float] = {}
     for span in manifest.get("spans") or []:
@@ -166,6 +170,15 @@ def manifest_scalars(manifest: dict) -> dict[str, float]:
         for name, value in (metrics.get(family) or {}).items():
             if isinstance(value, (int, float)):
                 out[f"{prefix}:{name}"] = float(value)
+    for name, summary in (metrics.get("histograms") or {}).items():
+        if not isinstance(summary, dict):
+            continue
+        count = summary.get("count", 0)
+        out[f"hist:{name}.count"] = float(count)
+        for field in ("p50", "p99", "mean"):
+            value = summary.get(field)
+            if isinstance(value, (int, float)):
+                out[f"hist:{name}.{field}"] = float(value)
     return out
 
 
@@ -350,4 +363,103 @@ def history(
                 else ""
             )
             lines.append(f"    {label:<24} {value:>12.6g}{rel_pct}")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# obs tail — one frame of the live server view
+# ----------------------------------------------------------------------
+def _tail_series(
+    samples: dict, family: str
+) -> dict[str, float]:
+    """Per-endpoint values of one sample family, keyed by endpoint label."""
+    out: dict[str, float] = {}
+    for (name, labels), value in samples.items():
+        if name != family:
+            continue
+        label_map = dict(labels)
+        if "quantile" in label_map:
+            continue
+        out[label_map.get("endpoint", "")] = value
+    return out
+
+
+def render_tail_frame(
+    current: dict,
+    previous: dict | None,
+    elapsed: float,
+    *,
+    health: dict | None = None,
+    namespace: str = "repro",
+) -> str:
+    """One frame of ``repro obs tail``: per-endpoint rate / errors / p99.
+
+    ``current`` and ``previous`` are parsed scrapes
+    (:func:`~.exposition.parse_exposition` output); ``elapsed`` is the
+    wall seconds between them.  Counter families are differenced into
+    rates (first frame, with no ``previous``, shows totals instead);
+    quantiles are read straight off the summary series.  ``health`` is
+    the ``/health`` JSON document, when available.
+    """
+    req_family = f"{namespace}_query_request_seconds"
+    lines: list[str] = []
+    if health:
+        status = health.get("status", "?")
+        lines.append(
+            f"health={status}  nodes={health.get('nodes', '?')}  "
+            f"communities={health.get('communities', '?')}  "
+            f"served={health.get('served', '?')}"
+        )
+    uptime = current.get((f"{namespace}_process_uptime_seconds", ()))
+    rss = current.get((f"{namespace}_process_rss_kib", ()))
+    if uptime is not None or rss is not None:
+        bits = []
+        if uptime is not None:
+            bits.append(f"uptime={uptime:.1f}s")
+        if rss is not None:
+            bits.append(f"rss={rss / 1024.0:.1f}MiB")
+        cpu = current.get((f"{namespace}_process_cpu_seconds", ()))
+        if cpu is not None:
+            bits.append(f"cpu={cpu:.2f}s")
+        lines.append("  ".join(bits))
+
+    counts = _tail_series(current, f"{req_family}_count")
+    prev_counts = _tail_series(previous or {}, f"{req_family}_count")
+    errors = current.get((f"{namespace}_query_errors_total", ()), 0.0)
+    prev_errors = (previous or {}).get((f"{namespace}_query_errors_total", ()), 0.0)
+
+    rate_header = "req/s" if previous is not None else "total"
+    lines.append(f"{'endpoint':<12} {rate_header:>10} {'p50':>10} {'p99':>10}")
+    p99s: dict[str, float] = {}
+    p50s: dict[str, float] = {}
+    for (name, labels), value in current.items():
+        if name != req_family:
+            continue
+        label_map = dict(labels)
+        quantile = label_map.get("quantile")
+        endpoint = label_map.get("endpoint", "")
+        if quantile == "0.99":
+            p99s[endpoint] = value
+        elif quantile == "0.5":
+            p50s[endpoint] = value
+    for endpoint in sorted(counts):
+        total = counts[endpoint]
+        if previous is not None and elapsed > 0:
+            rate = max(0.0, total - prev_counts.get(endpoint, 0.0)) / elapsed
+            rate_cell = f"{rate:>10.1f}"
+        else:
+            rate_cell = f"{int(total):>10d}"
+        p50 = p50s.get(endpoint)
+        p99 = p99s.get(endpoint)
+        lines.append(
+            f"{endpoint:<12} {rate_cell} "
+            f"{(f'{p50 * 1000:.2f}ms' if p50 is not None else '-'):>10} "
+            f"{(f'{p99 * 1000:.2f}ms' if p99 is not None else '-'):>10}"
+        )
+    if not counts:
+        lines.append("(no requests observed yet)")
+    if previous is not None and elapsed > 0:
+        lines.append(f"errors: {max(0.0, errors - prev_errors) / elapsed:.2f}/s")
+    else:
+        lines.append(f"errors: {int(errors)} total")
     return "\n".join(lines)

@@ -1,0 +1,228 @@
+"""Structured JSON logs with run/request correlation.
+
+Spans explain *where time went* after a run; metrics explain *how
+much*; neither answers "what is the service doing right now, and which
+request was that?".  This module is the third leg: newline-delimited
+JSON events, one object per line, each stamped with the ``run_id`` of
+the process's configured logging context — the same ``run_id`` the
+CLI writes into the run manifest, so a log line, a manifest and a
+trace from one invocation join on it.  The query server adds a
+``request_id`` per handled request and stamps the *same* id onto the
+request's absorbed spans, so an access-log line joins its span
+subtree exactly.
+
+Design:
+
+* :class:`JsonLogger` — writes events to one text stream under a lock
+  (lines never interleave, even from concurrent handler threads);
+  :meth:`~JsonLogger.bind` returns a child sharing the stream but
+  carrying extra fixed fields (component, request context).
+* A module-level *active* logger, set by :func:`configure` (the CLI's
+  ``--log-json PATH|-`` flag) and reached via :func:`log_event` /
+  :func:`get_logger`.  Unconfigured, both are no-ops costing one
+  global read — library code (runner, shard pipeline, incremental
+  sessions) logs unconditionally and uninstrumented runs pay nothing.
+
+Event shape::
+
+    {"ts": 1722945600.123, "level": "info", "event": "query.access",
+     "run_id": "a1b2c3d4e5f6", "request_id": 17, "path": "/band",
+     "status": 200, "seconds": 0.00021}
+
+``ts`` is Unix epoch seconds (``time.time``) — wall-clock, for humans
+and log shippers; span correlation runs on ids, not clocks.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import threading
+import time
+import uuid
+from pathlib import Path
+
+__all__ = [
+    "JsonLogger",
+    "configure",
+    "get_logger",
+    "log_event",
+    "active_logger",
+    "current_run_id",
+    "new_run_id",
+    "shutdown",
+]
+
+LEVELS = ("debug", "info", "warning", "error")
+
+
+def new_run_id() -> str:
+    """A fresh 12-hex-char run identifier."""
+    return uuid.uuid4().hex[:12]
+
+
+class JsonLogger:
+    """Newline-delimited JSON event writer (thread-safe).
+
+    ``stream`` is any text file object; the logger never closes
+    streams it did not open (see :func:`configure` for the ownership
+    rule at the module level).  ``bound`` fields are merged into every
+    event, with per-call fields winning on collision.
+    """
+
+    def __init__(self, stream, *, run_id: str | None = None, **bound) -> None:
+        self.stream = stream
+        self.run_id = run_id if run_id is not None else new_run_id()
+        self.bound = dict(bound)
+        self._lock = threading.Lock()
+
+    def bind(self, **fields) -> "JsonLogger":
+        """A child logger with extra fixed fields, sharing stream+lock."""
+        child = JsonLogger.__new__(JsonLogger)
+        child.stream = self.stream
+        child.run_id = self.run_id
+        child.bound = {**self.bound, **fields}
+        child._lock = self._lock
+        return child
+
+    def log(self, event: str, *, level: str = "info", **fields) -> None:
+        """Emit one event line (atomically, flushed)."""
+        record = {
+            "ts": round(time.time(), 6),
+            "level": level,
+            "event": event,
+            "run_id": self.run_id,
+        }
+        record.update(self.bound)
+        record.update(fields)
+        line = json.dumps(record, default=repr, separators=(",", ":"))
+        with self._lock:
+            try:
+                self.stream.write(line + "\n")
+                self.stream.flush()
+            except ValueError:
+                # Stream closed underneath us (interpreter teardown,
+                # test harness swapping stdio): drop, never raise.
+                pass
+
+    # Level shorthands ---------------------------------------------------
+    def debug(self, event: str, **fields) -> None:
+        """Emit at level debug."""
+        self.log(event, level="debug", **fields)
+
+    def info(self, event: str, **fields) -> None:
+        """Emit at level info."""
+        self.log(event, level="info", **fields)
+
+    def warning(self, event: str, **fields) -> None:
+        """Emit at level warning."""
+        self.log(event, level="warning", **fields)
+
+    def error(self, event: str, **fields) -> None:
+        """Emit at level error."""
+        self.log(event, level="error", **fields)
+
+
+class _BoundProxy:
+    """A late-binding handle onto the module's active logger.
+
+    Library call sites hold these (created at import time, before any
+    ``configure``); every emit re-reads the active logger, so turning
+    logging on mid-process reaches existing handles, and the cost when
+    unconfigured is one global read and a None check.
+    """
+
+    __slots__ = ("bound",)
+
+    def __init__(self, bound: dict) -> None:
+        self.bound = bound
+
+    def log(self, event: str, *, level: str = "info", **fields) -> None:
+        logger = _ACTIVE
+        if logger is not None:
+            logger.log(event, level=level, **{**self.bound, **fields})
+
+    def debug(self, event: str, **fields) -> None:
+        self.log(event, level="debug", **fields)
+
+    def info(self, event: str, **fields) -> None:
+        self.log(event, level="info", **fields)
+
+    def warning(self, event: str, **fields) -> None:
+        self.log(event, level="warning", **fields)
+
+    def error(self, event: str, **fields) -> None:
+        self.log(event, level="error", **fields)
+
+
+#: The process's configured logger (None = logging off).
+_ACTIVE: JsonLogger | None = None
+#: Whether shutdown() should close the active logger's stream.
+_OWNS_STREAM = False
+
+
+def configure(target, *, run_id: str | None = None, **bound) -> JsonLogger:
+    """Install the process-wide JSON logger and return it.
+
+    ``target`` is a path (opened append, owned — :func:`shutdown`
+    closes it), ``"-"`` for stderr, or an existing text stream (not
+    owned).  Reconfiguring replaces the previous logger, closing its
+    stream iff it was path-opened.
+    """
+    global _ACTIVE, _OWNS_STREAM
+    shutdown()
+    import sys
+
+    if isinstance(target, (str, Path)) and str(target) != "-":
+        path = Path(target)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        stream = path.open("a", encoding="utf-8")
+        owns = True
+    elif str(target) == "-":
+        stream = sys.stderr
+        owns = False
+    else:
+        stream = target
+        owns = False
+    _ACTIVE = JsonLogger(stream, run_id=run_id, **bound)
+    _OWNS_STREAM = owns
+    return _ACTIVE
+
+
+def shutdown() -> None:
+    """Tear down the active logger (idempotent), closing owned streams."""
+    global _ACTIVE, _OWNS_STREAM
+    logger = _ACTIVE
+    _ACTIVE = None
+    if logger is not None and _OWNS_STREAM:
+        try:
+            logger.stream.close()
+        except (OSError, io.UnsupportedOperation):  # pragma: no cover
+            pass
+    _OWNS_STREAM = False
+
+
+def active_logger() -> JsonLogger | None:
+    """The configured logger, or None when logging is off."""
+    return _ACTIVE
+
+
+def current_run_id() -> str | None:
+    """The active logger's run id (None when logging is off)."""
+    return _ACTIVE.run_id if _ACTIVE is not None else None
+
+
+def get_logger(**bound):
+    """A late-binding logger handle carrying fixed fields.
+
+    Safe to create at import time: emits go to whatever logger is
+    active *at emit time* and vanish when none is.
+    """
+    return _BoundProxy(dict(bound))
+
+
+def log_event(event: str, *, level: str = "info", **fields) -> None:
+    """Emit one event on the active logger (no-op when unconfigured)."""
+    logger = _ACTIVE
+    if logger is not None:
+        logger.log(event, level=level, **fields)

@@ -168,6 +168,18 @@ class RunManifest:
         """Read a manifest previously written by :meth:`save`."""
         return cls.from_dict(json.loads(Path(path).read_text(encoding="utf-8")))
 
+    def to_prometheus(self, *, namespace: str = "repro") -> str:
+        """The manifest's metrics block as Prometheus exposition text.
+
+        The same rendering the live server's ``/metrics`` endpoint
+        uses (:func:`~repro.obs.exposition.render_exposition`), so a
+        batch run's frozen counters/gauges/histogram summaries and a
+        served artifact's scrape speak identical metric names.
+        """
+        from .exposition import render_exposition
+
+        return render_exposition(self.metrics, namespace=namespace)
+
     # ------------------------------------------------------------------
     # Reading helpers
     # ------------------------------------------------------------------

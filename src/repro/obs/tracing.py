@@ -26,6 +26,7 @@ bounds (``tests/test_obs.py``).
 from __future__ import annotations
 
 import json
+import threading
 import time
 import tracemalloc
 from dataclasses import dataclass, field
@@ -154,6 +155,10 @@ class Tracer:
         self.memory = memory
         self._stack: list[Span] = []
         self._next_id = 0
+        # Serialises concurrent absorb() calls (the query server grafts
+        # per-request captures from many handler threads); the span
+        # stack itself stays single-threaded — only grafting is shared.
+        self._merge_lock = threading.Lock()
         self._started_tracemalloc = False
         if memory and not tracemalloc.is_tracing():
             tracemalloc.start()
@@ -255,10 +260,19 @@ class Tracer:
         parented under the currently open span (so worker subtrees hang
         off ``runner.supervise`` in the merged call tree), depths are
         rebased, and ``extra_attrs`` — ``pid``/``worker_id`` in the
-        supervisor's case — are stamped onto each record.
+        supervisor's case, ``request_id`` in the query server's — are
+        stamped onto each record.
+
+        Thread-safe: concurrent absorbs (per-request captures arriving
+        from many handler threads) serialise on an internal lock, so
+        id assignment and record appends never race.
         """
         if not spans:
             return
+        with self._merge_lock:
+            self._absorb_locked(spans, extra_attrs)
+
+    def _absorb_locked(self, spans: list[dict], extra_attrs: dict) -> None:
         parent = self._stack[-1] if self._stack else None
         base_depth = len(self._stack)
         # Assign new ids for every incoming span up front: spans arrive

@@ -31,6 +31,7 @@ spans and counters exactly once — the attempt that succeeded.
 from __future__ import annotations
 
 import os
+import threading
 from contextlib import contextmanager
 
 from .metrics import MetricsRegistry
@@ -80,19 +81,28 @@ class TelemetryEnvelope:
         self.telemetry = telemetry
 
 
-#: The capture context of the task currently executing in this process
-#: (None between tasks, and always None in uninstrumented runs).
-_ACTIVE: WorkerTelemetry | None = None
+#: The capture context of the task currently executing in this
+#: *thread* (unset between tasks, and always unset in uninstrumented
+#: runs).  Thread-local rather than a bare module global so a threaded
+#: host — the query server capturing per-request telemetry on handler
+#: threads — never sees one request's capture bleed into another's.
+_ACTIVE = threading.local()
+
+
+def _active() -> WorkerTelemetry | None:
+    return getattr(_ACTIVE, "telemetry", None)
 
 
 def current_tracer() -> Tracer:
     """The active capture's tracer, or the shared no-op tracer."""
-    return _ACTIVE.tracer if _ACTIVE is not None else NULL_TRACER
+    active = _active()
+    return active.tracer if active is not None else NULL_TRACER
 
 
 def current_metrics() -> MetricsRegistry | None:
     """The active capture's metric registry, or None when unobserved."""
-    return _ACTIVE.metrics if _ACTIVE is not None else None
+    active = _active()
+    return active.metrics if active is not None else None
 
 
 def worker_span(name: str, **attrs) -> Span:
@@ -104,10 +114,11 @@ def worker_span(name: str, **attrs) -> Span:
             ...
             span.set("pairs", len(counter))
 
-    Outside a capture the call costs one global read and a constant
-    return — the same bound the null tracer holds everywhere else.
+    Outside a capture the call costs one thread-local read and a
+    constant return — the same bound the null tracer holds everywhere
+    else.
     """
-    active = _ACTIVE
+    active = _active()
     if active is None:
         return NULL_TRACER.span(name)
     return active.tracer.span(name, **attrs)
@@ -123,13 +134,12 @@ def capture(phase: str, index: int, attempt: int):
     exit, even when the task body raises — a failed attempt's telemetry
     simply never ships.
     """
-    global _ACTIVE
     telemetry = WorkerTelemetry()
-    _ACTIVE = telemetry
+    _ACTIVE.telemetry = telemetry
     try:
         with telemetry.tracer.span(
             "worker.task", phase=phase, batch=index, attempt=attempt
         ):
             yield telemetry
     finally:
-        _ACTIVE = None
+        _ACTIVE.telemetry = None

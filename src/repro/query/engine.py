@@ -51,6 +51,25 @@ class LookupEngine:
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.metrics = metrics if metrics is not None else MetricsRegistry()
 
+    def with_observability(
+        self,
+        *,
+        tracer: Tracer | None = None,
+        metrics: MetricsRegistry | None = None,
+    ) -> "LookupEngine":
+        """A clone over the same artifact with different telemetry sinks.
+
+        Construction is three attribute assignments — cheap enough
+        that the query server builds one per *request*, giving each
+        handler thread a private tracer (span stacks don't survive
+        sharing) while the thread-safe registry stays shared.
+        """
+        return LookupEngine(
+            self.artifact,
+            tracer=tracer if tracer is not None else self.tracer,
+            metrics=metrics if metrics is not None else self.metrics,
+        )
+
     def _count(self, op: str) -> None:
         self.metrics.inc("query.lookups")
         self.metrics.inc(f"query.lookup.{op}")

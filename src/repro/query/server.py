@@ -8,9 +8,10 @@ and answers the point queries of :class:`~repro.query.engine
 threading mixin — because the repo bakes in no third-party runtime
 dependencies.
 
-Endpoints (all ``GET``, all JSON)::
+Endpoints (all ``GET``)::
 
     /health                        liveness + artifact identity
+    /metrics                       Prometheus text exposition
     /artifact                      full metadata (fingerprint, bands,
                                    orders, counts)
     /membership?as=X               k -> community labels containing X
@@ -24,28 +25,73 @@ ASes/labels/paths, never a traceback page.  AS parameters are parsed
 as integers when possible (AS numbers are ints), falling back to the
 raw string for string-labelled graphs.
 
-Observability: the server owns (or is given) a ``repro.obs`` tracer
-and registry; every request runs inside a ``query.request`` span
-(path, status) wrapping the engine's ``query.lookup`` span, and the
-``query.requests`` / ``query.errors`` counters accumulate alongside
-the per-op ``query.lookup.*`` family.  A single lock serialises
-request handling — lookups are microseconds, and it keeps the shared
-span stack and counters coherent under the threaded listener.
+Concurrency model (the artifact is immutable, so reads need no
+coordination at all):
+
+* requests run **concurrently** — there is no global request lock;
+  the threaded listener hands each connection its own handler thread
+  and the handler reads the shared mmap directly;
+* shared telemetry is safe by construction: the
+  :class:`~repro.obs.metrics.MetricsRegistry` takes fine-grained
+  per-instrument locks, and spans are captured on a **per-request**
+  tracer (one fresh :class:`~repro.obs.tracing.Tracer` plus a cheap
+  :meth:`~repro.query.engine.LookupEngine.with_observability` clone of
+  the engine) and absorbed into the server tracer under its merge
+  lock, stamped with the request id — the PR-5 worker-envelope
+  pattern, applied to handler threads;
+* every request lands in the ``query.request_seconds`` histogram of
+  its endpoint (inline-label convention, bounded cardinality: known
+  routes plus ``"other"``), which is what ``/metrics`` exposes as
+  per-endpoint p50/p90/p99;
+* ``max_requests`` draining is an :class:`~repro.obs.metrics
+  .AtomicCounter`: the *add-and-get* that lands exactly on the limit
+  owns the shutdown, so N concurrent final requests trigger exactly
+  one shutdown and smoke tests stay deterministic;
+* ``serialize_requests=True`` restores the old global-lock behaviour
+  — kept as the *baseline* arm of the concurrency benchmark and for
+  bisecting concurrency bugs, not for production use.
+
+Access logging: the default stderr log stays silenced, but when the
+process has a configured :mod:`repro.obs.logging` logger (``--log-json``)
+every request emits one ``query.access`` event carrying the request
+id, endpoint, status and latency — the same ``request_id`` stamped
+onto the request's absorbed spans, so log lines join span subtrees
+exactly.
 """
 
 from __future__ import annotations
 
 import json
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlparse
 
-from ..obs.metrics import MetricsRegistry
+from ..obs.exposition import render_exposition
+from ..obs.logging import get_logger
+from ..obs.metrics import AtomicCounter, MetricsRegistry
+from ..obs.resources import ResourceMonitor
 from ..obs.tracing import NULL_TRACER, Tracer
 from .artifact import QueryArtifact
 from .engine import LookupEngine
 
-__all__ = ["QueryServer", "make_server"]
+__all__ = ["QueryServer", "make_server", "ENDPOINTS"]
+
+#: Known endpoint names — the label universe of the per-endpoint
+#: request histograms.  Anything else is folded into ``"other"`` so a
+#: path-scanning client cannot explode series cardinality.
+ENDPOINTS = (
+    "health",
+    "metrics",
+    "artifact",
+    "membership",
+    "band",
+    "lca",
+    "top",
+    "community",
+)
+
+_LOG = get_logger(component="query.server")
 
 
 def parse_as(value: str):
@@ -81,21 +127,62 @@ class QueryServer(ThreadingHTTPServer):
         *,
         tracer: Tracer | None = None,
         metrics: MetricsRegistry | None = None,
+        monitor: ResourceMonitor | None = None,
+        serialize_requests: bool = False,
     ) -> None:
         super().__init__(address, _QueryRequestHandler)
         self.engine = engine
         self.tracer = tracer if tracer is not None else engine.tracer
         self.metrics = metrics if metrics is not None else engine.metrics
-        self.lock = threading.Lock()
+        #: Optional process resource monitor; when attached (the CLI
+        #: starts one for ``repro query serve``) its latest sample
+        #: surfaces as ``process_*`` gauges on ``/metrics``.
+        self.monitor = monitor
+        #: Legacy serialization (pre-concurrency behaviour): one
+        #: request at a time under a global lock.  The benchmark's
+        #: baseline arm; never the default.
+        self.serialize_requests = serialize_requests
+        self._serial_lock = threading.Lock()
         #: When set, the server shuts itself down after this many
         #: requests — a deterministic stop for smoke tests and CI.
         self.max_requests: int | None = None
-        self._served = 0
+        self._served = AtomicCounter()
+        self._request_ids = AtomicCounter()
+        self._started_at = time.monotonic()
 
     @property
     def url(self) -> str:
         host, port = self.server_address[:2]
         return f"http://{host}:{port}"
+
+    @property
+    def served(self) -> int:
+        """Requests fully handled so far (atomic snapshot)."""
+        return self._served.value
+
+    # ------------------------------------------------------------------
+    # Scrape-time process gauges
+    # ------------------------------------------------------------------
+    def process_gauges(self) -> dict:
+        """Gauges computed at scrape time for ``/metrics``.
+
+        Always includes uptime and the served-request count; when a
+        :class:`ResourceMonitor` is attached, its most recent sample
+        adds RSS and cumulative CPU.
+        """
+        gauges = {
+            "process.uptime_seconds": time.monotonic() - self._started_at,
+            "query.requests_served": self._served.value,
+        }
+        monitor = self.monitor
+        if monitor is not None:
+            samples = monitor.series().get("samples") or []
+            if samples:
+                latest = samples[-1]
+                gauges["process.rss_kib"] = latest.get("rss_kib", 0)
+                gauges["process.max_rss_kib"] = latest.get("max_rss_kib", 0)
+                gauges["process.cpu_seconds"] = latest.get("cpu_seconds", 0.0)
+        return gauges
 
 
 class _QueryRequestHandler(BaseHTTPRequestHandler):
@@ -107,35 +194,86 @@ class _QueryRequestHandler(BaseHTTPRequestHandler):
     # Routing
     # ------------------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 (http.server API)
-        url = urlparse(self.path)
-        params = parse_qs(url.query)
-        route = getattr(self, f"_route_{url.path.strip('/').replace('-', '_')}", None)
         server = self.server
-        with server.lock:
-            with server.tracer.span("query.request", path=url.path) as span:
-                server.metrics.inc("query.requests")
-                try:
-                    if route is None:
-                        raise KeyError(f"no such endpoint: {url.path}")
-                    status, payload = 200, route(params)
-                except _BadRequest as exc:
-                    status, payload = 400, {"error": str(exc)}
-                except KeyError as exc:
-                    status, payload = 404, {"error": str(exc).strip("'\"")}
-                except ValueError as exc:
-                    status, payload = 400, {"error": str(exc)}
-                if status != 200:
-                    server.metrics.inc("query.errors")
-                span.set("status", status)
-            server._served += 1
-            drained = (
-                server.max_requests is not None and server._served >= server.max_requests
-            )
-        self._reply(status, payload)
+        if server.serialize_requests:
+            with server._serial_lock:
+                drained = self._handle_request()
+        else:
+            drained = self._handle_request()
         if drained:
             # shutdown() blocks until serve_forever exits; hop threads
             # so this response finishes first.
             threading.Thread(target=server.shutdown, daemon=True).start()
+
+    def _handle_request(self) -> bool:
+        """Serve one request; True when this request drained the server."""
+        server = self.server
+        url = urlparse(self.path)
+        params = parse_qs(url.query)
+        endpoint = url.path.strip("/").replace("-", "_")
+        route = getattr(self, f"_route_{endpoint}", None)
+        label = endpoint if endpoint in ENDPOINTS else "other"
+        request_id = server._request_ids.next()
+
+        # Admission gate for the drain: request ids are atomic, so when
+        # a limit is set exactly ``max_requests`` requests are admitted
+        # — racing latecomers get 503 and are never counted as served,
+        # keeping --max-requests deterministic under concurrency.
+        if server.max_requests is not None and request_id > server.max_requests:
+            server.metrics.inc("query.rejected")
+            self._reply(503, {"error": "server draining"})
+            return False
+
+        # Per-request capture: a private tracer (span stacks are not
+        # shareable across threads) over the shared thread-safe
+        # registry; absorbed under the server tracer's merge lock with
+        # the request id stamped on every span.
+        if server.tracer.enabled:
+            tracer = Tracer()
+            engine = server.engine.with_observability(tracer=tracer, metrics=server.metrics)
+        else:
+            tracer = NULL_TRACER
+            engine = server.engine
+
+        started = time.perf_counter()
+        server.metrics.inc("query.requests")
+        with tracer.span("query.request", path=url.path) as span:
+            try:
+                if route is None:
+                    raise KeyError(f"no such endpoint: {url.path}")
+                status, payload = 200, route(params, engine)
+            except _BadRequest as exc:
+                status, payload = 400, {"error": str(exc)}
+            except KeyError as exc:
+                status, payload = 404, {"error": str(exc).strip("'\"")}
+            except ValueError as exc:
+                status, payload = 400, {"error": str(exc)}
+            if status != 200:
+                server.metrics.inc("query.errors")
+            span.set("status", status)
+        elapsed = time.perf_counter() - started
+
+        server.metrics.observe(f'query.request_seconds{{endpoint="{label}"}}', elapsed)
+        if tracer is not NULL_TRACER:
+            server.tracer.absorb(tracer.to_dicts(), request_id=request_id)
+
+        if isinstance(payload, str):
+            self._reply_text(status, payload)
+        else:
+            self._reply(status, payload)
+
+        _LOG.info(
+            "query.access",
+            request_id=request_id,
+            endpoint=label,
+            path=url.path,
+            status=status,
+            seconds=round(elapsed, 6),
+        )
+
+        # Atomic drain: exactly one request observes served == limit.
+        served = server._served.next()
+        return server.max_requests is not None and served == server.max_requests
 
     def _reply(self, status: int, payload: dict | list) -> None:
         body = json.dumps(payload).encode("utf-8")
@@ -145,54 +283,68 @@ class _QueryRequestHandler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
+    def _reply_text(self, status: int, payload: str) -> None:
+        body = payload.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
     def log_message(self, format: str, *args) -> None:
-        """Silence the default stderr access log; metrics carry traffic."""
+        """Silence the default stderr access log; ``query.access``
+        structured events (when logging is configured) carry traffic."""
 
     # ------------------------------------------------------------------
     # Endpoints
     # ------------------------------------------------------------------
-    def _route_health(self, params: dict) -> dict:
-        artifact = self.server.engine.artifact
+    def _route_health(self, params: dict, engine: LookupEngine) -> dict:
+        artifact = engine.artifact
         return {
             "status": "ok",
             "communities": artifact.n_communities,
             "nodes": artifact.n_nodes,
             "checksum": artifact.fingerprint.get("checksum"),
+            "served": self.server.served,
         }
 
-    def _route_artifact(self, params: dict) -> dict:
-        return self.server.engine.info()
+    def _route_metrics(self, params: dict, engine: LookupEngine) -> str:
+        server = self.server
+        return render_exposition(server.metrics, extra_gauges=server.process_gauges())
 
-    def _route_membership(self, params: dict) -> dict:
+    def _route_artifact(self, params: dict, engine: LookupEngine) -> dict:
+        return engine.info()
+
+    def _route_membership(self, params: dict, engine: LookupEngine) -> dict:
         node = parse_as(_single(params, "as"))
-        memberships = self.server.engine.memberships(node)
+        memberships = engine.memberships(node)
         return {
             "as": node,
             "memberships": {str(k): labels for k, labels in memberships.items()},
         }
 
-    def _route_band(self, params: dict) -> dict:
-        return self.server.engine.band(parse_as(_single(params, "as")))
+    def _route_band(self, params: dict, engine: LookupEngine) -> dict:
+        return engine.band(parse_as(_single(params, "as")))
 
-    def _route_lca(self, params: dict) -> dict:
+    def _route_lca(self, params: dict, engine: LookupEngine) -> dict:
         a = parse_as(_single(params, "a"))
         b = parse_as(_single(params, "b"))
-        record = self.server.engine.lowest_common(a, b)
+        record = engine.lowest_common(a, b)
         return {"a": a, "b": b, "lca": record}
 
-    def _route_top(self, params: dict) -> dict:
+    def _route_top(self, params: dict, engine: LookupEngine) -> dict:
         metric = _single(params, "metric") if "metric" in params else "density"
         try:
             n = int(_single(params, "n")) if "n" in params else 10
             k = int(_single(params, "k")) if "k" in params else None
         except ValueError as exc:
             raise _BadRequest(f"n and k must be integers: {exc}") from exc
-        return {"metric": metric, "k": k, "communities": self.server.engine.top(metric, n, k)}
+        return {"metric": metric, "k": k, "communities": engine.top(metric, n, k)}
 
-    def _route_community(self, params: dict) -> dict:
+    def _route_community(self, params: dict, engine: LookupEngine) -> dict:
         label = _single(params, "label")
         members = params.get("members", ["0"])[0] not in ("", "0", "false")
-        return self.server.engine.community(label, members=members)
+        return engine.community(label, members=members)
 
 
 def make_server(
@@ -202,13 +354,19 @@ def make_server(
     port: int = 0,
     tracer: Tracer | None = None,
     metrics: MetricsRegistry | None = None,
+    monitor: ResourceMonitor | None = None,
+    serialize_requests: bool = False,
 ) -> QueryServer:
     """Bind a :class:`QueryServer` (``port=0`` picks a free port).
 
     ``artifact`` may be a loaded :class:`QueryArtifact` or an existing
-    :class:`LookupEngine`.  The caller drives ``serve_forever()`` /
-    ``shutdown()``; the server is also a context manager (from
-    ``socketserver``), closing its socket on exit.
+    :class:`LookupEngine`.  ``monitor`` attaches a running
+    :class:`ResourceMonitor` whose samples surface as ``process_*``
+    gauges on ``/metrics``; ``serialize_requests`` restores the legacy
+    one-at-a-time global lock (benchmark baseline only).  The caller
+    drives ``serve_forever()`` / ``shutdown()``; the server is also a
+    context manager (from ``socketserver``), closing its socket on
+    exit.
     """
     if isinstance(artifact, LookupEngine):
         engine = artifact
@@ -218,4 +376,11 @@ def make_server(
             tracer=tracer if tracer is not None else NULL_TRACER,
             metrics=metrics,
         )
-    return QueryServer((host, port), engine, tracer=tracer, metrics=metrics)
+    return QueryServer(
+        (host, port),
+        engine,
+        tracer=tracer,
+        metrics=metrics,
+        monitor=monitor,
+        serialize_requests=serialize_requests,
+    )

@@ -37,10 +37,14 @@ from concurrent.futures import FIRST_COMPLETED, BrokenExecutor, ProcessPoolExecu
 from dataclasses import dataclass
 from typing import Any, Callable
 
+from ..obs.logging import get_logger
 from ..obs.metrics import MetricsRegistry
 from ..obs.tracing import NULL_TRACER, Tracer
 from ..obs.worker import TelemetryEnvelope, capture
 from .faults import FaultPlan
+
+#: Structured-log handle (no-op until ``--log-json`` configures one).
+_LOG = get_logger(component="runner")
 
 __all__ = ["RunnerConfig", "PoolSupervisor", "BatchRetryExhausted"]
 
@@ -183,6 +187,12 @@ class PoolSupervisor:
                         else:
                             retried = True
                             self.metrics.inc("runner.retries")
+                            _LOG.warning(
+                                "runner.retry",
+                                phase=self.phase,
+                                batch=index,
+                                attempt=attempts[index],
+                            )
                     if retried and pending:
                         lowest = min(attempts[i] for i in pending)
                         self.sleep(self.config.backoff_seconds(lowest))
@@ -206,6 +216,7 @@ class PoolSupervisor:
         pool.shutdown(wait=False, cancel_futures=True)
         self.restarts += 1
         self.metrics.inc("runner.pool_restarts")
+        _LOG.warning("runner.pool_restart", phase=self.phase, restarts=self.restarts)
         return self._new_pool()
 
     def _round_timeout(self, n_batches: int) -> float | None:
@@ -246,6 +257,9 @@ class PoolSupervisor:
             done, not_done = wait(not_done, timeout=wait_for, return_when=FIRST_COMPLETED)
             if not done:  # round deadline hit: declare the stragglers stalled
                 self.metrics.inc("runner.timeouts")
+                _LOG.warning(
+                    "runner.timeout", phase=self.phase, stalled=len(not_done)
+                )
                 return failed, True
             for future in done:
                 index = futures[future]
@@ -314,5 +328,6 @@ class PoolSupervisor:
         self.degraded = True
         self.metrics.inc("runner.fallback_batches")
         self.metrics.set_gauge("runner.degraded", 1)
+        _LOG.error("runner.degraded", phase=self.phase, batch=index)
         if on_result is not None:
             on_result(index, result)

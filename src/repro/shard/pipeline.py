@@ -36,6 +36,7 @@ from array import array
 
 from ..graph.csr import CSRGraph
 from ..graph.degeneracy import degeneracy_ordering
+from ..obs.logging import get_logger
 from ..runner.checkpoint import CheckpointStore
 from .plan import ShardPlan, plan_shards
 from .workers import (
@@ -103,9 +104,18 @@ def _store_partial(
         ckpt.store_phase(phase, {"signature": signature, "done": done})
 
 
+#: Structured-log handle (no-op until ``--log-json`` configures one).
+_LOG = get_logger(component="shard")
+
+
 def _observe_plan(cpm, plan: ShardPlan, closure_rows: tuple[int, ...]) -> None:
     cpm.metrics.set_gauge("shard.count", plan.n_shards)
     cpm.metrics.set_gauge("shard.imbalance", plan.imbalance())
+    _LOG.info(
+        "shard.plan",
+        shards=plan.n_shards,
+        imbalance=round(plan.imbalance(), 4),
+    )
     for s in range(plan.n_shards):
         cpm.metrics.observe("shard.cost", plan.costs[s])
         cpm.metrics.observe("shard.vertices", len(plan.owners[s]))

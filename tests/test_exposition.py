@@ -1,0 +1,403 @@
+"""Tests for the serving-plane telemetry layers.
+
+Four contracts pinned here:
+
+* the log-bucketed :class:`~repro.obs.metrics.Histogram` — quantile
+  accuracy (< 10% relative error), exact count/sum/min/max, the merge
+  algebra (bucket-exact; ``sum`` drifts only by float associativity),
+  and lock-safety under concurrent observers;
+* :class:`~repro.obs.metrics.AtomicCounter` — no lost increments, and
+  exactly one thread observes any given total via ``next()``;
+* the Prometheus text exposition — naming/typing of counter, gauge
+  and summary families, the inline-label convention, and the
+  render -> parse round trip ``repro obs tail`` relies on;
+* the structured JSON logger — event shape, run_id stamping, bound
+  fields, interleaving-free concurrent writes, and the late-binding
+  module-level handles.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import random
+import threading
+
+import pytest
+
+from repro.obs import logging as obs_logging
+from repro.obs.exposition import (
+    parse_exposition,
+    render_exposition,
+    sanitize_metric_name,
+    split_labels,
+)
+from repro.obs.inspect import manifest_scalars, render_tail_frame
+from repro.obs.metrics import (
+    BUCKET_GROWTH,
+    AtomicCounter,
+    Histogram,
+    MetricsRegistry,
+    bucket_index,
+    bucket_upper,
+)
+
+
+# ----------------------------------------------------------------------
+# Log-bucketed histogram
+# ----------------------------------------------------------------------
+class TestBuckets:
+    def test_upper_bound_is_inclusive(self):
+        # Bucket i covers (growth**(i-1), growth**i]: an exact power
+        # lands in its own bucket, a nudge above lands one up.
+        for i in (-8, -1, 0, 1, 13):
+            assert bucket_index(bucket_upper(i)) == i
+            assert bucket_index(bucket_upper(i) * 1.001) == i + 1
+
+    def test_monotone(self):
+        values = [10.0 ** e for e in range(-9, 4)]
+        indices = [bucket_index(v) for v in values]
+        assert indices == sorted(indices)
+
+
+class TestHistogram:
+    def test_exact_scalars(self):
+        h = Histogram("t")
+        samples = [0.5, 1.5, 2.5, 0.25]
+        for s in samples:
+            h.observe(s)
+        assert h.count == 4
+        assert h.total == pytest.approx(sum(samples))
+        assert h.min == 0.25
+        assert h.max == 2.5
+        assert h.mean == pytest.approx(sum(samples) / 4)
+
+    def test_single_sample_quantiles(self):
+        h = Histogram("t")
+        h.observe(0.037)
+        # Clamped to [min, max]: one sample answers every quantile.
+        for q in (0.5, 0.9, 0.99, 1.0):
+            assert h.quantile(q) == pytest.approx(0.037)
+
+    def test_zeros_bin(self):
+        h = Histogram("t")
+        for _ in range(9):
+            h.observe(0.0)
+        h.observe(1.0)
+        assert h.zeros == 9
+        assert h.quantile(0.5) == 0.0
+        assert h.quantile(1.0) == pytest.approx(1.0)
+
+    def test_quantile_relative_error_bound(self):
+        rng = random.Random(42)
+        samples = [rng.lognormvariate(0.0, 2.0) for _ in range(5000)]
+        h = Histogram("t")
+        for s in samples:
+            h.observe(s)
+        ordered = sorted(samples)
+        for q in (0.5, 0.9, 0.99):
+            exact = ordered[max(0, int(q * len(ordered)) - 1)]
+            approx = h.quantile(q)
+            # Half-bucket midpoint error: strictly under one bucket width.
+            assert abs(approx - exact) / exact < BUCKET_GROWTH - 1.0
+
+    def test_quantile_validation(self):
+        h = Histogram("t")
+        with pytest.raises(ValueError):
+            h.quantile(0.0)
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+        assert h.quantile(0.5) is None  # empty
+
+    def test_merge_algebra(self):
+        rng = random.Random(7)
+        left_samples = [rng.expovariate(3.0) for _ in range(400)]
+        right_samples = [rng.expovariate(0.5) for _ in range(300)] + [0.0, 0.0]
+        union = Histogram("union")
+        left, right = Histogram("left"), Histogram("right")
+        for s in left_samples:
+            left.observe(s)
+            union.observe(s)
+        for s in right_samples:
+            right.observe(s)
+            union.observe(s)
+        left.merge_summary(right.summary())
+        merged, direct = left.summary(), union.summary()
+        # Bucket-exact: everything equal except sum, which drifts only
+        # by float addition order.
+        assert merged["count"] == direct["count"]
+        assert merged["zeros"] == direct["zeros"]
+        assert merged["min"] == direct["min"]
+        assert merged["max"] == direct["max"]
+        assert merged["buckets"] == direct["buckets"]
+        assert merged["sum"] == pytest.approx(direct["sum"], rel=1e-12)
+        for q in ("p50", "p90", "p99"):
+            assert merged[q] == pytest.approx(direct[q])
+
+    def test_merge_pre_bucket_payload(self):
+        # Old worker envelopes carried count/sum/min/max only.
+        h = Histogram("t")
+        h.observe(1.0)
+        h.merge_summary({"count": 3, "sum": 9.0, "min": 2.0, "max": 5.0})
+        assert h.count == 4
+        assert h.total == pytest.approx(10.0)
+        assert h.min == 1.0
+        assert h.max == 5.0
+        # Ranks beyond the recorded buckets fall back to max.
+        assert h.quantile(0.99) == 5.0
+
+    def test_summary_is_json_safe(self):
+        h = Histogram("t")
+        h.observe(0.001)
+        h.observe(3.0)
+        document = json.loads(json.dumps(h.summary()))
+        assert document["count"] == 2
+        assert all(isinstance(k, str) for k in document["buckets"])
+
+
+class TestConcurrency:
+    N_THREADS = 8
+    PER_THREAD = 500
+
+    def _hammer(self, fn):
+        threads = [
+            threading.Thread(target=fn, args=(t,)) for t in range(self.N_THREADS)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+    def test_counter_no_lost_updates(self):
+        registry = MetricsRegistry()
+
+        def work(_):
+            for _ in range(self.PER_THREAD):
+                registry.inc("hits")
+                registry.inc("hits.more", 2)
+
+        self._hammer(work)
+        assert registry.counter("hits").value == self.N_THREADS * self.PER_THREAD
+        assert registry.counter("hits.more").value == 2 * self.N_THREADS * self.PER_THREAD
+
+    def test_histogram_no_lost_observations(self):
+        registry = MetricsRegistry()
+
+        def work(t):
+            for i in range(self.PER_THREAD):
+                registry.observe("lat", 0.001 * (t + 1) * (i + 1))
+
+        self._hammer(work)
+        summary = registry.histogram("lat").summary()
+        assert summary["count"] == self.N_THREADS * self.PER_THREAD
+        assert sum(summary["buckets"].values()) + summary["zeros"] == summary["count"]
+
+    def test_concurrent_instrument_creation(self):
+        registry = MetricsRegistry()
+
+        def work(t):
+            for i in range(100):
+                registry.inc(f"c.{i}")
+                registry.observe(f"h.{i % 10}", float(i + 1))
+
+        self._hammer(work)
+        data = registry.to_dict()
+        assert len(data["counters"]) == 100
+        assert all(v == self.N_THREADS for v in data["counters"].values())
+        assert sum(h["count"] for h in data["histograms"].values()) == self.N_THREADS * 100
+
+    def test_atomic_counter_unique_totals(self):
+        counter = AtomicCounter()
+        seen: list[int] = []
+        lock = threading.Lock()
+
+        def work(_):
+            mine = [counter.next() for _ in range(self.PER_THREAD)]
+            with lock:
+                seen.extend(mine)
+
+        self._hammer(work)
+        total = self.N_THREADS * self.PER_THREAD
+        assert counter.value == total
+        # Every total was observed exactly once -> a drain trigger
+        # keyed on `next() == limit` fires exactly once.
+        assert sorted(seen) == list(range(1, total + 1))
+
+
+# ----------------------------------------------------------------------
+# Prometheus exposition
+# ----------------------------------------------------------------------
+class TestNaming:
+    def test_sanitize(self):
+        assert sanitize_metric_name("query.lookup.band") == "query_lookup_band"
+        assert sanitize_metric_name("3weird-name") == "_3weird_name"
+
+    def test_split_labels(self):
+        bare, labels = split_labels('query.request_seconds{endpoint="band"}')
+        assert bare == "query.request_seconds"
+        assert labels == (("endpoint", "band"),)
+        assert split_labels("plain.name") == ("plain.name", ())
+
+
+class TestRender:
+    def _registry(self):
+        registry = MetricsRegistry()
+        registry.inc("query.requests", 7)
+        registry.set_gauge("shard.count", 4)
+        registry.observe('query.request_seconds{endpoint="band"}', 0.002)
+        registry.observe('query.request_seconds{endpoint="band"}', 0.004)
+        registry.observe('query.request_seconds{endpoint="top"}', 0.01)
+        return registry
+
+    def test_families_and_types(self):
+        text = render_exposition(self._registry())
+        assert "# TYPE repro_query_requests_total counter" in text
+        assert "repro_query_requests_total 7" in text
+        assert "# TYPE repro_shard_count gauge" in text
+        assert "# TYPE repro_query_request_seconds summary" in text
+        # One TYPE line per family even with two label sets.
+        assert text.count("# TYPE repro_query_request_seconds summary") == 1
+        assert 'repro_query_request_seconds_count{endpoint="band"} 2' in text
+        assert 'repro_query_request_seconds{endpoint="band",quantile="0.5"}' in text
+        assert text.endswith("\n")
+
+    def test_extra_gauges(self):
+        text = render_exposition(MetricsRegistry(), extra_gauges={"process.rss_kib": 123})
+        assert "repro_process_rss_kib 123" in text
+
+    def test_round_trip(self):
+        text = render_exposition(self._registry())
+        samples = parse_exposition(text)
+        assert samples[("repro_query_requests_total", ())] == 7.0
+        assert samples[
+            ("repro_query_request_seconds_count", (("endpoint", "band"),))
+        ] == 2.0
+        q99 = samples[
+            (
+                "repro_query_request_seconds",
+                (("endpoint", "band"), ("quantile", "0.99")),
+            )
+        ]
+        assert q99 == pytest.approx(0.004, rel=0.1)
+
+    def test_parse_skips_junk(self):
+        samples = parse_exposition("# HELP x y\nnot a sample line\nok_metric 2\n")
+        assert samples == {("ok_metric", ()): 2.0}
+
+    def test_manifest_renders_identically(self):
+        from repro.obs import RunManifest
+
+        registry = self._registry()
+        manifest = RunManifest.collect(label="t", metrics=registry)
+        assert manifest.to_prometheus() == render_exposition(registry)
+
+
+class TestManifestScalars:
+    def test_histogram_scalars(self):
+        registry = MetricsRegistry()
+        registry.observe("shard.cost", 10.0)
+        registry.observe("shard.cost", 30.0)
+        scalars = manifest_scalars({"metrics": registry.to_dict()})
+        assert scalars["hist:shard.cost.count"] == 2.0
+        assert scalars["hist:shard.cost.mean"] == pytest.approx(20.0)
+        assert "hist:shard.cost.p50" in scalars
+        assert "hist:shard.cost.p99" in scalars
+
+
+class TestTailFrame:
+    def _scrape(self, requests: int, errors: int) -> dict:
+        registry = MetricsRegistry()
+        registry.inc("query.errors", errors)
+        for _ in range(requests):
+            registry.observe('query.request_seconds{endpoint="band"}', 0.002)
+        return parse_exposition(
+            render_exposition(registry, extra_gauges={"process.uptime_seconds": 5.0})
+        )
+
+    def test_first_frame_shows_totals(self):
+        frame = render_tail_frame(
+            self._scrape(4, 1), None, 0.0, health={"status": "ok", "served": 4}
+        )
+        assert "health=ok" in frame
+        assert "band" in frame
+        assert "errors: 1 total" in frame
+
+    def test_rates_from_difference(self):
+        frame = render_tail_frame(self._scrape(30, 2), self._scrape(10, 0), 2.0)
+        # (30-10)/2 req/s and (2-0)/2 err/s.
+        assert "10.0" in frame
+        assert "errors: 1.00/s" in frame
+
+
+# ----------------------------------------------------------------------
+# Structured JSON logging
+# ----------------------------------------------------------------------
+class TestJsonLogger:
+    def test_event_shape(self):
+        stream = io.StringIO()
+        logger = obs_logging.JsonLogger(stream, run_id="abc123def456")
+        logger.info("unit.test", path="/x", status=200)
+        record = json.loads(stream.getvalue())
+        assert record["event"] == "unit.test"
+        assert record["level"] == "info"
+        assert record["run_id"] == "abc123def456"
+        assert record["path"] == "/x"
+        assert record["status"] == 200
+        assert isinstance(record["ts"], float)
+
+    def test_bind_merges_fields(self):
+        stream = io.StringIO()
+        logger = obs_logging.JsonLogger(stream, run_id="r", component="server")
+        child = logger.bind(request_id=9)
+        child.warning("x", request_id=10)  # per-call wins
+        record = json.loads(stream.getvalue())
+        assert record["component"] == "server"
+        assert record["request_id"] == 10
+        assert record["level"] == "warning"
+
+    def test_concurrent_lines_never_interleave(self):
+        stream = io.StringIO()
+        logger = obs_logging.JsonLogger(stream, run_id="r")
+
+        def work(t):
+            for i in range(200):
+                logger.info("spin", thread=t, i=i, payload="x" * 50)
+
+        threads = [threading.Thread(target=work, args=(t,)) for t in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        lines = stream.getvalue().strip().splitlines()
+        assert len(lines) == 6 * 200
+        for line in lines:
+            json.loads(line)  # every line is complete JSON
+
+    def test_module_level_lifecycle(self, tmp_path):
+        target = tmp_path / "events.jsonl"
+        assert obs_logging.active_logger() is None
+        assert obs_logging.current_run_id() is None
+        handle = obs_logging.get_logger(component="t")
+        handle.info("dropped.before.configure")  # no-op, no error
+        logger = obs_logging.configure(target, run_id="runid0001aaaa")
+        try:
+            assert obs_logging.current_run_id() == "runid0001aaaa"
+            handle.info("late.bound", n=1)
+            obs_logging.log_event("direct", n=2)
+            assert obs_logging.active_logger() is logger
+        finally:
+            obs_logging.shutdown()
+        assert obs_logging.active_logger() is None
+        events = [
+            json.loads(line)
+            for line in target.read_text(encoding="utf-8").strip().splitlines()
+        ]
+        assert [e["event"] for e in events] == ["late.bound", "direct"]
+        assert events[0]["component"] == "t"
+        assert all(e["run_id"] == "runid0001aaaa" for e in events)
+        obs_logging.shutdown()  # idempotent
+
+    def test_new_run_id_format(self):
+        rid = obs_logging.new_run_id()
+        assert len(rid) == 12
+        int(rid, 16)  # hex

@@ -11,6 +11,8 @@ traces contain no ``cpm.run`` span (zero recompute on the read path).
 
 from __future__ import annotations
 
+import http.client
+import io
 import json
 import threading
 import urllib.error
@@ -20,6 +22,8 @@ import pytest
 
 from repro.api import build_query_artifact, load_query_artifact, run_cpm
 from repro.cli import main
+from repro.obs import logging as obs_logging
+from repro.obs.exposition import parse_exposition
 from repro.obs.manifest import graph_fingerprint
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracing import Tracer
@@ -438,6 +442,183 @@ class TestServer:
         status, body = _get_error(server, "/top?n=zero")
         assert status == 400
 
+    def test_metrics_endpoint(self, server):
+        with urllib.request.urlopen(server.url + "/metrics", timeout=10) as response:
+            assert response.status == 200
+            assert response.headers["Content-Type"].startswith("text/plain")
+            text = response.read().decode("utf-8")
+        assert "# TYPE repro_query_requests_total counter" in text
+        assert "repro_process_uptime_seconds" in text
+        samples = parse_exposition(text)
+        assert samples[("repro_query_requests_total", ())] >= 1
+
+
+# ----------------------------------------------------------------------
+# Concurrent serving: no global lock, no lost telemetry
+# ----------------------------------------------------------------------
+N_CLIENTS = 8
+PER_CLIENT = 25
+
+
+def _fresh_server(loaded, **kwargs):
+    tracer = Tracer()
+    metrics = MetricsRegistry()
+    server = make_server(loaded, port=0, tracer=tracer, metrics=metrics, **kwargs)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    return server, thread, tracer, metrics
+
+
+class TestConcurrentServing:
+    def _hammer(self, server, loaded, failures):
+        """One client: PER_CLIENT rounds of health + band + a 404."""
+        node = loaded.nodes[0]
+        for _ in range(PER_CLIENT):
+            try:
+                with urllib.request.urlopen(server.url + "/health", timeout=10) as r:
+                    assert json.loads(r.read())["status"] == "ok"
+                with urllib.request.urlopen(
+                    server.url + f"/band?as={node}", timeout=10
+                ) as r:
+                    assert json.loads(r.read())["band"] in ("root", "trunk", "crown")
+                try:
+                    urllib.request.urlopen(server.url + "/nope", timeout=10)
+                except urllib.error.HTTPError as exc:
+                    assert exc.code == 404
+            except Exception as exc:  # noqa: BLE001 - collected for the assert
+                failures.append(exc)
+
+    def test_zero_lost_updates_and_exact_histograms(self, loaded):
+        server, thread, tracer, metrics = _fresh_server(loaded)
+        failures: list = []
+        try:
+            clients = [
+                threading.Thread(target=self._hammer, args=(server, loaded, failures))
+                for _ in range(N_CLIENTS)
+            ]
+            for c in clients:
+                c.start()
+            for c in clients:
+                c.join()
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5)
+        assert failures == []
+        total = N_CLIENTS * PER_CLIENT
+        counters = metrics.to_dict()["counters"]
+        # Every update landed: no lost increments without the global lock.
+        assert counters["query.requests"] == 3 * total
+        assert counters["query.errors"] == total
+        assert counters["query.lookup.band"] == total
+        # Exact per-endpoint histogram counts, request_seconds summed
+        # under concurrent observers.
+        histograms = metrics.to_dict()["histograms"]
+        assert histograms['query.request_seconds{endpoint="health"}']["count"] == total
+        assert histograms['query.request_seconds{endpoint="band"}']["count"] == total
+        assert histograms['query.request_seconds{endpoint="other"}']["count"] == total
+        for summary in histograms.values():
+            assert summary["p99"] >= summary["p50"] > 0.0
+        assert server.served == 3 * total
+
+    def test_per_request_spans_absorbed_with_request_ids(self, loaded):
+        server, thread, tracer, metrics = _fresh_server(loaded)
+        try:
+            for _ in range(5):
+                with urllib.request.urlopen(server.url + "/health", timeout=10):
+                    pass
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5)
+        spans = [s for s in tracer.to_dicts() if s["name"] == "query.request"]
+        assert len(spans) == 5
+        ids = [s["attrs"]["request_id"] for s in spans]
+        assert sorted(ids) == [1, 2, 3, 4, 5]
+        assert all(s["attrs"]["status"] == 200 for s in spans)
+
+    def test_concurrent_drain_is_exact(self, loaded):
+        """max_requests with racing clients serves exactly N then stops."""
+        server, thread, tracer, metrics = _fresh_server(loaded)
+        limit = 20
+        server.max_requests = limit
+        statuses: list = []
+        lock = threading.Lock()
+
+        def client():
+            while True:
+                try:
+                    with urllib.request.urlopen(
+                        server.url + "/health", timeout=2
+                    ) as r:
+                        with lock:
+                            statuses.append(r.status)
+                except urllib.error.HTTPError as exc:
+                    assert exc.code == 503  # rejected past the limit
+                    return
+                except (urllib.error.URLError, OSError, http.client.HTTPException):
+                    return  # server drained
+
+        clients = [threading.Thread(target=client) for _ in range(4)]
+        for c in clients:
+            c.start()
+        thread.join(timeout=30)  # serve_forever returns on drain
+        server.server_close()
+        for c in clients:
+            c.join(timeout=10)
+        assert not thread.is_alive()
+        assert server.served == limit
+        assert metrics.counter("query.requests").value == limit
+        assert all(s == 200 for s in statuses)
+
+    def test_serialize_requests_legacy_mode(self, loaded):
+        server, thread, tracer, metrics = _fresh_server(loaded, serialize_requests=True)
+        failures: list = []
+        try:
+            clients = [
+                threading.Thread(target=self._hammer, args=(server, loaded, failures))
+                for _ in range(2)
+            ]
+            for c in clients:
+                c.start()
+            for c in clients:
+                c.join()
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5)
+        assert failures == []
+        assert metrics.counter("query.requests").value == 2 * 3 * PER_CLIENT
+
+    def test_access_log_events(self, loaded):
+        stream = io.StringIO()
+        obs_logging.configure(stream, run_id="srvrun1234ab")
+        try:
+            server, thread, tracer, metrics = _fresh_server(loaded)
+            try:
+                for _ in range(3):
+                    with urllib.request.urlopen(server.url + "/health", timeout=10):
+                        pass
+            finally:
+                server.shutdown()
+                server.server_close()
+                thread.join(timeout=5)
+        finally:
+            obs_logging.shutdown()
+        events = [
+            json.loads(line)
+            for line in stream.getvalue().strip().splitlines()
+            if json.loads(line)["event"] == "query.access"
+        ]
+        assert len(events) == 3
+        assert sorted(e["request_id"] for e in events) == [1, 2, 3]
+        for event in events:
+            assert event["run_id"] == "srvrun1234ab"
+            assert event["endpoint"] == "health"
+            assert event["status"] == 200
+            assert event["seconds"] >= 0.0
+            assert event["component"] == "query.server"
+
 
 # ----------------------------------------------------------------------
 # CLI + acceptance: the read path never re-runs CPM
@@ -538,6 +719,61 @@ class TestCLI:
         assert code == 0
         assert results.get("/health") == 200
         assert results.get("/artifact") == 200
+
+    def test_serve_log_json_access_log(self, cli_artifact, tmp_path, capsys):
+        """--log-json on `query serve` writes correlated NDJSON events."""
+        import io
+        import re
+        import sys
+        import time
+
+        log_path = tmp_path / "serve.log.jsonl"
+        results: dict = {}
+
+        def drive():
+            for _ in range(200):
+                stdout = buffer.getvalue()
+                match = re.search(r"at (http://[\S]+)", stdout)
+                if match:
+                    break
+                time.sleep(0.05)
+            else:  # pragma: no cover - server never came up
+                results["error"] = "server did not start"
+                return
+            url = match.group(1)
+            for path in ("/health", "/metrics"):
+                with urllib.request.urlopen(url + path, timeout=10) as response:
+                    results[path] = response.status
+
+        real_stdout = sys.stdout
+        buffer = io.StringIO()
+        sys.stdout = buffer
+        try:
+            client = threading.Thread(target=drive, daemon=True)
+            client.start()
+            code = main(
+                [
+                    "query", "serve", cli_artifact, "--port", "0",
+                    "--max-requests", "2", "--log-json", str(log_path),
+                ]
+            )
+            client.join(timeout=10)
+        finally:
+            sys.stdout = real_stdout
+        assert code == 0
+        assert results.get("/health") == 200
+        assert results.get("/metrics") == 200
+        events = [
+            json.loads(line)
+            for line in log_path.read_text(encoding="utf-8").strip().splitlines()
+        ]
+        names = [e["event"] for e in events]
+        assert "cli.start" in names
+        assert "query.serve.start" in names
+        assert names.count("query.access") == 2
+        assert "query.serve.stop" in names
+        run_ids = {e["run_id"] for e in events}
+        assert len(run_ids) == 1  # one run_id correlates the whole invocation
 
     def test_lookup_manifest_carries_fingerprint(self, cli_artifact, loaded, tmp_path, capsys):
         manifest_path = tmp_path / "manifest.json"
